@@ -1,0 +1,139 @@
+// Command dvbpadv runs the Section 6 adversarial constructions and prints
+// measured competitive-ratio certificates against the theoretical targets.
+//
+//	dvbpadv -construction anyfit  -d 2 -mu 10 -params 2,8,32,128
+//	dvbpadv -construction nextfit -d 3 -mu 5
+//	dvbpadv -construction mtf     -mu 20
+//	dvbpadv -construction bestfit -params 4,8,16,32
+//
+// For each parameter value the tool builds the instance, runs the targeted
+// policy (and, with -cross, every standard policy), and reports
+// cost/OPTUpper — a certified lower bound on the competitive ratio.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"dvbp/internal/adversary"
+	"dvbp/internal/core"
+	"dvbp/internal/report"
+)
+
+func main() {
+	var (
+		construction = flag.String("construction", "anyfit", "anyfit (Thm 5) | nextfit (Thm 6) | mtf (Thm 8) | bestfit (Thm 7 family)")
+		d            = flag.Int("d", 2, "dimensions (anyfit/nextfit)")
+		mu           = flag.Float64("mu", 10, "max/min duration ratio")
+		params       = flag.String("params", "2,4,8,16,32,64", "comma-separated size parameters (k, n or R)")
+		cross        = flag.Bool("cross", false, "also run every standard policy on each instance")
+		seed         = flag.Int64("seed", 1, "RandomFit seed for -cross")
+	)
+	flag.Parse()
+
+	ps, err := parseParams(*params)
+	if err != nil {
+		fatal(err)
+	}
+
+	tbl := &report.Table{
+		Title:   fmt.Sprintf("Construction %s (d=%d, mu=%g)", *construction, *d, *mu),
+		Headers: []string{"param", "policy", "bins", "cost", "OPT<=", "measured CR>=", "target"},
+	}
+	for _, p := range ps {
+		in, target, err := build(*construction, *d, p, *mu)
+		if err != nil {
+			fatal(err)
+		}
+		policies := []core.Policy{target}
+		if *cross {
+			policies = core.StandardPolicies(*seed)
+		}
+		for _, pol := range policies {
+			res, err := core.Simulate(in.List, pol)
+			if err != nil {
+				fatal(err)
+			}
+			tbl.AddRow(strconv.Itoa(p), pol.Name(), strconv.Itoa(res.BinsOpened),
+				report.F(res.Cost), report.F(in.OPTUpper),
+				report.F(in.MeasuredRatio(res.Cost)), report.F(in.AsymptoticRatio))
+		}
+	}
+	fmt.Print(tbl.Render())
+
+	last := ps[len(ps)-1]
+	in, target, err := build(*construction, *d, last, *mu)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := core.Simulate(in.List, target)
+	if err != nil {
+		fatal(err)
+	}
+	ratio := in.MeasuredRatio(res.Cost)
+	gap := 100 * (1 - ratio/in.AsymptoticRatio)
+	if math.IsInf(in.AsymptoticRatio, 1) {
+		gap = 0
+	}
+	fmt.Printf("at %s=%d the measured ratio %.4f is within %.1f%% of the target %.4f\n",
+		paramName(*construction), last, ratio, gap, in.AsymptoticRatio)
+}
+
+func paramName(c string) string {
+	switch c {
+	case "mtf":
+		return "n"
+	case "bestfit":
+		return "R"
+	}
+	return "k"
+}
+
+func build(construction string, d, p int, mu float64) (*adversary.Instance, core.Policy, error) {
+	switch construction {
+	case "anyfit":
+		in, err := adversary.Theorem5(d, evenUp(p), mu)
+		return in, core.NewFirstFit(), err
+	case "nextfit":
+		in, err := adversary.Theorem6(d, evenUp(p), mu)
+		return in, core.NewNextFit(), err
+	case "mtf":
+		in, err := adversary.Theorem8(p, mu)
+		return in, core.NewMoveToFront(), err
+	case "bestfit":
+		in, err := adversary.BestFitPillars(p, float64(p*p))
+		return in, core.NewBestFit(core.MaxLoad()), err
+	}
+	return nil, nil, fmt.Errorf("unknown construction %q", construction)
+}
+
+func evenUp(k int) int {
+	if k%2 == 1 {
+		return k + 1
+	}
+	return k
+}
+
+func parseParams(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || v < 2 {
+			return nil, fmt.Errorf("bad parameter %q (need integers >= 2)", f)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty parameter list")
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dvbpadv:", err)
+	os.Exit(1)
+}

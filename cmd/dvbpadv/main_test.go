@@ -1,0 +1,54 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestParseParams(t *testing.T) {
+	got, err := parseParams("2, 8,32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 2 || got[1] != 8 || got[2] != 32 {
+		t.Errorf("parseParams = %v", got)
+	}
+	for _, bad := range []string{"", "x", "1", "-3", "4,,8"} {
+		if _, err := parseParams(bad); err == nil {
+			t.Errorf("parseParams(%q): want error", bad)
+		}
+	}
+}
+
+func TestEvenUp(t *testing.T) {
+	cases := map[int]int{2: 2, 3: 4, 4: 4, 7: 8}
+	for in, want := range cases {
+		if got := evenUp(in); got != want {
+			t.Errorf("evenUp(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestBuildAllConstructions(t *testing.T) {
+	for _, c := range []string{"anyfit", "nextfit", "mtf", "bestfit"} {
+		in, pol, err := build(c, 2, 4, 5)
+		if err != nil {
+			t.Errorf("build(%s): %v", c, err)
+			continue
+		}
+		if in == nil || pol == nil {
+			t.Errorf("build(%s): nil outputs", c)
+		}
+		if err := in.List.Validate(); err != nil {
+			t.Errorf("build(%s): invalid instance: %v", c, err)
+		}
+	}
+	if _, _, err := build("nope", 2, 4, 5); err == nil {
+		t.Error("unknown construction accepted")
+	}
+}
+
+func TestParamName(t *testing.T) {
+	if paramName("mtf") != "n" || paramName("bestfit") != "R" || paramName("anyfit") != "k" {
+		t.Error("paramName mapping wrong")
+	}
+}

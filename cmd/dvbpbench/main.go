@@ -1,0 +1,273 @@
+// Command dvbpbench regenerates the paper's evaluation end to end:
+//
+//	-experiment fig4                 Figure 4 (all three panels or -d one)
+//	-experiment table1               Table 1 lower-bound constructions
+//	-experiment ubcheck              Table 1 upper-bound validation
+//	-experiment trueratio            true ratios via exact OPT
+//	-experiment quality              packing-vs-alignment metrics
+//	-experiment ablation-bestfit     Best Fit load-measure ablation
+//	-experiment ablation-clairvoyant clairvoyant-vs-online ablation
+//	-experiment ablation-billing     billing-granularity ablation
+//	-experiment all                  everything above
+//
+// The full paper grid (-instances 1000) reproduces Table 2 exactly; smaller
+// -instances values keep the shape with wider error bars. Results print as
+// ASCII tables and, with -out DIR, are also written as CSV and SVG.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"dvbp/internal/experiments"
+	"dvbp/internal/report"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "fig4", "fig4 | table1 | ubcheck | trueratio | quality | ablation-bestfit | ablation-clairvoyant | ablation-billing | all")
+		dFlag      = flag.Int("d", 0, "restrict fig4 to one dimension panel (0 = all of 1,2,5)")
+		instances  = flag.Int("instances", 1000, "instances per cell (paper: 1000)")
+		mus        = flag.String("mus", "1,2,5,10,100,200", "comma-separated mu sweep")
+		seed       = flag.Int64("seed", 1, "master seed")
+		workers    = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		outDir     = flag.String("out", "", "directory for CSV/SVG artefacts (optional)")
+	)
+	flag.Parse()
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+
+	run := func(name string) {
+		switch name {
+		case "fig4":
+			runFigure4(*dFlag, *instances, *mus, *seed, *workers, *outDir)
+		case "table1":
+			runTable1(*seed, *outDir)
+		case "ubcheck":
+			runUBCheck(*instances, *seed, *workers)
+		case "ablation-bestfit":
+			runAblationBestFit(*instances, *seed, *workers, *outDir)
+		case "ablation-clairvoyant":
+			runAblationClairvoyant(*instances, *seed, *workers, *outDir)
+		case "ablation-billing":
+			runAblationBilling(*instances, *seed, *workers, *outDir)
+		case "trueratio":
+			runTrueRatio(*instances, *seed, *workers, *outDir)
+		case "quality":
+			runQuality(*instances, *seed, *workers, *outDir)
+		default:
+			fatal(fmt.Errorf("unknown experiment %q", name))
+		}
+	}
+	if *experiment == "all" {
+		for _, e := range []string{"fig4", "table1", "ubcheck", "trueratio", "quality", "ablation-bestfit", "ablation-clairvoyant", "ablation-billing"} {
+			run(e)
+		}
+		return
+	}
+	run(*experiment)
+}
+
+func parseMus(s string) []int {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || v < 1 {
+			fatal(fmt.Errorf("bad mu value %q", f))
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func runFigure4(d, instances int, mus string, seed int64, workers int, outDir string) {
+	cfg := experiments.DefaultFigure4()
+	cfg.Instances = instances
+	cfg.Mus = parseMus(mus)
+	cfg.Seed = seed
+	cfg.Workers = workers
+	if d != 0 {
+		cfg.Ds = []int{d}
+	}
+	fmt.Printf("== Figure 4: d=%v mu=%v instances=%d (n=%d T=%d B=%d) ==\n",
+		cfg.Ds, cfg.Mus, cfg.Instances, cfg.N, cfg.T, cfg.B)
+	res, err := experiments.RunFigure4(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	for _, dd := range cfg.Ds {
+		tbl := res.Table(dd)
+		fmt.Print(tbl.Render())
+		fmt.Printf("ranking at mu=%d: %s\n\n", cfg.Mus[len(cfg.Mus)-1],
+			strings.Join(res.Ranking(dd, cfg.Mus[len(cfg.Mus)-1]), " < "))
+		if outDir != "" {
+			writeCSV(outDir, fmt.Sprintf("figure4_d%d.csv", dd), tbl)
+			writeFile(outDir, fmt.Sprintf("figure4_d%d.svg", dd), res.Chart(dd).SVG())
+		}
+	}
+}
+
+func runTable1(seed int64, outDir string) {
+	cfg := experiments.DefaultTable1()
+	cfg.Seed = seed
+	fmt.Printf("== Table 1 lower-bound constructions: d=%d mu=%g params=%v ==\n", cfg.D, cfg.Mu, cfg.Params)
+	rows, err := experiments.RunTable1(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	tbl := experiments.AdversarialTable(rows)
+	fmt.Print(tbl.Render())
+	bad := 0
+	for _, r := range rows {
+		if !r.Consistent() {
+			bad++
+		}
+	}
+	fmt.Printf("consistency: %d/%d rows respect the Table 1 bounds\n\n", len(rows)-bad, len(rows))
+	if outDir != "" {
+		writeCSV(outDir, "table1_adversarial.csv", tbl)
+	}
+}
+
+func runUBCheck(instances int, seed int64, workers int) {
+	cfg := experiments.DefaultUpperBoundCheck()
+	if instances < cfg.Instances {
+		cfg.Instances = instances
+	}
+	cfg.Seed = seed
+	cfg.Workers = workers
+	fmt.Printf("== Table 1 upper-bound validation: %d instances of d=%d n=%d mu=%d ==\n",
+		cfg.Instances, cfg.D, cfg.N, cfg.Mu)
+	viol, checked, err := experiments.RunUpperBoundCheck(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("checked %d (instance, policy) pairs: %d violations\n\n", checked, len(viol))
+	for _, v := range viol {
+		fmt.Printf("  VIOLATION: %+v\n", v)
+	}
+}
+
+func ablationCfg(instances int, seed int64, workers int) experiments.AblationConfig {
+	cfg := experiments.DefaultAblation()
+	if instances < cfg.Instances {
+		cfg.Instances = instances
+	}
+	cfg.Seed = seed
+	cfg.Workers = workers
+	return cfg
+}
+
+func runAblationBestFit(instances int, seed int64, workers int, outDir string) {
+	cfg := ablationCfg(instances, seed, workers)
+	fmt.Printf("== Ablation: Best Fit load measure (d=%d mu=%d, %d instances) ==\n", cfg.D, cfg.Mu, cfg.Instances)
+	m, err := experiments.RunBestFitMeasureAblation(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	tbl := experiments.SummaryTable("Best Fit load measures", []string{"BestFit", "BestFit-L1", "BestFit-Lp2"}, m)
+	fmt.Print(tbl.Render())
+	fmt.Println()
+	if outDir != "" {
+		writeCSV(outDir, "ablation_bestfit.csv", tbl)
+	}
+}
+
+func runAblationClairvoyant(instances int, seed int64, workers int, outDir string) {
+	cfg := ablationCfg(instances, seed, workers)
+	fmt.Printf("== Ablation: clairvoyant extensions (d=%d mu=%d, %d instances) ==\n", cfg.D, cfg.Mu, cfg.Instances)
+	m, err := experiments.RunClairvoyanceAblation(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	tbl := experiments.SummaryTable("Clairvoyant vs non-clairvoyant",
+		[]string{"MoveToFront", "FirstFit", "DurationClassFit", "WindowedClassFit", "AlignedBestFit"}, m)
+	fmt.Print(tbl.Render())
+	fmt.Println()
+	if outDir != "" {
+		writeCSV(outDir, "ablation_clairvoyant.csv", tbl)
+	}
+}
+
+func runAblationBilling(instances int, seed int64, workers int, outDir string) {
+	cfg := ablationCfg(instances, seed, workers)
+	const quantum = 10.0
+	fmt.Printf("== Ablation: billing granularity (quantum=%g, d=%d mu=%d, %d instances) ==\n",
+		quantum, cfg.D, cfg.Mu, cfg.Instances)
+	rows, err := experiments.RunBillingAblation(cfg, quantum)
+	if err != nil {
+		fatal(err)
+	}
+	tbl := experiments.BillingTable(rows, quantum)
+	fmt.Print(tbl.Render())
+	fmt.Println()
+	if outDir != "" {
+		writeCSV(outDir, "ablation_billing.csv", tbl)
+	}
+}
+
+func runTrueRatio(instances int, seed int64, workers int, outDir string) {
+	cfg := experiments.DefaultTrueRatio()
+	if instances < cfg.Instances {
+		cfg.Instances = instances
+	}
+	cfg.Seed = seed
+	cfg.Workers = workers
+	fmt.Printf("== True competitive ratios via exact OPT (d=%d n=%d mu=%d, %d instances) ==\n",
+		cfg.D, cfg.N, cfg.Mu, cfg.Instances)
+	res, err := experiments.RunTrueRatio(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	tbl := res.Table()
+	fmt.Print(tbl.Render())
+	fmt.Println()
+	if outDir != "" {
+		writeCSV(outDir, "trueratio.csv", tbl)
+	}
+}
+
+func runQuality(instances int, seed int64, workers int, outDir string) {
+	cfg := ablationCfg(instances, seed, workers)
+	fmt.Printf("== Packing vs alignment (d=%d mu=%d, %d instances) ==\n", cfg.D, cfg.Mu, cfg.Instances)
+	rows, err := experiments.RunQuality(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	tbl := experiments.QualityTable(rows)
+	fmt.Print(tbl.Render())
+	fmt.Println()
+	if outDir != "" {
+		writeCSV(outDir, "quality.csv", tbl)
+	}
+}
+
+func writeCSV(dir, name string, tbl *report.Table) {
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := tbl.WriteCSV(f); err != nil {
+		fatal(err)
+	}
+}
+
+func writeFile(dir, name, content string) {
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dvbpbench:", err)
+	os.Exit(1)
+}

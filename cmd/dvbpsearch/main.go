@@ -1,0 +1,95 @@
+// Command dvbpsearch hunts for empirically bad instances: hill-climbing over
+// small instances to maximise a policy's cost / exact-OPT ratio, and
+// comparing the machine-found witness with the paper's analytic bounds.
+//
+//	dvbpsearch -policy NextFit -mu 6 -items 10 -restarts 20 -steps 500
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"dvbp/internal/core"
+	"dvbp/internal/experiments"
+	"dvbp/internal/search"
+	"dvbp/internal/workload"
+)
+
+func main() {
+	var (
+		policy    = flag.String("policy", "NextFit", "policy to attack")
+		d         = flag.Int("d", 1, "dimensions")
+		items     = flag.Int("items", 10, "items per candidate instance")
+		mu        = flag.Float64("mu", 6, "max duration (min is 1)")
+		timeRange = flag.Float64("trange", 10, "arrival window")
+		restarts  = flag.Int("restarts", 10, "hill-climbing restarts")
+		steps     = flag.Int("steps", 300, "steps per restart")
+		seed      = flag.Int64("seed", 1, "seed")
+		outTrace  = flag.String("o", "", "write the witness instance as CSV")
+	)
+	flag.Parse()
+
+	cfg := search.Config{
+		Policy: *policy, D: *d, Items: *items,
+		MaxMu: *mu, TimeRange: *timeRange,
+		Restarts: *restarts, Steps: *steps, Seed: *seed,
+	}
+	w, err := search.Run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	instMu := w.List.Mu()
+	fmt.Printf("policy:        %s (d=%d)\n", *policy, *d)
+	fmt.Printf("evaluations:   %d\n", w.Evaluations)
+	fmt.Printf("witness:       %d items, mu=%.3g\n", w.List.Len(), instMu)
+	fmt.Printf("cost:          %.4f\n", w.Cost)
+	fmt.Printf("exact OPT:     %.4f\n", w.Opt)
+	fmt.Printf("TRUE ratio:    %.4f\n", w.Ratio)
+	lb := experiments.Table1LowerBound(*policy, instMu, *d)
+	ub := experiments.Table1UpperBound(*policy, instMu, *d)
+	if math.IsInf(lb, 1) {
+		fmt.Printf("theory:        CR unbounded for %s\n", *policy)
+	} else {
+		fmt.Printf("theory:        %.4f <= CR <= %s at this mu\n", lb, fmtBound(ub))
+	}
+	for _, it := range w.List.SortedByArrival() {
+		fmt.Printf("  %s\n", it)
+	}
+
+	// Cross-check: how do the other policies fare on the witness?
+	fmt.Println("\ncross-policy costs on the witness:")
+	for _, p := range core.StandardPolicies(*seed) {
+		res, err := core.Simulate(w.List, p)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  %-12s cost=%.4f ratio=%.4f\n", p.Name(), res.Cost, res.Cost/w.Opt)
+	}
+
+	if *outTrace != "" {
+		f, err := os.Create(*outTrace)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := workload.WriteCSV(f, w.List); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nwitness written to %s\n", *outTrace)
+	}
+}
+
+func fmtBound(b float64) string {
+	if math.IsInf(b, 1) {
+		return "inf"
+	}
+	return fmt.Sprintf("%.4f", b)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dvbpsearch:", err)
+	os.Exit(1)
+}

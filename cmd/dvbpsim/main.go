@@ -1,0 +1,148 @@
+// Command dvbpsim runs one MinUsageTime DVBP simulation and reports the
+// packing cost, the Lemma 1 lower bounds and the offline bracket.
+//
+// Input is either a trace file (-trace, CSV or JSON as produced by
+// dvbptrace) or a freshly generated uniform instance (-d/-n/-mu/-T/-B/-seed,
+// the paper's Table 2 model).
+//
+// Examples:
+//
+//	dvbpsim -d 2 -n 1000 -mu 100 -policy MoveToFront
+//	dvbpsim -trace trace.csv -policy ff -bins
+//	dvbpsim -d 1 -n 200 -mu 10 -all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dvbp/internal/check"
+	"dvbp/internal/core"
+	"dvbp/internal/exactopt"
+	"dvbp/internal/item"
+	"dvbp/internal/lowerbound"
+	"dvbp/internal/offline"
+	"dvbp/internal/report"
+	"dvbp/internal/workload"
+)
+
+func main() {
+	var (
+		tracePath = flag.String("trace", "", "trace file (.csv or .json); overrides the generator flags")
+		d         = flag.Int("d", 2, "dimensions (generator)")
+		n         = flag.Int("n", 1000, "items (generator)")
+		mu        = flag.Int("mu", 10, "max item duration (generator)")
+		horizon   = flag.Int("T", 1000, "span (generator)")
+		binSize   = flag.Int("B", 100, "bin capacity granularity (generator)")
+		seed      = flag.Int64("seed", 1, "generator / RandomFit seed")
+		policy    = flag.String("policy", "MoveToFront", "packing policy (see -list)")
+		all       = flag.Bool("all", false, "run all seven standard policies")
+		bins      = flag.Bool("bins", false, "print per-bin usage records")
+		bracket   = flag.Bool("bracket", true, "compute the offline OPT bracket (O(n^2); disable for huge traces)")
+		exact     = flag.Bool("exact", false, "compute exact OPT (exponential; only for small peak concurrency)")
+		checkFlag = flag.Bool("check", false, "re-validate every result from first principles (internal/check)")
+		list      = flag.Bool("list", false, "list policy names and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(core.PolicyNames(), "\n"))
+		return
+	}
+
+	l, err := loadInstance(*tracePath, *d, *n, *mu, *horizon, *binSize, *seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	lb := lowerbound.Compute(l)
+	fmt.Printf("instance: d=%d items=%d span=%.4g mu=%.4g\n", l.Dim, l.Len(), l.Span(), l.Mu())
+	fmt.Printf("lower bounds on OPT: integral=%.4f utilization=%.4f span=%.4f\n",
+		lb.Integral, lb.Utilization, lb.Span)
+	var upCost float64
+	if *bracket {
+		up, err := offline.BestUpperEstimate(l)
+		if err != nil {
+			fatal(err)
+		}
+		upCost = up.Cost
+		fmt.Printf("offline upper estimate: %.4f (%s)  =>  OPT in [%.4f, %.4f]\n",
+			up.Cost, up.Algorithm, lb.Best(), up.Cost)
+	}
+
+	denom := lb.Best() // ratio denominator: exact OPT when available
+	if *exact {
+		if peak := exactopt.PeakActive(l); peak > exactopt.DefaultMaxActive {
+			fatal(fmt.Errorf("exact OPT infeasible: peak concurrency %d exceeds %d", peak, exactopt.DefaultMaxActive))
+		}
+		opt, err := exactopt.Opt(l, exactopt.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		denom = opt
+		fmt.Printf("exact OPT: %.4f (ratios below are TRUE competitive ratios)\n", opt)
+	}
+
+	var policies []core.Policy
+	if *all {
+		policies = core.StandardPolicies(*seed)
+	} else {
+		p, err := core.NewPolicy(*policy, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		policies = []core.Policy{p}
+	}
+
+	ratioHeader := "cost/LB"
+	if *exact {
+		ratioHeader = "cost/OPT"
+	}
+	t := &report.Table{Headers: []string{"policy", "cost", ratioHeader, "bins", "peak bins"}}
+	for _, p := range policies {
+		res, err := core.Simulate(l, p)
+		if err != nil {
+			fatal(err)
+		}
+		if *checkFlag {
+			if err := check.Result(l, res); err != nil {
+				fatal(fmt.Errorf("%s failed validation: %w", p.Name(), err))
+			}
+		}
+		t.AddRow(p.Name(), fmt.Sprintf("%.4f", res.Cost), fmt.Sprintf("%.4f", res.Cost/denom),
+			fmt.Sprintf("%d", res.BinsOpened), fmt.Sprintf("%d", res.MaxConcurrentBins))
+		if *bins {
+			for _, b := range res.Bins {
+				fmt.Printf("  %s bin %d: [%.4g, %.4g) usage=%.4g items=%d\n",
+					p.Name(), b.BinID, b.OpenedAt, b.ClosedAt, b.Usage(), b.Packed)
+			}
+		}
+	}
+	fmt.Print(t.Render())
+	if *bracket && upCost > 0 && !*exact {
+		fmt.Printf("note: cost/LB overstates the true competitive ratio by at most %.2fx (bracket looseness)\n",
+			upCost/lb.Best())
+	}
+}
+
+func loadInstance(path string, d, n, mu, horizon, binSize int, seed int64) (*item.List, error) {
+	if path == "" {
+		return workload.Uniform(workload.UniformConfig{D: d, N: n, Mu: mu, T: horizon, B: binSize}, seed)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".json") {
+		return workload.ReadJSON(f)
+	}
+	return workload.ReadCSV(f)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dvbpsim:", err)
+	os.Exit(1)
+}

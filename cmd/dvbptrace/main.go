@@ -1,0 +1,171 @@
+// Command dvbptrace generates, inspects and converts DVBP workload traces.
+//
+//	dvbptrace gen -model uniform -d 2 -n 1000 -mu 100 -o trace.csv
+//	dvbptrace gen -model sessions -d 3 -horizon 500 -rate 2 -o sessions.json
+//	dvbptrace gen -model diurnal -d 2 -horizon 240 -o day.csv
+//	dvbptrace inspect trace.csv
+//	dvbptrace convert trace.csv trace.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dvbp/internal/item"
+	"dvbp/internal/lowerbound"
+	"dvbp/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "gen":
+		cmdGen(os.Args[2:])
+	case "inspect":
+		cmdInspect(os.Args[2:])
+	case "convert":
+		cmdConvert(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: dvbptrace gen|inspect|convert [flags]")
+	os.Exit(2)
+}
+
+func cmdGen(args []string) {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	var (
+		model   = fs.String("model", "uniform", "uniform | sessions | diurnal")
+		d       = fs.Int("d", 2, "dimensions")
+		n       = fs.Int("n", 1000, "items (uniform)")
+		mu      = fs.Int("mu", 10, "max duration (uniform)")
+		horizon = fs.Float64("horizon", 1000, "span (uniform T / session horizon)")
+		binSize = fs.Int("B", 100, "bin granularity (uniform)")
+		rate    = fs.Float64("rate", 1, "arrival rate (sessions/diurnal)")
+		meanDur = fs.Float64("meandur", 10, "mean session duration")
+		maxDur  = fs.Float64("maxdur", 200, "max session duration")
+		peak    = fs.Float64("peak", 3, "diurnal peak factor")
+		period  = fs.Float64("period", 24, "diurnal period")
+		seed    = fs.Int64("seed", 1, "seed")
+		out     = fs.String("o", "", "output file (.csv or .json; default stdout CSV)")
+	)
+	fs.Parse(args)
+
+	var (
+		l   *item.List
+		err error
+	)
+	switch *model {
+	case "uniform":
+		l, err = workload.Uniform(workload.UniformConfig{D: *d, N: *n, Mu: *mu, T: int(*horizon), B: *binSize}, *seed)
+	case "sessions":
+		l, err = workload.Sessions(workload.SessionConfig{
+			D: *d, Horizon: *horizon, Rate: *rate,
+			MeanDuration: *meanDur, Alpha: 2.5, MinDuration: 1, MaxDuration: *maxDur,
+		}, *seed)
+	case "diurnal":
+		l, err = workload.Diurnal(workload.DiurnalConfig{
+			Session: workload.SessionConfig{
+				D: *d, Horizon: *horizon, Rate: *rate,
+				MeanDuration: *meanDur, Alpha: 2.5, MinDuration: 1, MaxDuration: *maxDur,
+			},
+			Period: *period, PeakFactor: *peak,
+		}, *seed)
+	default:
+		fatal(fmt.Errorf("unknown model %q", *model))
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	if *out == "" {
+		if err := workload.WriteCSV(os.Stdout, l); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if strings.HasSuffix(*out, ".json") {
+		err = workload.WriteJSON(f, l)
+	} else {
+		err = workload.WriteCSV(f, l)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d items to %s\n", l.Len(), *out)
+}
+
+func cmdInspect(args []string) {
+	if len(args) != 1 {
+		fatal(fmt.Errorf("usage: dvbptrace inspect FILE"))
+	}
+	l, err := read(args[0])
+	if err != nil {
+		fatal(err)
+	}
+	lb := lowerbound.Compute(l)
+	hull := l.Hull()
+	fmt.Printf("file:        %s\n", args[0])
+	fmt.Printf("time hull:   [%g, %g)\n", hull.Lo, hull.Hi)
+	desc, err := workload.Describe(l)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(desc)
+	fmt.Printf("total size:  %v\n", l.TotalSize())
+	fmt.Printf("LB on OPT:   integral=%.4f utilization=%.4f span=%.4f\n",
+		lb.Integral, lb.Utilization, lb.Span)
+}
+
+func cmdConvert(args []string) {
+	if len(args) != 2 {
+		fatal(fmt.Errorf("usage: dvbptrace convert IN OUT"))
+	}
+	l, err := read(args[0])
+	if err != nil {
+		fatal(err)
+	}
+	f, err := os.Create(args[1])
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if strings.HasSuffix(args[1], ".json") {
+		err = workload.WriteJSON(f, l)
+	} else {
+		err = workload.WriteCSV(f, l)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "converted %d items: %s -> %s\n", l.Len(), args[0], args[1])
+}
+
+func read(path string) (*item.List, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".json") {
+		return workload.ReadJSON(f)
+	}
+	return workload.ReadCSV(f)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dvbptrace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dvbp/internal/workload"
+)
+
+func TestReadDispatchesOnExtension(t *testing.T) {
+	dir := t.TempDir()
+	l, err := workload.Uniform(workload.UniformConfig{D: 2, N: 10, Mu: 3, T: 10, B: 10}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	csvPath := filepath.Join(dir, "t.csv")
+	f, err := os.Create(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := workload.WriteCSV(f, l); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	jsonPath := filepath.Join(dir, "t.json")
+	f, err = os.Create(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := workload.WriteJSON(f, l); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	for _, p := range []string{csvPath, jsonPath} {
+		got, err := read(p)
+		if err != nil {
+			t.Errorf("read(%s): %v", p, err)
+			continue
+		}
+		if got.Len() != l.Len() || got.Dim != l.Dim {
+			t.Errorf("read(%s): shape %dx%d", p, got.Dim, got.Len())
+		}
+	}
+	if _, err := read(filepath.Join(dir, "missing.csv")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestGenInspectConvertSmoke(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "g.csv")
+	cmdGen([]string{"-model", "uniform", "-d", "2", "-n", "20", "-mu", "4", "-o", out})
+	if _, err := os.Stat(out); err != nil {
+		t.Fatalf("gen did not write: %v", err)
+	}
+	cmdInspect([]string{out})
+
+	conv := filepath.Join(dir, "g.json")
+	cmdConvert([]string{out, conv})
+	b, err := os.ReadFile(conv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"items"`) {
+		t.Error("converted json missing items")
+	}
+
+	for _, model := range []string{"sessions", "diurnal"} {
+		p := filepath.Join(dir, model+".csv")
+		cmdGen([]string{"-model", model, "-d", "2", "-horizon", "50", "-rate", "1", "-o", p})
+		if _, err := os.Stat(p); err != nil {
+			t.Errorf("gen %s did not write: %v", model, err)
+		}
+	}
+}

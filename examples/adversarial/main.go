@@ -1,0 +1,117 @@
+// Adversarial worst cases: replay the Section 6 lower-bound constructions
+// and watch each algorithm walk into its trap.
+//
+// For each construction the example prints the execution (bins opened, who
+// holds what), the measured competitive-ratio certificate cost/OPTUpper, and
+// the theoretical target it converges to.
+//
+//	go run ./examples/adversarial
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dvbp"
+)
+
+func main() {
+	theorem5()
+	theorem6()
+	theorem8()
+	bestFitTrap()
+}
+
+func theorem5() {
+	const (
+		d  = 2
+		k  = 16
+		mu = 10.0
+	)
+	in, err := dvbp.TheoremFiveInstance(d, k, mu)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("== Theorem 5: any Any Fit algorithm vs (μ+1)d = %.0f ==\n", (mu+1)*d)
+	fmt.Printf("instance: %d items, d=%d, μ=%.0f\n", in.List.Len(), d, mu)
+	for _, p := range []dvbp.Policy{dvbp.NewFirstFit(), dvbp.NewMoveToFront(), dvbp.NewBestFit()} {
+		res, err := dvbp.Simulate(in.List, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-12s opens %3d bins (dk = %d), cost %8.2f, certified CR >= %.2f (target %.0f)\n",
+			p.Name(), res.BinsOpened, d*k, res.Cost, in.MeasuredRatio(res.Cost), in.AsymptoticRatio)
+	}
+	fmt.Println()
+}
+
+func theorem6() {
+	const (
+		d  = 2
+		k  = 16
+		mu = 10.0
+	)
+	in, err := dvbp.TheoremSixInstance(d, k, mu)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("== Theorem 6: Next Fit vs 2μd = %.0f ==\n", 2*mu*d)
+	nf, err := dvbp.Simulate(in.List, dvbp.NewNextFit())
+	if err != nil {
+		log.Fatal(err)
+	}
+	ff, err := dvbp.Simulate(in.List, dvbp.NewFirstFit())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  NextFit  opens %3d bins (1+(k-1)d = %d), cost %8.2f, certified CR >= %.2f\n",
+		nf.BinsOpened, 1+(k-1)*d, nf.Cost, in.MeasuredRatio(nf.Cost))
+	fmt.Printf("  FirstFit opens %3d bins on the same sequence, cost %8.2f — the trap is Next Fit-specific\n\n",
+		ff.BinsOpened, ff.Cost)
+}
+
+func theorem8() {
+	const (
+		n  = 32
+		mu = 10.0
+	)
+	in, err := dvbp.TheoremEightInstance(n, mu)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("== Theorem 8: Move To Front vs 2μ = %.0f (d=1) ==\n", 2*mu)
+	mtf, err := dvbp.Simulate(in.List, dvbp.NewMoveToFront())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  MoveToFront opens %3d bins (2n = %d), cost %8.2f, certified CR >= %.2f\n",
+		mtf.BinsOpened, 2*n, mtf.Cost, in.MeasuredRatio(mtf.Cost))
+	ff, err := dvbp.Simulate(in.List, dvbp.NewFirstFit())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  FirstFit    opens %3d bins on the same sequence, cost %8.2f\n\n", ff.BinsOpened, ff.Cost)
+}
+
+func bestFitTrap() {
+	fmt.Println("== Best Fit degradation family (Theorem 7 is cited from Li–Tang–Cai) ==")
+	fmt.Println("   R pillars die one per step; Best Fit strands each long sliver with the")
+	fmt.Println("   biggest dying pillar, First Fit consolidates them:")
+	for _, r := range []int{4, 8, 16, 32} {
+		inst, err := dvbp.BestFitDegradationInstance(r)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bf, err := dvbp.Simulate(inst.List, dvbp.NewBestFit())
+		if err != nil {
+			log.Fatal(err)
+		}
+		ff, err := dvbp.Simulate(inst.List, dvbp.NewFirstFit())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  R=%2d: BestFit CR >= %6.2f (cost %8.0f)   FirstFit CR >= %5.2f (cost %7.0f)\n",
+			r, inst.MeasuredRatio(bf.Cost), bf.Cost, inst.MeasuredRatio(ff.Cost), ff.Cost)
+	}
+	fmt.Println("   the Best Fit column grows without bound; the First Fit column stays flat")
+}

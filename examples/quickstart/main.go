@@ -1,0 +1,60 @@
+// Quickstart: pack a handful of jobs online, inspect the packing, and
+// compare the cost against the Lemma 1 lower bounds.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dvbp"
+)
+
+func main() {
+	// A 2-dimensional instance: each job demands (CPU, memory) fractions of
+	// one server. Jobs are (arrival, departure, size).
+	l := dvbp.NewList(2)
+	l.Add(0, 10, dvbp.Vec(0.5, 0.3)) // long-running service
+	l.Add(1, 3, dvbp.Vec(0.4, 0.6))  // short batch job
+	l.Add(2, 9, dvbp.Vec(0.3, 0.3))  // medium job
+	l.Add(4, 6, dvbp.Vec(0.8, 0.2))  // CPU-heavy spike
+	l.Add(5, 12, dvbp.Vec(0.2, 0.5)) // memory-heavy tail
+
+	// Move To Front is the paper's recommended policy: bounded competitive
+	// ratio ((2μ+1)d + 1) and the best average-case cost.
+	res, err := dvbp.Simulate(l, dvbp.NewMoveToFront())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("policy:       %s\n", res.Algorithm)
+	fmt.Printf("cost:         %.2f server-time units\n", res.Cost)
+	fmt.Printf("bins opened:  %d (peak %d concurrent)\n", res.BinsOpened, res.MaxConcurrentBins)
+	for _, b := range res.Bins {
+		fmt.Printf("  bin %d: open [%.1f, %.1f), %d jobs\n", b.BinID, b.OpenedAt, b.ClosedAt, b.Packed)
+	}
+	for _, p := range res.Placements {
+		fmt.Printf("  job %d -> bin %d at t=%.1f (new bin: %v)\n", p.ItemID, p.BinID, p.Time, p.Opened)
+	}
+
+	// How close is that to optimal? Lemma 1 lower-bounds OPT; the offline
+	// heuristics upper-bound it.
+	lb := dvbp.LowerBounds(l)
+	up, err := dvbp.OfflineBestEstimate(l)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nOPT is in [%.2f, %.2f]; online cost %.2f is within %.2fx of optimal\n",
+		lb.Best(), up.Cost, res.Cost, res.Cost/lb.Best())
+
+	// Compare all seven Any Fit policies on the same jobs.
+	fmt.Println("\nall policies:")
+	for _, p := range dvbp.StandardPolicies(1) {
+		r, err := dvbp.Simulate(l, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-12s cost=%.2f bins=%d\n", p.Name(), r.Cost, r.BinsOpened)
+	}
+}

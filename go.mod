@@ -1,0 +1,3 @@
+module dvbp
+
+go 1.22

@@ -1,0 +1,225 @@
+// Package adversary builds the worst-case instances from Section 6 of the
+// paper — the lower-bound constructions for Any Fit algorithms (Theorem 5),
+// Next Fit (Theorem 6) and Move To Front (Theorem 8) — plus a synthesised
+// family certifying Best Fit's degradation (Theorem 7 cites Li–Tang–Cai [22];
+// see the Best Fit note below and DESIGN.md §5).
+//
+// Each construction returns the instance together with a constructive upper
+// bound on OPT (exhibited by an explicit feasible offline packing), so the
+// measured ratio cost/OPTUpper is a certified lower bound on the true
+// competitive ratio of the algorithm on that instance.
+package adversary
+
+import (
+	"fmt"
+
+	"dvbp/internal/item"
+	"dvbp/internal/vector"
+)
+
+// Instance is an adversarial instance plus its certificate.
+type Instance struct {
+	// Name identifies the construction and its parameters.
+	Name string
+	// List is the item sequence.
+	List *item.List
+	// OPTUpper is a constructive upper bound on OPT(List): the cost of an
+	// explicit feasible offline packing described in the corresponding proof.
+	OPTUpper float64
+	// TargetPolicy is the algorithm the construction is designed against
+	// ("AnyFit" when it applies to the whole family).
+	TargetPolicy string
+	// AsymptoticRatio is the competitive-ratio lower bound the construction
+	// approaches as its size parameter grows (e.g. (μ+1)d for Theorem 5).
+	AsymptoticRatio float64
+	// ExpectedBins is the number of bins the proof argues the target
+	// algorithm opens (0 when not applicable).
+	ExpectedBins int
+}
+
+// MeasuredRatio returns cost/OPTUpper — a certified lower bound on the
+// algorithm's competitive ratio, since OPTUpper ≥ OPT.
+func (in *Instance) MeasuredRatio(cost float64) float64 { return cost / in.OPTUpper }
+
+// arrivalSlack is how long before a departure "just before" arrivals are
+// scheduled (the Theorem 5 items of R₁ arrive "just before any items of R₀
+// depart").
+const arrivalSlack = 1e-3
+
+// Theorem5 builds the adversarial sequence of Theorem 5, against which every
+// Any Fit packing algorithm has ratio approaching (μ+1)d as k→∞.
+//
+// Structure (with ε = 1/(2d²k), ε′ = ε/4, satisfying ε>ε′, d²εk<1, dε>2ε′
+// and ε(1+d)<1):
+//
+//   - R₀: 2dk items at time 0, active [0,1), arriving in index order.
+//     Even-indexed items (group G₀) have size (dε−ε′)·1^d. Odd-indexed items
+//     in group G_i have size (1−dε) in dimension i and ε elsewhere.
+//   - R₁: dk items of size ε′·1^d arriving just before R₀ departs, active
+//     for duration μ.
+//
+// The alternation forces any Any Fit algorithm to open dk bins, each ending
+// up loaded at exactly 1 in one dimension once its R₁ item lands, so all dk
+// bins stay open for ≈ μ+1. The optimum packs G₀∪R₁ into one bin and the
+// group items into k bins: OPT ≤ k + 1 + μ.
+func Theorem5(d, k int, mu float64) (*Instance, error) {
+	if d < 1 || k < 2 {
+		return nil, fmt.Errorf("adversary: Theorem5 needs d >= 1, k >= 2 (got d=%d k=%d)", d, k)
+	}
+	if mu < 1 {
+		return nil, fmt.Errorf("adversary: Theorem5 needs mu >= 1 (got %g)", mu)
+	}
+	eps := 1.0 / (2 * float64(d*d) * float64(k))
+	epsP := eps / 4
+
+	l := item.NewList(d)
+	// R₀: labels 1..2dk in arrival order. Odd label 2m-1 belongs to group
+	// ⌈m/k⌉; even labels to G₀.
+	for label := 1; label <= 2*d*k; label++ {
+		var size vector.Vector
+		if label%2 == 0 {
+			size = vector.Uniform(d, float64(d)*eps-epsP)
+		} else {
+			m := (label + 1) / 2
+			group := (m-1)/k + 1 // 1-based dimension index
+			size = vector.Uniform(d, eps)
+			size[group-1] = 1 - float64(d)*eps
+		}
+		l.Add(0, 1, size)
+	}
+	// R₁: dk fillers arriving just before R₀ departs.
+	a := 1 - arrivalSlack
+	for i := 0; i < d*k; i++ {
+		l.Add(a, a+mu, vector.Uniform(d, epsP))
+	}
+
+	return &Instance{
+		Name:            fmt.Sprintf("Theorem5(d=%d,k=%d,mu=%g)", d, k, mu),
+		List:            l,
+		OPTUpper:        float64(k) + 1 + mu,
+		TargetPolicy:    "AnyFit",
+		AsymptoticRatio: (mu + 1) * float64(d),
+		ExpectedBins:    d * k,
+	}, nil
+}
+
+// Theorem6 builds the Next Fit lower-bound sequence: ratio approaching 2μd
+// as k→∞.
+//
+// With ε′ = 1/(2dk) and ε = ε′/(4d) (so ε′ > 2dε and ε′dk < 1): 2dk items at
+// time 0 in index order; even-indexed items (G₀) have size ε′·1^d and active
+// interval [0,μ); odd-indexed items in G_i have size (1/2−dε) in dimension i
+// and ε elsewhere, active [0,1). Next Fit opens 1+(k−1)d bins, each pinned
+// open for μ by an even item; OPT ≤ μ + k/2.
+func Theorem6(d, k int, mu float64) (*Instance, error) {
+	if d < 1 || k < 2 || k%2 != 0 {
+		return nil, fmt.Errorf("adversary: Theorem6 needs d >= 1 and even k >= 2 (got d=%d k=%d)", d, k)
+	}
+	if mu < 1 {
+		return nil, fmt.Errorf("adversary: Theorem6 needs mu >= 1 (got %g)", mu)
+	}
+	epsP := 1.0 / (2 * float64(d) * float64(k))
+	eps := epsP / (4 * float64(d))
+
+	l := item.NewList(d)
+	for label := 1; label <= 2*d*k; label++ {
+		if label%2 == 0 {
+			l.Add(0, mu, vector.Uniform(d, epsP))
+			continue
+		}
+		m := (label + 1) / 2
+		group := (m-1)/k + 1
+		size := vector.Uniform(d, eps)
+		size[group-1] = 0.5 - float64(d)*eps
+		l.Add(0, 1, size)
+	}
+
+	return &Instance{
+		Name:            fmt.Sprintf("Theorem6(d=%d,k=%d,mu=%g)", d, k, mu),
+		List:            l,
+		OPTUpper:        mu + float64(k)/2,
+		TargetPolicy:    "NextFit",
+		AsymptoticRatio: 2 * mu * float64(d),
+		ExpectedBins:    1 + (k-1)*d,
+	}, nil
+}
+
+// Theorem8 builds the one-dimensional Move To Front lower-bound sequence:
+// ratio approaching 2μ as n→∞.
+//
+// 4n items at time 0: odd-indexed items have size 1/2 and active interval
+// [0,1); even-indexed items have size 1/(2n) and active interval [0,μ). Move
+// To Front pairs each odd item with an even item in a fresh bin, opening 2n
+// bins each held open for μ; OPT packs the even items into one bin (cost μ)
+// and pairs the odd ones into n bins (cost 1 each): OPT ≤ μ + n. The same
+// sequence also forces Next Fit to 2μ (Ren et al., Tang et al.).
+func Theorem8(n int, mu float64) (*Instance, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("adversary: Theorem8 needs n >= 1 (got %d)", n)
+	}
+	if mu < 1 {
+		return nil, fmt.Errorf("adversary: Theorem8 needs mu >= 1 (got %g)", mu)
+	}
+	l := item.NewList(1)
+	for label := 1; label <= 4*n; label++ {
+		if label%2 == 1 {
+			l.Add(0, 1, vector.Of(0.5))
+		} else {
+			l.Add(0, mu, vector.Of(1/(2*float64(n))))
+		}
+	}
+	return &Instance{
+		Name:            fmt.Sprintf("Theorem8(n=%d,mu=%g)", n, mu),
+		List:            l,
+		OPTUpper:        mu + float64(n),
+		TargetPolicy:    "MoveToFront",
+		AsymptoticRatio: 2 * mu,
+		ExpectedBins:    2 * n,
+	}, nil
+}
+
+// BestFitPillars builds a degradation family for Best Fit (our substitute for
+// the Li–Tang–Cai construction cited by Theorem 7; see DESIGN.md §5).
+//
+// R "pillars" arrive at time 0: pillar i has size 0.55 + (R−i)·(0.2/R) — any
+// two exceed capacity, so every algorithm opens R bins — and departs at time
+// i. At time i−1/2 a "sliver" of size 0.2/R arrives with duration L. For
+// Best Fit the most-loaded fitting bin at that moment is always pillar i's
+// bin (the largest remaining pillar), so each sliver is stranded alone in
+// its pillar's bin for ≈ L: cost ≈ R·L. First Fit and Move To Front instead
+// consolidate the slivers into one bin. The optimum packs all slivers
+// together: OPT ≤ (L+R−1) + R(R+1)/2.
+//
+// With L = R² the Best Fit ratio grows ≈ 2R/3 without bound along the
+// family, certifying unbounded degradation and reproducing the qualitative
+// Theorem 7 claim (the cited fixed-μ construction is not in this paper).
+func BestFitPillars(r int, l float64) (*Instance, error) {
+	if r < 2 {
+		return nil, fmt.Errorf("adversary: BestFitPillars needs R >= 2 (got %d)", r)
+	}
+	if l < 1 {
+		return nil, fmt.Errorf("adversary: BestFitPillars needs L >= 1 (got %g)", l)
+	}
+	rf := float64(r)
+	tau := 0.2 / rf
+	lst := item.NewList(1)
+	for i := 1; i <= r; i++ {
+		lst.Add(0, float64(i), vector.Of(0.55+float64(r-i)*0.2/rf))
+	}
+	for i := 1; i <= r; i++ {
+		a := float64(i) - 0.5
+		lst.Add(a, a+l, vector.Of(tau))
+	}
+	optUpper := (l + rf - 1) + rf*(rf+1)/2
+	// Best Fit strands sliver i in pillar i's bin, so bin i spans
+	// [0, i-1/2+L); the exact cost is Σ_{i=1..R} (L+i-1/2) = R·L + R²/2.
+	bfCost := rf*l + rf*rf/2
+	return &Instance{
+		Name:            fmt.Sprintf("BestFitPillars(R=%d,L=%g)", r, l),
+		List:            lst,
+		OPTUpper:        optUpper,
+		TargetPolicy:    "BestFit",
+		AsymptoticRatio: bfCost / optUpper,
+		ExpectedBins:    r,
+	}, nil
+}

@@ -1,0 +1,328 @@
+package adversary
+
+import (
+	"math"
+	"testing"
+
+	"dvbp/internal/core"
+	"dvbp/internal/lowerbound"
+)
+
+func simulate(t *testing.T, in *Instance, p core.Policy) *core.Result {
+	t.Helper()
+	res, err := core.Simulate(in.List, p)
+	if err != nil {
+		t.Fatalf("%s on %s: %v", p.Name(), in.Name, err)
+	}
+	return res
+}
+
+func TestTheorem5Validation(t *testing.T) {
+	if _, err := Theorem5(0, 4, 5); err == nil {
+		t.Error("d=0 accepted")
+	}
+	if _, err := Theorem5(1, 1, 5); err == nil {
+		t.Error("k=1 accepted")
+	}
+	if _, err := Theorem5(1, 4, 0.5); err == nil {
+		t.Error("mu<1 accepted")
+	}
+}
+
+func TestTheorem5InstanceShape(t *testing.T) {
+	in, err := Theorem5(3, 4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.List.Validate(); err != nil {
+		t.Fatalf("invalid instance: %v", err)
+	}
+	if got, want := in.List.Len(), 2*3*4+3*4; got != want {
+		t.Errorf("items = %d, want %d", got, want)
+	}
+	if got := in.List.Mu(); math.Abs(got-10) > 1e-9 {
+		t.Errorf("instance mu = %v, want 10", got)
+	}
+}
+
+// TestTheorem5ForcesDKBins: every Any Fit algorithm that keeps all open bins
+// in its list L opens at least dk bins, all held open for ~μ+1. Next Fit is
+// excluded: its L holds only the current bin, so the proof's "R₁ items land
+// in the dk existing bins" step does not apply to it (Next Fit is covered by
+// the stronger Theorem 6 bound instead).
+func TestTheorem5ForcesDKBins(t *testing.T) {
+	const mu = 5.0
+	for _, d := range []int{1, 2, 3} {
+		for _, k := range []int{2, 4, 8} {
+			in, err := Theorem5(d, k, mu)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range core.StandardPolicies(1) {
+				if p.Name() == "NextFit" {
+					continue
+				}
+				res := simulate(t, in, p)
+				if res.BinsOpened < in.ExpectedBins {
+					t.Errorf("%s on %s: %d bins, want >= %d", p.Name(), in.Name, res.BinsOpened, in.ExpectedBins)
+				}
+				// Every policy's cost must be >= dk(mu+1-slack).
+				wantCost := float64(d*k) * (mu + 1 - 2*arrivalSlack)
+				if res.Cost < wantCost-1e-6 {
+					t.Errorf("%s on %s: cost %v, want >= %v", p.Name(), in.Name, res.Cost, wantCost)
+				}
+			}
+		}
+	}
+}
+
+// TestTheorem5OPTUpperIsFeasible: the certificate must dominate the true
+// lower bound (sanity: LB <= OPTUpper).
+func TestTheorem5OPTUpperIsFeasible(t *testing.T) {
+	in, err := Theorem5(2, 8, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb := lowerbound.Compute(in.List).Best()
+	if lb > in.OPTUpper+1e-9 {
+		t.Errorf("lower bound %v exceeds claimed OPT upper bound %v", lb, in.OPTUpper)
+	}
+}
+
+// TestTheorem5RatioApproachesBound: the measured ratio grows toward (μ+1)d
+// as k increases.
+func TestTheorem5RatioApproachesBound(t *testing.T) {
+	const mu = 4.0
+	for _, d := range []int{1, 2} {
+		prev := 0.0
+		for _, k := range []int{2, 8, 32} {
+			in, err := Theorem5(d, k, mu)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := simulate(t, in, core.NewFirstFit())
+			ratio := in.MeasuredRatio(res.Cost)
+			if ratio < prev-1e-9 {
+				t.Errorf("d=%d: ratio not increasing in k: %v after %v", d, ratio, prev)
+			}
+			prev = ratio
+			if k == 32 {
+				target := in.AsymptoticRatio
+				if ratio < 0.8*target {
+					t.Errorf("d=%d k=32: ratio %v too far below target %v", d, ratio, target)
+				}
+				if ratio > target+1e-9 {
+					t.Errorf("d=%d k=32: measured ratio %v exceeds the theoretical limit %v", d, ratio, target)
+				}
+			}
+		}
+	}
+}
+
+func TestTheorem6Validation(t *testing.T) {
+	if _, err := Theorem6(1, 3, 5); err == nil {
+		t.Error("odd k accepted")
+	}
+	if _, err := Theorem6(0, 4, 5); err == nil {
+		t.Error("d=0 accepted")
+	}
+	if _, err := Theorem6(1, 4, 0); err == nil {
+		t.Error("mu<1 accepted")
+	}
+}
+
+// TestTheorem6ForcesNextFitBins: Next Fit opens exactly 1+(k-1)d bins, each
+// held open for μ.
+func TestTheorem6ForcesNextFitBins(t *testing.T) {
+	const mu = 6.0
+	for _, d := range []int{1, 2, 3} {
+		for _, k := range []int{2, 4, 8} {
+			in, err := Theorem6(d, k, mu)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := simulate(t, in, core.NewNextFit())
+			if res.BinsOpened != in.ExpectedBins {
+				t.Errorf("NextFit on %s: %d bins, want %d", in.Name, res.BinsOpened, in.ExpectedBins)
+			}
+			wantCost := float64(in.ExpectedBins) * mu
+			if math.Abs(res.Cost-wantCost) > 1e-6 {
+				t.Errorf("NextFit on %s: cost %v, want %v", in.Name, res.Cost, wantCost)
+			}
+		}
+	}
+}
+
+// TestTheorem6FirstFitDoesBetter: the construction is specific to Next Fit —
+// First Fit packs it much more tightly (it reuses early bins).
+func TestTheorem6FirstFitDoesBetter(t *testing.T) {
+	in, err := Theorem6(2, 8, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nf := simulate(t, in, core.NewNextFit())
+	ff := simulate(t, in, core.NewFirstFit())
+	if ff.Cost >= nf.Cost {
+		t.Errorf("FirstFit (%v) should beat NextFit (%v) on the Theorem 6 instance", ff.Cost, nf.Cost)
+	}
+}
+
+// TestTheorem6RatioApproaches2MuD: measured NF ratio approaches 2μd.
+func TestTheorem6RatioApproaches2MuD(t *testing.T) {
+	const mu = 3.0
+	for _, d := range []int{1, 2} {
+		in, err := Theorem6(d, 64, mu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := simulate(t, in, core.NewNextFit())
+		ratio := in.MeasuredRatio(res.Cost)
+		target := in.AsymptoticRatio
+		if ratio < 0.7*target {
+			t.Errorf("d=%d: ratio %v too far below 2μd = %v", d, ratio, target)
+		}
+		if ratio > target+1e-9 {
+			t.Errorf("d=%d: ratio %v exceeds 2μd = %v", d, ratio, target)
+		}
+	}
+}
+
+func TestTheorem8Validation(t *testing.T) {
+	if _, err := Theorem8(0, 5); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := Theorem8(2, 0.2); err == nil {
+		t.Error("mu<1 accepted")
+	}
+}
+
+// TestTheorem8Forces2NBins: Move To Front opens exactly 2n bins, each open
+// for μ.
+func TestTheorem8Forces2NBins(t *testing.T) {
+	const mu = 7.0
+	for _, n := range []int{1, 2, 8, 32} {
+		in, err := Theorem8(n, mu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := simulate(t, in, core.NewMoveToFront())
+		if res.BinsOpened != 2*n {
+			t.Errorf("MTF on %s: %d bins, want %d", in.Name, res.BinsOpened, 2*n)
+		}
+		if math.Abs(res.Cost-2*float64(n)*mu) > 1e-6 {
+			t.Errorf("MTF on %s: cost %v, want %v", in.Name, res.Cost, 2*float64(n)*mu)
+		}
+	}
+}
+
+// TestTheorem8NextFitAlsoTrapped: the paper notes the same sequence yields 2μ
+// for Next Fit.
+func TestTheorem8NextFitAlsoTrapped(t *testing.T) {
+	in, err := Theorem8(16, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := simulate(t, in, core.NewNextFit())
+	if res.BinsOpened != 2*16 {
+		t.Errorf("NextFit: %d bins, want %d", res.BinsOpened, 32)
+	}
+}
+
+// TestTheorem8RatioApproaches2Mu.
+func TestTheorem8RatioApproaches2Mu(t *testing.T) {
+	const mu = 5.0
+	in, err := Theorem8(100, mu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := simulate(t, in, core.NewMoveToFront())
+	ratio := in.MeasuredRatio(res.Cost)
+	if ratio < 0.9*2*mu {
+		t.Errorf("ratio %v too far below 2μ = %v", ratio, 2*mu)
+	}
+	if ratio > 2*mu+1e-9 {
+		t.Errorf("ratio %v exceeds 2μ = %v", ratio, 2*mu)
+	}
+}
+
+func TestBestFitPillarsValidation(t *testing.T) {
+	if _, err := BestFitPillars(1, 10); err == nil {
+		t.Error("R=1 accepted")
+	}
+	if _, err := BestFitPillars(4, 0.5); err == nil {
+		t.Error("L<1 accepted")
+	}
+}
+
+// TestBestFitPillarsStrandsSlivers: Best Fit keeps all R bins open ~L; First
+// Fit and Move To Front consolidate slivers and stay cheap.
+func TestBestFitPillarsStrandsSlivers(t *testing.T) {
+	const r = 10
+	l := float64(r * r)
+	in, err := BestFitPillars(r, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf := simulate(t, in, core.NewBestFit(core.MaxLoad()))
+	ff := simulate(t, in, core.NewFirstFit())
+	mtf := simulate(t, in, core.NewMoveToFront())
+
+	if bf.BinsOpened != r {
+		t.Errorf("BestFit opened %d bins, want %d", bf.BinsOpened, r)
+	}
+	// BF pays ~R*L; FF/MTF pay ~L + R^2/2.
+	if bf.Cost < 0.9*float64(r)*l {
+		t.Errorf("BestFit cost %v, want >= %v", bf.Cost, 0.9*float64(r)*l)
+	}
+	if ff.Cost > 2.5*(l+float64(r*r)/2) {
+		t.Errorf("FirstFit cost %v unexpectedly high", ff.Cost)
+	}
+	if bf.Cost < 3*ff.Cost {
+		t.Errorf("BestFit (%v) should be far worse than FirstFit (%v)", bf.Cost, ff.Cost)
+	}
+	if bf.Cost < 3*mtf.Cost {
+		t.Errorf("BestFit (%v) should be far worse than MoveToFront (%v)", bf.Cost, mtf.Cost)
+	}
+}
+
+// TestBestFitPillarsRatioGrows: the certified BF ratio grows with R.
+func TestBestFitPillarsRatioGrows(t *testing.T) {
+	prev := 0.0
+	for _, r := range []int{4, 8, 16, 32} {
+		in, err := BestFitPillars(r, float64(r*r))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := simulate(t, in, core.NewBestFit(core.MaxLoad()))
+		ratio := in.MeasuredRatio(res.Cost)
+		if ratio <= prev {
+			t.Errorf("R=%d: ratio %v did not grow (prev %v)", r, ratio, prev)
+		}
+		prev = ratio
+	}
+	if prev < 10 {
+		t.Errorf("R=32 ratio %v should exceed 10", prev)
+	}
+}
+
+// TestCertificatesDominateLowerBounds: for every construction, the claimed
+// OPT upper bound is >= the computed lower bound (i.e. the certificate is
+// plausible), and the measured ratio is <= the theoretical target.
+func TestCertificatesDominateLowerBounds(t *testing.T) {
+	mk := []func() (*Instance, error){
+		func() (*Instance, error) { return Theorem5(2, 16, 8) },
+		func() (*Instance, error) { return Theorem6(2, 16, 8) },
+		func() (*Instance, error) { return Theorem8(16, 8) },
+		func() (*Instance, error) { return BestFitPillars(8, 64) },
+	}
+	for _, f := range mk {
+		in, err := f()
+		if err != nil {
+			t.Fatal(err)
+		}
+		lb := lowerbound.Compute(in.List).Best()
+		if lb > in.OPTUpper+1e-9 {
+			t.Errorf("%s: LB %v > OPTUpper %v", in.Name, lb, in.OPTUpper)
+		}
+	}
+}

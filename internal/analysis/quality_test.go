@@ -1,0 +1,156 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"dvbp/internal/core"
+	"dvbp/internal/item"
+	"dvbp/internal/vector"
+	"dvbp/internal/workload"
+)
+
+func TestQualitySingleFullBin(t *testing.T) {
+	l := item.NewList(1)
+	l.Add(0, 10, vector.Of(1.0))
+	res, err := core.Simulate(l, core.NewFirstFit())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Quality(l, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(q.AvgUtilization-1) > 1e-9 {
+		t.Errorf("AvgUtilization = %v, want 1", q.AvgUtilization)
+	}
+	if q.StragglerFraction != 0 {
+		t.Errorf("StragglerFraction = %v, want 0", q.StragglerFraction)
+	}
+	if math.Abs(q.BinTime-10) > 1e-9 {
+		t.Errorf("BinTime = %v, want 10", q.BinTime)
+	}
+}
+
+func TestQualityStragglerDetection(t *testing.T) {
+	// Bin holds 0.9 load on [0,1) then a 0.1 leftover on [1,10): 9 of 10
+	// time units are straggler time (0.1 < 0.9/2).
+	l := item.NewList(1)
+	l.Add(0, 1, vector.Of(0.9))
+	l.Add(0, 10, vector.Of(0.1))
+	res, err := core.Simulate(l, core.NewFirstFit())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Quality(l, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(q.StragglerFraction-0.9) > 1e-9 {
+		t.Errorf("StragglerFraction = %v, want 0.9", q.StragglerFraction)
+	}
+	wantUtil := (1*1.0 + 9*0.1) / 10
+	if math.Abs(q.AvgUtilization-wantUtil) > 1e-9 {
+		t.Errorf("AvgUtilization = %v, want %v", q.AvgUtilization, wantUtil)
+	}
+}
+
+func TestQualityMultiDimVolume(t *testing.T) {
+	// Load (0.8, 0.2): L∞ = 0.8, volume = 0.5.
+	l := item.NewList(2)
+	l.Add(0, 4, vector.Of(0.8, 0.2))
+	res, err := core.Simulate(l, core.NewFirstFit())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Quality(l, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(q.AvgUtilization-0.8) > 1e-9 {
+		t.Errorf("AvgUtilization = %v", q.AvgUtilization)
+	}
+	if math.Abs(q.AvgVolumeUtilization-0.5) > 1e-9 {
+		t.Errorf("AvgVolumeUtilization = %v", q.AvgVolumeUtilization)
+	}
+}
+
+func TestQualityBinTimeEqualsCost(t *testing.T) {
+	l := randomList(1, 200, 2, 20)
+	for _, p := range core.StandardPolicies(1) {
+		res, err := core.Simulate(l, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, err := Quality(l, res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(q.BinTime-res.Cost) > 1e-6 {
+			t.Errorf("%s: BinTime %v != cost %v", p.Name(), q.BinTime, res.Cost)
+		}
+		if q.AvgUtilization <= 0 || q.AvgUtilization > 1+1e-9 {
+			t.Errorf("%s: utilisation %v out of (0,1]", p.Name(), q.AvgUtilization)
+		}
+		if q.StragglerFraction < 0 || q.StragglerFraction > 1 {
+			t.Errorf("%s: straggler %v out of [0,1]", p.Name(), q.StragglerFraction)
+		}
+		if q.AvgVolumeUtilization > q.AvgUtilization+1e-9 {
+			t.Errorf("%s: volume util %v above L∞ util %v", p.Name(), q.AvgVolumeUtilization, q.AvgUtilization)
+		}
+	}
+}
+
+// TestQualityReproducesSection7Explanation: on the paper's workload,
+// Worst Fit packs loosest, Best Fit packs at least as tight as Worst Fit by a
+// clear margin, and Next Fit has no more straggler time than Worst Fit
+// (it abandons bins instead of topping them up).
+func TestQualityReproducesSection7Explanation(t *testing.T) {
+	var bf, wf, nf, mtf QualityMetrics
+	trials := 10
+	for seed := int64(0); seed < int64(trials); seed++ {
+		l, err := workload.Uniform(workload.UniformConfig{D: 2, N: 500, Mu: 50, T: 500, B: 100}, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		add := func(dst *QualityMetrics, p core.Policy) {
+			res, err := core.Simulate(l, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			q, err := Quality(l, res)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dst.AvgUtilization += q.AvgUtilization / float64(trials)
+			dst.StragglerFraction += q.StragglerFraction / float64(trials)
+		}
+		add(&bf, core.NewBestFit(core.MaxLoad()))
+		add(&wf, core.NewWorstFit(core.MaxLoad()))
+		add(&nf, core.NewNextFit())
+		add(&mtf, core.NewMoveToFront())
+	}
+	if bf.AvgUtilization <= wf.AvgUtilization {
+		t.Errorf("BestFit util %v should exceed WorstFit %v (packing)", bf.AvgUtilization, wf.AvgUtilization)
+	}
+	if mtf.AvgUtilization <= wf.AvgUtilization {
+		t.Errorf("MTF util %v should exceed WorstFit %v", mtf.AvgUtilization, wf.AvgUtilization)
+	}
+	t.Logf("util: BF=%.4f MTF=%.4f NF=%.4f WF=%.4f", bf.AvgUtilization, mtf.AvgUtilization, nf.AvgUtilization, wf.AvgUtilization)
+	t.Logf("straggler: BF=%.4f MTF=%.4f NF=%.4f WF=%.4f", bf.StragglerFraction, mtf.StragglerFraction, nf.StragglerFraction, wf.StragglerFraction)
+}
+
+func TestQualityErrors(t *testing.T) {
+	l := randomList(1, 10, 1, 5)
+	res, err := core.Simulate(l, core.NewFirstFit())
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := randomList(2, 20, 1, 5)
+	if _, err := Quality(other, res); err == nil {
+		t.Error("mismatched list accepted")
+	}
+	if res.String() == "" {
+		t.Error("sanity")
+	}
+}

@@ -1,0 +1,130 @@
+// Package check validates simulation results from first principles — an
+// independent re-derivation of cost, feasibility and bin accounting used by
+// tools (dvbpsim -check) and integration tests to guard against engine
+// regressions.
+//
+// Everything is recomputed from the instance plus the result's Placements
+// alone, never from the engine's incremental bookkeeping:
+//
+//   - the MinUsageTime cost (equation (1): Σ_bins span of the bin's items);
+//   - capacity feasibility at every arrival instant;
+//   - per-bin open/close times (first arrival / last departure);
+//   - the Lemma 1 lower bounds (cost must dominate each).
+package check
+
+import (
+	"fmt"
+	"math"
+
+	"dvbp/internal/core"
+	"dvbp/internal/interval"
+	"dvbp/internal/item"
+	"dvbp/internal/lowerbound"
+	"dvbp/internal/vector"
+)
+
+// Tolerance for float comparisons.
+const tol = 1e-6
+
+// Result validates res against l and returns the first inconsistency found,
+// or nil when everything checks out.
+func Result(l *item.List, res *core.Result) error {
+	if res == nil {
+		return fmt.Errorf("check: nil result")
+	}
+	if res.Items != l.Len() {
+		return fmt.Errorf("check: result for %d items, instance has %d", res.Items, l.Len())
+	}
+	if len(res.Placements) != l.Len() {
+		return fmt.Errorf("check: %d placements for %d items", len(res.Placements), l.Len())
+	}
+
+	itemByID := make(map[int]item.Item, l.Len())
+	for _, it := range l.Items {
+		itemByID[it.ID] = it
+	}
+
+	// Every item placed exactly once, into a recorded bin.
+	binRecs := make(map[int]core.BinUsage, len(res.Bins))
+	for _, b := range res.Bins {
+		binRecs[b.BinID] = b
+	}
+	placed := make(map[int]int, l.Len())
+	binItems := make(map[int][]item.Item)
+	for _, p := range res.Placements {
+		it, ok := itemByID[p.ItemID]
+		if !ok {
+			return fmt.Errorf("check: placement of unknown item %d", p.ItemID)
+		}
+		if prev, dup := placed[p.ItemID]; dup {
+			return fmt.Errorf("check: item %d placed twice (bins %d and %d)", p.ItemID, prev, p.BinID)
+		}
+		placed[p.ItemID] = p.BinID
+		if _, ok := binRecs[p.BinID]; !ok {
+			return fmt.Errorf("check: item %d placed into unrecorded bin %d", p.ItemID, p.BinID)
+		}
+		if math.Abs(p.Time-it.Arrival) > tol {
+			return fmt.Errorf("check: item %d placed at %g, arrives at %g", p.ItemID, p.Time, it.Arrival)
+		}
+		binItems[p.BinID] = append(binItems[p.BinID], it)
+	}
+
+	// Feasibility at every arrival instant (load maxima happen there).
+	for binID, items := range binItems {
+		for _, it := range items {
+			load := vector.New(l.Dim)
+			for _, o := range items {
+				if o.ActiveAt(it.Arrival) {
+					load.AddInPlace(o.Size)
+				}
+			}
+			if !load.LeqCapacity() {
+				return fmt.Errorf("check: bin %d overloaded at t=%g (load %v)", binID, it.Arrival, load)
+			}
+		}
+	}
+
+	// Per-bin accounting and cost.
+	recomputed := 0.0
+	for binID, items := range binItems {
+		rec := binRecs[binID]
+		first, last := math.Inf(1), math.Inf(-1)
+		ivs := make(interval.Set, 0, len(items))
+		for _, it := range items {
+			if it.Arrival < first {
+				first = it.Arrival
+			}
+			if it.Departure > last {
+				last = it.Departure
+			}
+			ivs = append(ivs, it.Interval())
+		}
+		if math.Abs(rec.OpenedAt-first) > tol {
+			return fmt.Errorf("check: bin %d opened at %g, first arrival %g", binID, rec.OpenedAt, first)
+		}
+		if math.Abs(rec.ClosedAt-last) > tol {
+			return fmt.Errorf("check: bin %d closed at %g, last departure %g", binID, rec.ClosedAt, last)
+		}
+		if rec.Packed != len(items) {
+			return fmt.Errorf("check: bin %d records %d items, placements say %d", binID, rec.Packed, len(items))
+		}
+		// No idle gap: closed bins are never reused.
+		if !ivs.Covers(interval.New(first, last)) {
+			return fmt.Errorf("check: bin %d has an idle gap inside [%g, %g)", binID, first, last)
+		}
+		recomputed += ivs.Span()
+	}
+	if len(binItems) != res.BinsOpened {
+		return fmt.Errorf("check: %d bins used, result says %d", len(binItems), res.BinsOpened)
+	}
+	if math.Abs(recomputed-res.Cost) > tol {
+		return fmt.Errorf("check: recomputed cost %g != reported %g", recomputed, res.Cost)
+	}
+
+	// Lemma 1: cost dominates every lower bound on OPT.
+	lb := lowerbound.Compute(l)
+	if res.Cost < lb.Best()-tol {
+		return fmt.Errorf("check: cost %g below lower bound %g", res.Cost, lb.Best())
+	}
+	return nil
+}

@@ -1,0 +1,147 @@
+package check
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"dvbp/internal/core"
+	"dvbp/internal/item"
+	"dvbp/internal/vector"
+)
+
+func randomList(seed int64, n, d int) *item.List {
+	r := rand.New(rand.NewSource(seed))
+	l := item.NewList(d)
+	for i := 0; i < n; i++ {
+		a := math.Floor(r.Float64() * 60)
+		dur := 1 + math.Floor(r.Float64()*15)
+		size := vector.New(d)
+		for j := range size {
+			size[j] = float64(1+r.Intn(100)) / 100
+		}
+		l.Add(a, a+dur, size)
+	}
+	return l
+}
+
+func TestValidResultsPass(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		l := randomList(seed, 150, 2)
+		for _, p := range core.StandardPolicies(seed) {
+			res, err := core.Simulate(l, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := Result(l, res); err != nil {
+				t.Errorf("%s seed=%d: valid result rejected: %v", p.Name(), seed, err)
+			}
+		}
+	}
+}
+
+func simulate(t *testing.T, l *item.List) *core.Result {
+	t.Helper()
+	res, err := core.Simulate(l, core.NewFirstFit())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestNilAndMismatch(t *testing.T) {
+	l := randomList(1, 10, 1)
+	if err := Result(l, nil); err == nil {
+		t.Error("nil result accepted")
+	}
+	res := simulate(t, l)
+	other := randomList(2, 20, 1)
+	if err := Result(other, res); err == nil {
+		t.Error("mismatched instance accepted")
+	}
+}
+
+func TestDetectsTamperedCost(t *testing.T) {
+	l := randomList(3, 50, 2)
+	res := simulate(t, l)
+	res.Cost += 1
+	if err := Result(l, res); err == nil || !strings.Contains(err.Error(), "cost") {
+		t.Errorf("tampered cost not caught: %v", err)
+	}
+}
+
+func TestDetectsDuplicatePlacement(t *testing.T) {
+	l := randomList(4, 50, 2)
+	res := simulate(t, l)
+	res.Placements[1] = res.Placements[0]
+	if err := Result(l, res); err == nil {
+		t.Error("duplicate placement not caught")
+	}
+}
+
+func TestDetectsForeignBin(t *testing.T) {
+	l := randomList(5, 50, 2)
+	res := simulate(t, l)
+	res.Placements[0].BinID = 9999
+	if err := Result(l, res); err == nil {
+		t.Error("foreign bin not caught")
+	}
+}
+
+func TestDetectsOverload(t *testing.T) {
+	// Hand-build an infeasible "result": two items of 0.8 in one bin.
+	l := item.NewList(1)
+	l.Add(0, 2, vector.Of(0.8))
+	l.Add(0, 2, vector.Of(0.8))
+	res := &core.Result{
+		Algorithm: "forged", Dim: 1, Items: 2, Cost: 2, BinsOpened: 1,
+		Placements: []core.Placement{
+			{ItemID: 0, BinID: 0, Time: 0, Opened: true},
+			{ItemID: 1, BinID: 0, Time: 0},
+		},
+		Bins: []core.BinUsage{{BinID: 0, OpenedAt: 0, ClosedAt: 2, Packed: 2}},
+		Span: 2,
+	}
+	if err := Result(l, res); err == nil || !strings.Contains(err.Error(), "overloaded") {
+		t.Errorf("overload not caught: %v", err)
+	}
+}
+
+func TestDetectsWrongBinTimes(t *testing.T) {
+	l := randomList(6, 30, 1)
+	res := simulate(t, l)
+	res.Bins[0].OpenedAt -= 0.5
+	err := Result(l, res)
+	if err == nil {
+		t.Error("wrong OpenedAt not caught")
+	}
+}
+
+func TestDetectsWrongPackedCount(t *testing.T) {
+	l := randomList(7, 30, 1)
+	res := simulate(t, l)
+	res.Bins[0].Packed += 1
+	if err := Result(l, res); err == nil {
+		t.Error("wrong Packed count not caught")
+	}
+}
+
+func TestDetectsPhantomGapBin(t *testing.T) {
+	// A bin recorded as spanning a period its items don't cover.
+	l := item.NewList(1)
+	l.Add(0, 1, vector.Of(0.5))
+	l.Add(5, 6, vector.Of(0.5))
+	res := &core.Result{
+		Algorithm: "forged", Dim: 1, Items: 2, Cost: 6, BinsOpened: 1,
+		Placements: []core.Placement{
+			{ItemID: 0, BinID: 0, Time: 0, Opened: true},
+			{ItemID: 1, BinID: 0, Time: 5},
+		},
+		Bins: []core.BinUsage{{BinID: 0, OpenedAt: 0, ClosedAt: 6, Packed: 2}},
+		Span: 2,
+	}
+	if err := Result(l, res); err == nil || !strings.Contains(err.Error(), "idle gap") {
+		t.Errorf("idle gap not caught: %v", err)
+	}
+}

@@ -1,0 +1,148 @@
+// Package clairvoyant implements clairvoyant DVBP policies — algorithms that
+// know each item's departure time on arrival. The paper studies the
+// non-clairvoyant setting and lists the clairvoyant variant as future work
+// (Section 8); these policies make that extension concrete and are compared
+// against the Any Fit family in the ablation experiments.
+//
+// Both policies implement core.Policy and REQUIRE the engine to run with
+// core.WithClairvoyance(); Select panics otherwise, since running a
+// clairvoyant policy without departures is a programming error, not an input
+// condition.
+//
+//   - DurationClassFit packs items into bins dedicated to their duration
+//     class (⌈log₂ duration⌉, relative to a configured minimum duration):
+//     items that die together live together, the alignment mechanism behind
+//     the O(√log μ) clairvoyant algorithms of Azar–Vainstein.
+//   - AlignedBestFit packs an item into the fitting bin whose projected
+//     closing time is nearest the item's own departure (ties: most loaded),
+//     trading a little packing efficiency for alignment.
+package clairvoyant
+
+import (
+	"fmt"
+	"math"
+
+	"dvbp/internal/core"
+)
+
+// DurationClassFit is a clairvoyant policy with per-duration-class bins.
+type DurationClassFit struct {
+	// MinDuration scales the classes: class(r) = ⌈log₂(ℓ(r)/MinDuration)⌉.
+	// Zero means 1.0 (the paper's normalisation).
+	MinDuration float64
+
+	classOfBin map[int]int
+}
+
+// NewDurationClassFit returns a DurationClassFit with the given minimum
+// duration (0 -> 1.0).
+func NewDurationClassFit(minDuration float64) *DurationClassFit {
+	return &DurationClassFit{MinDuration: minDuration}
+}
+
+// Name implements core.Policy.
+func (*DurationClassFit) Name() string { return "DurationClassFit" }
+
+// Reset implements core.Policy.
+func (p *DurationClassFit) Reset() { p.classOfBin = make(map[int]int) }
+
+func (p *DurationClassFit) class(req core.Request) int {
+	if !req.HasDeparture {
+		panic("clairvoyant: DurationClassFit needs core.WithClairvoyance()")
+	}
+	minD := p.MinDuration
+	if minD <= 0 {
+		minD = 1
+	}
+	dur := req.Departure - req.Arrival
+	if dur <= minD {
+		return 0
+	}
+	return int(math.Ceil(math.Log2(dur / minD)))
+}
+
+// Select implements core.Policy: first fit among same-class bins.
+func (p *DurationClassFit) Select(req core.Request, open []*core.Bin) *core.Bin {
+	c := p.class(req)
+	for _, b := range open {
+		if p.classOfBin[b.ID] == c && b.Fits(req.Size) {
+			return b
+		}
+	}
+	return nil
+}
+
+// OnPack implements core.Policy: a fresh bin adopts the item's class.
+func (p *DurationClassFit) OnPack(req core.Request, b *core.Bin, opened bool) {
+	if opened {
+		p.classOfBin[b.ID] = p.class(req)
+	}
+}
+
+// OnClose implements core.Policy.
+func (p *DurationClassFit) OnClose(b *core.Bin) { delete(p.classOfBin, b.ID) }
+
+// AlignedBestFit is a clairvoyant policy that minimises departure
+// misalignment.
+type AlignedBestFit struct {
+	maxDep map[int]float64 // bin ID -> latest known departure among its items
+}
+
+// NewAlignedBestFit returns an AlignedBestFit policy.
+func NewAlignedBestFit() *AlignedBestFit { return &AlignedBestFit{} }
+
+// Name implements core.Policy.
+func (*AlignedBestFit) Name() string { return "AlignedBestFit" }
+
+// Reset implements core.Policy.
+func (p *AlignedBestFit) Reset() { p.maxDep = make(map[int]float64) }
+
+// Select implements core.Policy: among fitting bins, minimise
+// |projectedClose(bin) − e(r)|; break ties toward the more loaded bin, then
+// the earlier bin.
+func (p *AlignedBestFit) Select(req core.Request, open []*core.Bin) *core.Bin {
+	if !req.HasDeparture {
+		panic("clairvoyant: AlignedBestFit needs core.WithClairvoyance()")
+	}
+	var best *core.Bin
+	bestMis := math.Inf(1)
+	bestLoad := -1.0
+	for _, b := range open {
+		if !b.Fits(req.Size) {
+			continue
+		}
+		mis := math.Abs(p.maxDep[b.ID] - req.Departure)
+		load := b.LoadNorm()
+		if mis < bestMis-1e-12 || (math.Abs(mis-bestMis) <= 1e-12 && load > bestLoad+1e-12) {
+			best, bestMis, bestLoad = b, mis, load
+		}
+	}
+	return best
+}
+
+// OnPack implements core.Policy.
+func (p *AlignedBestFit) OnPack(req core.Request, b *core.Bin, opened bool) {
+	if !req.HasDeparture {
+		panic("clairvoyant: AlignedBestFit needs core.WithClairvoyance()")
+	}
+	if req.Departure > p.maxDep[b.ID] {
+		p.maxDep[b.ID] = req.Departure
+	}
+}
+
+// OnClose implements core.Policy.
+func (p *AlignedBestFit) OnClose(b *core.Bin) { delete(p.maxDep, b.ID) }
+
+// New constructs a clairvoyant policy by name ("DurationClassFit",
+// "WindowedClassFit" or "AlignedBestFit", case-sensitive).
+func New(name string) (core.Policy, error) {
+	switch name {
+	case "DurationClassFit":
+		return NewDurationClassFit(0), nil
+	case "WindowedClassFit":
+		return NewWindowedClassFit(0), nil
+	case "AlignedBestFit":
+		return NewAlignedBestFit(), nil
+	}
+	return nil, fmt.Errorf("clairvoyant: unknown policy %q", name)
+}

@@ -1,0 +1,95 @@
+package clairvoyant
+
+import (
+	"math"
+
+	"dvbp/internal/core"
+)
+
+// WindowedClassFit is the windowed refinement of DurationClassFit used by
+// clairvoyant algorithms in the literature: items are classified by
+// ⌈log₂(duration)⌉, and a class-c bin accepts new items only during the
+// first W_c = 2^c·minDuration time units after it opens. Together with the
+// class bound on item durations this caps every bin's total span below
+// 2·W_c, so no bin is ever held open long by a straggler far shorter than
+// the bin's own age — the alignment mechanism behind the clairvoyant
+// O(√log μ)-competitive algorithms (which add further machinery on top).
+//
+// Requires core.WithClairvoyance().
+type WindowedClassFit struct {
+	// MinDuration scales the classes (0 -> 1.0).
+	MinDuration float64
+
+	classOfBin map[int]int
+	openedAt   map[int]float64
+}
+
+// NewWindowedClassFit returns a WindowedClassFit policy.
+func NewWindowedClassFit(minDuration float64) *WindowedClassFit {
+	return &WindowedClassFit{MinDuration: minDuration}
+}
+
+// Name implements core.Policy.
+func (*WindowedClassFit) Name() string { return "WindowedClassFit" }
+
+// Reset implements core.Policy.
+func (p *WindowedClassFit) Reset() {
+	p.classOfBin = make(map[int]int)
+	p.openedAt = make(map[int]float64)
+}
+
+func (p *WindowedClassFit) minD() float64 {
+	if p.MinDuration > 0 {
+		return p.MinDuration
+	}
+	return 1
+}
+
+func (p *WindowedClassFit) class(req core.Request) int {
+	if !req.HasDeparture {
+		panic("clairvoyant: WindowedClassFit needs core.WithClairvoyance()")
+	}
+	dur := req.Departure - req.Arrival
+	if dur <= p.minD() {
+		return 0
+	}
+	return int(math.Ceil(math.Log2(dur / p.minD())))
+}
+
+// window returns W_c for class c.
+func (p *WindowedClassFit) window(c int) float64 {
+	return math.Ldexp(p.minD(), c) // minD · 2^c
+}
+
+// Select implements core.Policy: first fit among same-class bins whose
+// acceptance window is still open.
+func (p *WindowedClassFit) Select(req core.Request, open []*core.Bin) *core.Bin {
+	c := p.class(req)
+	w := p.window(c)
+	for _, b := range open {
+		if p.classOfBin[b.ID] != c {
+			continue
+		}
+		if req.Arrival-p.openedAt[b.ID] >= w {
+			continue // window expired
+		}
+		if b.Fits(req.Size) {
+			return b
+		}
+	}
+	return nil
+}
+
+// OnPack implements core.Policy.
+func (p *WindowedClassFit) OnPack(req core.Request, b *core.Bin, opened bool) {
+	if opened {
+		p.classOfBin[b.ID] = p.class(req)
+		p.openedAt[b.ID] = req.Arrival
+	}
+}
+
+// OnClose implements core.Policy.
+func (p *WindowedClassFit) OnClose(b *core.Bin) {
+	delete(p.classOfBin, b.ID)
+	delete(p.openedAt, b.ID)
+}

@@ -1,0 +1,132 @@
+package clairvoyant
+
+import (
+	"math"
+	"testing"
+
+	"dvbp/internal/core"
+	"dvbp/internal/item"
+	"dvbp/internal/lowerbound"
+)
+
+func TestWindowedRequiresClairvoyance(t *testing.T) {
+	l := item.NewList(1)
+	l.Add(0, 1, v(0.5))
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic without clairvoyance")
+		}
+	}()
+	_, _ = core.Simulate(l, NewWindowedClassFit(0))
+}
+
+func TestWindowedSeparatesClasses(t *testing.T) {
+	l := item.NewList(1)
+	l.Add(0, 1, v(0.1))  // class 0
+	l.Add(0, 16, v(0.1)) // class 4
+	res, err := core.Simulate(l, NewWindowedClassFit(0), core.WithClairvoyance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BinsOpened != 2 {
+		t.Errorf("BinsOpened = %d, want 2", res.BinsOpened)
+	}
+}
+
+func TestWindowedRejectsExpiredBins(t *testing.T) {
+	// Class-0 items (duration <= 1, window 1). First item opens a bin at 0;
+	// an item arriving at 1.5 is outside the window even though the bin is
+	// still open (kept open by a chain) and has room.
+	l := item.NewList(1)
+	l.Add(0, 1, v(0.1))
+	l.Add(0.75, 1.75, v(0.1)) // within window (0.75 < 1): same bin, extends life
+	l.Add(1.5, 2.5, v(0.1))   // window expired at 1: NEW bin
+	res, err := core.Simulate(l, NewWindowedClassFit(0), core.WithClairvoyance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BinsOpened != 2 {
+		t.Fatalf("BinsOpened = %d, want 2", res.BinsOpened)
+	}
+	p2, _ := res.PlacementOf(2)
+	p0, _ := res.PlacementOf(0)
+	if p2.BinID == p0.BinID {
+		t.Error("expired bin accepted a new item")
+	}
+}
+
+func TestWindowedWithinWindowPacksTogether(t *testing.T) {
+	l := item.NewList(1)
+	for i := 0; i < 5; i++ {
+		a := float64(i) * 0.1
+		l.Add(a, a+1, v(0.15))
+	}
+	res, err := core.Simulate(l, NewWindowedClassFit(0), core.WithClairvoyance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BinsOpened != 1 {
+		t.Errorf("BinsOpened = %d, want 1", res.BinsOpened)
+	}
+}
+
+// TestWindowedSpanBound: every bin's span is < 2·W_c where c is its class —
+// the alignment guarantee the windowing buys.
+func TestWindowedSpanBound(t *testing.T) {
+	l := mixedDurations(3, 400)
+	p := NewWindowedClassFit(0)
+	res, err := core.Simulate(l, p, core.WithClairvoyance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reconstruct each bin's class from its items (all same class by
+	// construction of the policy).
+	itemByID := make(map[int]float64, l.Len())
+	minD := l.MinDuration()
+	for _, it := range l.Items {
+		itemByID[it.ID] = it.Duration()
+	}
+	classOf := func(dur float64) int {
+		if dur <= minD {
+			return 0
+		}
+		return int(math.Ceil(math.Log2(dur / minD)))
+	}
+	binClass := make(map[int]int)
+	for _, pl := range res.Placements {
+		c := classOf(itemByID[pl.ItemID])
+		if prev, ok := binClass[pl.BinID]; ok && prev != c {
+			t.Fatalf("bin %d mixes classes %d and %d", pl.BinID, prev, c)
+		}
+		binClass[pl.BinID] = c
+	}
+	for _, b := range res.Bins {
+		w := math.Ldexp(minD, binClass[b.BinID])
+		if b.Usage() >= 2*w+1e-9 {
+			t.Errorf("bin %d (class %d): span %v >= 2W = %v", b.BinID, binClass[b.BinID], b.Usage(), 2*w)
+		}
+	}
+}
+
+func TestWindowedRespectsLowerBound(t *testing.T) {
+	l := mixedDurations(5, 300)
+	res, err := core.Simulate(l, NewWindowedClassFit(0), core.WithClairvoyance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb := lowerbound.Compute(l).Best()
+	if res.Cost < lb-1e-6 {
+		t.Errorf("cost %v below LB %v", res.Cost, lb)
+	}
+}
+
+func TestWindowedInRegistryStyleUse(t *testing.T) {
+	p := NewWindowedClassFit(2.0)
+	if p.Name() != "WindowedClassFit" {
+		t.Errorf("Name = %q", p.Name())
+	}
+	p.Reset()
+	if p.window(0) != 2 || p.window(3) != 16 {
+		t.Errorf("window scaling wrong: %v, %v", p.window(0), p.window(3))
+	}
+}

@@ -1,0 +1,252 @@
+// Package cloudsim is the cloud-operations substrate around the packing
+// engine: servers with multi-dimensional capacities, VM/session requests in
+// native resource units, online dispatch through any packing policy, and
+// pay-as-you-go billing of server usage time.
+//
+// It models the two applications the paper's introduction describes — VM
+// placement on physical servers (provider view) and renting cloud servers
+// for workloads such as cloud gaming (user view). The MinUsageTime objective
+// is exactly the rental bill at per-second granularity; the Billing type also
+// models coarser "per started hour" billing, which the ablation experiments
+// compare against.
+package cloudsim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dvbp/internal/core"
+	"dvbp/internal/item"
+	"dvbp/internal/vector"
+)
+
+// Request is a job/VM/session request in native units (e.g. vCPUs, GiB RAM,
+// Gbit/s). Demand must not exceed the server capacity in any dimension.
+type Request struct {
+	// ID is the caller's identifier; it must be unique per simulation.
+	ID int
+	// Name is an optional label (instance type, game title, ...).
+	Name string
+	// Arrive is the arrival time in simulation time units.
+	Arrive float64
+	// Duration is the session length; the dispatcher treats it as unknown
+	// until the session ends (non-clairvoyant).
+	Duration float64
+	// Demand is the resource demand vector in native units.
+	Demand vector.Vector
+}
+
+// Billing converts a server's busy interval into billed time.
+type Billing struct {
+	// Quantum is the billing granularity: usage is rounded up to a whole
+	// number of quanta per server ("pay per started hour"). Zero means exact
+	// (per-second) metering — the paper's objective.
+	Quantum float64
+	// PricePerUnit is the cost of one time unit of one server.
+	PricePerUnit float64
+}
+
+// Bill returns the billed monetary cost for one server busy for `usage` time.
+func (b Billing) Bill(usage float64) float64 {
+	t := usage
+	if b.Quantum > 0 {
+		t = math.Ceil(usage/b.Quantum-1e-9) * b.Quantum
+	}
+	return t * b.PricePerUnit
+}
+
+// Config describes the fleet and dispatch policy.
+type Config struct {
+	// Capacity is the per-server capacity vector in native units; all
+	// servers are identical (the paper's unit-bin model after normalising).
+	Capacity vector.Vector
+	// Policy chooses the server for each request (any core.Policy).
+	Policy core.Policy
+	// Billing is the tariff.
+	Billing Billing
+}
+
+// ServerUsage reports one rented server's lifetime.
+type ServerUsage struct {
+	ServerID int
+	OpenedAt float64
+	ClosedAt float64
+	Usage    float64
+	Billed   float64
+	Sessions int
+}
+
+// Report is the outcome of a cloud simulation.
+type Report struct {
+	Policy string
+	// ServersRented is the number of distinct servers ever used.
+	ServersRented int
+	// PeakServers is the maximum number of simultaneously active servers.
+	PeakServers int
+	// UsageTime is the MinUsageTime objective in time units.
+	UsageTime float64
+	// BilledCost is the monetary cost under the configured tariff.
+	BilledCost float64
+	// Servers lists per-server usage, ascending by ServerID.
+	Servers []ServerUsage
+	// PlacementOf maps request ID -> server ID.
+	PlacementOf map[int]int
+}
+
+// Run dispatches the requests online and returns the usage/billing report.
+// Requests may be given in any order; dispatch follows (Arrive, input order).
+func Run(cfg Config, reqs []Request) (*Report, error) {
+	if cfg.Policy == nil {
+		return nil, fmt.Errorf("cloudsim: nil policy")
+	}
+	if cfg.Capacity.Dim() == 0 {
+		return nil, fmt.Errorf("cloudsim: empty capacity vector")
+	}
+	if cfg.Billing.PricePerUnit < 0 || cfg.Billing.Quantum < 0 {
+		return nil, fmt.Errorf("cloudsim: negative billing parameters")
+	}
+	for _, c := range cfg.Capacity {
+		if c <= 0 {
+			return nil, fmt.Errorf("cloudsim: non-positive capacity component in %v", cfg.Capacity)
+		}
+	}
+	if len(reqs) == 0 {
+		return nil, fmt.Errorf("cloudsim: no requests")
+	}
+
+	d := cfg.Capacity.Dim()
+	l := item.NewList(d)
+	ids := make(map[int]bool, len(reqs))
+	// Keep input order for ties; items get internal IDs 0..n-1 and we map
+	// back through reqIDs.
+	reqIDs := make([]int, 0, len(reqs))
+	sorted := make([]Request, len(reqs))
+	copy(sorted, reqs)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Arrive < sorted[j].Arrive })
+	for _, rq := range sorted {
+		if ids[rq.ID] {
+			return nil, fmt.Errorf("cloudsim: duplicate request id %d", rq.ID)
+		}
+		ids[rq.ID] = true
+		if rq.Demand.Dim() != d {
+			return nil, fmt.Errorf("cloudsim: request %d demand dimension %d, want %d", rq.ID, rq.Demand.Dim(), d)
+		}
+		if rq.Duration <= 0 {
+			return nil, fmt.Errorf("cloudsim: request %d non-positive duration", rq.ID)
+		}
+		norm := vector.New(d)
+		for j := 0; j < d; j++ {
+			if rq.Demand[j] < 0 {
+				return nil, fmt.Errorf("cloudsim: request %d negative demand", rq.ID)
+			}
+			norm[j] = rq.Demand[j] / cfg.Capacity[j]
+			if norm[j] > 1+vector.Eps {
+				return nil, fmt.Errorf("cloudsim: request %d demand %v exceeds capacity %v in dimension %d",
+					rq.ID, rq.Demand, cfg.Capacity, j)
+			}
+		}
+		l.Add(rq.Arrive, rq.Arrive+rq.Duration, norm)
+		reqIDs = append(reqIDs, rq.ID)
+	}
+
+	res, err := core.Simulate(l, cfg.Policy)
+	if err != nil {
+		return nil, fmt.Errorf("cloudsim: %w", err)
+	}
+
+	rep := &Report{
+		Policy:        res.Algorithm,
+		ServersRented: res.BinsOpened,
+		PeakServers:   res.MaxConcurrentBins,
+		UsageTime:     res.Cost,
+		PlacementOf:   make(map[int]int, len(reqs)),
+	}
+	for _, b := range res.Bins {
+		su := ServerUsage{
+			ServerID: b.BinID,
+			OpenedAt: b.OpenedAt,
+			ClosedAt: b.ClosedAt,
+			Usage:    b.Usage(),
+			Billed:   cfg.Billing.Bill(b.Usage()),
+			Sessions: b.Packed,
+		}
+		rep.BilledCost += su.Billed
+		rep.Servers = append(rep.Servers, su)
+	}
+	for _, p := range res.Placements {
+		rep.PlacementOf[reqIDs[p.ItemID]] = p.BinID
+	}
+	return rep, nil
+}
+
+// TimelinePoint is the number of simultaneously active servers at a time.
+type TimelinePoint struct {
+	T       float64
+	Servers int
+}
+
+// Timeline returns the active-server count sampled at every change point
+// (server open/close), in time order. The last point always has Servers == 0.
+// Useful for capacity planning: the peak of the timeline is the fleet size a
+// reserved-instance buyer would need.
+func (r *Report) Timeline() []TimelinePoint {
+	type ev struct {
+		t     float64
+		delta int
+	}
+	events := make([]ev, 0, 2*len(r.Servers))
+	for _, s := range r.Servers {
+		events = append(events, ev{s.OpenedAt, +1}, ev{s.ClosedAt, -1})
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].t != events[j].t {
+			return events[i].t < events[j].t
+		}
+		return events[i].delta < events[j].delta // closes before opens
+	})
+	var out []TimelinePoint
+	cur := 0
+	for i := 0; i < len(events); {
+		t := events[i].t
+		for i < len(events) && events[i].t == t {
+			cur += events[i].delta
+			i++
+		}
+		out = append(out, TimelinePoint{T: t, Servers: cur})
+	}
+	return out
+}
+
+// MeanActiveServers returns the time-average number of active servers over
+// the report's busy period (0 when there is no activity).
+func (r *Report) MeanActiveServers() float64 {
+	tl := r.Timeline()
+	if len(tl) < 2 {
+		return 0
+	}
+	area, span := 0.0, tl[len(tl)-1].T-tl[0].T
+	for i := 0; i+1 < len(tl); i++ {
+		area += float64(tl[i].Servers) * (tl[i+1].T - tl[i].T)
+	}
+	if span <= 0 {
+		return 0
+	}
+	return area / span
+}
+
+// Compare runs the same request stream under several policies and returns the
+// reports in the given order. All runs see identical inputs.
+func Compare(cfg Config, reqs []Request, policies []core.Policy) ([]*Report, error) {
+	out := make([]*Report, 0, len(policies))
+	for _, p := range policies {
+		c := cfg
+		c.Policy = p
+		rep, err := Run(c, reqs)
+		if err != nil {
+			return nil, fmt.Errorf("cloudsim: policy %s: %w", p.Name(), err)
+		}
+		out = append(out, rep)
+	}
+	return out, nil
+}

@@ -1,0 +1,257 @@
+package cloudsim
+
+import (
+	"math"
+	"testing"
+
+	"dvbp/internal/core"
+	"dvbp/internal/vector"
+)
+
+func v(xs ...float64) vector.Vector { return vector.Of(xs...) }
+
+func baseCfg() Config {
+	return Config{
+		Capacity: v(64, 256), // 64 vCPU, 256 GiB
+		Policy:   core.NewFirstFit(),
+		Billing:  Billing{PricePerUnit: 1},
+	}
+}
+
+func TestBilling(t *testing.T) {
+	exact := Billing{Quantum: 0, PricePerUnit: 2}
+	if got := exact.Bill(3.5); got != 7 {
+		t.Errorf("exact Bill = %v, want 7", got)
+	}
+	hourly := Billing{Quantum: 1, PricePerUnit: 2}
+	if got := hourly.Bill(3.5); got != 8 {
+		t.Errorf("hourly Bill = %v, want 8 (4 started hours)", got)
+	}
+	if got := hourly.Bill(3.0); got != 6 {
+		t.Errorf("hourly Bill of exact multiple = %v, want 6", got)
+	}
+	if got := hourly.Bill(0); got != 0 {
+		t.Errorf("Bill(0) = %v", got)
+	}
+}
+
+func TestRunSingleServer(t *testing.T) {
+	reqs := []Request{
+		{ID: 1, Arrive: 0, Duration: 4, Demand: v(32, 128)},
+		{ID: 2, Arrive: 1, Duration: 2, Demand: v(32, 128)},
+	}
+	rep, err := Run(baseCfg(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ServersRented != 1 {
+		t.Errorf("ServersRented = %d, want 1", rep.ServersRented)
+	}
+	if math.Abs(rep.UsageTime-4) > 1e-9 {
+		t.Errorf("UsageTime = %v, want 4", rep.UsageTime)
+	}
+	if rep.PlacementOf[1] != rep.PlacementOf[2] {
+		t.Error("both requests should share the server")
+	}
+}
+
+func TestRunCapacityConflict(t *testing.T) {
+	reqs := []Request{
+		{ID: 1, Arrive: 0, Duration: 4, Demand: v(40, 10)},
+		{ID: 2, Arrive: 0, Duration: 4, Demand: v(40, 10)}, // CPU conflict
+	}
+	rep, err := Run(baseCfg(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ServersRented != 2 {
+		t.Errorf("ServersRented = %d, want 2", rep.ServersRented)
+	}
+	if rep.PeakServers != 2 {
+		t.Errorf("PeakServers = %d, want 2", rep.PeakServers)
+	}
+}
+
+func TestRunHourlyBillingRoundsUp(t *testing.T) {
+	cfg := baseCfg()
+	cfg.Billing = Billing{Quantum: 1, PricePerUnit: 10}
+	reqs := []Request{{ID: 1, Arrive: 0, Duration: 2.25, Demand: v(8, 8)}}
+	rep, err := Run(cfg, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.UsageTime-2.25) > 1e-9 {
+		t.Errorf("UsageTime = %v", rep.UsageTime)
+	}
+	if math.Abs(rep.BilledCost-30) > 1e-9 {
+		t.Errorf("BilledCost = %v, want 30 (3 started hours * 10)", rep.BilledCost)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	ok := []Request{{ID: 1, Arrive: 0, Duration: 1, Demand: v(1, 1)}}
+	cases := []struct {
+		name string
+		cfg  Config
+		reqs []Request
+	}{
+		{"nil policy", Config{Capacity: v(1, 1), Billing: Billing{}}, ok},
+		{"empty capacity", Config{Capacity: v(), Policy: core.NewFirstFit()}, ok},
+		{"zero capacity comp", Config{Capacity: v(1, 0), Policy: core.NewFirstFit()}, ok},
+		{"negative price", Config{Capacity: v(1, 1), Policy: core.NewFirstFit(), Billing: Billing{PricePerUnit: -1}}, ok},
+		{"no requests", baseCfg(), nil},
+		{"dup ids", baseCfg(), []Request{
+			{ID: 1, Arrive: 0, Duration: 1, Demand: v(1, 1)},
+			{ID: 1, Arrive: 0, Duration: 1, Demand: v(1, 1)},
+		}},
+		{"wrong dim", baseCfg(), []Request{{ID: 1, Arrive: 0, Duration: 1, Demand: v(1)}}},
+		{"zero duration", baseCfg(), []Request{{ID: 1, Arrive: 0, Duration: 0, Demand: v(1, 1)}}},
+		{"negative demand", baseCfg(), []Request{{ID: 1, Arrive: 0, Duration: 1, Demand: v(-1, 1)}}},
+		{"over capacity", baseCfg(), []Request{{ID: 1, Arrive: 0, Duration: 1, Demand: v(65, 1)}}},
+	}
+	for _, c := range cases {
+		if _, err := Run(c.cfg, c.reqs); err == nil {
+			t.Errorf("%s: want error", c.name)
+		}
+	}
+}
+
+func TestRunNormalisesHeterogeneousDimensions(t *testing.T) {
+	// 32/64 vCPU = 0.5 normalised; 192/256 GiB = 0.75. Two such requests
+	// conflict in memory (1.5) but not CPU (1.0 exactly fits).
+	reqs := []Request{
+		{ID: 1, Arrive: 0, Duration: 1, Demand: v(32, 192)},
+		{ID: 2, Arrive: 0, Duration: 1, Demand: v(32, 192)},
+	}
+	rep, err := Run(baseCfg(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ServersRented != 2 {
+		t.Errorf("ServersRented = %d, want 2 (memory conflict)", rep.ServersRented)
+	}
+}
+
+func TestRunOutOfOrderArrivals(t *testing.T) {
+	reqs := []Request{
+		{ID: 2, Arrive: 5, Duration: 1, Demand: v(8, 8)},
+		{ID: 1, Arrive: 0, Duration: 1, Demand: v(8, 8)},
+	}
+	rep, err := Run(baseCfg(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ServersRented != 2 {
+		t.Errorf("ServersRented = %d, want 2 (disjoint sessions)", rep.ServersRented)
+	}
+	if math.Abs(rep.UsageTime-2) > 1e-9 {
+		t.Errorf("UsageTime = %v, want 2", rep.UsageTime)
+	}
+}
+
+func TestServerUsageAccounting(t *testing.T) {
+	cfg := baseCfg()
+	cfg.Billing = Billing{Quantum: 1, PricePerUnit: 3}
+	reqs := []Request{
+		{ID: 1, Arrive: 0, Duration: 1.5, Demand: v(60, 10)},
+		{ID: 2, Arrive: 0.5, Duration: 2, Demand: v(60, 10)},
+	}
+	rep, err := Run(cfg, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Servers) != 2 {
+		t.Fatalf("Servers = %d", len(rep.Servers))
+	}
+	var total float64
+	for _, s := range rep.Servers {
+		if s.Usage <= 0 || s.Sessions != 1 {
+			t.Errorf("server %d: usage %v sessions %d", s.ServerID, s.Usage, s.Sessions)
+		}
+		total += s.Billed
+	}
+	if math.Abs(total-rep.BilledCost) > 1e-9 {
+		t.Errorf("sum billed %v != report %v", total, rep.BilledCost)
+	}
+	// Server 0: [0,1.5) -> 2 quanta * 3 = 6. Server 1: [0.5,2.5) -> 2 quanta * 3 = 6.
+	if math.Abs(rep.BilledCost-12) > 1e-9 {
+		t.Errorf("BilledCost = %v, want 12", rep.BilledCost)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	reqs := []Request{
+		{ID: 1, Arrive: 0, Duration: 10, Demand: v(40, 40)},
+		{ID: 2, Arrive: 1, Duration: 10, Demand: v(40, 40)},
+		{ID: 3, Arrive: 2, Duration: 1, Demand: v(10, 10)},
+	}
+	reports, err := Compare(baseCfg(), reqs, core.StandardPolicies(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 7 {
+		t.Fatalf("reports = %d", len(reports))
+	}
+	for _, r := range reports {
+		if r.UsageTime <= 0 || r.ServersRented < 2 {
+			t.Errorf("%s: implausible report %+v", r.Policy, r)
+		}
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	reqs := []Request{
+		{ID: 1, Arrive: 0, Duration: 4, Demand: v(40, 10)},
+		{ID: 2, Arrive: 1, Duration: 1, Demand: v(40, 10)}, // conflicts: own server [1,2)
+	}
+	rep, err := Run(baseCfg(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl := rep.Timeline()
+	want := []TimelinePoint{{0, 1}, {1, 2}, {2, 1}, {4, 0}}
+	if len(tl) != len(want) {
+		t.Fatalf("Timeline = %v, want %v", tl, want)
+	}
+	for i := range want {
+		if tl[i] != want[i] {
+			t.Errorf("Timeline[%d] = %v, want %v", i, tl[i], want[i])
+		}
+	}
+	// Mean: (1*1 + 2*1 + 1*2) / 4 = 1.25.
+	if got := rep.MeanActiveServers(); math.Abs(got-1.25) > 1e-9 {
+		t.Errorf("MeanActiveServers = %v, want 1.25", got)
+	}
+}
+
+func TestTimelineEndsAtZero(t *testing.T) {
+	reqs := []Request{
+		{ID: 1, Arrive: 0, Duration: 2, Demand: v(10, 10)},
+		{ID: 2, Arrive: 5, Duration: 2, Demand: v(10, 10)},
+	}
+	rep, err := Run(baseCfg(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl := rep.Timeline()
+	if tl[len(tl)-1].Servers != 0 {
+		t.Errorf("timeline must end at zero: %v", tl)
+	}
+	// Peak must match the report.
+	peak := 0
+	for _, p := range tl {
+		if p.Servers > peak {
+			peak = p.Servers
+		}
+	}
+	if peak != rep.PeakServers {
+		t.Errorf("timeline peak %d != report peak %d", peak, rep.PeakServers)
+	}
+}
+
+func TestMeanActiveServersEmptyish(t *testing.T) {
+	var r Report
+	if r.MeanActiveServers() != 0 {
+		t.Error("empty report should have zero mean")
+	}
+}

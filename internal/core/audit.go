@@ -1,0 +1,57 @@
+package core
+
+// Decision is one audited packing step: the arriving request, the bin chosen,
+// whether a new bin was opened, and — for invariant checking — which of the
+// then-open bins could have held the item.
+type Decision struct {
+	Req    Request
+	BinID  int
+	Opened bool
+	// OpenBinIDs lists the bins open when the item arrived (before any new
+	// bin was created), in opening order.
+	OpenBinIDs []int
+	// FittingBinIDs lists the subset of OpenBinIDs whose residual capacity
+	// could hold the item.
+	FittingBinIDs []int
+	// LoadsLinf records ‖load‖∞ of each open bin at decision time, parallel
+	// to OpenBinIDs.
+	LoadsLinf []float64
+}
+
+// Audit accumulates Decisions during a run (attach with WithAudit). It exists
+// for tests and analysis tooling: the Any Fit property, First Fit's
+// lowest-index rule, Best/Worst Fit's argmax/argmin rule and Next Fit's
+// single-current-bin discipline are all checkable from the recorded data.
+type Audit struct {
+	Decisions []Decision
+}
+
+// record is called by the engine before the item is packed, so every load
+// and fit flag reflects exactly what the policy saw.
+func (a *Audit) record(req Request, chosen *Bin, opened bool, open []*Bin) {
+	d := Decision{Req: req, BinID: chosen.ID, Opened: opened}
+	for _, b := range open {
+		if b.ID == chosen.ID && opened {
+			// The freshly opened bin is already in the engine's open list;
+			// exclude it from the "was open on arrival" snapshot.
+			continue
+		}
+		d.OpenBinIDs = append(d.OpenBinIDs, b.ID)
+		d.LoadsLinf = append(d.LoadsLinf, b.LoadNorm())
+		if b.Fits(req.Size) {
+			d.FittingBinIDs = append(d.FittingBinIDs, b.ID)
+		}
+	}
+	a.Decisions = append(a.Decisions, d)
+}
+
+// NewBinOpenings returns the number of decisions that opened a new bin.
+func (a *Audit) NewBinOpenings() int {
+	n := 0
+	for _, d := range a.Decisions {
+		if d.Opened {
+			n++
+		}
+	}
+	return n
+}

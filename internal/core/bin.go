@@ -1,0 +1,115 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"dvbp/internal/vector"
+)
+
+// Bin is an open server/bin during simulation. Policies receive bins
+// read-only: they may inspect load and metadata but must mutate nothing; all
+// packing goes through the engine.
+type Bin struct {
+	// ID numbers bins by opening order, starting at 0. A smaller ID means an
+	// earlier opening time (First Fit's order).
+	ID int
+	// OpenedAt is the time the bin received its first item.
+	OpenedAt float64
+
+	load   vector.Vector
+	active map[int]vector.Vector // item ID -> size, for departure handling
+	packed int                   // total items ever packed into this bin
+}
+
+func newBin(id int, d int, openedAt float64) *Bin {
+	return &Bin{
+		ID:       id,
+		OpenedAt: openedAt,
+		load:     vector.New(d),
+		active:   make(map[int]vector.Vector),
+	}
+}
+
+// Load returns the current total size vector of the active items. The
+// returned vector is a copy; policies may keep it.
+func (b *Bin) Load() vector.Vector { return b.load.Clone() }
+
+// LoadNorm returns ‖load‖∞ without allocating.
+func (b *Bin) LoadNorm() float64 { return b.load.MaxNorm() }
+
+// LoadSum returns ‖load‖1 without allocating.
+func (b *Bin) LoadSum() float64 { return b.load.SumNorm() }
+
+// LoadPNorm returns ‖load‖p without allocating a copy.
+func (b *Bin) LoadPNorm(p float64) float64 { return b.load.PNorm(p) }
+
+// Fits reports whether an item of the given size fits in the bin's residual
+// capacity in every dimension.
+func (b *Bin) Fits(size vector.Vector) bool { return b.load.FitsWithin(size) }
+
+// ActiveItems returns the number of currently active items.
+func (b *Bin) ActiveItems() int { return len(b.active) }
+
+// PackedItems returns the number of items ever packed into the bin.
+func (b *Bin) PackedItems() int { return b.packed }
+
+// ActiveItemIDs returns the IDs of the active items in ascending order.
+func (b *Bin) ActiveItemIDs() []int {
+	ids := make([]int, 0, len(b.active))
+	for id := range b.active {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// Empty reports whether the bin has no active items (and should close).
+func (b *Bin) Empty() bool { return len(b.active) == 0 }
+
+func (b *Bin) pack(itemID int, size vector.Vector) error {
+	if !b.Fits(size) {
+		return fmt.Errorf("bin %d: item %d of size %v does not fit load %v", b.ID, itemID, size, b.load)
+	}
+	if _, dup := b.active[itemID]; dup {
+		return fmt.Errorf("bin %d: item %d already packed", b.ID, itemID)
+	}
+	b.active[itemID] = size
+	b.packed++
+	b.recomputeLoad()
+	return nil
+}
+
+func (b *Bin) remove(itemID int) error {
+	if _, ok := b.active[itemID]; !ok {
+		return fmt.Errorf("bin %d: item %d not active", b.ID, itemID)
+	}
+	delete(b.active, itemID)
+	b.recomputeLoad()
+	return nil
+}
+
+// recomputeLoad rebuilds the load as the sum of active item sizes in
+// ascending item-ID order. Summing in a canonical order (rather than
+// incrementally adding and subtracting) keeps the load bit-identical no
+// matter which sequence of packs and departures produced the active set —
+// floating-point addition is not associative, and load-driven policies such
+// as Best Fit compare loads exactly, so representation drift would make
+// otherwise-identical states behave differently.
+func (b *Bin) recomputeLoad() {
+	ids := make([]int, 0, len(b.active))
+	for id := range b.active {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	load := vector.New(b.load.Dim())
+	for _, id := range ids {
+		load.AddInPlace(b.active[id])
+	}
+	b.load = load
+}
+
+// String renders a compact description for debugging.
+func (b *Bin) String() string {
+	return fmt.Sprintf("bin{id=%d, opened=%g, load=%v, active=%d}", b.ID, b.OpenedAt, b.load, len(b.active))
+}

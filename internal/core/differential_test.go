@@ -1,0 +1,139 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"dvbp/internal/interval"
+	"dvbp/internal/item"
+	"dvbp/internal/vector"
+)
+
+// recomputeCost independently recomputes the MinUsageTime objective from the
+// placements alone: group items by bin, take the span of each group's active
+// intervals, and sum. This is the definition in equation (1) of the paper,
+// evaluated without any of the engine's incremental bookkeeping.
+func recomputeCost(l *item.List, res *Result) float64 {
+	byBin := make(map[int]interval.Set)
+	itemByID := make(map[int]item.Item, l.Len())
+	for _, it := range l.Items {
+		itemByID[it.ID] = it
+	}
+	for _, p := range res.Placements {
+		it := itemByID[p.ItemID]
+		byBin[p.BinID] = append(byBin[p.BinID], it.Interval())
+	}
+	total := 0.0
+	for _, ivs := range byBin {
+		total += ivs.Span()
+	}
+	return total
+}
+
+// recheckFeasibility verifies from the placements alone that no bin is ever
+// overloaded: for every item, the sum of sizes of co-located items active at
+// its arrival (including itself) is within capacity.
+func recheckFeasibility(l *item.List, res *Result) bool {
+	binOf := make(map[int]int, l.Len())
+	for _, p := range res.Placements {
+		binOf[p.ItemID] = p.BinID
+	}
+	for _, it := range l.Items {
+		load := vector.New(l.Dim)
+		for _, other := range l.Items {
+			if binOf[other.ID] == binOf[it.ID] && other.ActiveAt(it.Arrival) {
+				load.AddInPlace(other.Size)
+			}
+		}
+		if !load.LeqCapacity() {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDifferentialCostRecomputation: the engine's incremental cost must match
+// the from-scratch recomputation for every policy on many random instances.
+func TestDifferentialCostRecomputation(t *testing.T) {
+	for seed := int64(100); seed < 110; seed++ {
+		l := randomList(seed, 250, 3, 30)
+		for _, p := range StandardPolicies(seed) {
+			res := mustSimulate(t, l, p)
+			want := recomputeCost(l, res)
+			if math.Abs(res.Cost-want) > 1e-6 {
+				t.Errorf("%s seed=%d: engine cost %v, recomputed %v", p.Name(), seed, res.Cost, want)
+			}
+		}
+	}
+}
+
+// TestDifferentialFeasibility: placements are feasible when re-audited from
+// first principles.
+func TestDifferentialFeasibility(t *testing.T) {
+	for seed := int64(200); seed < 205; seed++ {
+		l := randomList(seed, 200, 2, 20)
+		for _, p := range StandardPolicies(seed) {
+			res := mustSimulate(t, l, p)
+			if !recheckFeasibility(l, res) {
+				t.Errorf("%s seed=%d: infeasible placement detected", p.Name(), seed)
+			}
+		}
+	}
+}
+
+// TestDifferentialBinSpansMatchPlacements: each recorded BinUsage interval
+// must equal the hull of its items' intervals — open at first arrival, close
+// at last departure.
+func TestDifferentialBinSpansMatchPlacements(t *testing.T) {
+	l := randomList(300, 250, 2, 15)
+	itemByID := make(map[int]item.Item, l.Len())
+	for _, it := range l.Items {
+		itemByID[it.ID] = it
+	}
+	for _, p := range StandardPolicies(300) {
+		res := mustSimulate(t, l, p)
+		firstArr := make(map[int]float64)
+		lastDep := make(map[int]float64)
+		for _, pl := range res.Placements {
+			it := itemByID[pl.ItemID]
+			if v, ok := firstArr[pl.BinID]; !ok || it.Arrival < v {
+				firstArr[pl.BinID] = it.Arrival
+			}
+			if it.Departure > lastDep[pl.BinID] {
+				lastDep[pl.BinID] = it.Departure
+			}
+		}
+		for _, b := range res.Bins {
+			if math.Abs(b.OpenedAt-firstArr[b.BinID]) > 1e-9 {
+				t.Errorf("%s bin %d: OpenedAt %v, first arrival %v", p.Name(), b.BinID, b.OpenedAt, firstArr[b.BinID])
+			}
+			if math.Abs(b.ClosedAt-lastDep[b.BinID]) > 1e-9 {
+				t.Errorf("%s bin %d: ClosedAt %v, last departure %v", p.Name(), b.BinID, b.ClosedAt, lastDep[b.BinID])
+			}
+		}
+	}
+}
+
+// TestDifferentialBinNeverIdleMidLife: because closed bins are never reused
+// and bins close the moment they empty, every bin's usage interval must be
+// fully covered by its items' active intervals (no idle gaps inside a bin's
+// recorded lifetime).
+func TestDifferentialBinNeverIdleMidLife(t *testing.T) {
+	l := randomList(400, 250, 2, 15)
+	itemByID := make(map[int]item.Item, l.Len())
+	for _, it := range l.Items {
+		itemByID[it.ID] = it
+	}
+	for _, p := range StandardPolicies(400) {
+		res := mustSimulate(t, l, p)
+		binIvs := make(map[int]interval.Set)
+		for _, pl := range res.Placements {
+			binIvs[pl.BinID] = append(binIvs[pl.BinID], itemByID[pl.ItemID].Interval())
+		}
+		for _, b := range res.Bins {
+			if !binIvs[b.BinID].Covers(interval.New(b.OpenedAt, b.ClosedAt)) {
+				t.Errorf("%s bin %d: idle gap inside [%v,%v)", p.Name(), b.BinID, b.OpenedAt, b.ClosedAt)
+			}
+		}
+	}
+}

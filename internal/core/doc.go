@@ -1,0 +1,29 @@
+// Package core implements the paper's primary contribution: an event-driven
+// simulation engine for the online MinUsageTime Dynamic Vector Bin Packing
+// (DVBP) problem together with the family of Any Fit packing algorithms it
+// analyses.
+//
+// # Model
+//
+// Items arrive online (List order breaks ties among simultaneous arrivals)
+// and must immediately and irrevocably be packed into a bin whose residual
+// capacity dominates the item's size vector in every dimension; bins have
+// unit capacity 1^d. A bin is open while it contains at least one active
+// item. The cost of a packing is the total usage time of the bins — for each
+// bin, the length of the interval from its opening to the departure of its
+// last item (Section 2.1, equation (1)). Once a bin closes it is never
+// reused; the engine enforces this, matching the paper's w.l.o.g. assumption
+// that each bin's usage period is a single interval.
+//
+// # Any Fit skeleton and policies
+//
+// Algorithm 1 of the paper is realised by Engine: a policy is consulted only
+// to choose among open bins; if the policy returns no bin, the engine opens a
+// new one. Policies are non-clairvoyant: the Request they see carries no
+// departure time unless the engine is explicitly configured for the
+// clairvoyant variant (a paper §8 extension).
+//
+// Implemented policies: First Fit, Next Fit, Best Fit (L∞, L1 or Lp load),
+// Worst Fit, Last Fit, Random Fit, and Move To Front — the full set studied
+// in Sections 2.2 and 7.
+package core

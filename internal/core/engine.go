@@ -1,0 +1,193 @@
+package core
+
+import (
+	"fmt"
+
+	"dvbp/internal/eventq"
+	"dvbp/internal/item"
+)
+
+// Option configures a simulation run.
+type Option func(*config)
+
+type config struct {
+	clairvoyant bool
+	audit       *Audit
+	observer    Observer
+}
+
+// WithClairvoyance exposes item departure times to the policy (Request.
+// HasDeparture = true). This enables the clairvoyant DVBP variant discussed
+// as future work in Section 8; the paper's own algorithms never need it.
+func WithClairvoyance() Option {
+	return func(c *config) { c.clairvoyant = true }
+}
+
+// WithAudit records every packing decision into a (caller-owned) Audit for
+// invariant checking in tests.
+func WithAudit(a *Audit) Option {
+	return func(c *config) { c.audit = a }
+}
+
+// Observer receives engine lifecycle callbacks; used by instrumentation such
+// as the Theorem 2 leading-interval decomposition. Any method may be nil-safe
+// no-op via BaseObserver.
+type Observer interface {
+	// BeforePack fires when an item is about to be packed, after departures
+	// at or before its arrival time have been processed.
+	BeforePack(req Request, open []*Bin)
+	// AfterPack fires after the item is packed.
+	AfterPack(req Request, b *Bin, opened bool)
+	// BinClosed fires when a bin's last item departs at time t.
+	BinClosed(b *Bin, t float64)
+}
+
+// WithObserver attaches an Observer to the run.
+func WithObserver(o Observer) Option {
+	return func(c *config) { c.observer = o }
+}
+
+// BaseObserver is an Observer with no-op methods, for embedding.
+type BaseObserver struct{}
+
+// BeforePack implements Observer.
+func (BaseObserver) BeforePack(Request, []*Bin) {}
+
+// AfterPack implements Observer.
+func (BaseObserver) AfterPack(Request, *Bin, bool) {}
+
+// BinClosed implements Observer.
+func (BaseObserver) BinClosed(*Bin, float64) {}
+
+type departure struct {
+	itemID int
+	binID  int
+}
+
+// Simulate runs the Any Fit skeleton (Algorithm 1) over the item list with
+// the given policy and returns the resulting packing and its MinUsageTime
+// cost. The list is validated first; the input is not modified.
+//
+// Event order: items are processed by (arrival, SeqNo). Because active
+// intervals are half-open, departures at time t are processed before
+// arrivals at time t — an item departing at t has freed its capacity for an
+// item arriving at t. (The paper's Theorem 5 construction has new items
+// arrive "just before" old ones depart; such instances encode the arrival at
+// time t - ε or rely on same-time arrival ordering, both of which this
+// engine preserves.)
+func Simulate(l *item.List, p Policy, opts ...Option) (*Result, error) {
+	if err := l.Validate(); err != nil {
+		return nil, fmt.Errorf("core: invalid input: %w", err)
+	}
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	p.Reset()
+
+	arrivals := l.SortedByArrival()
+
+	var (
+		open        []*Bin // opening order (ascending ID)
+		departures  eventq.Queue[departure]
+		res         = &Result{Algorithm: p.Name(), Dim: l.Dim, Items: l.Len(), Span: l.Span(), Mu: l.Mu()}
+		nextBinID   int
+		binsByID    = make(map[int]*Bin)
+		closeBinAt  = func(b *Bin, t float64) {}
+		sizesByItem = make(map[int]item.Item, l.Len())
+	)
+	for _, it := range l.Items {
+		sizesByItem[it.ID] = it
+	}
+
+	closeBinAt = func(b *Bin, t float64) {
+		res.Bins = append(res.Bins, BinUsage{BinID: b.ID, OpenedAt: b.OpenedAt, ClosedAt: t, Packed: b.PackedItems()})
+		res.Cost += t - b.OpenedAt
+		for i, ob := range open {
+			if ob.ID == b.ID {
+				open = append(open[:i], open[i+1:]...)
+				break
+			}
+		}
+		delete(binsByID, b.ID)
+		p.OnClose(b)
+		if cfg.observer != nil {
+			cfg.observer.BinClosed(b, t)
+		}
+	}
+
+	processDepartures := func(upTo float64) error {
+		for _, ev := range departures.PopUntil(upTo) {
+			b, ok := binsByID[ev.Payload.binID]
+			if !ok {
+				return fmt.Errorf("core: departure from unknown bin %d", ev.Payload.binID)
+			}
+			if err := b.remove(ev.Payload.itemID); err != nil {
+				return fmt.Errorf("core: %w", err)
+			}
+			if b.Empty() {
+				closeBinAt(b, ev.Time)
+			}
+		}
+		return nil
+	}
+
+	for _, it := range arrivals {
+		// Departures strictly before or at the arrival instant free capacity
+		// first (half-open intervals).
+		if err := processDepartures(it.Arrival); err != nil {
+			return nil, err
+		}
+
+		req := Request{ID: it.ID, SeqNo: it.SeqNo, Arrival: it.Arrival, Size: it.Size}
+		if cfg.clairvoyant {
+			req.Departure = it.Departure
+			req.HasDeparture = true
+		}
+		if cfg.observer != nil {
+			cfg.observer.BeforePack(req, open)
+		}
+
+		b := p.Select(req, open)
+		opened := false
+		if b == nil {
+			b = newBin(nextBinID, l.Dim, it.Arrival)
+			nextBinID++
+			open = append(open, b)
+			binsByID[b.ID] = b
+			opened = true
+		} else if _, known := binsByID[b.ID]; !known {
+			return nil, fmt.Errorf("core: policy %s returned closed or foreign bin %d", p.Name(), b.ID)
+		}
+		if cfg.audit != nil {
+			// Record before packing so loads and fit flags reflect the state
+			// the policy actually saw.
+			cfg.audit.record(req, b, opened, open)
+		}
+		if err := b.pack(it.ID, it.Size); err != nil {
+			return nil, fmt.Errorf("core: policy %s chose unfit bin: %w", p.Name(), err)
+		}
+		p.OnPack(req, b, opened)
+		if cfg.observer != nil {
+			cfg.observer.AfterPack(req, b, opened)
+		}
+
+		res.Placements = append(res.Placements, Placement{ItemID: it.ID, BinID: b.ID, Opened: opened, Time: it.Arrival})
+		departures.PushAt(it.Departure, int64(it.ID), departure{itemID: it.ID, binID: b.ID})
+		if len(open) > res.MaxConcurrentBins {
+			res.MaxConcurrentBins = len(open)
+		}
+	}
+
+	// Drain remaining departures.
+	if err := processDepartures(l.Hull().Hi); err != nil {
+		return nil, err
+	}
+	if departures.Len() != 0 || len(open) != 0 {
+		return nil, fmt.Errorf("core: internal error: %d departures and %d bins left after drain", departures.Len(), len(open))
+	}
+
+	res.BinsOpened = nextBinID
+	res.sortBins()
+	return res, nil
+}

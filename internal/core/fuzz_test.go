@@ -1,0 +1,56 @@
+package core
+
+import (
+	"testing"
+
+	"dvbp/internal/item"
+	"dvbp/internal/vector"
+)
+
+// FuzzSimulate decodes a byte string into an item list and checks the engine
+// invariants hold for every policy: no error on valid input, cost ≥ span,
+// every item placed exactly once, bin records consistent.
+func FuzzSimulate(f *testing.F) {
+	f.Add([]byte{10, 1, 5, 3, 20, 2, 7, 9, 50, 10, 1, 1})
+	f.Add([]byte{0, 0, 0})
+	f.Add([]byte{255, 255, 255, 255, 255, 255, 255, 255})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		l := decodeInstance(data)
+		if l == nil {
+			return
+		}
+		for _, p := range StandardPolicies(1) {
+			res, err := Simulate(l, p)
+			if err != nil {
+				t.Fatalf("%s: %v on %v", p.Name(), err, l.Items)
+			}
+			if res.Cost < res.Span-1e-9 {
+				t.Fatalf("%s: cost %v < span %v", p.Name(), res.Cost, res.Span)
+			}
+			if len(res.Placements) != l.Len() {
+				t.Fatalf("%s: %d placements for %d items", p.Name(), len(res.Placements), l.Len())
+			}
+			if len(res.Bins) != res.BinsOpened {
+				t.Fatalf("%s: bin record mismatch", p.Name())
+			}
+		}
+	})
+}
+
+// decodeInstance maps fuzz bytes onto a small valid instance: groups of four
+// bytes become (arrival, duration, size0, size1) with all values scaled into
+// range. Returns nil when the input is too short.
+func decodeInstance(data []byte) *item.List {
+	if len(data) < 4 {
+		return nil
+	}
+	l := item.NewList(2)
+	for i := 0; i+3 < len(data) && l.Len() < 64; i += 4 {
+		arrival := float64(data[i] % 32)
+		duration := 1 + float64(data[i+1]%16)
+		s0 := float64(1+data[i+2]%100) / 100
+		s1 := float64(1+data[i+3]%100) / 100
+		l.Add(arrival, arrival+duration, vector.Of(s0, s1))
+	}
+	return l
+}

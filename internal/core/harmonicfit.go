@@ -1,0 +1,74 @@
+package core
+
+import "fmt"
+
+// HarmonicFit adapts the classical Harmonic online bin packing algorithm
+// (Lee–Lee) to the MinUsageTime DVBP setting, as an extension baseline from
+// the classical literature the paper's related-work section surveys. Items
+// are classified by their L∞ size into harmonic classes — class j holds
+// items with ‖s‖∞ ∈ (1/(j+1), 1/j] for j < K, and the residue class K holds
+// everything with ‖s‖∞ ≤ 1/K — and each bin only ever receives items of its
+// own class (First Fit within the class).
+//
+// In classical bin packing Harmonic trades a bounded number of per-class
+// partially-filled bins for simple O(1) placement; in the MinUsageTime
+// setting the segregation mostly *hurts* (more open bins means more usage
+// time), which makes it a useful negative baseline: it shows that classical
+// space-efficiency machinery does not transfer to the time objective.
+//
+// HarmonicFit is not an Any Fit algorithm (it opens a class bin while bins
+// of other classes could hold the item), so none of the paper's Any Fit
+// bounds apply to it.
+type HarmonicFit struct {
+	// K is the number of harmonic classes (>= 1). Classic choices are 3–7.
+	K int
+
+	classOfBin map[int]int
+}
+
+// NewHarmonicFit returns a Harmonic Fit policy with K classes. It panics if
+// K < 1 (a programming error, mirroring PNormLoad).
+func NewHarmonicFit(k int) *HarmonicFit {
+	if k < 1 {
+		panic("core: HarmonicFit needs K >= 1")
+	}
+	return &HarmonicFit{K: k}
+}
+
+// Name implements Policy.
+func (h *HarmonicFit) Name() string { return fmt.Sprintf("HarmonicFit-%d", h.K) }
+
+// Reset implements Policy.
+func (h *HarmonicFit) Reset() { h.classOfBin = make(map[int]int) }
+
+// class returns the harmonic class of a size: the largest j <= K with
+// ‖s‖∞ <= 1/j.
+func (h *HarmonicFit) class(norm float64) int {
+	for j := h.K; j >= 2; j-- {
+		if norm <= 1/float64(j) {
+			return j
+		}
+	}
+	return 1
+}
+
+// Select implements Policy: first fit among same-class bins.
+func (h *HarmonicFit) Select(req Request, open []*Bin) *Bin {
+	c := h.class(req.Size.MaxNorm())
+	for _, b := range open {
+		if h.classOfBin[b.ID] == c && b.Fits(req.Size) {
+			return b
+		}
+	}
+	return nil
+}
+
+// OnPack implements Policy.
+func (h *HarmonicFit) OnPack(req Request, b *Bin, opened bool) {
+	if opened {
+		h.classOfBin[b.ID] = h.class(req.Size.MaxNorm())
+	}
+}
+
+// OnClose implements Policy.
+func (h *HarmonicFit) OnClose(b *Bin) { delete(h.classOfBin, b.ID) }

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestHarmonicFitClassBoundaries(t *testing.T) {
+	h := NewHarmonicFit(4)
+	cases := []struct {
+		norm float64
+		want int
+	}{
+		{1.0, 1}, // (1/2, 1] -> class 1
+		{0.51, 1},
+		{0.5, 2}, // (1/3, 1/2] -> class 2
+		{0.34, 2},
+		{1.0 / 3, 3}, // (1/4, 1/3] -> class 3
+		{0.26, 3},
+		{0.25, 4}, // residue: <= 1/4
+		{0.01, 4},
+	}
+	for _, c := range cases {
+		if got := h.class(c.norm); got != c.want {
+			t.Errorf("class(%v) = %d, want %d", c.norm, got, c.want)
+		}
+	}
+}
+
+func TestHarmonicFitSegregatesClasses(t *testing.T) {
+	// A big (class 1) and a small (residue) item co-active: classes never
+	// share bins even though they'd fit together.
+	l := list(t, 1,
+		[]float64{0, 10, 0.6},
+		[]float64{0, 10, 0.1},
+	)
+	p := NewHarmonicFit(3)
+	res := mustSimulate(t, l, p)
+	if res.BinsOpened != 2 {
+		t.Fatalf("BinsOpened = %d, want 2 (class segregation)", res.BinsOpened)
+	}
+}
+
+func TestHarmonicFitPacksWithinClass(t *testing.T) {
+	// Four class-2 items (size 0.4..0.5]: two per bin.
+	l := list(t, 1,
+		[]float64{0, 10, 0.45},
+		[]float64{0, 10, 0.45},
+		[]float64{0, 10, 0.45},
+		[]float64{0, 10, 0.45},
+	)
+	res := mustSimulate(t, l, NewHarmonicFit(3))
+	if res.BinsOpened != 2 {
+		t.Fatalf("BinsOpened = %d, want 2", res.BinsOpened)
+	}
+}
+
+func TestHarmonicFitK1IsFirstFit(t *testing.T) {
+	// With one class, Harmonic Fit degenerates to First Fit.
+	l := randomList(42, 200, 2, 15)
+	hf := mustSimulate(t, l, NewHarmonicFit(1))
+	ff := mustSimulate(t, l, NewFirstFit())
+	if hf.Cost != ff.Cost || hf.BinsOpened != ff.BinsOpened {
+		t.Errorf("HarmonicFit-1 (%v/%d) != FirstFit (%v/%d)",
+			hf.Cost, hf.BinsOpened, ff.Cost, ff.BinsOpened)
+	}
+}
+
+func TestHarmonicFitCostDominatesSpan(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		l := randomList(seed, 150, 2, 10)
+		for _, k := range []int{2, 3, 5} {
+			res := mustSimulate(t, l, NewHarmonicFit(k))
+			if res.Cost < res.Span-1e-9 {
+				t.Errorf("K=%d seed=%d: cost %v < span %v", k, seed, res.Cost, res.Span)
+			}
+		}
+	}
+}
+
+func TestHarmonicFitIsWorseBaselineOnUniform(t *testing.T) {
+	// Segregation should cost more than First Fit on the paper's workload —
+	// the negative-baseline property documented in the type comment.
+	var hfTotal, ffTotal float64
+	for seed := int64(0); seed < 5; seed++ {
+		l := randomList(seed, 300, 2, 20)
+		hfTotal += mustSimulate(t, l, NewHarmonicFit(4)).Cost
+		ffTotal += mustSimulate(t, l, NewFirstFit()).Cost
+	}
+	if hfTotal <= ffTotal {
+		t.Errorf("HarmonicFit total %v unexpectedly beats FirstFit %v", hfTotal, ffTotal)
+	}
+}
+
+func TestNewHarmonicFitPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	NewHarmonicFit(0)
+}
+
+func TestHarmonicFitRegistryName(t *testing.T) {
+	p, err := NewPolicy("harmonicfit-4", 0)
+	if err != nil {
+		t.Fatalf("registry: %v", err)
+	}
+	if p.Name() != "HarmonicFit-4" {
+		t.Errorf("Name = %q", p.Name())
+	}
+	if _, err := NewPolicy("harmonicfit-0", 0); err == nil {
+		t.Error("harmonicfit-0 accepted")
+	}
+}

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// auditRun simulates with auditing and returns the audit.
+func auditRun(t *testing.T, seed int64, p Policy) (*Result, *Audit) {
+	t.Helper()
+	l := randomList(seed, 400, 2, 30)
+	var a Audit
+	res := mustSimulate(t, l, p, WithAudit(&a))
+	return res, &a
+}
+
+// TestAnyFitInvariant: for every policy with a full open-bin list, a new bin
+// is opened only when NO open bin fits. (Next Fit is exempt: its list L holds
+// only the current bin, so it legitimately opens while old bins could fit.)
+func TestAnyFitInvariant(t *testing.T) {
+	policies := []Policy{
+		NewFirstFit(), NewBestFit(MaxLoad()), NewWorstFit(MaxLoad()),
+		NewLastFit(), NewRandomFit(11), NewMoveToFront(),
+	}
+	for _, p := range policies {
+		for seed := int64(0); seed < 3; seed++ {
+			_, a := auditRun(t, seed, p)
+			for i, d := range a.Decisions {
+				if d.Opened && len(d.FittingBinIDs) > 0 {
+					t.Errorf("%s seed=%d decision %d: opened a bin while %v fit item %d",
+						p.Name(), seed, i, d.FittingBinIDs, d.Req.ID)
+				}
+			}
+		}
+	}
+}
+
+// TestFirstFitLowestIndexRule: when First Fit packs into an existing bin, it
+// is the minimum-ID fitting bin.
+func TestFirstFitLowestIndexRule(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		_, a := auditRun(t, seed, NewFirstFit())
+		for i, d := range a.Decisions {
+			if d.Opened {
+				continue
+			}
+			if len(d.FittingBinIDs) == 0 {
+				t.Fatalf("decision %d: packed existing bin but no fits recorded", i)
+			}
+			if d.BinID != d.FittingBinIDs[0] {
+				t.Errorf("seed=%d decision %d: chose %d, lowest fitting is %d", seed, i, d.BinID, d.FittingBinIDs[0])
+			}
+		}
+	}
+}
+
+// TestLastFitHighestIndexRule mirrors the First Fit check.
+func TestLastFitHighestIndexRule(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		_, a := auditRun(t, seed, NewLastFit())
+		for i, d := range a.Decisions {
+			if d.Opened {
+				continue
+			}
+			want := d.FittingBinIDs[len(d.FittingBinIDs)-1]
+			if d.BinID != want {
+				t.Errorf("seed=%d decision %d: chose %d, highest fitting is %d", seed, i, d.BinID, want)
+			}
+		}
+	}
+}
+
+// TestBestWorstFitExtremalRule: Best Fit chooses a fitting bin with maximal
+// L∞ load; Worst Fit minimal.
+func TestBestWorstFitExtremalRule(t *testing.T) {
+	check := func(p Policy, wantMax bool) {
+		for seed := int64(0); seed < 3; seed++ {
+			_, a := auditRun(t, seed, p)
+			for i, d := range a.Decisions {
+				if d.Opened {
+					continue
+				}
+				loadOf := func(id int) float64 {
+					for k, oid := range d.OpenBinIDs {
+						if oid == id {
+							return d.LoadsLinf[k]
+						}
+					}
+					panic("bin not in snapshot")
+				}
+				chosen := loadOf(d.BinID)
+				for _, id := range d.FittingBinIDs {
+					l := loadOf(id)
+					if wantMax && l > chosen+1e-12 {
+						t.Errorf("%s seed=%d decision %d: chose load %v but %v available", p.Name(), seed, i, chosen, l)
+					}
+					if !wantMax && l < chosen-1e-12 {
+						t.Errorf("%s seed=%d decision %d: chose load %v but %v available", p.Name(), seed, i, chosen, l)
+					}
+				}
+			}
+		}
+	}
+	check(NewBestFit(MaxLoad()), true)
+	check(NewWorstFit(MaxLoad()), false)
+}
+
+// TestNextFitSingleTargetRule: all items packed into an existing bin go to
+// the bin opened most recently among open ones (the current bin).
+func TestNextFitSingleTargetRule(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		_, a := auditRun(t, seed, NewNextFit())
+		lastOpened := -1
+		for i, d := range a.Decisions {
+			if d.Opened {
+				lastOpened = d.BinID
+				continue
+			}
+			if d.BinID != lastOpened {
+				t.Errorf("seed=%d decision %d: packed bin %d, current is %d", seed, i, d.BinID, lastOpened)
+			}
+		}
+	}
+}
+
+// TestMoveToFrontLeaderRule: the bin MTF packs into must be the most recently
+// used (leader) among bins that fit. We verify with a shadow recency list.
+func TestMoveToFrontLeaderRule(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		p := NewMoveToFront()
+		_, a := auditRun(t, seed, p)
+		// Shadow: maintain recency from the decision stream.
+		var recency []int // front = most recent
+		remove := func(id int) {
+			for i, x := range recency {
+				if x == id {
+					recency = append(recency[:i], recency[i+1:]...)
+					return
+				}
+			}
+		}
+		for i, d := range a.Decisions {
+			// Bins may have closed since the last decision: drop vanished IDs.
+			openSet := map[int]bool{}
+			for _, id := range d.OpenBinIDs {
+				openSet[id] = true
+			}
+			var pruned []int
+			for _, id := range recency {
+				if openSet[id] {
+					pruned = append(pruned, id)
+				}
+			}
+			recency = pruned
+			if !d.Opened {
+				fits := map[int]bool{}
+				for _, id := range d.FittingBinIDs {
+					fits[id] = true
+				}
+				// The chosen bin must be the first fitting bin in recency order.
+				for _, id := range recency {
+					if fits[id] {
+						if id != d.BinID {
+							t.Errorf("seed=%d decision %d: chose %d, recency-first fit is %d", seed, i, d.BinID, id)
+						}
+						break
+					}
+				}
+			}
+			remove(d.BinID)
+			recency = append([]int{d.BinID}, recency...)
+		}
+	}
+}
+
+// TestNoOverfullBins: after every decision, every open bin's recorded L∞
+// load is within capacity. (The engine would error out otherwise, but this
+// validates the audit view too.)
+func TestNoOverfullBins(t *testing.T) {
+	for _, p := range StandardPolicies(17) {
+		_, a := auditRun(t, 17, p)
+		for i, d := range a.Decisions {
+			for k, load := range d.LoadsLinf {
+				if load > 1+1e-9 {
+					t.Errorf("%s decision %d: bin %d overfull (%v)", p.Name(), i, d.OpenBinIDs[k], load)
+				}
+			}
+		}
+	}
+}
+
+// TestMoveToFrontMatchesFirstFitWhenOneBin: with capacity for everything in
+// one bin, every Any Fit policy produces one bin and identical cost.
+func TestAllPoliciesAgreeOnTrivialInstance(t *testing.T) {
+	l := list(t, 2,
+		[]float64{0, 5, 0.1, 0.1},
+		[]float64{1, 4, 0.1, 0.1},
+		[]float64{2, 6, 0.1, 0.1},
+	)
+	for _, p := range StandardPolicies(1) {
+		res := mustSimulate(t, l, p)
+		if res.BinsOpened != 1 {
+			t.Errorf("%s: BinsOpened = %d, want 1", p.Name(), res.BinsOpened)
+		}
+		if math.Abs(res.Cost-6) > 1e-12 {
+			t.Errorf("%s: Cost = %v, want 6", p.Name(), res.Cost)
+		}
+	}
+}
+
+// TestAuditNewBinOpeningsMatchesResult verifies audit bookkeeping.
+func TestAuditNewBinOpeningsMatchesResult(t *testing.T) {
+	l := randomList(5, 200, 2, 10)
+	var a Audit
+	res := mustSimulate(t, l, NewFirstFit(), WithAudit(&a))
+	if a.NewBinOpenings() != res.BinsOpened {
+		t.Errorf("audit openings %d != result bins %d", a.NewBinOpenings(), res.BinsOpened)
+	}
+	if len(a.Decisions) != l.Len() {
+		t.Errorf("decisions %d != items %d", len(a.Decisions), l.Len())
+	}
+}

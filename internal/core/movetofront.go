@@ -1,0 +1,77 @@
+package core
+
+// MoveToFront maintains the open bins in most-recently-used order: an
+// arriving item is packed into the first bin in that order which can hold it,
+// and the receiving bin (new or existing) immediately moves to the front
+// (Section 2.2). Theorem 2 bounds its competitive ratio by (2μ+1)d + 1 —
+// for d = 1, 2μ+2, nearly settling the Kamali–López-Ortiz conjecture — and
+// Theorem 8 bounds it below by max{2μ, (μ+1)d}.
+type MoveToFront struct {
+	// order holds open-bin IDs, front (index 0) = most recently used.
+	order []int
+}
+
+// NewMoveToFront returns a Move To Front policy.
+func NewMoveToFront() *MoveToFront { return &MoveToFront{} }
+
+// Name implements Policy.
+func (*MoveToFront) Name() string { return "MoveToFront" }
+
+// Reset implements Policy.
+func (mf *MoveToFront) Reset() { mf.order = mf.order[:0] }
+
+// Select implements Policy: scan bins in recency order; first fit wins.
+func (mf *MoveToFront) Select(req Request, open []*Bin) *Bin {
+	if len(open) == 0 {
+		return nil
+	}
+	byID := make(map[int]*Bin, len(open))
+	for _, b := range open {
+		byID[b.ID] = b
+	}
+	for _, id := range mf.order {
+		if b, ok := byID[id]; ok && b.Fits(req.Size) {
+			return b
+		}
+	}
+	return nil
+}
+
+// OnPack implements Policy: the receiving bin becomes the leader (front of
+// the recency list).
+func (mf *MoveToFront) OnPack(_ Request, b *Bin, opened bool) {
+	mf.moveToFront(b.ID)
+}
+
+// OnClose implements Policy: drop the closed bin from the recency list.
+func (mf *MoveToFront) OnClose(b *Bin) {
+	for i, id := range mf.order {
+		if id == b.ID {
+			mf.order = append(mf.order[:i], mf.order[i+1:]...)
+			return
+		}
+	}
+}
+
+// LeaderID returns the ID of the current leader bin (front of the list), or
+// -1 when no bin is open. Exposed for the decomposition analysis in tests and
+// the Theorem 2 instrumentation.
+func (mf *MoveToFront) LeaderID() int {
+	if len(mf.order) == 0 {
+		return -1
+	}
+	return mf.order[0]
+}
+
+func (mf *MoveToFront) moveToFront(id int) {
+	for i, x := range mf.order {
+		if x == id {
+			copy(mf.order[1:i+1], mf.order[:i])
+			mf.order[0] = id
+			return
+		}
+	}
+	mf.order = append(mf.order, 0)
+	copy(mf.order[1:], mf.order[:len(mf.order)-1])
+	mf.order[0] = id
+}

@@ -1,0 +1,56 @@
+package core
+
+// NextFit keeps a single designated current bin (|L| = 1, Section 2.2). An
+// arriving item is packed into the current bin if it fits; otherwise the
+// current bin is released — it stays active until its items depart, but never
+// receives another item — and a fresh bin is opened and made current.
+//
+// Theorem 4 bounds its competitive ratio by 2μd + 1 and Theorem 6 below by
+// 2μd.
+type NextFit struct {
+	currentID int // -1 when no current bin
+}
+
+// NewNextFit returns a Next Fit policy.
+func NewNextFit() *NextFit { return &NextFit{currentID: -1} }
+
+// Name implements Policy.
+func (*NextFit) Name() string { return "NextFit" }
+
+// Reset implements Policy.
+func (nf *NextFit) Reset() { nf.currentID = -1 }
+
+// Select implements Policy: only the current bin is ever considered. If the
+// item does not fit there (or there is no current bin), Next Fit opens a new
+// bin; the old current bin is released by the OnPack hook.
+func (nf *NextFit) Select(req Request, open []*Bin) *Bin {
+	if nf.currentID < 0 {
+		return nil
+	}
+	for _, b := range open {
+		if b.ID == nf.currentID {
+			if b.Fits(req.Size) {
+				return b
+			}
+			return nil
+		}
+	}
+	// Current bin has closed (its items all departed); nothing in L.
+	nf.currentID = -1
+	return nil
+}
+
+// OnPack implements Policy: a freshly opened bin becomes the current bin,
+// releasing the previous one.
+func (nf *NextFit) OnPack(_ Request, b *Bin, opened bool) {
+	if opened {
+		nf.currentID = b.ID
+	}
+}
+
+// OnClose implements Policy.
+func (nf *NextFit) OnClose(b *Bin) {
+	if b.ID == nf.currentID {
+		nf.currentID = -1
+	}
+}

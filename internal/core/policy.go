@@ -1,0 +1,52 @@
+package core
+
+import (
+	"dvbp/internal/vector"
+)
+
+// Request is the information an online, non-clairvoyant algorithm sees when
+// an item arrives (Section 2.1: "when an item arrives the algorithm does not
+// have any knowledge of when it will depart").
+//
+// Departure is populated only when the engine runs with WithClairvoyance —
+// the clairvoyant DVBP variant the paper lists as future work. Policies that
+// need it must check HasDeparture and fail fast otherwise.
+type Request struct {
+	ID      int
+	SeqNo   int
+	Arrival float64
+	Size    vector.Vector
+
+	Departure    float64
+	HasDeparture bool
+}
+
+// Policy chooses among open bins. Implementations hold any per-run state they
+// need (Move To Front's recency list, Next Fit's current bin) and must be
+// reset between runs via Reset.
+//
+// The engine guarantees:
+//   - open is the list of currently open bins in opening order (ascending ID);
+//   - Select is called once per arriving item;
+//   - OnPack is called after every successful placement, with opened=true when
+//     the engine had to open a fresh bin (policy returned nil);
+//   - OnClose is called when a bin's last item departs, before any subsequent
+//     Select.
+//
+// Policies must return either nil or a bin from open that Fits the request's
+// size. Returning an unfit bin is a policy bug; the engine reports it as an
+// error rather than packing infeasibly.
+type Policy interface {
+	// Name returns a stable identifier, e.g. "FirstFit".
+	Name() string
+	// Reset clears all per-run state. Engines call it before a run, so a
+	// single Policy value can be reused across simulations.
+	Reset()
+	// Select returns the open bin to pack the request into, or nil to open a
+	// new bin. Select must not mutate the bins.
+	Select(req Request, open []*Bin) *Bin
+	// OnPack observes a completed placement.
+	OnPack(req Request, b *Bin, opened bool)
+	// OnClose observes a bin closing (all items departed).
+	OnClose(b *Bin)
+}

@@ -1,0 +1,48 @@
+package core
+
+import "math/rand"
+
+// RandomFit packs an arriving item into a bin chosen uniformly at random
+// among the open bins that can hold it (Section 7). It is an Any Fit
+// algorithm: a new bin is opened only when no open bin fits.
+//
+// RandomFit is deterministic given its seed; Reset re-seeds so repeated runs
+// of the same instance reproduce the same packing.
+type RandomFit struct {
+	seed int64
+	rng  *rand.Rand
+}
+
+// NewRandomFit returns a Random Fit policy driven by the given seed.
+func NewRandomFit(seed int64) *RandomFit {
+	return &RandomFit{seed: seed, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Policy.
+func (*RandomFit) Name() string { return "RandomFit" }
+
+// Reset implements Policy: restores the initial RNG state.
+func (rf *RandomFit) Reset() { rf.rng = rand.New(rand.NewSource(rf.seed)) }
+
+// Select implements Policy using reservoir sampling over the fitting bins, so
+// a single pass suffices and each fitting bin is equally likely.
+func (rf *RandomFit) Select(req Request, open []*Bin) *Bin {
+	var chosen *Bin
+	n := 0
+	for _, b := range open {
+		if !b.Fits(req.Size) {
+			continue
+		}
+		n++
+		if rf.rng.Intn(n) == 0 {
+			chosen = b
+		}
+	}
+	return chosen
+}
+
+// OnPack implements Policy.
+func (*RandomFit) OnPack(Request, *Bin, bool) {}
+
+// OnClose implements Policy.
+func (*RandomFit) OnClose(*Bin) {}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// NewPolicy constructs a policy from its canonical name. Recognised names
+// (case-insensitive):
+//
+//	FirstFit | ff
+//	NextFit | nf
+//	BestFit | bf            (L∞ load, as in the paper's experiments)
+//	BestFit-L1 | BestFit-Lp<p>
+//	WorstFit | wf           (L∞ load)
+//	WorstFit-L1 | WorstFit-Lp<p>
+//	LastFit | lf
+//	RandomFit | rf          (seeded with the given seed)
+//	MoveToFront | mtf | mf
+//	HarmonicFit-<K>         (classical Harmonic baseline, K >= 1 classes)
+//
+// seed only affects RandomFit.
+func NewPolicy(name string, seed int64) (Policy, error) {
+	n := strings.ToLower(strings.TrimSpace(name))
+	switch n {
+	case "firstfit", "ff":
+		return NewFirstFit(), nil
+	case "nextfit", "nf":
+		return NewNextFit(), nil
+	case "bestfit", "bf", "bestfit-linf":
+		return NewBestFit(MaxLoad()), nil
+	case "bestfit-l1":
+		return NewBestFit(SumLoad()), nil
+	case "worstfit", "wf", "worstfit-linf":
+		return NewWorstFit(MaxLoad()), nil
+	case "worstfit-l1":
+		return NewWorstFit(SumLoad()), nil
+	case "lastfit", "lf":
+		return NewLastFit(), nil
+	case "randomfit", "rf":
+		return NewRandomFit(seed), nil
+	case "movetofront", "mtf", "mf":
+		return NewMoveToFront(), nil
+	}
+	if p, ok := strings.CutPrefix(n, "bestfit-lp"); ok {
+		if x, err := strconv.ParseFloat(p, 64); err == nil && x >= 1 {
+			return NewBestFit(PNormLoad(x)), nil
+		}
+	}
+	if p, ok := strings.CutPrefix(n, "worstfit-lp"); ok {
+		if x, err := strconv.ParseFloat(p, 64); err == nil && x >= 1 {
+			return NewWorstFit(PNormLoad(x)), nil
+		}
+	}
+	if p, ok := strings.CutPrefix(n, "harmonicfit-"); ok {
+		if k, err := strconv.Atoi(p); err == nil && k >= 1 {
+			return NewHarmonicFit(k), nil
+		}
+	}
+	return nil, fmt.Errorf("core: unknown policy %q (known: %s)", name, strings.Join(PolicyNames(), ", "))
+}
+
+// PolicyNames returns the canonical names of the seven policies studied in
+// the paper's experimental section, in the paper's presentation order.
+func PolicyNames() []string {
+	return []string{
+		"MoveToFront",
+		"FirstFit",
+		"BestFit",
+		"NextFit",
+		"LastFit",
+		"RandomFit",
+		"WorstFit",
+	}
+}
+
+// StandardPolicies returns fresh instances of all seven experiment policies.
+// RandomFit uses the given seed.
+func StandardPolicies(seed int64) []Policy {
+	ps := make([]Policy, 0, 7)
+	for _, n := range PolicyNames() {
+		p, err := NewPolicy(n, seed)
+		if err != nil {
+			panic("core: registry inconsistency: " + err.Error())
+		}
+		ps = append(ps, p)
+	}
+	return ps
+}
+
+// SortedPolicyNames returns all canonical names in lexicographic order.
+func SortedPolicyNames() []string {
+	ns := PolicyNames()
+	out := make([]string, len(ns))
+	copy(out, ns)
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Placement records where one item was packed.
+type Placement struct {
+	ItemID int
+	BinID  int
+	// Opened reports whether packing this item opened a new bin.
+	Opened bool
+	// Time is the packing (arrival) time.
+	Time float64
+}
+
+// BinUsage summarises one bin's lifetime: a single usage interval, per the
+// paper's w.l.o.g. normalisation.
+type BinUsage struct {
+	BinID    int
+	OpenedAt float64
+	ClosedAt float64
+	// Packed is the number of items the bin ever held.
+	Packed int
+}
+
+// Usage returns the bin's contribution to the packing cost.
+func (u BinUsage) Usage() float64 { return u.ClosedAt - u.OpenedAt }
+
+// Result is the outcome of one simulation run.
+type Result struct {
+	// Algorithm is the policy name.
+	Algorithm string
+	// Dim is the number of resource dimensions.
+	Dim int
+	// Items is the number of items packed.
+	Items int
+	// Cost is the MinUsageTime objective: Σ_bins (closed - opened).
+	Cost float64
+	// BinsOpened is the total number of bins ever opened.
+	BinsOpened int
+	// MaxConcurrentBins is the peak number of simultaneously open bins.
+	MaxConcurrentBins int
+	// Placements maps each item (by index in input order of IDs) to its bin.
+	Placements []Placement
+	// Bins holds per-bin usage records, ascending by BinID.
+	Bins []BinUsage
+	// Span is span(R) for the input, recorded for convenience (cost of an
+	// idealised single-bin packing; also the Lemma 1(iii) lower bound).
+	Span float64
+	// Mu is the max/min duration ratio of the input.
+	Mu float64
+}
+
+// PlacementOf returns the placement record for an item ID (ok=false if the
+// item is unknown).
+func (r *Result) PlacementOf(itemID int) (Placement, bool) {
+	for _, p := range r.Placements {
+		if p.ItemID == itemID {
+			return p, true
+		}
+	}
+	return Placement{}, false
+}
+
+// BinItems returns, for each bin ID, the item IDs packed into it in packing
+// order.
+func (r *Result) BinItems() map[int][]int {
+	m := make(map[int][]int)
+	for _, p := range r.Placements {
+		m[p.BinID] = append(m[p.BinID], p.ItemID)
+	}
+	return m
+}
+
+// NormalizedCost returns Cost / lb, the experimental performance measure the
+// paper plots in Figure 4 (lb is a lower bound on OPT). It panics if lb <= 0.
+func (r *Result) NormalizedCost(lb float64) float64 {
+	if lb <= 0 {
+		panic("core: non-positive lower bound")
+	}
+	return r.Cost / lb
+}
+
+// String renders a human-readable summary.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: d=%d items=%d bins=%d peak=%d cost=%.4f span=%.4f",
+		r.Algorithm, r.Dim, r.Items, r.BinsOpened, r.MaxConcurrentBins, r.Cost, r.Span)
+	return b.String()
+}
+
+// sortBins normalises Bins/Placements ordering for deterministic output.
+func (r *Result) sortBins() {
+	sort.Slice(r.Bins, func(i, j int) bool { return r.Bins[i].BinID < r.Bins[j].BinID })
+	sort.Slice(r.Placements, func(i, j int) bool {
+		if r.Placements[i].Time != r.Placements[j].Time {
+			return r.Placements[i].Time < r.Placements[j].Time
+		}
+		return r.Placements[i].ItemID < r.Placements[j].ItemID
+	})
+}

@@ -1,0 +1,88 @@
+// Package eventq provides a deterministic min-heap event queue used by the
+// simulation engines (packing engine, sweep-line lower bounds, cloud
+// simulator).
+//
+// Events are ordered by time; ties are broken by an explicit sequence number
+// so that simulations are reproducible regardless of insertion order quirks.
+package eventq
+
+import "container/heap"
+
+// Event carries a payload scheduled at a point in time. When two events share
+// a Time, the one with the smaller Seq is delivered first.
+type Event[T any] struct {
+	Time    float64
+	Seq     int64
+	Payload T
+}
+
+// Queue is a min-heap of events. The zero value is an empty queue ready to
+// use.
+type Queue[T any] struct {
+	h eventHeap[T]
+}
+
+// Len returns the number of pending events.
+func (q *Queue[T]) Len() int { return len(q.h) }
+
+// Push schedules an event.
+func (q *Queue[T]) Push(e Event[T]) { heap.Push(&q.h, e) }
+
+// PushAt is shorthand for Push with the given fields.
+func (q *Queue[T]) PushAt(t float64, seq int64, payload T) {
+	q.Push(Event[T]{Time: t, Seq: seq, Payload: payload})
+}
+
+// Peek returns the earliest event without removing it. ok is false when the
+// queue is empty.
+func (q *Queue[T]) Peek() (e Event[T], ok bool) {
+	if len(q.h) == 0 {
+		return e, false
+	}
+	return q.h[0], true
+}
+
+// Pop removes and returns the earliest event. ok is false when the queue is
+// empty.
+func (q *Queue[T]) Pop() (e Event[T], ok bool) {
+	if len(q.h) == 0 {
+		return e, false
+	}
+	return heap.Pop(&q.h).(Event[T]), true
+}
+
+// PopUntil removes and returns, in order, every event with Time <= t.
+func (q *Queue[T]) PopUntil(t float64) []Event[T] {
+	var out []Event[T]
+	for {
+		e, ok := q.Peek()
+		if !ok || e.Time > t {
+			return out
+		}
+		q.Pop()
+		out = append(out, e)
+	}
+}
+
+type eventHeap[T any] []Event[T]
+
+func (h eventHeap[T]) Len() int { return len(h) }
+
+func (h eventHeap[T]) Less(i, j int) bool {
+	if h[i].Time != h[j].Time {
+		return h[i].Time < h[j].Time
+	}
+	return h[i].Seq < h[j].Seq
+}
+
+func (h eventHeap[T]) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap[T]) Push(x any) { *h = append(*h, x.(Event[T])) }
+
+func (h *eventHeap[T]) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}

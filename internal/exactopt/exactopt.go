@@ -1,0 +1,219 @@
+// Package exactopt computes the exact optimal offline cost OPT(R) for small
+// MinUsageTime DVBP instances.
+//
+// The paper's optimum may repack items at any time (Section 2.2), so by
+// equation (2),
+//
+//	OPT(R) = ∫ OPT(R, t) dt,
+//
+// where OPT(R, t) is the minimum number of unit bins into which the items
+// active at time t can be packed — an instance of (static) vector bin
+// packing. The active set only changes at the O(n) arrival/departure events,
+// so OPT(R) is a finite sum of segment-length × exact-VBP-minimum terms.
+//
+// Vector bin packing is NP-hard; MinBins solves it exactly with a bitmask
+// dynamic program over item subsets (dp[mask] = fewest bins covering mask,
+// iterating feasible submasks that contain the lowest set bit). This is
+// O(3^n) per segment and therefore intentionally guarded: segments with more
+// than MaxActive concurrent items are rejected with ErrTooLarge.
+//
+// Exact OPT turns the experiments' bracket [Lemma 1 LB, offline heuristic]
+// into ground truth on small instances: true competitive ratios, tightness
+// measurements for the Lemma 1 bounds, and end-to-end validation of the
+// Table 1 bound checks.
+package exactopt
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"dvbp/internal/item"
+	"dvbp/internal/vector"
+)
+
+// ErrTooLarge reports a segment whose active-item count exceeds the
+// configured limit, making the exact DP infeasible.
+var ErrTooLarge = errors.New("exactopt: too many concurrent items for exact OPT")
+
+// DefaultMaxActive bounds the bitmask DP (3^16 ≈ 4·10⁷ submask steps).
+const DefaultMaxActive = 16
+
+// Options configures Opt.
+type Options struct {
+	// MaxActive overrides DefaultMaxActive (values > 24 are rejected
+	// outright: 3^24 is never tractable).
+	MaxActive int
+}
+
+func (o Options) maxActive() int {
+	if o.MaxActive > 0 {
+		return o.MaxActive
+	}
+	return DefaultMaxActive
+}
+
+// MinBins returns the minimum number of unit-capacity bins needed to pack
+// the given sizes, exactly. It panics if len(sizes) > 24 (use Opt's guard
+// for untrusted input). An empty input needs 0 bins.
+func MinBins(sizes []vector.Vector) int {
+	n := len(sizes)
+	if n == 0 {
+		return 0
+	}
+	if n > 24 {
+		panic("exactopt: MinBins limited to 24 items")
+	}
+	full := (1 << n) - 1
+
+	// feasible[mask]: the items of mask fit together in one bin. Computed
+	// incrementally: sum[mask] = sum[mask^lowbit] + size[lowbit].
+	d := sizes[0].Dim()
+	sums := make([]vector.Vector, 1<<n)
+	sums[0] = vector.New(d)
+	feasible := make([]bool, 1<<n)
+	feasible[0] = true
+	for mask := 1; mask <= full; mask++ {
+		low := mask & -mask
+		idx := bitIndex(low)
+		prev := mask ^ low
+		s := sums[prev].Add(sizes[idx])
+		sums[mask] = s
+		// Loads only grow, so any superset of an infeasible set is
+		// infeasible.
+		feasible[mask] = feasible[prev] && s.LeqCapacity()
+	}
+
+	const inf = math.MaxInt32
+	dp := make([]int32, 1<<n)
+	for i := range dp {
+		dp[i] = inf
+	}
+	dp[0] = 0
+	for mask := 1; mask <= full; mask++ {
+		low := mask & -mask
+		// Every partition has some bin containing the lowest item of mask;
+		// iterating only submasks that contain `low` avoids recounting
+		// permutations of bins.
+		for sub := mask; sub > 0; sub = (sub - 1) & mask {
+			if sub&low == 0 {
+				continue
+			}
+			if !feasible[sub] || dp[mask^sub] == inf {
+				continue
+			}
+			if v := dp[mask^sub] + 1; v < dp[mask] {
+				dp[mask] = v
+			}
+		}
+	}
+	return int(dp[full])
+}
+
+func bitIndex(power int) int {
+	i := 0
+	for power > 1 {
+		power >>= 1
+		i++
+	}
+	return i
+}
+
+// Opt computes the exact OPT(R) by sweeping the event timeline and solving
+// each segment's vector bin packing exactly. It returns ErrTooLarge (wrapped
+// with the offending time) when a segment has more than MaxActive items.
+func Opt(l *item.List, opts Options) (float64, error) {
+	if err := l.Validate(); err != nil {
+		return 0, fmt.Errorf("exactopt: %w", err)
+	}
+	limit := opts.maxActive()
+	if limit > 24 {
+		return 0, fmt.Errorf("exactopt: MaxActive %d exceeds the hard cap of 24", limit)
+	}
+
+	type ev struct {
+		t       float64
+		idx     int
+		arrival bool
+	}
+	events := make([]ev, 0, 2*l.Len())
+	for i, it := range l.Items {
+		events = append(events,
+			ev{t: it.Arrival, idx: i, arrival: true},
+			ev{t: it.Departure, idx: i, arrival: false},
+		)
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].t != events[j].t {
+			return events[i].t < events[j].t
+		}
+		return !events[i].arrival && events[j].arrival // departures first
+	})
+
+	active := make(map[int]bool)
+	total := 0.0
+	for i := 0; i < len(events); {
+		t := events[i].t
+		for i < len(events) && events[i].t == t {
+			if events[i].arrival {
+				active[events[i].idx] = true
+			} else {
+				delete(active, events[i].idx)
+			}
+			i++
+		}
+		if i == len(events) || len(active) == 0 {
+			continue
+		}
+		segLen := events[i].t - t
+		if segLen <= 0 {
+			continue
+		}
+		if len(active) > limit {
+			return 0, fmt.Errorf("%w: %d active at t=%g (limit %d)", ErrTooLarge, len(active), t, limit)
+		}
+		sizes := make([]vector.Vector, 0, len(active))
+		idxs := make([]int, 0, len(active))
+		for idx := range active {
+			idxs = append(idxs, idx)
+		}
+		sort.Ints(idxs) // determinism of the DP input order
+		for _, idx := range idxs {
+			sizes = append(sizes, l.Items[idx].Size)
+		}
+		total += float64(MinBins(sizes)) * segLen
+	}
+	return total, nil
+}
+
+// PeakActive returns the maximum number of simultaneously active items —
+// callers can check it against Options.MaxActive before paying for Opt.
+func PeakActive(l *item.List) int {
+	type ev struct {
+		t       float64
+		arrival bool
+	}
+	events := make([]ev, 0, 2*l.Len())
+	for _, it := range l.Items {
+		events = append(events, ev{it.Arrival, true}, ev{it.Departure, false})
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].t != events[j].t {
+			return events[i].t < events[j].t
+		}
+		return !events[i].arrival && events[j].arrival
+	})
+	cur, peak := 0, 0
+	for _, e := range events {
+		if e.arrival {
+			cur++
+			if cur > peak {
+				peak = cur
+			}
+		} else {
+			cur--
+		}
+	}
+	return peak
+}

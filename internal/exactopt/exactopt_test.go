@@ -1,0 +1,329 @@
+package exactopt
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dvbp/internal/core"
+	"dvbp/internal/item"
+	"dvbp/internal/lowerbound"
+	"dvbp/internal/offline"
+	"dvbp/internal/vector"
+)
+
+func v(xs ...float64) vector.Vector { return vector.Of(xs...) }
+
+func TestMinBinsBasics(t *testing.T) {
+	cases := []struct {
+		name  string
+		sizes []vector.Vector
+		want  int
+	}{
+		{"empty", nil, 0},
+		{"single", []vector.Vector{v(0.5)}, 1},
+		{"two fit", []vector.Vector{v(0.5), v(0.5)}, 1},
+		{"two conflict", []vector.Vector{v(0.6), v(0.6)}, 2},
+		{"three thirds", []vector.Vector{v(0.34), v(0.34), v(0.34)}, 2},
+		{"exact thirds", []vector.Vector{v(1.0 / 4), v(1.0 / 4), v(1.0 / 4), v(1.0 / 4)}, 1},
+		{"2d conflict dim2", []vector.Vector{v(0.1, 0.9), v(0.1, 0.9)}, 2},
+		{"2d complementary", []vector.Vector{v(0.9, 0.1), v(0.1, 0.9)}, 1},
+		{"mixed", []vector.Vector{v(0.7), v(0.7), v(0.3), v(0.3)}, 2},
+		{"tricky pairing", []vector.Vector{v(0.6, 0.2), v(0.4, 0.8), v(0.5, 0.5), v(0.5, 0.5)}, 2},
+	}
+	for _, c := range cases {
+		if got := MinBins(c.sizes); got != c.want {
+			t.Errorf("%s: MinBins = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestMinBinsPanicsBeyondCap(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	MinBins(make([]vector.Vector, 25))
+}
+
+// Property: MinBins is between the volume bound ⌈max_j Σ sizes_j⌉ and n.
+func TestMinBinsBounds(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	f := func(nRaw, dRaw uint8) bool {
+		n := int(nRaw%10) + 1
+		d := int(dRaw%3) + 1
+		sizes := make([]vector.Vector, n)
+		total := vector.New(d)
+		for i := range sizes {
+			sizes[i] = vector.New(d)
+			for j := range sizes[i] {
+				sizes[i][j] = float64(1+r.Intn(100)) / 100
+			}
+			total.AddInPlace(sizes[i])
+		}
+		got := MinBins(sizes)
+		lo := int(math.Ceil(total.MaxNorm() - 1e-9))
+		return got >= lo && got <= n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: MinBins never beats a first-fit-decreasing heuristic's count but
+// is at most it (exactness check against a feasible upper bound).
+func TestMinBinsAtMostGreedy(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%9) + 1
+		sizes := make([]vector.Vector, n)
+		for i := range sizes {
+			sizes[i] = v(float64(1+r.Intn(100))/100, float64(1+r.Intn(100))/100)
+		}
+		greedy := greedyBins(sizes)
+		got := MinBins(sizes)
+		return got <= greedy
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func greedyBins(sizes []vector.Vector) int {
+	var bins []vector.Vector
+	for _, s := range sizes {
+		placed := false
+		for i := range bins {
+			if bins[i].FitsWithin(s) {
+				bins[i].AddInPlace(s)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			bins = append(bins, s.Clone())
+		}
+	}
+	return len(bins)
+}
+
+func TestOptSimpleTimeline(t *testing.T) {
+	l := item.NewList(1)
+	l.Add(0, 2, v(0.8)) // alone on [0,1): 1 bin
+	l.Add(1, 3, v(0.8)) // overlap [1,2): 2 bins; alone [2,3): 1 bin
+	got, err := Opt(l, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-4) > 1e-9 {
+		t.Errorf("Opt = %v, want 4", got)
+	}
+}
+
+func TestOptRepackingBeatsOnline(t *testing.T) {
+	// The repacking OPT can be strictly below every no-repacking algorithm:
+	// item A [0,2) size .6, item B [0,1) size .6, item C [1,2) size .3.
+	// Online (no repack): A alone in bin 1 for [0,2), B bin 2, C joins A.
+	// cost FF = 2 + 1 = 3. Repacking OPT: [0,1): {A,B} need 2 bins; [1,2):
+	// {A,C} fit one bin -> OPT = 2+1 = 3. Same here; use a sharper case:
+	l := item.NewList(1)
+	l.Add(0, 10, v(0.3))
+	l.Add(0, 10, v(0.3))
+	l.Add(0, 1, v(0.6)) // forces a second bin only on [0,1)
+	got, err := Opt(l, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// [0,1): items {.3,.3,.6}: MinBins = 2. [1,10): {.3,.3}: 1 bin.
+	want := 2 + 9.0
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("Opt = %v, want %v", got, want)
+	}
+}
+
+func TestOptGapsAndHalfOpen(t *testing.T) {
+	l := item.NewList(1)
+	l.Add(0, 1, v(0.9))
+	l.Add(1, 2, v(0.9)) // arrives exactly at the departure: never overlap
+	l.Add(5, 6, v(0.5)) // gap [2,5)
+	got, err := Opt(l, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-3) > 1e-9 {
+		t.Errorf("Opt = %v, want 3", got)
+	}
+}
+
+func TestOptTooLarge(t *testing.T) {
+	l := item.NewList(1)
+	for i := 0; i < 20; i++ {
+		l.Add(0, 1, v(0.01))
+	}
+	_, err := Opt(l, Options{MaxActive: 10})
+	if !errors.Is(err, ErrTooLarge) {
+		t.Errorf("err = %v, want ErrTooLarge", err)
+	}
+	if _, err := Opt(l, Options{MaxActive: 30}); err == nil {
+		t.Error("MaxActive over the hard cap accepted")
+	}
+}
+
+func TestPeakActive(t *testing.T) {
+	l := item.NewList(1)
+	l.Add(0, 10, v(0.1))
+	l.Add(1, 3, v(0.1))
+	l.Add(2, 4, v(0.1))
+	l.Add(3, 5, v(0.1)) // at t=3 item 1 departs first: peak is 3
+	if got := PeakActive(l); got != 3 {
+		t.Errorf("PeakActive = %d, want 3", got)
+	}
+}
+
+func randomSmallList(seed int64, n, d int) *item.List {
+	r := rand.New(rand.NewSource(seed))
+	l := item.NewList(d)
+	for i := 0; i < n; i++ {
+		a := math.Floor(r.Float64() * 40)
+		dur := 1 + math.Floor(r.Float64()*8)
+		size := vector.New(d)
+		for j := range size {
+			size[j] = float64(1+r.Intn(100)) / 100
+		}
+		l.Add(a, a+dur, size)
+	}
+	return l
+}
+
+// TestOptBracketedByBoundsAndHeuristics: on random small instances,
+// Lemma1 LB <= exact OPT <= offline heuristic cost <= ... and every online
+// algorithm costs at least OPT.
+func TestOptBracketedByBoundsAndHeuristics(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		l := randomSmallList(seed, 25, 2)
+		if PeakActive(l) > DefaultMaxActive {
+			continue
+		}
+		opt, err := Opt(l, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lb := lowerbound.Compute(l)
+		if lb.Best() > opt+1e-9 {
+			t.Errorf("seed %d: LB %v > exact OPT %v", seed, lb.Best(), opt)
+		}
+		up, err := offline.BestUpperEstimate(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if up.Cost < opt-1e-9 {
+			t.Errorf("seed %d: offline %v beat exact OPT %v (impossible)", seed, up.Cost, opt)
+		}
+		for _, p := range core.StandardPolicies(seed) {
+			res, err := core.Simulate(l, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Cost < opt-1e-9 {
+				t.Errorf("seed %d: %s cost %v below exact OPT %v", seed, p.Name(), res.Cost, opt)
+			}
+		}
+	}
+}
+
+// TestTrueRatiosRespectTable1Bounds: with exact OPT, the *true* competitive
+// ratios on random small instances must respect the Table 1 upper bounds.
+func TestTrueRatiosRespectTable1Bounds(t *testing.T) {
+	for seed := int64(30); seed < 40; seed++ {
+		l := randomSmallList(seed, 25, 2)
+		if PeakActive(l) > DefaultMaxActive {
+			continue
+		}
+		opt, err := Opt(l, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mu := l.Mu()
+		d := float64(l.Dim)
+		bounds := map[string]float64{
+			"MoveToFront": (2*mu+1)*d + 1,
+			"FirstFit":    (mu+2)*d + 1,
+			"NextFit":     2*mu*d + 1,
+		}
+		for name, bound := range bounds {
+			p, err := core.NewPolicy(name, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := core.Simulate(l, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ratio := res.Cost / opt; ratio > bound+1e-9 {
+				t.Errorf("seed %d: %s true ratio %v exceeds bound %v", seed, name, ratio, bound)
+			}
+		}
+	}
+}
+
+// TestTheorem8CertificateTight: on the small Theorem 8 instance the exact
+// OPT equals the proof's certificate μ + n... or better. Verify OPT <= cert
+// and that the true MTF ratio is at least the certified one.
+func TestTheorem8CertificateVsExact(t *testing.T) {
+	l := item.NewList(1)
+	const n, mu = 3, 6.0
+	for i := 1; i <= 4*n; i++ {
+		if i%2 == 1 {
+			l.Add(0, 1, v(0.5))
+		} else {
+			l.Add(0, mu, v(1.0/(2*n)))
+		}
+	}
+	opt, err := Opt(l, Options{MaxActive: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert := mu + n
+	if opt > cert+1e-9 {
+		t.Errorf("exact OPT %v exceeds certificate %v", opt, cert)
+	}
+	res, err := core.Simulate(l, core.NewMoveToFront())
+	if err != nil {
+		t.Fatal(err)
+	}
+	trueRatio := res.Cost / opt
+	certRatio := res.Cost / cert
+	if trueRatio < certRatio-1e-9 {
+		t.Errorf("true ratio %v below certified %v", trueRatio, certRatio)
+	}
+}
+
+func BenchmarkMinBins12(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	sizes := make([]vector.Vector, 12)
+	for i := range sizes {
+		sizes[i] = v(float64(1+r.Intn(60))/100, float64(1+r.Intn(60))/100)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = MinBins(sizes)
+	}
+}
+
+func BenchmarkExactOpt(b *testing.B) {
+	l := randomSmallList(1, 25, 2)
+	if PeakActive(l) > DefaultMaxActive {
+		b.Skip("peak too high for exact OPT")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Opt(l, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

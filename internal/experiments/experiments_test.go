@@ -1,0 +1,361 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// smallFig4 is a scaled-down Figure 4 grid that keeps tests fast while
+// preserving the qualitative ordering.
+func smallFig4() Figure4Config {
+	return Figure4Config{
+		Ds:        []int{1, 2},
+		Mus:       []int{1, 10, 100},
+		Instances: 30,
+		N:         300,
+		T:         300,
+		B:         100,
+		Policies:  []string{"MoveToFront", "FirstFit", "BestFit", "NextFit", "WorstFit"},
+		Seed:      1,
+	}
+}
+
+func TestFigure4ConfigValidate(t *testing.T) {
+	if err := DefaultFigure4().Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+	bad := smallFig4()
+	bad.Policies = []string{"Nope"}
+	if err := bad.Validate(); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	bad2 := smallFig4()
+	bad2.Instances = 0
+	if err := bad2.Validate(); err == nil {
+		t.Error("zero instances accepted")
+	}
+	bad3 := smallFig4()
+	bad3.Ds = nil
+	if err := bad3.Validate(); err == nil {
+		t.Error("empty Ds accepted")
+	}
+}
+
+func TestRunFigure4ShapeAndSanity(t *testing.T) {
+	cfg := smallFig4()
+	res, err := RunFigure4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != len(cfg.Ds)*len(cfg.Mus)*len(cfg.Policies) {
+		t.Fatalf("cells = %d", len(res.Cells))
+	}
+	for cell, s := range res.Cells {
+		if s.N != cfg.Instances {
+			t.Errorf("%+v: n = %d, want %d", cell, s.N, cfg.Instances)
+		}
+		if s.Mean < 1-1e-9 {
+			t.Errorf("%+v: mean ratio %v below 1 (cost below lower bound?)", cell, s.Mean)
+		}
+		if s.Mean > 50 {
+			t.Errorf("%+v: mean ratio %v implausibly high", cell, s.Mean)
+		}
+		if s.StdDev < 0 {
+			t.Errorf("%+v: negative stddev", cell)
+		}
+	}
+}
+
+// TestFigure4QualitativeShape reproduces the paper's Section 7 findings on a
+// reduced grid:
+//   - Move To Front has the best (or statistically tied best) mean ratio;
+//   - Worst Fit is the worst;
+//   - Next Fit degrades as μ grows.
+func TestFigure4QualitativeShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := smallFig4()
+	res, err := RunFigure4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range cfg.Ds {
+		for _, mu := range []int{10, 100} {
+			mtf := res.Cells[Cell{D: d, Mu: mu, Policy: "MoveToFront"}]
+			wf := res.Cells[Cell{D: d, Mu: mu, Policy: "WorstFit"}]
+			nf := res.Cells[Cell{D: d, Mu: mu, Policy: "NextFit"}]
+			ff := res.Cells[Cell{D: d, Mu: mu, Policy: "FirstFit"}]
+			if mtf.Mean > ff.Mean+0.02 {
+				t.Errorf("d=%d mu=%d: MTF (%.4f) should be <= FF (%.4f) + eps", d, mu, mtf.Mean, ff.Mean)
+			}
+			if wf.Mean < ff.Mean {
+				t.Errorf("d=%d mu=%d: WorstFit (%.4f) should be worst, FF is %.4f", d, mu, wf.Mean, ff.Mean)
+			}
+			if nf.Mean < mtf.Mean {
+				t.Errorf("d=%d mu=%d: NextFit (%.4f) should trail MTF (%.4f)", d, mu, nf.Mean, mtf.Mean)
+			}
+		}
+		// Next Fit degrades with mu.
+		nf1 := res.Cells[Cell{D: d, Mu: 1, Policy: "NextFit"}]
+		nf100 := res.Cells[Cell{D: d, Mu: 100, Policy: "NextFit"}]
+		if nf100.Mean <= nf1.Mean {
+			t.Errorf("d=%d: NextFit should degrade with mu: mu=1 %.4f, mu=100 %.4f", d, nf1.Mean, nf100.Mean)
+		}
+	}
+}
+
+func TestFigure4Determinism(t *testing.T) {
+	cfg := smallFig4()
+	cfg.Instances = 10
+	cfg.Mus = []int{5}
+	cfg.Ds = []int{2}
+	a, err := RunFigure4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 1
+	b, err := RunFigure4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cell, sa := range a.Cells {
+		sb := b.Cells[cell]
+		if math.Abs(sa.Mean-sb.Mean) > 1e-12 {
+			t.Errorf("%+v: mean differs across worker counts: %v vs %v", cell, sa.Mean, sb.Mean)
+		}
+	}
+}
+
+func TestFigure4TableAndChart(t *testing.T) {
+	cfg := smallFig4()
+	cfg.Instances = 5
+	res, err := RunFigure4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := res.Table(1).Render()
+	if !strings.Contains(tbl, "MoveToFront") || !strings.Contains(tbl, "±") {
+		t.Errorf("table missing content:\n%s", tbl)
+	}
+	svg := res.Chart(2).SVG()
+	if !strings.Contains(svg, "polyline") {
+		t.Error("chart missing series")
+	}
+	rank := res.Ranking(1, 10)
+	if len(rank) != len(cfg.Policies) {
+		t.Errorf("ranking size %d", len(rank))
+	}
+}
+
+func TestTable1Bounds(t *testing.T) {
+	if got := Table1UpperBound("MoveToFront", 10, 2); got != (2*10+1)*2+1 {
+		t.Errorf("MTF UB = %v", got)
+	}
+	if got := Table1UpperBound("FirstFit", 10, 2); got != (10+2)*2+1 {
+		t.Errorf("FF UB = %v", got)
+	}
+	if got := Table1UpperBound("NextFit", 10, 2); got != 2*10*2+1 {
+		t.Errorf("NF UB = %v", got)
+	}
+	if !math.IsInf(Table1UpperBound("BestFit", 10, 2), 1) {
+		t.Error("BF UB should be inf")
+	}
+	if got := Table1LowerBound("MoveToFront", 10, 1); got != 20 {
+		t.Errorf("MTF LB d=1 = %v, want 2mu", got)
+	}
+	if got := Table1LowerBound("MoveToFront", 10, 3); got != 33 {
+		t.Errorf("MTF LB d=3 = %v, want (mu+1)d", got)
+	}
+	if got := Table1LowerBound("NextFit", 10, 2); got != 40 {
+		t.Errorf("NF LB = %v", got)
+	}
+	if got := Table1LowerBound("FirstFit", 10, 2); got != 22 {
+		t.Errorf("FF LB = %v", got)
+	}
+	if !math.IsInf(Table1LowerBound("BestFit", 10, 2), 1) {
+		t.Error("BF LB should be inf (unbounded)")
+	}
+}
+
+func TestRunTable1(t *testing.T) {
+	cfg := Table1Config{D: 2, Mu: 5, Params: []int{4, 16}, Seed: 1}
+	rows, err := RunTable1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2*6 {
+		t.Fatalf("rows = %d, want 12", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Consistent() {
+			t.Errorf("inconsistent row: %+v", r)
+		}
+		if r.MeasuredRatio <= 0 {
+			t.Errorf("non-positive ratio: %+v", r)
+		}
+	}
+	// Ratios must grow with the parameter for the Theorem 5 + FirstFit rows.
+	var t5ff []AdversarialRow
+	for _, r := range rows {
+		if strings.HasPrefix(r.Construction, "Theorem5") && r.Policy == "FirstFit" {
+			t5ff = append(t5ff, r)
+		}
+	}
+	if len(t5ff) != 2 || t5ff[1].MeasuredRatio <= t5ff[0].MeasuredRatio {
+		t.Errorf("Theorem5/FF ratios not increasing: %+v", t5ff)
+	}
+	tbl := AdversarialTable(rows).Render()
+	if !strings.Contains(tbl, "Theorem5") || !strings.Contains(tbl, "true") {
+		t.Errorf("table missing content:\n%s", tbl)
+	}
+}
+
+func TestRunTable1Validation(t *testing.T) {
+	if _, err := RunTable1(Table1Config{}); err == nil {
+		t.Error("zero config accepted")
+	}
+}
+
+func TestRunUpperBoundCheck(t *testing.T) {
+	cfg := UpperBoundCheckConfig{D: 2, N: 80, Mu: 5, T: 80, B: 100, Instances: 10, Seed: 1}
+	viol, checked, err := RunUpperBoundCheck(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if checked != 30 {
+		t.Errorf("checked = %d, want 30", checked)
+	}
+	if len(viol) != 0 {
+		t.Errorf("found %d upper-bound violations: %+v", len(viol), viol)
+	}
+}
+
+func TestRunBestFitMeasureAblation(t *testing.T) {
+	cfg := AblationConfig{D: 3, N: 200, Mu: 20, T: 200, B: 100, Instances: 10, Seed: 1}
+	m, err := RunBestFitMeasureAblation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 3 {
+		t.Fatalf("measures = %d", len(m))
+	}
+	for name, s := range m {
+		if s.Mean < 1 {
+			t.Errorf("%s: ratio %v < 1", name, s.Mean)
+		}
+	}
+	tbl := SummaryTable("bf", []string{"BestFit", "BestFit-L1", "BestFit-Lp2"}, m).Render()
+	if !strings.Contains(tbl, "BestFit-L1") {
+		t.Error("table missing row")
+	}
+}
+
+func TestRunClairvoyanceAblation(t *testing.T) {
+	cfg := AblationConfig{D: 2, N: 200, Mu: 50, T: 200, B: 100, Instances: 10, Seed: 1}
+	m, err := RunClairvoyanceAblation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 5 {
+		t.Fatalf("policies = %d", len(m))
+	}
+	for name, s := range m {
+		if s.Mean < 1 {
+			t.Errorf("%s: ratio %v < 1", name, s.Mean)
+		}
+	}
+}
+
+func TestRunBillingAblation(t *testing.T) {
+	cfg := AblationConfig{D: 2, N: 200, Mu: 10, T: 200, B: 100, Instances: 5, Seed: 1}
+	rows, err := RunBillingAblation(cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.BilledRatio < 1-1e-9 {
+			t.Errorf("%s: billed ratio %v < 1 (rounding up can't shrink cost)", r.Policy, r.BilledRatio)
+		}
+	}
+	if _, err := RunBillingAblation(cfg, 0); err == nil {
+		t.Error("zero quantum accepted")
+	}
+	tbl := BillingTable(rows, 5).Render()
+	if !strings.Contains(tbl, "billed/usage") {
+		t.Error("billing table missing header")
+	}
+}
+
+func TestRunTrueRatio(t *testing.T) {
+	cfg := TrueRatioConfig{D: 2, N: 25, Mu: 4, T: 80, B: 100, Instances: 20, Seed: 1, MaxActive: 14}
+	res, err := RunTrueRatio(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 7 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if res.LBTightness.Mean < 1-1e-9 {
+		t.Errorf("OPT/LB tightness %v < 1 (LB would exceed OPT)", res.LBTightness.Mean)
+	}
+	for _, row := range res.Rows {
+		if row.TrueRatio.Mean < 1-1e-9 {
+			t.Errorf("%s: true ratio %v < 1", row.Policy, row.TrueRatio.Mean)
+		}
+		// cost/OPT <= cost/LB since OPT >= LB.
+		if row.TrueRatio.Mean > row.LBRatio.Mean+1e-9 {
+			t.Errorf("%s: true ratio %v exceeds LB ratio %v", row.Policy, row.TrueRatio.Mean, row.LBRatio.Mean)
+		}
+	}
+	tbl := res.Table().Render()
+	if !strings.Contains(tbl, "cost/OPT") {
+		t.Error("table missing header")
+	}
+}
+
+func TestRunTrueRatioRejectsBadConfig(t *testing.T) {
+	if _, err := RunTrueRatio(TrueRatioConfig{}); err == nil {
+		t.Error("zero config accepted")
+	}
+	// All instances skipped -> explicit error.
+	cfg := TrueRatioConfig{D: 1, N: 200, Mu: 50, T: 60, B: 100, Instances: 3, Seed: 1, MaxActive: 5}
+	if _, err := RunTrueRatio(cfg); err == nil {
+		t.Error("all-skipped run should error")
+	}
+}
+
+func TestRunQuality(t *testing.T) {
+	cfg := AblationConfig{D: 2, N: 200, Mu: 20, T: 200, B: 100, Instances: 5, Seed: 1}
+	rows, err := RunQuality(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]QualityRow{}
+	for _, r := range rows {
+		if r.Utilization.Mean <= 0 || r.Utilization.Mean > 1 {
+			t.Errorf("%s: utilisation %v out of (0,1]", r.Policy, r.Utilization.Mean)
+		}
+		if r.Straggler.Mean < 0 || r.Straggler.Mean > 1 {
+			t.Errorf("%s: straggler %v out of [0,1]", r.Policy, r.Straggler.Mean)
+		}
+		byName[r.Policy] = r
+	}
+	// Section 7: Next Fit's packing (utilisation) is the weakest of the
+	// bounded-CR trio because it keeps only one bin open.
+	if byName["NextFit"].Utilization.Mean >= byName["MoveToFront"].Utilization.Mean {
+		t.Errorf("NextFit utilisation %v should trail MoveToFront %v",
+			byName["NextFit"].Utilization.Mean, byName["MoveToFront"].Utilization.Mean)
+	}
+	tbl := QualityTable(rows).Render()
+	if !strings.Contains(tbl, "straggler") {
+		t.Error("table missing header")
+	}
+}

@@ -1,0 +1,216 @@
+// Package experiments defines the runnable experiments that regenerate the
+// paper's evaluation: Figure 4 (average-case study of Any Fit algorithms),
+// the Table 1 bound checks (adversarial lower bounds and upper-bound
+// validation), and this reproduction's own ablations (Best Fit load
+// measures, clairvoyant extensions, billing granularity).
+//
+// Every experiment is deterministic in its configuration and seed, and runs
+// trials in parallel with per-trial derived seeds (see internal/parallel).
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"dvbp/internal/core"
+	"dvbp/internal/lowerbound"
+	"dvbp/internal/parallel"
+	"dvbp/internal/report"
+	"dvbp/internal/stats"
+	"dvbp/internal/workload"
+)
+
+// Figure4Config parameterises the Section 7 experiment. The zero value is not
+// valid; use DefaultFigure4 for the paper's Table 2 grid.
+type Figure4Config struct {
+	// Ds are the dimension panels (paper: 1, 2, 5).
+	Ds []int
+	// Mus are the maximum-duration sweep values (paper: 1,2,5,10,100,200).
+	Mus []int
+	// Instances is the number of random instances per (d, μ) cell
+	// (paper: 1000).
+	Instances int
+	// N, T, B are the remaining Table 2 parameters (1000, 1000, 100).
+	N, T, B int
+	// Policies are the canonical policy names to evaluate (default: the
+	// seven from the paper).
+	Policies []string
+	// Seed derives all per-trial seeds.
+	Seed int64
+	// Workers bounds parallelism (<= 0: GOMAXPROCS).
+	Workers int
+}
+
+// DefaultFigure4 returns the paper's exact experimental grid.
+func DefaultFigure4() Figure4Config {
+	return Figure4Config{
+		Ds:        []int{1, 2, 5},
+		Mus:       []int{1, 2, 5, 10, 100, 200},
+		Instances: 1000,
+		N:         1000,
+		T:         1000,
+		B:         100,
+		Policies:  core.PolicyNames(),
+		Seed:      1,
+	}
+}
+
+// Validate checks the configuration.
+func (c Figure4Config) Validate() error {
+	if len(c.Ds) == 0 || len(c.Mus) == 0 || len(c.Policies) == 0 {
+		return fmt.Errorf("experiments: empty sweep in Figure4Config")
+	}
+	if c.Instances < 1 {
+		return fmt.Errorf("experiments: Instances = %d", c.Instances)
+	}
+	for _, d := range c.Ds {
+		for _, mu := range c.Mus {
+			if err := (workload.UniformConfig{D: d, N: c.N, Mu: mu, T: c.T, B: c.B}).Validate(); err != nil {
+				return err
+			}
+		}
+	}
+	for _, p := range c.Policies {
+		if _, err := core.NewPolicy(p, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Cell identifies one point of the Figure 4 grid.
+type Cell struct {
+	D      int
+	Mu     int
+	Policy string
+}
+
+// Figure4Result holds, per cell, the summary of cost/LB ratios across
+// instances (mean ± stddev, as plotted in the paper with error bars).
+type Figure4Result struct {
+	Config Figure4Config
+	Cells  map[Cell]stats.Summary
+}
+
+// RunFigure4 executes the experiment. For each (d, μ) it generates Instances
+// random instances; each instance is normalised by the Lemma 1(i) lower
+// bound and every policy's cost/LB ratio is folded into its cell summary.
+func RunFigure4(cfg Figure4Config) (*Figure4Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	res := &Figure4Result{Config: cfg, Cells: make(map[Cell]stats.Summary)}
+	for _, d := range cfg.Ds {
+		for _, mu := range cfg.Mus {
+			cellSummaries, err := runFigure4Cell(cfg, d, mu)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: d=%d mu=%d: %w", d, mu, err)
+			}
+			for p, s := range cellSummaries {
+				res.Cells[Cell{D: d, Mu: mu, Policy: p}] = s
+			}
+		}
+	}
+	return res, nil
+}
+
+// trialRatios holds one instance's cost/LB ratio per policy, in
+// cfg.Policies order.
+type trialRatios []float64
+
+func runFigure4Cell(cfg Figure4Config, d, mu int) (map[string]stats.Summary, error) {
+	wcfg := workload.UniformConfig{D: d, N: cfg.N, Mu: mu, T: cfg.T, B: cfg.B}
+	base := cfg.Seed ^ (int64(d) << 32) ^ (int64(mu) << 16)
+
+	trials, err := parallel.Map(cfg.Instances, func(i int) (trialRatios, error) {
+		seed := parallel.SeedFor(base, i)
+		l, err := workload.Uniform(wcfg, seed)
+		if err != nil {
+			return nil, err
+		}
+		lb := lowerbound.IntegralBound(l)
+		if lb <= 0 {
+			return nil, fmt.Errorf("non-positive lower bound")
+		}
+		out := make(trialRatios, len(cfg.Policies))
+		for pi, name := range cfg.Policies {
+			p, err := core.NewPolicy(name, seed)
+			if err != nil {
+				return nil, err
+			}
+			r, err := core.Simulate(l, p)
+			if err != nil {
+				return nil, err
+			}
+			out[pi] = r.Cost / lb
+		}
+		return out, nil
+	}, parallel.Options{Workers: cfg.Workers})
+	if err != nil {
+		return nil, err
+	}
+
+	accs := make([]stats.Accumulator, len(cfg.Policies))
+	for _, tr := range trials {
+		for pi, ratio := range tr {
+			accs[pi].Add(ratio)
+		}
+	}
+	out := make(map[string]stats.Summary, len(cfg.Policies))
+	for pi, name := range cfg.Policies {
+		out[name] = accs[pi].Summarize()
+	}
+	return out, nil
+}
+
+// Table renders the result for one dimension panel as a μ × policy grid of
+// "mean ± stddev" cells.
+func (r *Figure4Result) Table(d int) *report.Table {
+	t := &report.Table{
+		Title:   fmt.Sprintf("Figure 4 (d=%d): mean cost / Lemma-1(i) lower bound over %d instances", d, r.Config.Instances),
+		Headers: append([]string{"mu"}, r.Config.Policies...),
+	}
+	for _, mu := range r.Config.Mus {
+		row := []string{fmt.Sprintf("%d", mu)}
+		for _, p := range r.Config.Policies {
+			s := r.Cells[Cell{D: d, Mu: mu, Policy: p}]
+			row = append(row, fmt.Sprintf("%.4f ± %.4f", s.Mean, s.StdDev))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Chart renders the result for one dimension panel as an SVG line chart
+// (ratio vs μ, one series per policy, error bars = stddev) — the shape of
+// one Figure 4 panel.
+func (r *Figure4Result) Chart(d int) *report.Chart {
+	c := &report.Chart{
+		Title:  fmt.Sprintf("Average-case performance, d=%d", d),
+		XLabel: "mu (max item duration)",
+		YLabel: "cost / lower bound",
+		LogX:   true,
+	}
+	for _, p := range r.Config.Policies {
+		s := report.Series{Name: p}
+		for _, mu := range r.Config.Mus {
+			sum := r.Cells[Cell{D: d, Mu: mu, Policy: p}]
+			s.X = append(s.X, float64(mu))
+			s.Y = append(s.Y, sum.Mean)
+			s.YErr = append(s.YErr, sum.StdDev)
+		}
+		c.Series = append(c.Series, s)
+	}
+	return c
+}
+
+// Ranking returns the policies sorted by mean ratio (best first) for one
+// (d, μ) cell.
+func (r *Figure4Result) Ranking(d, mu int) []string {
+	ps := make([]string, len(r.Config.Policies))
+	copy(ps, r.Config.Policies)
+	sort.SliceStable(ps, func(i, j int) bool {
+		return r.Cells[Cell{D: d, Mu: mu, Policy: ps[i]}].Mean < r.Cells[Cell{D: d, Mu: mu, Policy: ps[j]}].Mean
+	})
+	return ps
+}

@@ -1,0 +1,114 @@
+package gantt
+
+import (
+	"strings"
+	"testing"
+
+	"dvbp/internal/adversary"
+	"dvbp/internal/analysis"
+	"dvbp/internal/core"
+	"dvbp/internal/item"
+	"dvbp/internal/vector"
+)
+
+func smallInstance() *item.List {
+	l := item.NewList(1)
+	l.Add(0, 5, vector.Of(0.6))
+	l.Add(1, 3, vector.Of(0.6))
+	l.Add(2, 6, vector.Of(0.3))
+	return l
+}
+
+func TestPackingRendersLanesAndItems(t *testing.T) {
+	l := smallInstance()
+	res, err := core.Simulate(l, core.NewFirstFit())
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg := Packing(l, res, Options{Title: "pack", ShowItemIDs: true})
+	if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(strings.TrimSpace(svg), "</svg>") {
+		t.Fatal("not an SVG document")
+	}
+	for _, want := range []string{"pack", "bin 0", "bin 1"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+	// One background rect per bin + one rect per item + canvas = 2 + 3 + 1.
+	if n := strings.Count(svg, "<rect"); n != 6 {
+		t.Errorf("%d rects, want 6", n)
+	}
+}
+
+func TestMTFFigure1ShowsLeadingIntervals(t *testing.T) {
+	l := smallInstance()
+	p := core.NewMoveToFront()
+	dec := analysis.NewMTFDecomposition(p)
+	res, err := core.Simulate(l, p, core.WithObserver(dec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg := MTFFigure1(l, res, dec, Options{Title: "fig1"})
+	if !strings.Contains(svg, "#ff725c") {
+		t.Error("no leading (red) segments rendered")
+	}
+	if !strings.Contains(svg, "#4269d0") {
+		t.Error("no usage (blue) lines rendered")
+	}
+	if !strings.Contains(svg, "leading intervals P") {
+		t.Error("missing legend")
+	}
+}
+
+func TestFFFigure2ShowsPQSplit(t *testing.T) {
+	l := item.NewList(1)
+	l.Add(0, 10, vector.Of(0.6))
+	l.Add(2, 12, vector.Of(0.6))
+	res, err := core.Simulate(l, core.NewFirstFit())
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg := FFFigure2(l, res, Options{Title: "fig2"})
+	// Bin 1 has both P and Q; bin 0 has only Q: 1 blue + 2 red lines plus axis decorations.
+	if strings.Count(svg, "#4269d0") != 1 {
+		t.Errorf("want exactly 1 P segment, svg:\n%s", svg)
+	}
+	if strings.Count(svg, "#ff725c") != 2 {
+		t.Errorf("want exactly 2 Q segments")
+	}
+}
+
+func TestLoadFigure3OnTheorem5(t *testing.T) {
+	in, err := adversary.Theorem5(2, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Simulate(in.List, core.NewFirstFit())
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg := LoadFigure3(in.List, res, nil, Options{Title: "fig3"})
+	if !strings.Contains(svg, "t = 0") {
+		t.Error("missing t=0 panel")
+	}
+	if strings.Count(svg, "<rect") < 4 {
+		t.Error("expected load bars")
+	}
+	// Explicit sample times work too.
+	svg2 := LoadFigure3(in.List, res, []float64{0.5, 1.5}, Options{})
+	if !strings.Contains(svg2, "t = 0.5") || !strings.Contains(svg2, "t = 1.5") {
+		t.Error("explicit sample times not rendered")
+	}
+}
+
+func TestEscape(t *testing.T) {
+	l := smallInstance()
+	res, err := core.Simulate(l, core.NewFirstFit())
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg := Packing(l, res, Options{Title: "a<b&c"})
+	if strings.Contains(svg, "a<b&c") {
+		t.Error("title not escaped")
+	}
+}

@@ -1,0 +1,262 @@
+// Package offline implements offline packing heuristics for MinUsageTime
+// DVBP. Exact OPT is NP-hard, so experiments bracket it:
+//
+//	lowerbound.Compute(l).Best()  ≤  OPT(l)  ≤  cost of any feasible packing,
+//
+// and this package supplies good feasible packings computed with full
+// knowledge of arrivals and departures. Together with the online costs this
+// lets EXPERIMENTS.md report how loose the Figure 4 normalisation can be.
+//
+// Heuristics:
+//
+//   - FirstFitDecreasing: items sorted by time–space utilisation
+//     ‖s(r)‖∞·ℓ(I(r)) descending, placed into the first temporally feasible
+//     bin (classical FFD adapted to interval loads).
+//   - DurationClasses: items bucketed by ⌈log₂(duration)⌉ and FFD-packed per
+//     class — the alignment idea behind clairvoyant algorithms: items that
+//     die together live together.
+//   - GreedyExtension: items in arrival order, each placed into the feasible
+//     bin whose usage-time extension is smallest (a clairvoyant greedy).
+package offline
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dvbp/internal/interval"
+	"dvbp/internal/item"
+	"dvbp/internal/vector"
+)
+
+// Packing is a feasible offline assignment of items to bins.
+type Packing struct {
+	// Algorithm names the heuristic that produced the packing.
+	Algorithm string
+	// Cost is the MinUsageTime objective: Σ_bins span(items in bin).
+	Cost float64
+	// Assignment maps item ID -> bin index.
+	Assignment map[int]int
+	// BinCount is the number of bins used.
+	BinCount int
+}
+
+// offBin is a bin under construction: the items assigned so far.
+type offBin struct {
+	items []item.Item
+	span  interval.Set
+}
+
+// canAdd reports whether adding it keeps the bin feasible at every instant of
+// its active interval. The load only changes at arrival/departure points of
+// items already in the bin, so checking at those points (plus a(it)) inside
+// I(it) suffices.
+func (b *offBin) canAdd(it item.Item, d int) bool {
+	pts := []float64{it.Arrival}
+	for _, o := range b.items {
+		if o.Arrival > it.Arrival && o.Arrival < it.Departure {
+			pts = append(pts, o.Arrival)
+		}
+	}
+	for _, t := range pts {
+		load := vector.New(d)
+		for _, o := range b.items {
+			if o.ActiveAt(t) {
+				load.AddInPlace(o.Size)
+			}
+		}
+		if !load.FitsWithin(it.Size) {
+			return false
+		}
+	}
+	return true
+}
+
+func (b *offBin) add(it item.Item) {
+	b.items = append(b.items, it)
+	b.span = append(b.span, it.Interval())
+}
+
+func (b *offBin) cost() float64 { return b.span.Span() }
+
+// extensionCost returns how much the bin's usage time grows if it is added.
+func (b *offBin) extensionCost(it item.Item) float64 {
+	before := b.span.Span()
+	after := append(append(interval.Set{}, b.span...), it.Interval()).Span()
+	return after - before
+}
+
+func finish(name string, bins []*offBin) *Packing {
+	p := &Packing{Algorithm: name, Assignment: make(map[int]int), BinCount: len(bins)}
+	for bi, b := range bins {
+		p.Cost += b.cost()
+		for _, it := range b.items {
+			p.Assignment[it.ID] = bi
+		}
+	}
+	return p
+}
+
+// FirstFitDecreasing packs items in order of decreasing time–space
+// utilisation into the first feasible bin.
+func FirstFitDecreasing(l *item.List) (*Packing, error) {
+	if err := l.Validate(); err != nil {
+		return nil, fmt.Errorf("offline: %w", err)
+	}
+	items := make([]item.Item, len(l.Items))
+	copy(items, l.Items)
+	sort.SliceStable(items, func(i, j int) bool {
+		ui := items[i].Size.MaxNorm() * items[i].Duration()
+		uj := items[j].Size.MaxNorm() * items[j].Duration()
+		if ui != uj {
+			return ui > uj
+		}
+		return items[i].ID < items[j].ID
+	})
+	bins := packFirstFeasible(items, l.Dim, nil)
+	return finish("FirstFitDecreasing", bins), nil
+}
+
+// DurationClasses packs each ⌈log₂(duration)⌉ class separately with FFD.
+// Class-local packing aligns departures, the mechanism behind clairvoyant
+// O(√log μ) algorithms (Azar–Vainstein), at the price of never mixing
+// classes.
+func DurationClasses(l *item.List) (*Packing, error) {
+	if err := l.Validate(); err != nil {
+		return nil, fmt.Errorf("offline: %w", err)
+	}
+	minD := l.MinDuration()
+	classOf := func(it item.Item) int {
+		return int(math.Ceil(math.Log2(it.Duration() / minD)))
+	}
+	classes := make(map[int][]item.Item)
+	var keys []int
+	for _, it := range l.Items {
+		c := classOf(it)
+		if _, ok := classes[c]; !ok {
+			keys = append(keys, c)
+		}
+		classes[c] = append(classes[c], it)
+	}
+	sort.Ints(keys)
+	var all []*offBin
+	for _, c := range keys {
+		items := classes[c]
+		sort.SliceStable(items, func(i, j int) bool {
+			ui := items[i].Size.MaxNorm() * items[i].Duration()
+			uj := items[j].Size.MaxNorm() * items[j].Duration()
+			if ui != uj {
+				return ui > uj
+			}
+			return items[i].ID < items[j].ID
+		})
+		all = append(all, packFirstFeasible(items, l.Dim, nil)...)
+	}
+	return finish("DurationClasses", all), nil
+}
+
+// GreedyExtension packs items in arrival order into the feasible bin with the
+// smallest usage-time extension (ties: earliest bin), opening a new bin when
+// the extension of every feasible bin exceeds the item's duration.
+func GreedyExtension(l *item.List) (*Packing, error) {
+	if err := l.Validate(); err != nil {
+		return nil, fmt.Errorf("offline: %w", err)
+	}
+	items := l.SortedByArrival()
+	var bins []*offBin
+	for _, it := range items {
+		bestIdx := -1
+		bestExt := it.Duration() // opening a new bin costs exactly this
+		for bi, b := range bins {
+			if !b.canAdd(it, l.Dim) {
+				continue
+			}
+			if ext := b.extensionCost(it); ext < bestExt-1e-12 {
+				bestIdx, bestExt = bi, ext
+			}
+		}
+		if bestIdx < 0 {
+			nb := &offBin{}
+			nb.add(it)
+			bins = append(bins, nb)
+		} else {
+			bins[bestIdx].add(it)
+		}
+	}
+	return finish("GreedyExtension", bins), nil
+}
+
+// packFirstFeasible is the shared first-feasible insertion loop. seed allows
+// chaining (nil starts fresh).
+func packFirstFeasible(items []item.Item, d int, seed []*offBin) []*offBin {
+	bins := seed
+	for _, it := range items {
+		placed := false
+		for _, b := range bins {
+			if b.canAdd(it, d) {
+				b.add(it)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			nb := &offBin{}
+			nb.add(it)
+			bins = append(bins, nb)
+		}
+	}
+	return bins
+}
+
+// Verify checks that a packing is feasible for the instance: every item
+// assigned exactly once and no bin overloaded at any event point. It returns
+// the recomputed cost.
+func Verify(l *item.List, p *Packing) (float64, error) {
+	if len(p.Assignment) != l.Len() {
+		return 0, fmt.Errorf("offline: %d assignments for %d items", len(p.Assignment), l.Len())
+	}
+	binItems := make(map[int][]item.Item)
+	for _, it := range l.Items {
+		bi, ok := p.Assignment[it.ID]
+		if !ok {
+			return 0, fmt.Errorf("offline: item %d unassigned", it.ID)
+		}
+		binItems[bi] = append(binItems[bi], it)
+	}
+	cost := 0.0
+	for bi, its := range binItems {
+		var spans interval.Set
+		for _, it := range its {
+			spans = append(spans, it.Interval())
+			// Check feasibility at the arrival of each item in the bin.
+			load := vector.New(l.Dim)
+			for _, o := range its {
+				if o.ID != it.ID && o.ActiveAt(it.Arrival) {
+					load.AddInPlace(o.Size)
+				}
+			}
+			if !load.FitsWithin(it.Size) {
+				return 0, fmt.Errorf("offline: bin %d overloaded at t=%g by item %d", bi, it.Arrival, it.ID)
+			}
+		}
+		cost += spans.Span()
+	}
+	return cost, nil
+}
+
+// BestUpperEstimate runs all heuristics and returns the cheapest feasible
+// packing.
+func BestUpperEstimate(l *item.List) (*Packing, error) {
+	packers := []func(*item.List) (*Packing, error){FirstFitDecreasing, DurationClasses, GreedyExtension}
+	var best *Packing
+	for _, f := range packers {
+		p, err := f(l)
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || p.Cost < best.Cost {
+			best = p
+		}
+	}
+	return best, nil
+}

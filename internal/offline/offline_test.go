@@ -1,0 +1,237 @@
+package offline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dvbp/internal/core"
+	"dvbp/internal/item"
+	"dvbp/internal/lowerbound"
+	"dvbp/internal/vector"
+)
+
+func v(xs ...float64) vector.Vector { return vector.Of(xs...) }
+
+func randomList(seed int64, n, d int, maxDur float64) *item.List {
+	r := rand.New(rand.NewSource(seed))
+	l := item.NewList(d)
+	for i := 0; i < n; i++ {
+		a := math.Floor(r.Float64() * 60)
+		dur := 1 + math.Floor(r.Float64()*maxDur)
+		size := vector.New(d)
+		for j := range size {
+			size[j] = (1 + math.Floor(r.Float64()*100)) / 100
+		}
+		l.Add(a, a+dur, size)
+	}
+	return l
+}
+
+func TestFFDTrivialConsolidation(t *testing.T) {
+	l := item.NewList(1)
+	for i := 0; i < 5; i++ {
+		l.Add(0, 10, v(0.2))
+	}
+	p, err := FirstFitDecreasing(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.BinCount != 1 {
+		t.Errorf("BinCount = %d, want 1", p.BinCount)
+	}
+	if math.Abs(p.Cost-10) > 1e-9 {
+		t.Errorf("Cost = %v, want 10", p.Cost)
+	}
+}
+
+func TestFFDRespectsTemporalConflicts(t *testing.T) {
+	l := item.NewList(1)
+	l.Add(0, 10, v(0.6))
+	l.Add(5, 15, v(0.6)) // overlaps on [5,10): cannot share
+	p, err := FirstFitDecreasing(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.BinCount != 2 {
+		t.Errorf("BinCount = %d, want 2", p.BinCount)
+	}
+	l2 := item.NewList(1)
+	l2.Add(0, 5, v(0.6))
+	l2.Add(5, 10, v(0.6)) // disjoint: can share one bin
+	p2, err := FirstFitDecreasing(l2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.BinCount != 1 {
+		t.Errorf("disjoint items: BinCount = %d, want 1", p2.BinCount)
+	}
+}
+
+func TestDurationClassesSeparatesClasses(t *testing.T) {
+	l := item.NewList(1)
+	l.Add(0, 1, v(0.3))   // duration 1 -> class 0
+	l.Add(0, 100, v(0.3)) // duration 100 -> higher class
+	p, err := DurationClasses(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Assignment[0] == p.Assignment[1] {
+		t.Error("different duration classes must not share bins")
+	}
+}
+
+func TestDurationClassesAlignmentWins(t *testing.T) {
+	// Mixed instance where class separation helps: pairs of (short, long)
+	// arrive together; FFD by utilisation packs long+short together, holding
+	// bins open; class packing puts longs with longs.
+	l := item.NewList(1)
+	for i := 0; i < 8; i++ {
+		a := float64(i)
+		l.Add(a, a+1, v(0.5))   // short
+		l.Add(a, a+100, v(0.5)) // long
+	}
+	dc, err := DurationClasses(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyCost, err := Verify(l, dc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(verifyCost-dc.Cost) > 1e-9 {
+		t.Errorf("Verify cost %v != packing cost %v", verifyCost, dc.Cost)
+	}
+}
+
+func TestGreedyExtensionPrefersCheapExtension(t *testing.T) {
+	l := item.NewList(1)
+	l.Add(0, 10, v(0.5)) // bin A, span [0,10)
+	l.Add(0, 2, v(0.5))  // fits bin A with zero extension
+	p, err := GreedyExtension(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.BinCount != 1 {
+		t.Errorf("BinCount = %d, want 1", p.BinCount)
+	}
+	if math.Abs(p.Cost-10) > 1e-9 {
+		t.Errorf("Cost = %v, want 10", p.Cost)
+	}
+}
+
+func TestGreedyExtensionOpensWhenCheaper(t *testing.T) {
+	// Item [20,21) would extend bin A ([0,10)) by 11; a new bin costs 1.
+	l := item.NewList(1)
+	l.Add(0, 10, v(0.5))
+	l.Add(20, 21, v(0.5))
+	p, err := GreedyExtension(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.BinCount != 2 {
+		t.Errorf("BinCount = %d, want 2", p.BinCount)
+	}
+	if math.Abs(p.Cost-11) > 1e-9 {
+		t.Errorf("Cost = %v, want 11", p.Cost)
+	}
+}
+
+func TestVerifyCatchesBadPacking(t *testing.T) {
+	l := item.NewList(1)
+	l.Add(0, 10, v(0.6))
+	l.Add(0, 10, v(0.6))
+	bad := &Packing{Algorithm: "bad", Assignment: map[int]int{0: 0, 1: 0}, BinCount: 1}
+	if _, err := Verify(l, bad); err == nil {
+		t.Error("overloaded packing accepted")
+	}
+	missing := &Packing{Algorithm: "bad", Assignment: map[int]int{0: 0}, BinCount: 1}
+	if _, err := Verify(l, missing); err == nil {
+		t.Error("incomplete packing accepted")
+	}
+}
+
+func TestInvalidInputs(t *testing.T) {
+	empty := item.NewList(1)
+	if _, err := FirstFitDecreasing(empty); err == nil {
+		t.Error("FFD accepted empty list")
+	}
+	if _, err := DurationClasses(empty); err == nil {
+		t.Error("DurationClasses accepted empty list")
+	}
+	if _, err := GreedyExtension(empty); err == nil {
+		t.Error("GreedyExtension accepted empty list")
+	}
+}
+
+// Property: every heuristic yields a feasible packing whose cost lies in
+// [LB, online-FirstFit-cost·(something)] — specifically cost ≥ LB and Verify
+// agrees with the claimed cost.
+func TestHeuristicsFeasibleAndBracketOPT(t *testing.T) {
+	packers := []func(*item.List) (*Packing, error){FirstFitDecreasing, DurationClasses, GreedyExtension}
+	f := func(seedRaw uint16, dRaw uint8) bool {
+		d := int(dRaw%3) + 1
+		l := randomList(int64(seedRaw), 60, d, 12)
+		lb := lowerbound.Compute(l).Best()
+		for _, pk := range packers {
+			p, err := pk(l)
+			if err != nil {
+				return false
+			}
+			got, err := Verify(l, p)
+			if err != nil {
+				t.Logf("%s infeasible: %v", p.Algorithm, err)
+				return false
+			}
+			if math.Abs(got-p.Cost) > 1e-6 {
+				t.Logf("%s: Verify %v != Cost %v", p.Algorithm, got, p.Cost)
+				return false
+			}
+			if p.Cost < lb-1e-6 {
+				t.Logf("%s: cost %v below LB %v", p.Algorithm, p.Cost, lb)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the best offline estimate is never worse than online First Fit
+// by more than a small factor — and OPT bracket is consistent:
+// LB <= BestUpperEstimate <= FirstFit cost is NOT guaranteed in general, but
+// the bracket LB <= min(offline, online) always holds; check both orderings.
+func TestBestUpperEstimate(t *testing.T) {
+	l := randomList(3, 120, 2, 10)
+	best, err := BestUpperEstimate(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb := lowerbound.Compute(l).Best()
+	if best.Cost < lb-1e-6 {
+		t.Errorf("best estimate %v below LB %v", best.Cost, lb)
+	}
+	res, err := core.Simulate(l, core.NewFirstFit())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The offline estimate should usually beat the online cost; it must never
+	// be dramatically worse than FF (sanity threshold 1.5x).
+	if best.Cost > 1.5*res.Cost {
+		t.Errorf("offline best %v far worse than online FF %v", best.Cost, res.Cost)
+	}
+}
+
+func BenchmarkFirstFitDecreasing(b *testing.B) {
+	l := randomList(1, 500, 2, 20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FirstFitDecreasing(l); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

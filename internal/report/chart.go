@@ -1,0 +1,186 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one line on a Chart: points (X[i], Y[i]) with optional symmetric
+// error bars YErr[i] (nil for none).
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+	YErr []float64
+}
+
+// Chart is a line chart with optional log-scaled x axis (the paper's Figure 4
+// sweeps μ over {1,2,5,10,100,200}, best viewed in log-x).
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	LogX   bool
+	// Width and Height are the SVG canvas size; zero means 720x480.
+	Width, Height int
+}
+
+// palette holds distinguishable stroke colours for up to ten series.
+var palette = []string{
+	"#4269d0", "#efb118", "#ff725c", "#6cc5b0", "#3ca951",
+	"#ff8ab7", "#a463f2", "#97bbf5", "#9c6b4e", "#9498a0",
+}
+
+// SVG renders the chart as a standalone SVG document.
+func (c *Chart) SVG() string {
+	w, h := c.Width, c.Height
+	if w <= 0 {
+		w = 720
+	}
+	if h <= 0 {
+		h = 480
+	}
+	const (
+		padL = 64.0
+		padR = 150.0
+		padT = 40.0
+		padB = 48.0
+	)
+	plotW := float64(w) - padL - padR
+	plotH := float64(h) - padT - padB
+
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		for i := range s.X {
+			x := c.tx(s.X[i])
+			if x < xmin {
+				xmin = x
+			}
+			if x > xmax {
+				xmax = x
+			}
+			lo, hi := s.Y[i], s.Y[i]
+			if s.YErr != nil {
+				lo -= s.YErr[i]
+				hi += s.YErr[i]
+			}
+			if lo < ymin {
+				ymin = lo
+			}
+			if hi > ymax {
+				ymax = hi
+			}
+		}
+	}
+	if math.IsInf(xmin, 1) { // no data
+		xmin, xmax, ymin, ymax = 0, 1, 0, 1
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	// A little y headroom.
+	yr := ymax - ymin
+	ymin -= 0.05 * yr
+	ymax += 0.05 * yr
+
+	px := func(x float64) float64 { return padL + (c.tx(x)-xmin)/(xmax-xmin)*plotW }
+	py := func(y float64) float64 { return padT + (ymax-y)/(ymax-ymin)*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="12">`+"\n", w, h)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", w, h)
+	if c.Title != "" {
+		fmt.Fprintf(&b, `<text x="%g" y="24" font-size="16" font-weight="bold">%s</text>`+"\n", padL, esc(c.Title))
+	}
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n", padL, padT, padL, padT+plotH)
+	fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n", padL, padT+plotH, padL+plotW, padT+plotH)
+	// Y ticks (5).
+	for i := 0; i <= 5; i++ {
+		y := ymin + float64(i)/5*(ymax-ymin)
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#ddd"/>`+"\n", padL, py(y), padL+plotW, py(y))
+		fmt.Fprintf(&b, `<text x="%g" y="%g" text-anchor="end">%.3g</text>`+"\n", padL-6, py(y)+4, y)
+	}
+	// X ticks from union of series X values (dedup).
+	ticks := c.xTicks()
+	for _, x := range ticks {
+		fmt.Fprintf(&b, `<text x="%g" y="%g" text-anchor="middle">%g</text>`+"\n", px(x), padT+plotH+16, x)
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n", px(x), padT+plotH, px(x), padT+plotH+4)
+	}
+	if c.XLabel != "" {
+		fmt.Fprintf(&b, `<text x="%g" y="%g" text-anchor="middle">%s</text>`+"\n", padL+plotW/2, float64(h)-8, esc(c.XLabel))
+	}
+	if c.YLabel != "" {
+		fmt.Fprintf(&b, `<text x="16" y="%g" text-anchor="middle" transform="rotate(-90 16 %g)">%s</text>`+"\n",
+			padT+plotH/2, padT+plotH/2, esc(c.YLabel))
+	}
+
+	for si, s := range c.Series {
+		col := palette[si%len(palette)]
+		// Error bars first (under the line).
+		if s.YErr != nil {
+			for i := range s.X {
+				x := px(s.X[i])
+				fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="%s" stroke-opacity="0.5"/>`+"\n",
+					x, py(s.Y[i]-s.YErr[i]), x, py(s.Y[i]+s.YErr[i]), col)
+			}
+		}
+		var pts []string
+		for i := range s.X {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(s.X[i]), py(s.Y[i])))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`+"\n", strings.Join(pts, " "), col)
+		for i := range s.X {
+			fmt.Fprintf(&b, `<circle cx="%g" cy="%g" r="3" fill="%s"/>`+"\n", px(s.X[i]), py(s.Y[i]), col)
+		}
+		// Legend.
+		ly := padT + float64(si)*18
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="%s" stroke-width="2"/>`+"\n",
+			padL+plotW+10, ly, padL+plotW+34, ly, col)
+		fmt.Fprintf(&b, `<text x="%g" y="%g">%s</text>`+"\n", padL+plotW+40, ly+4, esc(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// tx applies the x-axis transform.
+func (c *Chart) tx(x float64) float64 {
+	if c.LogX {
+		if x <= 0 {
+			return 0
+		}
+		return math.Log10(x)
+	}
+	return x
+}
+
+// xTicks returns the sorted deduplicated union of series x values.
+func (c *Chart) xTicks() []float64 {
+	seen := map[float64]bool{}
+	var out []float64
+	for _, s := range c.Series {
+		for _, x := range s.X {
+			if !seen[x] {
+				seen[x] = true
+				out = append(out, x)
+			}
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1] > out[j]; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}
+
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}

@@ -1,0 +1,104 @@
+// Package report renders experiment results as aligned ASCII tables, CSV
+// files and standalone SVG line charts — the machinery cmd/dvbpbench uses to
+// regenerate the paper's tables and figures.
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a titled grid of string cells.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row. Rows shorter than Headers are padded with "".
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Headers))
+	copy(row, cells)
+	t.Rows = append(t.Rows, row)
+}
+
+// Render returns the table as aligned, boxed ASCII.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	line := func() {
+		for _, w := range widths {
+			b.WriteByte('+')
+			b.WriteString(strings.Repeat("-", w+2))
+		}
+		b.WriteString("+\n")
+	}
+	writeRow := func(cells []string) {
+		for i, w := range widths {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			fmt.Fprintf(&b, "| %-*s ", w, c)
+		}
+		b.WriteString("|\n")
+	}
+	line()
+	writeRow(t.Headers)
+	line()
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	line()
+	return b.String()
+}
+
+// Markdown returns the table as GitHub-flavoured markdown (used to paste
+// results into EXPERIMENTS.md).
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "**%s**\n\n", t.Title)
+	}
+	b.WriteString("| " + strings.Join(t.Headers, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat("---|", len(t.Headers)) + "\n")
+	for _, row := range t.Rows {
+		cells := make([]string, len(t.Headers))
+		copy(cells, row)
+		b.WriteString("| " + strings.Join(cells, " | ") + " |\n")
+	}
+	return b.String()
+}
+
+// WriteCSV writes headers and rows as CSV.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Headers); err != nil {
+		return fmt.Errorf("report: %w", err)
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("report: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// F formats a float compactly for table cells.
+func F(x float64) string { return fmt.Sprintf("%.4g", x) }

@@ -1,0 +1,163 @@
+package report
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+)
+
+func sampleTable() *Table {
+	t := &Table{
+		Title:   "Example",
+		Headers: []string{"alg", "ratio", "stddev"},
+	}
+	t.AddRow("MoveToFront", "1.05", "0.01")
+	t.AddRow("FirstFit", "1.10", "0.02")
+	return t
+}
+
+func TestTableRender(t *testing.T) {
+	out := sampleTable().Render()
+	for _, want := range []string{"Example", "alg", "MoveToFront", "1.10", "+--"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Title + border + header + border + 2 rows + border = 7 lines.
+	if len(lines) != 7 {
+		t.Errorf("Render produced %d lines, want 7:\n%s", len(lines), out)
+	}
+	// All border lines must have equal width.
+	var borders []string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "+") {
+			borders = append(borders, l)
+		}
+	}
+	for _, b := range borders[1:] {
+		if len(b) != len(borders[0]) {
+			t.Error("border widths differ")
+		}
+	}
+}
+
+func TestTableAddRowPads(t *testing.T) {
+	tbl := &Table{Headers: []string{"a", "b", "c"}}
+	tbl.AddRow("only")
+	if len(tbl.Rows[0]) != 3 {
+		t.Errorf("row not padded: %v", tbl.Rows[0])
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleTable().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	want := "alg,ratio,stddev\nMoveToFront,1.05,0.01\nFirstFit,1.10,0.02\n"
+	if got != want {
+		t.Errorf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	md := sampleTable().Markdown()
+	for _, want := range []string{"**Example**", "| alg | ratio | stddev |", "|---|---|---|", "| MoveToFront | 1.05 | 0.01 |"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("Markdown missing %q:\n%s", want, md)
+		}
+	}
+	// Short rows are padded to header width.
+	tbl := &Table{Headers: []string{"a", "b"}}
+	tbl.AddRow("x")
+	if !strings.Contains(tbl.Markdown(), "| x |  |") {
+		t.Errorf("Markdown padding wrong:\n%s", tbl.Markdown())
+	}
+}
+
+func TestF(t *testing.T) {
+	if F(1.23456) != "1.235" {
+		t.Errorf("F = %q", F(1.23456))
+	}
+	if F(100000) != "1e+05" {
+		t.Errorf("F = %q", F(100000.0))
+	}
+}
+
+func sampleChart() *Chart {
+	return &Chart{
+		Title:  "ratios",
+		XLabel: "mu",
+		YLabel: "cost/LB",
+		LogX:   true,
+		Series: []Series{
+			{Name: "MTF", X: []float64{1, 10, 100}, Y: []float64{1.0, 1.1, 1.2}, YErr: []float64{0.01, 0.02, 0.03}},
+			{Name: "FF", X: []float64{1, 10, 100}, Y: []float64{1.1, 1.2, 1.3}},
+		},
+	}
+}
+
+func TestChartSVG(t *testing.T) {
+	svg := sampleChart().SVG()
+	for _, want := range []string{"<svg", "</svg>", "polyline", "ratios", "MTF", "FF", "circle", "cost/LB"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// Two polylines (one per series).
+	if n := strings.Count(svg, "<polyline"); n != 2 {
+		t.Errorf("%d polylines, want 2", n)
+	}
+	// Error bars only for the first series: 3 semi-transparent lines.
+	if n := strings.Count(svg, `stroke-opacity="0.5"`); n != 3 {
+		t.Errorf("%d error bars, want 3", n)
+	}
+}
+
+func TestChartEmptyAndDegenerate(t *testing.T) {
+	empty := &Chart{Title: "none"}
+	if !strings.Contains(empty.SVG(), "</svg>") {
+		t.Error("empty chart should still render")
+	}
+	flat := &Chart{Series: []Series{{Name: "s", X: []float64{1, 1}, Y: []float64{2, 2}}}}
+	if !strings.Contains(flat.SVG(), "polyline") {
+		t.Error("degenerate chart should render a line")
+	}
+}
+
+func TestChartEscapesMarkup(t *testing.T) {
+	c := &Chart{Title: "a<b&c", Series: []Series{{Name: "x>y", X: []float64{0}, Y: []float64{0}}}}
+	svg := c.SVG()
+	if strings.Contains(svg, "a<b&c") || strings.Contains(svg, "x>y") {
+		t.Error("unescaped markup in SVG")
+	}
+	if !strings.Contains(svg, "a&lt;b&amp;c") {
+		t.Error("expected escaped title")
+	}
+}
+
+func TestChartLogXMonotone(t *testing.T) {
+	// In log-x, spacing between 1,10,100 must be equal. Extract circle cx
+	// positions of the first series.
+	svg := sampleChart().SVG()
+	var xs []float64
+	for _, line := range strings.Split(svg, "\n") {
+		if strings.HasPrefix(line, "<circle") {
+			var cx, cy, r float64
+			if _, err := fmt.Sscanf(line, `<circle cx="%g" cy="%g" r="%g"`, &cx, &cy, &r); err == nil {
+				xs = append(xs, cx)
+			}
+		}
+	}
+	if len(xs) < 3 {
+		t.Fatalf("found %d circles", len(xs))
+	}
+	d1, d2 := xs[1]-xs[0], xs[2]-xs[1]
+	if d1 <= 0 || d2 <= 0 || math.Abs(d1-d2) > 1.5 {
+		t.Errorf("log spacing not uniform: %v vs %v", d1, d2)
+	}
+}

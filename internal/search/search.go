@@ -1,0 +1,225 @@
+// Package search looks for empirically bad instances: a randomised
+// hill-climber over small DVBP instances that maximises a policy's
+// cost / exact-OPT ratio.
+//
+// The Section 6 constructions prove lower bounds analytically; this package
+// complements them by *searching* the instance space, which (a) provides
+// machine-found witnesses whose certified ratios can be compared with the
+// hand-crafted ones, and (b) probes the gap between the lower and upper
+// bounds that the paper's Section 8 leaves open. Ratios are exact: instances
+// are kept small enough for internal/exactopt.
+//
+// The search is deterministic in its configuration and seed.
+package search
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dvbp/internal/core"
+	"dvbp/internal/exactopt"
+	"dvbp/internal/item"
+	"dvbp/internal/vector"
+)
+
+// Config parameterises a search run.
+type Config struct {
+	// Policy is the canonical policy name to attack.
+	Policy string
+	// D is the instance dimension.
+	D int
+	// Items is the (fixed) number of items per candidate instance.
+	Items int
+	// MaxMu bounds durations to [1, MaxMu].
+	MaxMu float64
+	// TimeRange bounds arrivals to [0, TimeRange).
+	TimeRange float64
+	// Restarts and Steps control the hill-climbing budget.
+	Restarts, Steps int
+	// Seed drives everything.
+	Seed int64
+	// MaxActive guards the exact-OPT DP (0 -> exactopt.DefaultMaxActive).
+	MaxActive int
+	// SizeGrid quantises sizes to multiples of 1/SizeGrid (0 -> 20). A
+	// coarse grid keeps mutations meaningful.
+	SizeGrid int
+}
+
+func (c Config) maxActive() int {
+	if c.MaxActive > 0 {
+		return c.MaxActive
+	}
+	return exactopt.DefaultMaxActive
+}
+
+func (c Config) sizeGrid() int {
+	if c.SizeGrid > 0 {
+		return c.SizeGrid
+	}
+	return 20
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.D < 1:
+		return fmt.Errorf("search: D = %d", c.D)
+	case c.Items < 2:
+		return fmt.Errorf("search: Items = %d, want >= 2", c.Items)
+	case c.MaxMu < 1:
+		return fmt.Errorf("search: MaxMu = %g", c.MaxMu)
+	case c.TimeRange <= 0:
+		return fmt.Errorf("search: TimeRange = %g", c.TimeRange)
+	case c.Restarts < 1 || c.Steps < 1:
+		return fmt.Errorf("search: Restarts/Steps = %d/%d", c.Restarts, c.Steps)
+	}
+	if _, err := core.NewPolicy(c.Policy, 0); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Witness is the best instance a search found.
+type Witness struct {
+	List  *item.List
+	Cost  float64
+	Opt   float64
+	Ratio float64
+	// Evaluations counts candidate instances scored.
+	Evaluations int
+}
+
+// Run executes the search and returns the best witness.
+func Run(cfg Config) (*Witness, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+
+	best := &Witness{Ratio: 0}
+	for restart := 0; restart < cfg.Restarts; restart++ {
+		cur := randomInstance(cfg, r)
+		curRatio, ok := evaluate(cfg, cur, best)
+		if !ok {
+			continue
+		}
+		for step := 0; step < cfg.Steps; step++ {
+			cand := mutate(cfg, cur, r)
+			candRatio, ok := evaluate(cfg, cand, best)
+			if !ok {
+				continue
+			}
+			if candRatio >= curRatio { // plateau moves allowed
+				cur, curRatio = cand, candRatio
+			}
+		}
+	}
+	if best.List == nil {
+		return nil, errors.New("search: no evaluable instance found (MaxActive too low?)")
+	}
+	return best, nil
+}
+
+// evaluate scores a candidate and updates best in place. ok is false when the
+// instance cannot be scored (exact OPT infeasible).
+func evaluate(cfg Config, l *item.List, best *Witness) (float64, bool) {
+	if exactopt.PeakActive(l) > cfg.maxActive() {
+		return 0, false
+	}
+	opt, err := exactopt.Opt(l, exactopt.Options{MaxActive: cfg.maxActive()})
+	if err != nil || opt <= 0 {
+		return 0, false
+	}
+	p, err := core.NewPolicy(cfg.Policy, cfg.Seed)
+	if err != nil {
+		return 0, false
+	}
+	res, err := core.Simulate(l, p)
+	if err != nil {
+		return 0, false
+	}
+	ratio := res.Cost / opt
+	best.Evaluations++
+	if ratio > best.Ratio {
+		best.Ratio = ratio
+		best.List = l.Clone()
+		best.Cost = res.Cost
+		best.Opt = opt
+	}
+	return ratio, true
+}
+
+// randomInstance draws a fresh candidate.
+func randomInstance(cfg Config, r *rand.Rand) *item.List {
+	l := item.NewList(cfg.D)
+	for i := 0; i < cfg.Items; i++ {
+		l.Add(randArrival(cfg, r), 0, randSize(cfg, r))
+		it := &l.Items[i]
+		it.Departure = it.Arrival + randDuration(cfg, r)
+	}
+	return l
+}
+
+// mutate returns a modified copy with one of several local moves applied.
+func mutate(cfg Config, l *item.List, r *rand.Rand) *item.List {
+	m := l.Clone()
+	it := &m.Items[r.Intn(len(m.Items))]
+	switch r.Intn(4) {
+	case 0: // move arrival, keep duration
+		dur := it.Duration()
+		it.Arrival = randArrival(cfg, r)
+		it.Departure = it.Arrival + dur
+	case 1: // new duration
+		it.Departure = it.Arrival + randDuration(cfg, r)
+	case 2: // resize one dimension
+		j := r.Intn(cfg.D)
+		it.Size = it.Size.Clone()
+		it.Size[j] = randComponent(cfg, r)
+	case 3: // swap the order of two items (matters for simultaneous arrivals)
+		a, b := r.Intn(len(m.Items)), r.Intn(len(m.Items))
+		m.Items[a], m.Items[b] = m.Items[b], m.Items[a]
+		_ = m.Normalize()
+	}
+	return m
+}
+
+func randArrival(cfg Config, r *rand.Rand) float64 {
+	// Arrivals on a half-unit grid encourage exact-overlap structure, which
+	// the analytic constructions show is where bad instances live.
+	steps := int(cfg.TimeRange * 2)
+	if steps < 1 {
+		steps = 1
+	}
+	return float64(r.Intn(steps)) / 2
+}
+
+func randDuration(cfg Config, r *rand.Rand) float64 {
+	if cfg.MaxMu <= 1 {
+		return 1
+	}
+	// Half of the time pick an extreme (1 or MaxMu) — the bounds are driven
+	// by duration contrast — otherwise uniform.
+	switch r.Intn(4) {
+	case 0:
+		return 1
+	case 1:
+		return cfg.MaxMu
+	default:
+		return 1 + math.Floor(r.Float64()*(cfg.MaxMu-1)*2)/2
+	}
+}
+
+func randSize(cfg Config, r *rand.Rand) vector.Vector {
+	v := vector.New(cfg.D)
+	for j := range v {
+		v[j] = randComponent(cfg, r)
+	}
+	return v
+}
+
+func randComponent(cfg Config, r *rand.Rand) float64 {
+	g := cfg.sizeGrid()
+	return float64(1+r.Intn(g)) / float64(g)
+}

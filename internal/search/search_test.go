@@ -1,0 +1,163 @@
+package search
+
+import (
+	"testing"
+
+	"dvbp/internal/core"
+	"dvbp/internal/exactopt"
+	"dvbp/internal/experiments"
+)
+
+func smallCfg(policy string) Config {
+	return Config{
+		Policy: policy, D: 1, Items: 8,
+		MaxMu: 6, TimeRange: 8,
+		Restarts: 3, Steps: 60, Seed: 1,
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := smallCfg("FirstFit").Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []Config{
+		{Policy: "FirstFit", D: 0, Items: 4, MaxMu: 2, TimeRange: 4, Restarts: 1, Steps: 1},
+		{Policy: "FirstFit", D: 1, Items: 1, MaxMu: 2, TimeRange: 4, Restarts: 1, Steps: 1},
+		{Policy: "FirstFit", D: 1, Items: 4, MaxMu: 0.5, TimeRange: 4, Restarts: 1, Steps: 1},
+		{Policy: "FirstFit", D: 1, Items: 4, MaxMu: 2, TimeRange: 0, Restarts: 1, Steps: 1},
+		{Policy: "FirstFit", D: 1, Items: 4, MaxMu: 2, TimeRange: 4, Restarts: 0, Steps: 1},
+		{Policy: "Nope", D: 1, Items: 4, MaxMu: 2, TimeRange: 4, Restarts: 1, Steps: 1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestSearchFindsNontrivialWitness(t *testing.T) {
+	w, err := Run(smallCfg("NextFit"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Ratio <= 1.05 {
+		t.Errorf("search found only ratio %v; expected a nontrivial Next Fit witness", w.Ratio)
+	}
+	if w.Evaluations < 10 {
+		t.Errorf("suspiciously few evaluations: %d", w.Evaluations)
+	}
+	if err := w.List.Validate(); err != nil {
+		t.Fatalf("witness invalid: %v", err)
+	}
+}
+
+// TestWitnessIsReproducible: replaying the witness gives exactly the reported
+// cost, OPT and ratio.
+func TestWitnessIsReproducible(t *testing.T) {
+	cfg := smallCfg("FirstFit")
+	w, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.NewPolicy(cfg.Policy, cfg.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Simulate(w.List, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost != w.Cost {
+		t.Errorf("replayed cost %v != reported %v", res.Cost, w.Cost)
+	}
+	opt, err := exactopt.Opt(w.List, exactopt.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt != w.Opt {
+		t.Errorf("replayed OPT %v != reported %v", opt, w.Opt)
+	}
+}
+
+func TestSearchDeterminism(t *testing.T) {
+	a, err := Run(smallCfg("MoveToFront"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(smallCfg("MoveToFront"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Ratio != b.Ratio || a.Cost != b.Cost || a.Opt != b.Opt {
+		t.Errorf("same seed, different witnesses: %v vs %v", a.Ratio, b.Ratio)
+	}
+}
+
+// TestSearchRespectsUpperBounds: no machine-found witness may exceed the
+// Table 1 upper bound of its policy — a strong end-to-end consistency check
+// between the search, the exact OPT and the theory.
+func TestSearchRespectsUpperBounds(t *testing.T) {
+	for _, policy := range []string{"MoveToFront", "FirstFit", "NextFit"} {
+		cfg := smallCfg(policy)
+		w, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mu := w.List.Mu()
+		bound := experiments.Table1UpperBound(policy, mu, cfg.D)
+		if w.Ratio > bound+1e-9 {
+			t.Errorf("%s: witness ratio %v exceeds Table 1 bound %v (mu=%v) — bug or disproof!",
+				policy, w.Ratio, bound, mu)
+		}
+	}
+}
+
+// TestSearchBeatsRandomSampling: hill climbing should do at least as well as
+// its own first evaluations; we check the returned ratio is the max over a
+// re-run with zero steps (restarts only).
+func TestSearchBeatsRandomSampling(t *testing.T) {
+	full := smallCfg("NextFit")
+	randOnly := full
+	randOnly.Steps = 1
+	w1, err := Run(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := Run(randOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w1.Ratio < w2.Ratio-1e-9 {
+		t.Errorf("hill climbing (%v) worse than near-random sampling (%v)", w1.Ratio, w2.Ratio)
+	}
+}
+
+func TestSearchAllPoliciesSmoke(t *testing.T) {
+	for _, name := range core.PolicyNames() {
+		cfg := smallCfg(name)
+		cfg.Restarts, cfg.Steps = 2, 20
+		w, err := Run(cfg)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if w.Ratio < 1-1e-9 {
+			t.Errorf("%s: ratio %v < 1", name, w.Ratio)
+		}
+	}
+}
+
+func BenchmarkSearchNextFit(b *testing.B) {
+	cfg := smallCfg("NextFit")
+	cfg.Restarts, cfg.Steps = 1, 20
+	b.ReportAllocs()
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		w, err := Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = w.Ratio
+	}
+	b.ReportMetric(ratio, "best-ratio")
+}

@@ -1,0 +1,237 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dvbp/internal/item"
+	"dvbp/internal/vector"
+)
+
+// SessionConfig models cloud-gaming / VM-request sessions: a Poisson arrival
+// process over a horizon, durations from a bounded heavy-tailed distribution
+// (most sessions short, a few long — the regime where μ is large), and sizes
+// drawn per "instance type" with one dominant resource plus correlated
+// secondary demands.
+type SessionConfig struct {
+	// D is the number of resource dimensions.
+	D int
+	// Horizon is the length of the arrival window.
+	Horizon float64
+	// Rate is the Poisson arrival rate (expected sessions per unit time).
+	Rate float64
+	// MeanDuration is the mean session length; durations are Pareto-like
+	// with shape Alpha, truncated to [MinDuration, MaxDuration].
+	MeanDuration float64
+	// Alpha is the Pareto tail index (>1); 2–3 is typical for session data.
+	Alpha float64
+	// MinDuration and MaxDuration truncate the duration distribution.
+	MinDuration, MaxDuration float64
+	// Types are the instance types to draw from. If empty, DefaultTypes(D)
+	// is used.
+	Types []InstanceType
+}
+
+// InstanceType describes a request class: a nominal demand vector and a
+// jitter fraction applied independently per dimension.
+type InstanceType struct {
+	Name string
+	// Demand is the nominal size vector (components in (0,1]).
+	Demand vector.Vector
+	// Jitter is the relative uniform perturbation (0 = exact sizes).
+	Jitter float64
+	// Weight is the sampling weight among types.
+	Weight float64
+}
+
+// DefaultTypes returns a small catalogue modelled on cloud instance families:
+// compute-heavy, memory-heavy, GPU/accelerator-heavy, and balanced-small.
+// Demands are laid out over d dimensions by rotating the dominant axis.
+func DefaultTypes(d int) []InstanceType {
+	if d < 1 {
+		panic("workload: DefaultTypes needs d >= 1")
+	}
+	mk := func(name string, dom int, high, low float64, w float64) InstanceType {
+		v := vector.Uniform(d, low)
+		v[dom%d] = high
+		return InstanceType{Name: name, Demand: v, Jitter: 0.2, Weight: w}
+	}
+	return []InstanceType{
+		mk("compute.large", 0, 0.45, 0.10, 3),
+		mk("memory.large", 1, 0.40, 0.08, 2),
+		mk("gpu.xlarge", 2, 0.70, 0.15, 1),
+		{Name: "balanced.small", Demand: vector.Uniform(d, 0.08), Jitter: 0.5, Weight: 4},
+	}
+}
+
+// Validate checks the configuration.
+func (c SessionConfig) Validate() error {
+	switch {
+	case c.D < 1:
+		return fmt.Errorf("workload: D = %d, want >= 1", c.D)
+	case c.Horizon <= 0:
+		return fmt.Errorf("workload: Horizon = %g, want > 0", c.Horizon)
+	case c.Rate <= 0:
+		return fmt.Errorf("workload: Rate = %g, want > 0", c.Rate)
+	case c.Alpha <= 1:
+		return fmt.Errorf("workload: Alpha = %g, want > 1", c.Alpha)
+	case c.MinDuration <= 0 || c.MaxDuration < c.MinDuration:
+		return fmt.Errorf("workload: duration range [%g,%g] invalid", c.MinDuration, c.MaxDuration)
+	case c.MeanDuration < c.MinDuration || c.MeanDuration > c.MaxDuration:
+		return fmt.Errorf("workload: MeanDuration %g outside [%g,%g]", c.MeanDuration, c.MinDuration, c.MaxDuration)
+	}
+	for i, tp := range c.Types {
+		if tp.Demand.Dim() != c.D {
+			return fmt.Errorf("workload: type %d dimension %d, want %d", i, tp.Demand.Dim(), c.D)
+		}
+		if tp.Weight <= 0 {
+			return fmt.Errorf("workload: type %d non-positive weight", i)
+		}
+	}
+	return nil
+}
+
+// Sessions generates a session trace. It is deterministic in (cfg, seed).
+func Sessions(cfg SessionConfig, seed int64) (*item.List, error) {
+	if cfg.D < 1 {
+		return nil, fmt.Errorf("workload: D = %d, want >= 1", cfg.D)
+	}
+	if cfg.Types == nil {
+		cfg.Types = DefaultTypes(cfg.D)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(seed))
+	totalW := 0.0
+	for _, tp := range cfg.Types {
+		totalW += tp.Weight
+	}
+
+	l := item.NewList(cfg.D)
+	t := 0.0
+	for {
+		t += r.ExpFloat64() / cfg.Rate
+		if t >= cfg.Horizon {
+			break
+		}
+		dur := boundedPareto(r, cfg.Alpha, cfg.MinDuration, cfg.MaxDuration, cfg.MeanDuration)
+		tp := pickType(r, cfg.Types, totalW)
+		size := vector.New(cfg.D)
+		for j := range size {
+			jit := 1 + tp.Jitter*(2*r.Float64()-1)
+			size[j] = clamp01(tp.Demand[j] * jit)
+		}
+		l.Add(t, t+dur, size)
+	}
+	if l.Len() == 0 {
+		// Degenerate draw (tiny horizon·rate); add one deterministic session
+		// so downstream code never sees an empty instance.
+		tp := cfg.Types[0]
+		l.Add(0, cfg.MinDuration, tp.Demand.Clone())
+	}
+	return l, nil
+}
+
+// boundedPareto draws a Pareto(alpha) sample scaled to hit roughly the target
+// mean, truncated to [lo, hi].
+func boundedPareto(r *rand.Rand, alpha, lo, hi, mean float64) float64 {
+	// Unbounded Pareto with x_m chosen so E[X] = mean: x_m = mean(α-1)/α.
+	xm := mean * (alpha - 1) / alpha
+	if xm < lo {
+		xm = lo
+	}
+	x := xm / math.Pow(1-r.Float64(), 1/alpha)
+	if x < lo {
+		x = lo
+	}
+	if x > hi {
+		x = hi
+	}
+	return x
+}
+
+func pickType(r *rand.Rand, types []InstanceType, totalW float64) InstanceType {
+	x := r.Float64() * totalW
+	for _, tp := range types {
+		if x < tp.Weight {
+			return tp
+		}
+		x -= tp.Weight
+	}
+	return types[len(types)-1]
+}
+
+func clamp01(x float64) float64 {
+	if x < 1e-6 {
+		return 1e-6
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// DiurnalConfig superimposes a day/night modulation on the Poisson arrival
+// rate, modelling the load cycles that motivate usage-time billing studies.
+type DiurnalConfig struct {
+	Session SessionConfig
+	// Period is the cycle length (e.g. 24 "hours").
+	Period float64
+	// PeakFactor scales the rate at the peak relative to the configured
+	// average (>= 1). The trough gets the mirror-image factor so the mean
+	// rate is preserved.
+	PeakFactor float64
+}
+
+// Diurnal generates a session trace whose arrival intensity follows
+// rate·(1 + (PeakFactor-1)·sin²(πt/Period)) via thinning.
+func Diurnal(cfg DiurnalConfig, seed int64) (*item.List, error) {
+	if cfg.Period <= 0 || cfg.PeakFactor < 1 {
+		return nil, fmt.Errorf("workload: diurnal Period %g / PeakFactor %g invalid", cfg.Period, cfg.PeakFactor)
+	}
+	if cfg.Session.D < 1 {
+		return nil, fmt.Errorf("workload: D = %d, want >= 1", cfg.Session.D)
+	}
+	if cfg.Session.Types == nil {
+		cfg.Session.Types = DefaultTypes(cfg.Session.D)
+	}
+	if err := cfg.Session.Validate(); err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(seed))
+	sc := cfg.Session
+	maxRate := sc.Rate * cfg.PeakFactor
+	totalW := 0.0
+	for _, tp := range sc.Types {
+		totalW += tp.Weight
+	}
+	l := item.NewList(sc.D)
+	t := 0.0
+	for {
+		t += r.ExpFloat64() / maxRate
+		if t >= sc.Horizon {
+			break
+		}
+		intensity := sc.Rate * (1 + (cfg.PeakFactor-1)*sq(math.Sin(math.Pi*t/cfg.Period)))
+		if r.Float64()*maxRate > intensity {
+			continue // thinned
+		}
+		dur := boundedPareto(r, sc.Alpha, sc.MinDuration, sc.MaxDuration, sc.MeanDuration)
+		tp := pickType(r, sc.Types, totalW)
+		size := vector.New(sc.D)
+		for j := range size {
+			jit := 1 + tp.Jitter*(2*r.Float64()-1)
+			size[j] = clamp01(tp.Demand[j] * jit)
+		}
+		l.Add(t, t+dur, size)
+	}
+	if l.Len() == 0 {
+		tp := sc.Types[0]
+		l.Add(0, sc.MinDuration, tp.Demand.Clone())
+	}
+	return l, nil
+}
+
+func sq(x float64) float64 { return x * x }

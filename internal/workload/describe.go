@@ -1,0 +1,107 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dvbp/internal/item"
+	"dvbp/internal/stats"
+)
+
+// Description summarises a trace for inspection tooling: duration and size
+// distributions, arrival intensity and concurrency profile.
+type Description struct {
+	Items int
+	Dim   int
+	Mu    float64
+	Span  float64
+
+	Durations stats.Summary
+	// DurationPercentiles holds p50/p90/p99.
+	DurationP50, DurationP90, DurationP99 float64
+
+	// SizeMaxNorm summarises ‖s(r)‖∞ across items.
+	SizeMaxNorm stats.Summary
+
+	// ArrivalRate is items per unit time over the hull.
+	ArrivalRate float64
+
+	// PeakConcurrency is the max number of simultaneously active items;
+	// MeanConcurrency the time average over the hull.
+	PeakConcurrency int
+	MeanConcurrency float64
+}
+
+// Describe computes the summary. The list must be valid.
+func Describe(l *item.List) (Description, error) {
+	if err := l.Validate(); err != nil {
+		return Description{}, err
+	}
+	d := Description{Items: l.Len(), Dim: l.Dim, Mu: l.Mu(), Span: l.Span()}
+
+	durs := make([]float64, 0, l.Len())
+	var durAcc, sizeAcc stats.Accumulator
+	for _, it := range l.Items {
+		durs = append(durs, it.Duration())
+		durAcc.Add(it.Duration())
+		sizeAcc.Add(it.Size.MaxNorm())
+	}
+	d.Durations = durAcc.Summarize()
+	d.SizeMaxNorm = sizeAcc.Summarize()
+	d.DurationP50 = stats.Percentile(durs, 50)
+	d.DurationP90 = stats.Percentile(durs, 90)
+	d.DurationP99 = stats.Percentile(durs, 99)
+
+	hull := l.Hull()
+	if hull.Length() > 0 {
+		d.ArrivalRate = float64(l.Len()) / hull.Length()
+	}
+
+	// Concurrency sweep.
+	type ev struct {
+		t     float64
+		delta int
+	}
+	events := make([]ev, 0, 2*l.Len())
+	for _, it := range l.Items {
+		events = append(events, ev{it.Arrival, +1}, ev{it.Departure, -1})
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].t != events[j].t {
+			return events[i].t < events[j].t
+		}
+		return events[i].delta < events[j].delta
+	})
+	cur, area := 0, 0.0
+	for i := 0; i < len(events); {
+		t := events[i].t
+		for i < len(events) && events[i].t == t {
+			cur += events[i].delta
+			i++
+		}
+		if cur > d.PeakConcurrency {
+			d.PeakConcurrency = cur
+		}
+		if i < len(events) {
+			area += float64(cur) * (events[i].t - t)
+		}
+	}
+	if hull.Length() > 0 {
+		d.MeanConcurrency = area / hull.Length()
+	}
+	return d, nil
+}
+
+// String renders a multi-line human-readable report.
+func (d Description) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "items:        %d (d=%d)\n", d.Items, d.Dim)
+	fmt.Fprintf(&b, "span:         %.4g, mu: %.4g\n", d.Span, d.Mu)
+	fmt.Fprintf(&b, "durations:    %s\n", d.Durations)
+	fmt.Fprintf(&b, "  percentiles p50=%.4g p90=%.4g p99=%.4g\n", d.DurationP50, d.DurationP90, d.DurationP99)
+	fmt.Fprintf(&b, "size (Linf):  %s\n", d.SizeMaxNorm)
+	fmt.Fprintf(&b, "arrival rate: %.4g items/time\n", d.ArrivalRate)
+	fmt.Fprintf(&b, "concurrency:  peak=%d mean=%.4g\n", d.PeakConcurrency, d.MeanConcurrency)
+	return b.String()
+}

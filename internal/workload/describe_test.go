@@ -1,0 +1,80 @@
+package workload
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"dvbp/internal/item"
+	"dvbp/internal/vector"
+)
+
+func TestDescribeHandCase(t *testing.T) {
+	l := item.NewList(2)
+	l.Add(0, 2, vector.Of(0.5, 0.1)) // dur 2, |s|=0.5
+	l.Add(1, 5, vector.Of(0.2, 0.8)) // dur 4, |s|=0.8
+	d, err := Describe(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Items != 2 || d.Dim != 2 {
+		t.Errorf("shape %d/%d", d.Items, d.Dim)
+	}
+	if d.Mu != 2 {
+		t.Errorf("Mu = %v", d.Mu)
+	}
+	if d.Span != 5 {
+		t.Errorf("Span = %v", d.Span)
+	}
+	if math.Abs(d.Durations.Mean-3) > 1e-12 {
+		t.Errorf("mean duration = %v", d.Durations.Mean)
+	}
+	if math.Abs(d.SizeMaxNorm.Mean-0.65) > 1e-12 {
+		t.Errorf("mean size = %v", d.SizeMaxNorm.Mean)
+	}
+	if d.PeakConcurrency != 2 {
+		t.Errorf("peak = %d", d.PeakConcurrency)
+	}
+	// Concurrency: 1 on [0,1), 2 on [1,2), 1 on [2,5): area = 1+2+3 = 6 over 5.
+	if math.Abs(d.MeanConcurrency-6.0/5) > 1e-12 {
+		t.Errorf("mean concurrency = %v", d.MeanConcurrency)
+	}
+	if math.Abs(d.ArrivalRate-2.0/5) > 1e-12 {
+		t.Errorf("arrival rate = %v", d.ArrivalRate)
+	}
+	if d.DurationP50 != 3 || d.DurationP99 < d.DurationP90 {
+		t.Errorf("percentiles: p50=%v p90=%v p99=%v", d.DurationP50, d.DurationP90, d.DurationP99)
+	}
+	out := d.String()
+	for _, want := range []string{"items:", "concurrency:", "percentiles"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String missing %q", want)
+		}
+	}
+}
+
+func TestDescribeRejectsInvalid(t *testing.T) {
+	if _, err := Describe(item.NewList(1)); err == nil {
+		t.Error("empty list accepted")
+	}
+}
+
+func TestDescribeOnGeneratedTraces(t *testing.T) {
+	l, err := Uniform(PaperDefaults(2, 10), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Describe(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.PeakConcurrency < 1 || d.MeanConcurrency <= 0 {
+		t.Errorf("concurrency implausible: %+v", d)
+	}
+	if d.Durations.Min < 1 || d.Durations.Max > 10 {
+		t.Errorf("duration range wrong: %v..%v", d.Durations.Min, d.Durations.Max)
+	}
+	if d.Mu > 10 {
+		t.Errorf("Mu = %v > configured 10", d.Mu)
+	}
+}

@@ -1,0 +1,54 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV: arbitrary input must never panic; valid round-trips must be
+// accepted.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("id,arrival,departure,s0\n0,0,1,0.5\n")
+	f.Add("id,arrival,departure,s0,s1\n0,0,2,0.5,0.25\n1,1,3,0.1,0.9\n")
+	f.Add("garbage")
+	f.Add("id,arrival,departure,s0\n0,1,0,0.5\n") // inverted interval
+	f.Add("")
+	f.Fuzz(func(t *testing.T, s string) {
+		l, err := ReadCSV(strings.NewReader(s))
+		if err != nil {
+			return
+		}
+		// Anything accepted must be a valid instance and must round-trip.
+		if err := l.Validate(); err != nil {
+			t.Fatalf("accepted invalid trace: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, l); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		l2, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if l2.Len() != l.Len() || l2.Dim != l.Dim {
+			t.Fatalf("round trip changed shape")
+		}
+	})
+}
+
+// FuzzReadJSON mirrors FuzzReadCSV for the JSON format.
+func FuzzReadJSON(f *testing.F) {
+	f.Add(`{"dim":1,"items":[{"id":0,"arrival":0,"departure":1,"size":[0.5]}]}`)
+	f.Add(`{"dim":2,"items":[]}`)
+	f.Add(`{`)
+	f.Fuzz(func(t *testing.T, s string) {
+		l, err := ReadJSON(strings.NewReader(s))
+		if err != nil {
+			return
+		}
+		if err := l.Validate(); err != nil {
+			t.Fatalf("accepted invalid trace: %v", err)
+		}
+	})
+}

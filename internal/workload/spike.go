@@ -1,0 +1,109 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dvbp/internal/item"
+	"dvbp/internal/vector"
+)
+
+// SpikeConfig models flash crowds: a low background arrival rate punctuated
+// by short bursts during which the rate multiplies — e.g. a game launch or a
+// live event in the cloud-gaming setting. Spiky arrivals stress exactly the
+// behaviour the competitive analysis punishes: many bins opened at the burst
+// whose stragglers then pin servers open.
+type SpikeConfig struct {
+	// D is the number of resource dimensions.
+	D int
+	// Horizon is the arrival window length.
+	Horizon float64
+	// BaseRate is the background Poisson rate.
+	BaseRate float64
+	// Spikes is the number of bursts, spread evenly across the horizon.
+	Spikes int
+	// SpikeWidth is each burst's duration.
+	SpikeWidth float64
+	// SpikeFactor multiplies the rate inside a burst (> 1).
+	SpikeFactor float64
+	// MeanDuration and MaxDuration bound the exponential-ish session length.
+	MeanDuration, MaxDuration float64
+	// MinDuration floors it (μ = MaxDuration/MinDuration effectively).
+	MinDuration float64
+	// MaxSize bounds each uniform size component (0 < MaxSize <= 1).
+	MaxSize float64
+}
+
+// Validate checks the configuration.
+func (c SpikeConfig) Validate() error {
+	switch {
+	case c.D < 1:
+		return fmt.Errorf("workload: spike D = %d", c.D)
+	case c.Horizon <= 0:
+		return fmt.Errorf("workload: spike Horizon = %g", c.Horizon)
+	case c.BaseRate <= 0:
+		return fmt.Errorf("workload: spike BaseRate = %g", c.BaseRate)
+	case c.Spikes < 0:
+		return fmt.Errorf("workload: negative Spikes")
+	case c.Spikes > 0 && (c.SpikeWidth <= 0 || c.SpikeFactor <= 1):
+		return fmt.Errorf("workload: spike width %g / factor %g invalid", c.SpikeWidth, c.SpikeFactor)
+	case c.MinDuration <= 0 || c.MaxDuration < c.MinDuration:
+		return fmt.Errorf("workload: spike duration range [%g,%g] invalid", c.MinDuration, c.MaxDuration)
+	case c.MeanDuration < c.MinDuration || c.MeanDuration > c.MaxDuration:
+		return fmt.Errorf("workload: spike MeanDuration %g out of range", c.MeanDuration)
+	case c.MaxSize <= 0 || c.MaxSize > 1:
+		return fmt.Errorf("workload: spike MaxSize %g invalid", c.MaxSize)
+	}
+	return nil
+}
+
+// Spike generates a flash-crowd trace, deterministic in (cfg, seed).
+func Spike(cfg SpikeConfig, seed int64) (*item.List, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(seed))
+
+	inSpike := func(t float64) bool {
+		if cfg.Spikes == 0 {
+			return false
+		}
+		period := cfg.Horizon / float64(cfg.Spikes)
+		offset := t - float64(int(t/period))*period
+		return offset < cfg.SpikeWidth
+	}
+
+	maxRate := cfg.BaseRate * cfg.SpikeFactor
+	if cfg.Spikes == 0 {
+		maxRate = cfg.BaseRate
+	}
+
+	l := item.NewList(cfg.D)
+	t := 0.0
+	for {
+		t += r.ExpFloat64() / maxRate
+		if t >= cfg.Horizon {
+			break
+		}
+		rate := cfg.BaseRate
+		if inSpike(t) {
+			rate = maxRate
+		}
+		if r.Float64()*maxRate > rate {
+			continue // thinning
+		}
+		dur := cfg.MinDuration + r.ExpFloat64()*(cfg.MeanDuration-cfg.MinDuration+1e-9)
+		if dur > cfg.MaxDuration {
+			dur = cfg.MaxDuration
+		}
+		size := vector.New(cfg.D)
+		for j := range size {
+			size[j] = clamp01(r.Float64() * cfg.MaxSize)
+		}
+		l.Add(t, t+dur, size)
+	}
+	if l.Len() == 0 {
+		l.Add(0, cfg.MinDuration, vector.Uniform(cfg.D, cfg.MaxSize/2))
+	}
+	return l, nil
+}

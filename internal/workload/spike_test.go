@@ -1,0 +1,115 @@
+package workload
+
+import (
+	"testing"
+)
+
+func spikeCfg() SpikeConfig {
+	return SpikeConfig{
+		D: 2, Horizon: 200, BaseRate: 0.5,
+		Spikes: 4, SpikeWidth: 5, SpikeFactor: 10,
+		MeanDuration: 5, MinDuration: 1, MaxDuration: 40,
+		MaxSize: 0.5,
+	}
+}
+
+func TestSpikeValid(t *testing.T) {
+	l, err := Spike(spikeCfg(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatalf("invalid trace: %v", err)
+	}
+	if l.Len() < 50 {
+		t.Errorf("expected substantial trace, got %d items", l.Len())
+	}
+}
+
+func TestSpikeValidation(t *testing.T) {
+	bad := []SpikeConfig{
+		{},
+		{D: 1, Horizon: 0, BaseRate: 1, MeanDuration: 1, MinDuration: 1, MaxDuration: 2, MaxSize: 0.5},
+		{D: 1, Horizon: 10, BaseRate: 0, MeanDuration: 1, MinDuration: 1, MaxDuration: 2, MaxSize: 0.5},
+		{D: 1, Horizon: 10, BaseRate: 1, Spikes: 2, SpikeWidth: 0, SpikeFactor: 2, MeanDuration: 1, MinDuration: 1, MaxDuration: 2, MaxSize: 0.5},
+		{D: 1, Horizon: 10, BaseRate: 1, Spikes: 2, SpikeWidth: 1, SpikeFactor: 1, MeanDuration: 1, MinDuration: 1, MaxDuration: 2, MaxSize: 0.5},
+		{D: 1, Horizon: 10, BaseRate: 1, MeanDuration: 5, MinDuration: 1, MaxDuration: 2, MaxSize: 0.5},
+		{D: 1, Horizon: 10, BaseRate: 1, MeanDuration: 1, MinDuration: 1, MaxDuration: 2, MaxSize: 0},
+		{D: 1, Horizon: 10, BaseRate: 1, MeanDuration: 1, MinDuration: 1, MaxDuration: 2, MaxSize: 1.5},
+	}
+	for i, c := range bad {
+		if _, err := Spike(c, 1); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestSpikeConcentratesArrivals(t *testing.T) {
+	cfg := spikeCfg()
+	l, err := Spike(cfg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Arrival density inside spike windows should far exceed outside.
+	period := cfg.Horizon / float64(cfg.Spikes)
+	var inside, outside int
+	for _, it := range l.Items {
+		off := it.Arrival - float64(int(it.Arrival/period))*period
+		if off < cfg.SpikeWidth {
+			inside++
+		} else {
+			outside++
+		}
+	}
+	insideTime := float64(cfg.Spikes) * cfg.SpikeWidth
+	outsideTime := cfg.Horizon - insideTime
+	densityIn := float64(inside) / insideTime
+	densityOut := float64(outside) / outsideTime
+	if densityIn < 3*densityOut {
+		t.Errorf("spike density %.2f not >> background %.2f", densityIn, densityOut)
+	}
+}
+
+func TestSpikeDeterminism(t *testing.T) {
+	a, _ := Spike(spikeCfg(), 5)
+	b, _ := Spike(spikeCfg(), 5)
+	if a.Len() != b.Len() {
+		t.Fatal("same seed, different length")
+	}
+	for i := range a.Items {
+		if a.Items[i].Arrival != b.Items[i].Arrival {
+			t.Fatal("same seed, different arrivals")
+		}
+	}
+}
+
+func TestSpikeNoSpikesIsPoisson(t *testing.T) {
+	cfg := spikeCfg()
+	cfg.Spikes = 0
+	cfg.SpikeWidth = 0
+	cfg.SpikeFactor = 0
+	l, err := Spike(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// ~ BaseRate*Horizon = 100 arrivals expected.
+	if l.Len() < 50 || l.Len() > 200 {
+		t.Errorf("items = %d, want ~100", l.Len())
+	}
+}
+
+func TestSpikeNeverEmpty(t *testing.T) {
+	cfg := spikeCfg()
+	cfg.Horizon = 0.0001
+	cfg.BaseRate = 0.0001
+	l, err := Spike(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() == 0 {
+		t.Error("degenerate config produced empty trace")
+	}
+}

@@ -1,0 +1,139 @@
+package workload
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"dvbp/internal/item"
+	"dvbp/internal/vector"
+)
+
+// Trace serialisation: items round-trip through CSV (one row per item:
+// id,arrival,departure,s_1,...,s_d) and JSON. Traces let experiments be
+// archived and replayed bit-for-bit, and let external traces be imported.
+
+// WriteCSV writes the list as CSV with a header row.
+func WriteCSV(w io.Writer, l *item.List) error {
+	cw := csv.NewWriter(w)
+	header := []string{"id", "arrival", "departure"}
+	for j := 0; j < l.Dim; j++ {
+		header = append(header, fmt.Sprintf("s%d", j))
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("workload: write header: %w", err)
+	}
+	row := make([]string, 0, 3+l.Dim)
+	for _, it := range l.Items {
+		row = row[:0]
+		row = append(row,
+			strconv.Itoa(it.ID),
+			strconv.FormatFloat(it.Arrival, 'g', -1, 64),
+			strconv.FormatFloat(it.Departure, 'g', -1, 64),
+		)
+		for _, s := range it.Size {
+			row = append(row, strconv.FormatFloat(s, 'g', -1, 64))
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("workload: write item %d: %w", it.ID, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a CSV trace written by WriteCSV (or hand-authored with the
+// same header). Items keep file order for arrival tie-breaking.
+func ReadCSV(r io.Reader) (*item.List, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("workload: read csv: %w", err)
+	}
+	if len(rows) < 2 {
+		return nil, fmt.Errorf("workload: csv needs a header and at least one item")
+	}
+	header := rows[0]
+	if len(header) < 4 || header[0] != "id" || header[1] != "arrival" || header[2] != "departure" {
+		return nil, fmt.Errorf("workload: unexpected csv header %v", header)
+	}
+	d := len(header) - 3
+	l := item.NewList(d)
+	for i, row := range rows[1:] {
+		if len(row) != 3+d {
+			return nil, fmt.Errorf("workload: row %d has %d fields, want %d", i+1, len(row), 3+d)
+		}
+		id, err := strconv.Atoi(row[0])
+		if err != nil {
+			return nil, fmt.Errorf("workload: row %d id: %w", i+1, err)
+		}
+		arr, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: row %d arrival: %w", i+1, err)
+		}
+		dep, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: row %d departure: %w", i+1, err)
+		}
+		size := vector.New(d)
+		for j := 0; j < d; j++ {
+			size[j], err = strconv.ParseFloat(row[3+j], 64)
+			if err != nil {
+				return nil, fmt.Errorf("workload: row %d s%d: %w", i+1, j, err)
+			}
+		}
+		l.Items = append(l.Items, item.Item{ID: id, Arrival: arr, Departure: dep, Size: size})
+	}
+	if err := l.Normalize(); err != nil {
+		return nil, err
+	}
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// jsonTrace is the JSON wire format.
+type jsonTrace struct {
+	Dim   int        `json:"dim"`
+	Items []jsonItem `json:"items"`
+}
+
+type jsonItem struct {
+	ID        int       `json:"id"`
+	Arrival   float64   `json:"arrival"`
+	Departure float64   `json:"departure"`
+	Size      []float64 `json:"size"`
+}
+
+// WriteJSON writes the list as an indented JSON document.
+func WriteJSON(w io.Writer, l *item.List) error {
+	t := jsonTrace{Dim: l.Dim, Items: make([]jsonItem, 0, l.Len())}
+	for _, it := range l.Items {
+		t.Items = append(t.Items, jsonItem{ID: it.ID, Arrival: it.Arrival, Departure: it.Departure, Size: it.Size})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}
+
+// ReadJSON parses a JSON trace written by WriteJSON.
+func ReadJSON(r io.Reader) (*item.List, error) {
+	var t jsonTrace
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return nil, fmt.Errorf("workload: read json: %w", err)
+	}
+	l := item.NewList(t.Dim)
+	for _, ji := range t.Items {
+		l.Items = append(l.Items, item.Item{ID: ji.ID, Arrival: ji.Arrival, Departure: ji.Departure, Size: vector.Of(ji.Size...)})
+	}
+	if err := l.Normalize(); err != nil {
+		return nil, err
+	}
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
