@@ -1,0 +1,28 @@
+# Developer entry points. `make ci` is the full gate: formatting, vet,
+# and the test suite under the race detector.
+
+GO ?= go
+
+.PHONY: ci fmt vet test race build bench
+
+ci: fmt vet race
+
+# gofmt -l prints offending files; fail when the list is non-empty.
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem

@@ -9,6 +9,11 @@
 // For each parameter value the tool builds the instance, runs the targeted
 // policy (and, with -cross, every standard policy), and reports
 // cost/OPTUpper — a certified lower bound on the competitive ratio.
+//
+// With -metrics, a single metrics.Collector is attached to every simulation
+// and the aggregate engine telemetry (items placed, bins opened, fit checks,
+// placement latency) is dumped after the table in table, JSON and Prometheus
+// text form.
 package main
 
 import (
@@ -21,6 +26,7 @@ import (
 
 	"dvbp/internal/adversary"
 	"dvbp/internal/core"
+	"dvbp/internal/metrics"
 	"dvbp/internal/report"
 )
 
@@ -32,12 +38,20 @@ func main() {
 		params       = flag.String("params", "2,4,8,16,32,64", "comma-separated size parameters (k, n or R)")
 		cross        = flag.Bool("cross", false, "also run every standard policy on each instance")
 		seed         = flag.Int64("seed", 1, "RandomFit seed for -cross")
+		metricsF     = flag.Bool("metrics", false, "collect aggregate engine metrics across all runs and dump JSON + Prometheus snapshots")
 	)
 	flag.Parse()
 
 	ps, err := parseParams(*params)
 	if err != nil {
 		fatal(err)
+	}
+
+	var collector *metrics.Collector
+	var opts []core.Option
+	if *metricsF {
+		collector = metrics.NewCollector()
+		opts = append(opts, core.WithObserver(collector))
 	}
 
 	tbl := &report.Table{
@@ -54,7 +68,7 @@ func main() {
 			policies = core.StandardPolicies(*seed)
 		}
 		for _, pol := range policies {
-			res, err := core.Simulate(in.List, pol)
+			res, err := core.Simulate(in.List, pol, opts...)
 			if err != nil {
 				fatal(err)
 			}
@@ -70,7 +84,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	res, err := core.Simulate(in.List, target)
+	res, err := core.Simulate(in.List, target, opts...)
 	if err != nil {
 		fatal(err)
 	}
@@ -81,6 +95,14 @@ func main() {
 	}
 	fmt.Printf("at %s=%d the measured ratio %.4f is within %.1f%% of the target %.4f\n",
 		paramName(*construction), last, ratio, gap, in.AsymptoticRatio)
+
+	if collector != nil {
+		// Aggregate across every simulation the command ran, including the
+		// final convergence re-run above.
+		if err := report.WriteMetrics(os.Stdout, "", collector.Snapshot()); err != nil {
+			fatal(err)
+		}
+	}
 }
 
 func paramName(c string) string {

@@ -13,19 +13,48 @@
 // The full paper grid (-instances 1000) reproduces Table 2 exactly; smaller
 // -instances values keep the shape with wider error bars. Results print as
 // ASCII tables and, with -out DIR, are also written as CSV and SVG.
+//
+// Observability: -metrics attaches a shared metrics.Collector to every
+// simulation the chosen experiments run and dumps aggregate JSON +
+// Prometheus-text snapshots at the end (also into -out as metrics.json /
+// metrics.prom). -cpuprofile and -memprofile write pprof profiles alongside
+// the benchmark numbers, and -pprof ADDR serves net/http/pprof live while
+// the run executes (e.g. -pprof localhost:6060).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
+	"dvbp/internal/core"
 	"dvbp/internal/experiments"
+	"dvbp/internal/metrics"
 	"dvbp/internal/report"
 )
+
+// collector is the run-wide metrics collector (nil without -metrics).
+var collector *metrics.Collector
+
+// observer returns the collector as a core.Observer, or a nil interface so
+// experiment configs treat it as absent.
+func observer() core.Observer {
+	if collector == nil {
+		return nil
+	}
+	return collector
+}
+
+// cleanup flushes profiles; fatal runs it before exiting so -cpuprofile
+// output survives failed runs.
+var cleanup = func() {}
 
 func main() {
 	var (
@@ -36,6 +65,10 @@ func main() {
 		seed       = flag.Int64("seed", 1, "master seed")
 		workers    = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 		outDir     = flag.String("out", "", "directory for CSV/SVG artefacts (optional)")
+		metricsF   = flag.Bool("metrics", false, "collect engine metrics across all runs and dump JSON + Prometheus snapshots")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address while running (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
@@ -44,6 +77,11 @@ func main() {
 			fatal(err)
 		}
 	}
+	if *metricsF {
+		collector = metrics.NewCollector()
+	}
+	startProfiling(*cpuProfile, *memProfile, *pprofAddr)
+	defer runCleanup()
 
 	run := func(name string) {
 		switch name {
@@ -71,9 +109,71 @@ func main() {
 		for _, e := range []string{"fig4", "table1", "ubcheck", "trueratio", "quality", "ablation-bestfit", "ablation-clairvoyant", "ablation-billing"} {
 			run(e)
 		}
-		return
+	} else {
+		run(*experiment)
 	}
-	run(*experiment)
+
+	if collector != nil {
+		dumpMetrics(*outDir)
+	}
+}
+
+// startProfiling wires the requested profiling sinks and installs cleanup.
+func startProfiling(cpuProfile, memProfile, pprofAddr string) {
+	if pprofAddr != "" {
+		go func() {
+			// The blank net/http/pprof import registers its handlers on the
+			// default mux.
+			if err := http.ListenAndServe(pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "dvbpbench: pprof server:", err)
+			}
+		}()
+	}
+	var cpuFile *os.File
+	if cpuProfile != "" {
+		f, err := os.Create(cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		cpuFile = f
+	}
+	cleanup = func() {
+		cleanup = func() {}
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memProfile != "" {
+			f, err := os.Create(memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dvbpbench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // flush garbage so the heap profile shows live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "dvbpbench:", err)
+			}
+		}
+	}
+}
+
+func runCleanup() { cleanup() }
+
+// dumpMetrics prints the aggregate snapshot and, with -out, writes
+// metrics.json and metrics.prom next to the CSV/SVG artefacts.
+func dumpMetrics(outDir string) {
+	s := collector.Snapshot()
+	if err := report.WriteMetrics(os.Stdout, "", s); err != nil {
+		fatal(err)
+	}
+	if outDir != "" {
+		writeFile(outDir, "metrics.json", s.JSON()+"\n")
+		writeFile(outDir, "metrics.prom", s.Prometheus())
+	}
 }
 
 func parseMus(s string) []int {
@@ -94,6 +194,7 @@ func runFigure4(d, instances int, mus string, seed int64, workers int, outDir st
 	cfg.Mus = parseMus(mus)
 	cfg.Seed = seed
 	cfg.Workers = workers
+	cfg.Observer = observer()
 	if d != 0 {
 		cfg.Ds = []int{d}
 	}
@@ -118,6 +219,7 @@ func runFigure4(d, instances int, mus string, seed int64, workers int, outDir st
 func runTable1(seed int64, outDir string) {
 	cfg := experiments.DefaultTable1()
 	cfg.Seed = seed
+	cfg.Observer = observer()
 	fmt.Printf("== Table 1 lower-bound constructions: d=%d mu=%g params=%v ==\n", cfg.D, cfg.Mu, cfg.Params)
 	rows, err := experiments.RunTable1(cfg)
 	if err != nil {
@@ -144,6 +246,7 @@ func runUBCheck(instances int, seed int64, workers int) {
 	}
 	cfg.Seed = seed
 	cfg.Workers = workers
+	cfg.Observer = observer()
 	fmt.Printf("== Table 1 upper-bound validation: %d instances of d=%d n=%d mu=%d ==\n",
 		cfg.Instances, cfg.D, cfg.N, cfg.Mu)
 	viol, checked, err := experiments.RunUpperBoundCheck(cfg)
@@ -163,6 +266,7 @@ func ablationCfg(instances int, seed int64, workers int) experiments.AblationCon
 	}
 	cfg.Seed = seed
 	cfg.Workers = workers
+	cfg.Observer = observer()
 	return cfg
 }
 
@@ -221,6 +325,7 @@ func runTrueRatio(instances int, seed int64, workers int, outDir string) {
 	}
 	cfg.Seed = seed
 	cfg.Workers = workers
+	cfg.Observer = observer()
 	fmt.Printf("== True competitive ratios via exact OPT (d=%d n=%d mu=%d, %d instances) ==\n",
 		cfg.D, cfg.N, cfg.Mu, cfg.Instances)
 	res, err := experiments.RunTrueRatio(cfg)
@@ -268,6 +373,7 @@ func writeFile(dir, name, content string) {
 }
 
 func fatal(err error) {
+	cleanup() // flush any open CPU/heap profile before exiting
 	fmt.Fprintln(os.Stderr, "dvbpbench:", err)
 	os.Exit(1)
 }

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	"dvbp/internal/experiments"
+	"dvbp/internal/metrics"
+)
+
+// TestMetricsFlagMatchesExperiment is the acceptance check for -metrics:
+// the aggregate metrics.json the command writes must match, counter for
+// counter, a fresh in-process run of the identical experiment observed by
+// our own collector on the same fixed seed.
+func TestMetricsFlagMatchesExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the go tool")
+	}
+	dir := t.TempDir()
+	out, err := exec.Command("go", "run", ".",
+		"-experiment", "fig4", "-instances", "1", "-workers", "1",
+		"-d", "2", "-mus", "1,2", "-seed", "3", "-out", dir, "-metrics",
+		"-cpuprofile", filepath.Join(dir, "cpu.prof"),
+		"-memprofile", filepath.Join(dir, "mem.prof"),
+	).CombinedOutput()
+	if err != nil {
+		t.Fatalf("go run: %v\n%s", err, out)
+	}
+
+	data, err := os.ReadFile(filepath.Join(dir, "metrics.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got metrics.Snapshot
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("unmarshal metrics.json: %v", err)
+	}
+
+	// Reproduce the run in-process with our own collector.
+	col := metrics.NewCollector()
+	cfg := experiments.DefaultFigure4()
+	cfg.Instances = 1
+	cfg.Mus = []int{1, 2}
+	cfg.Seed = 3
+	cfg.Workers = 1
+	cfg.Ds = []int{2}
+	cfg.Observer = col
+	if _, err := experiments.RunFigure4(cfg); err != nil {
+		t.Fatal(err)
+	}
+	want := col.Snapshot()
+
+	// Counters, occupancy gauges and simulated-time accrual are exact;
+	// only the wall-clock placement histogram may differ between runs.
+	for _, name := range []string{
+		metrics.MetricItemsPlaced, metrics.MetricBinsOpened, metrics.MetricBinsClosed,
+		metrics.MetricFitChecks, metrics.MetricOpenBins, metrics.MetricOpenBinsPeak,
+		metrics.MetricUsageTime,
+	} {
+		g, ok := got.Find(name)
+		if !ok {
+			t.Fatalf("metric %s missing from metrics.json", name)
+		}
+		w, _ := want.Find(name)
+		if g.Value != w.Value {
+			t.Errorf("%s = %v from command, want %v", name, g.Value, w.Value)
+		}
+	}
+	gh, _ := got.Find(metrics.MetricFitChecksPerSelect)
+	wh, _ := want.Find(metrics.MetricFitChecksPerSelect)
+	if gh.Count != wh.Count || gh.Sum != wh.Sum {
+		t.Errorf("fit-check histogram count/sum = %d/%v, want %d/%v", gh.Count, gh.Sum, wh.Count, wh.Sum)
+	}
+
+	// The profiling flags must have produced non-empty pprof files, and the
+	// Prometheus rendering must exist alongside the JSON.
+	for _, f := range []string{"cpu.prof", "mem.prof", "metrics.prom"} {
+		fi, err := os.Stat(filepath.Join(dir, f))
+		if err != nil {
+			t.Errorf("%s not written: %v", f, err)
+		} else if fi.Size() == 0 {
+			t.Errorf("%s is empty", f)
+		}
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"dvbp/internal/exactopt"
 	"dvbp/internal/item"
 	"dvbp/internal/lowerbound"
+	"dvbp/internal/metrics"
 	"dvbp/internal/offline"
 	"dvbp/internal/report"
 	"dvbp/internal/workload"
@@ -43,6 +44,7 @@ func main() {
 		bracket   = flag.Bool("bracket", true, "compute the offline OPT bracket (O(n^2); disable for huge traces)")
 		exact     = flag.Bool("exact", false, "compute exact OPT (exponential; only for small peak concurrency)")
 		checkFlag = flag.Bool("check", false, "re-validate every result from first principles (internal/check)")
+		metricsF  = flag.Bool("metrics", false, "collect engine metrics per policy and dump JSON + Prometheus snapshots")
 		list      = flag.Bool("list", false, "list policy names and exit")
 	)
 	flag.Parse()
@@ -101,8 +103,15 @@ func main() {
 		ratioHeader = "cost/OPT"
 	}
 	t := &report.Table{Headers: []string{"policy", "cost", ratioHeader, "bins", "peak bins"}}
+	collectors := make(map[string]*metrics.Collector)
 	for _, p := range policies {
-		res, err := core.Simulate(l, p)
+		var opts []core.Option
+		if *metricsF {
+			col := metrics.NewCollector()
+			collectors[p.Name()] = col
+			opts = append(opts, core.WithObserver(col))
+		}
+		res, err := core.Simulate(l, p, opts...)
 		if err != nil {
 			fatal(err)
 		}
@@ -124,6 +133,17 @@ func main() {
 	if *bracket && upCost > 0 && !*exact {
 		fmt.Printf("note: cost/LB overstates the true competitive ratio by at most %.2fx (bracket looseness)\n",
 			upCost/lb.Best())
+	}
+	if *metricsF {
+		for _, p := range policies {
+			label := ""
+			if len(policies) > 1 {
+				label = p.Name()
+			}
+			if err := report.WriteMetrics(os.Stdout, label, collectors[p.Name()].Snapshot()); err != nil {
+				fatal(err)
+			}
+		}
 	}
 }
 

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os/exec"
+	"strings"
+	"testing"
+
+	"dvbp/internal/core"
+	"dvbp/internal/metrics"
+	"dvbp/internal/workload"
+)
+
+// runSelf builds and runs this command with the given arguments, returning
+// its combined output.
+func runSelf(t *testing.T, args ...string) string {
+	t.Helper()
+	out, err := exec.Command("go", append([]string{"run", "."}, args...)...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("go run . %v: %v\n%s", args, err, out)
+	}
+	return string(out)
+}
+
+// extractJSONSnapshot parses the JSON section of a -metrics dump.
+func extractJSONSnapshot(t *testing.T, out string) metrics.Snapshot {
+	t.Helper()
+	const begin = "== metrics (json) ==\n"
+	const end = "\n== metrics (prometheus)"
+	i := strings.Index(out, begin)
+	j := strings.Index(out, end)
+	if i < 0 || j < 0 || j < i {
+		t.Fatalf("no metrics JSON section in output:\n%s", out)
+	}
+	var s metrics.Snapshot
+	if err := json.Unmarshal([]byte(out[i+len(begin):j]), &s); err != nil {
+		t.Fatalf("unmarshal metrics JSON: %v", err)
+	}
+	return s
+}
+
+// TestMetricsFlagMatchesResult is the acceptance check for -metrics: the
+// JSON and Prometheus snapshots the command emits must agree exactly with
+// the Result of an identical in-process simulation on the same fixed-seed
+// workload.
+func TestMetricsFlagMatchesResult(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the go tool")
+	}
+	out := runSelf(t, "-d", "2", "-n", "200", "-mu", "5", "-T", "100", "-B", "100",
+		"-seed", "7", "-policy", "FirstFit", "-bracket=false", "-metrics")
+
+	// Reproduce the run in-process to obtain the ground truth.
+	l, err := workload.Uniform(workload.UniformConfig{D: 2, N: 200, Mu: 5, T: 100, B: 100}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.NewPolicy("FirstFit", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := metrics.NewCollector()
+	res, err := core.Simulate(l, p, core.WithObserver(col))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := col.Snapshot()
+
+	got := extractJSONSnapshot(t, out)
+	for _, name := range []string{
+		metrics.MetricItemsPlaced, metrics.MetricBinsOpened, metrics.MetricBinsClosed,
+		metrics.MetricFitChecks, metrics.MetricOpenBins, metrics.MetricOpenBinsPeak,
+		metrics.MetricUsageTime,
+	} {
+		g, ok := got.Find(name)
+		if !ok {
+			t.Fatalf("metric %s missing from command output", name)
+		}
+		w, _ := want.Find(name)
+		if g.Value != w.Value {
+			t.Errorf("%s = %v from command, want %v", name, g.Value, w.Value)
+		}
+	}
+
+	// Counters must equal the Result fields, not just the reference
+	// collector (guards against a bug shared by both collectors).
+	if g, _ := got.Find(metrics.MetricItemsPlaced); g.Value != float64(res.Items) {
+		t.Errorf("items placed = %v, Result.Items = %d", g.Value, res.Items)
+	}
+	if g, _ := got.Find(metrics.MetricBinsOpened); g.Value != float64(res.BinsOpened) {
+		t.Errorf("bins opened = %v, Result.BinsOpened = %d", g.Value, res.BinsOpened)
+	}
+	if g, _ := got.Find(metrics.MetricOpenBinsPeak); g.Value != float64(res.MaxConcurrentBins) {
+		t.Errorf("open bins peak = %v, Result.MaxConcurrentBins = %d", g.Value, res.MaxConcurrentBins)
+	}
+	if g, _ := got.Find(metrics.MetricUsageTime); g.Value != res.Cost {
+		t.Errorf("usage time = %v, Result.Cost = %v", g.Value, res.Cost)
+	}
+
+	// The same counters must appear verbatim in the Prometheus exposition.
+	for _, name := range []string{metrics.MetricItemsPlaced, metrics.MetricBinsOpened, metrics.MetricFitChecks} {
+		w, _ := want.Find(name)
+		line := fmt.Sprintf("%s %d\n", name, int64(w.Value))
+		if !strings.Contains(out, line) {
+			t.Errorf("prometheus output missing %q", strings.TrimSpace(line))
+		}
+	}
+
+	// The fit-check histogram's total must agree with the counter.
+	gh, ok := got.Find(metrics.MetricFitChecksPerSelect)
+	if !ok {
+		t.Fatal("fit-check histogram missing")
+	}
+	gc, _ := got.Find(metrics.MetricFitChecks)
+	if gh.Sum != gc.Value {
+		t.Errorf("fit-check histogram sum %v != counter %v", gh.Sum, gc.Value)
+	}
+}
+
+// TestMetricsFlagAllPolicies checks the per-policy labelled dumps of -all.
+func TestMetricsFlagAllPolicies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the go tool")
+	}
+	out := runSelf(t, "-d", "1", "-n", "60", "-mu", "4", "-T", "60", "-B", "10",
+		"-seed", "3", "-all", "-bracket=false", "-metrics")
+	for _, p := range core.PolicyNames() {
+		if !strings.Contains(out, "== metrics (json): "+p+" ==") {
+			t.Errorf("missing labelled metrics dump for %s", p)
+		}
+	}
+}

@@ -93,8 +93,21 @@ func Simulate(l *List, p Policy, opts ...Option) (*Result, error) {
 // WithClairvoyance exposes departure times to the policy (clairvoyant DVBP).
 func WithClairvoyance() Option { return core.WithClairvoyance() }
 
-// WithAudit records every packing decision into a for invariant checking.
+// WithAudit records every packing decision into a, for invariant checking.
 func WithAudit(a *Audit) Option { return core.WithAudit(a) }
+
+// Observer receives engine lifecycle callbacks during a simulation
+// (BeforePack, AfterPack, BinClosed). Attaching one never changes results.
+// internal/metrics.Collector is the ready-made implementation that turns the
+// callbacks into counters, gauges and histograms.
+type Observer = core.Observer
+
+// BaseObserver is a no-op Observer for embedding, so implementations only
+// override the callbacks they care about.
+type BaseObserver = core.BaseObserver
+
+// WithObserver attaches an Observer to a simulation.
+func WithObserver(o Observer) Option { return core.WithObserver(o) }
 
 // NewMoveToFront returns the Move To Front policy — the paper's recommended
 // algorithm (competitive ratio ≤ (2μ+1)d + 1, best average-case behaviour).

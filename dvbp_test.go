@@ -151,3 +151,26 @@ func TestFacadeAudit(t *testing.T) {
 		t.Errorf("audit: %d decisions, %d openings", len(a.Decisions), a.NewBinOpenings())
 	}
 }
+
+func TestFacadeObserver(t *testing.T) {
+	var obs countingObserver
+	l := dvbp.NewList(1)
+	l.Add(0, 2, dvbp.Vec(0.6))
+	l.Add(0, 2, dvbp.Vec(0.6))
+	res, err := dvbp.Simulate(l, dvbp.NewFirstFit(), dvbp.WithObserver(&obs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs.packed != res.Items || res.Items != 2 {
+		t.Errorf("observer saw %d placements, Result.Items = %d", obs.packed, res.Items)
+	}
+}
+
+// countingObserver embeds BaseObserver so it only overrides AfterPack,
+// exercising the re-exported facade types.
+type countingObserver struct {
+	dvbp.BaseObserver
+	packed int
+}
+
+func (o *countingObserver) AfterPack(dvbp.Request, *dvbp.Bin, bool) { o.packed++ }

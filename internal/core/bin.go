@@ -20,6 +20,22 @@ type Bin struct {
 	load   vector.Vector
 	active map[int]vector.Vector // item ID -> size, for departure handling
 	packed int                   // total items ever packed into this bin
+
+	// openIdx is the bin's current index in the engine's open slice, kept
+	// up to date by the engine so closing a bin needs no linear scan.
+	openIdx int
+	// probe, when armed by the engine around Policy.Select, counts Fits
+	// evaluations for the SelectObserver instrumentation seam.
+	probe *fitProbe
+}
+
+// fitProbe counts Bin.Fits evaluations while armed. The engine shares one
+// probe across all of a run's bins and arms it only for the duration of
+// Policy.Select, so the engine's own feasibility re-check inside pack is
+// never counted.
+type fitProbe struct {
+	armed bool
+	n     int
 }
 
 func newBin(id int, d int, openedAt float64) *Bin {
@@ -46,7 +62,12 @@ func (b *Bin) LoadPNorm(p float64) float64 { return b.load.PNorm(p) }
 
 // Fits reports whether an item of the given size fits in the bin's residual
 // capacity in every dimension.
-func (b *Bin) Fits(size vector.Vector) bool { return b.load.FitsWithin(size) }
+func (b *Bin) Fits(size vector.Vector) bool {
+	if b.probe != nil && b.probe.armed {
+		b.probe.n++
+	}
+	return b.load.FitsWithin(size)
+}
 
 // ActiveItems returns the number of currently active items.
 func (b *Bin) ActiveItems() int { return len(b.active) }

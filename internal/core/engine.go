@@ -47,6 +47,22 @@ func WithObserver(o Observer) Option {
 	return func(c *config) { c.observer = o }
 }
 
+// SelectObserver is an optional extension of Observer. When the attached
+// Observer also implements SelectObserver, the engine counts the Bin.Fits
+// evaluations each Policy.Select performs and reports them after every
+// decision — the per-decision accounting the metrics layer records.
+//
+// chosen is Select's return value: nil means the policy declined every open
+// bin and the engine opened a fresh one. fitChecks counts only the policy's
+// own Fits calls; the engine's feasibility re-check while packing is not
+// included. Runs whose observer does not implement SelectObserver pay no
+// counting overhead.
+type SelectObserver interface {
+	// AfterSelect fires after Policy.Select returns, before the item is
+	// packed (and before any new bin is opened).
+	AfterSelect(req Request, chosen *Bin, fitChecks int)
+}
+
 // BaseObserver is an Observer with no-op methods, for embedding.
 type BaseObserver struct{}
 
@@ -88,32 +104,58 @@ func Simulate(l *item.List, p Policy, opts ...Option) (*Result, error) {
 	arrivals := l.SortedByArrival()
 
 	var (
-		open        []*Bin // opening order (ascending ID)
+		open        []*Bin // opening order (ascending ID); may hold tombstones until compacted
+		holes       int    // tombstone (nil) count in open
 		departures  eventq.Queue[departure]
 		res         = &Result{Algorithm: p.Name(), Dim: l.Dim, Items: l.Len(), Span: l.Span(), Mu: l.Mu()}
 		nextBinID   int
 		binsByID    = make(map[int]*Bin)
-		closeBinAt  = func(b *Bin, t float64) {}
 		sizesByItem = make(map[int]item.Item, l.Len())
 	)
 	for _, it := range l.Items {
 		sizesByItem[it.ID] = it
 	}
+	var (
+		probe  *fitProbe
+		selObs SelectObserver
+	)
+	if so, ok := cfg.observer.(SelectObserver); ok {
+		selObs = so
+		probe = &fitProbe{}
+	}
 
-	closeBinAt = func(b *Bin, t float64) {
+	// Closing a bin only tombstones its slot — O(1), so a burst of closings
+	// between two arrivals costs O(burst) instead of the O(burst·open)
+	// repeated splicing would. The slice is compacted (order preserved)
+	// before the next arrival consults the policy.
+	closeBinAt := func(b *Bin, t float64) {
 		res.Bins = append(res.Bins, BinUsage{BinID: b.ID, OpenedAt: b.OpenedAt, ClosedAt: t, Packed: b.PackedItems()})
 		res.Cost += t - b.OpenedAt
-		for i, ob := range open {
-			if ob.ID == b.ID {
-				open = append(open[:i], open[i+1:]...)
-				break
-			}
-		}
+		open[b.openIdx] = nil
+		holes++
 		delete(binsByID, b.ID)
 		p.OnClose(b)
 		if cfg.observer != nil {
 			cfg.observer.BinClosed(b, t)
 		}
+	}
+
+	compact := func() {
+		if holes == 0 {
+			return
+		}
+		live := open[:0]
+		for _, b := range open {
+			if b != nil {
+				b.openIdx = len(live)
+				live = append(live, b)
+			}
+		}
+		for i := len(live); i < len(open); i++ {
+			open[i] = nil // release closed bins to the GC
+		}
+		open = live
+		holes = 0
 	}
 
 	processDepartures := func(upTo float64) error {
@@ -138,6 +180,7 @@ func Simulate(l *item.List, p Policy, opts ...Option) (*Result, error) {
 		if err := processDepartures(it.Arrival); err != nil {
 			return nil, err
 		}
+		compact()
 
 		req := Request{ID: it.ID, SeqNo: it.SeqNo, Arrival: it.Arrival, Size: it.Size}
 		if cfg.clairvoyant {
@@ -148,10 +191,19 @@ func Simulate(l *item.List, p Policy, opts ...Option) (*Result, error) {
 			cfg.observer.BeforePack(req, open)
 		}
 
+		if probe != nil {
+			probe.armed, probe.n = true, 0
+		}
 		b := p.Select(req, open)
+		if probe != nil {
+			probe.armed = false
+			selObs.AfterSelect(req, b, probe.n)
+		}
 		opened := false
 		if b == nil {
 			b = newBin(nextBinID, l.Dim, it.Arrival)
+			b.openIdx = len(open)
+			b.probe = probe
 			nextBinID++
 			open = append(open, b)
 			binsByID[b.ID] = b
@@ -183,8 +235,8 @@ func Simulate(l *item.List, p Policy, opts ...Option) (*Result, error) {
 	if err := processDepartures(l.Hull().Hi); err != nil {
 		return nil, err
 	}
-	if departures.Len() != 0 || len(open) != 0 {
-		return nil, fmt.Errorf("core: internal error: %d departures and %d bins left after drain", departures.Len(), len(open))
+	if departures.Len() != 0 || len(open)-holes != 0 {
+		return nil, fmt.Errorf("core: internal error: %d departures and %d bins left after drain", departures.Len(), len(open)-holes)
 	}
 
 	res.BinsOpened = nextBinID

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"dvbp/internal/item"
+	"dvbp/internal/vector"
+	"dvbp/internal/workload"
+)
+
+// churnInstance builds the bin-churn worst case: n full-bin items arriving
+// together, so n bins are simultaneously open, then departing in reverse
+// opening order, so every close used to scan the whole open list. Before
+// closeBinAt tracked bin indices, Simulate was Θ(n²) on this family; it is
+// now linear in the number of closings, which doubling n in the benchmark
+// makes visible (quadratic close cost would quadruple ns/op per doubling).
+func churnInstance(n int) *item.List {
+	l := item.NewList(1)
+	for i := 0; i < n; i++ {
+		// Item i departs at 2 + (n-i)·1e-6: the last-opened bin closes
+		// first, the worst case for a front-to-back scan.
+		l.Add(0, 2+float64(n-i)*1e-6, vector.Of(1.0))
+	}
+	return l
+}
+
+func BenchmarkBinChurnClose(b *testing.B) {
+	for _, n := range []int{1000, 2000, 4000, 8000} {
+		l := churnInstance(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			p := NewNextFit() // O(1) Select, isolating close cost
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := Simulate(l, p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.BinsOpened != n {
+					b.Fatalf("bins opened = %d, want %d", res.BinsOpened, n)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSimulateUniform tracks end-to-end engine throughput on the
+// paper's workload model, for before/after comparisons when optimising the
+// hot path.
+func BenchmarkSimulateUniform(b *testing.B) {
+	l, err := workload.Uniform(workload.UniformConfig{D: 2, N: 2000, Mu: 100, T: 1000, B: 100}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, name := range []string{"FirstFit", "MoveToFront", "BestFit"} {
+		b.Run(name, func(b *testing.B) {
+			p, err := NewPolicy(name, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Simulate(l, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -24,16 +24,17 @@ func (nf *NextFit) Reset() { nf.currentID = -1 }
 // item does not fit there (or there is no current bin), Next Fit opens a new
 // bin; the old current bin is released by the OnPack hook.
 func (nf *NextFit) Select(req Request, open []*Bin) *Bin {
-	if nf.currentID < 0 {
+	if nf.currentID < 0 || len(open) == 0 {
 		return nil
 	}
-	for _, b := range open {
-		if b.ID == nf.currentID {
-			if b.Fits(req.Size) {
-				return b
-			}
-			return nil
+	// Only a freshly opened bin ever becomes current, so the current bin is
+	// the most recently opened bin of the run; if it is still open it is the
+	// last element of open (opening order) — no scan needed.
+	if b := open[len(open)-1]; b.ID == nf.currentID {
+		if b.Fits(req.Size) {
+			return b
 		}
+		return nil
 	}
 	// Current bin has closed (its items all departed); nothing in L.
 	nf.currentID = -1

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"dvbp/internal/item"
+	"dvbp/internal/vector"
+	"dvbp/internal/workload"
+)
+
+// seqObserver records every callback as a compact event string, and every
+// AfterSelect separately for the SelectObserver seam.
+type seqObserver struct {
+	events  []string
+	selects []string
+}
+
+func (o *seqObserver) BeforePack(req Request, open []*Bin) {
+	o.events = append(o.events, fmt.Sprintf("before:%d(open=%d)", req.ID, len(open)))
+}
+
+func (o *seqObserver) AfterPack(req Request, b *Bin, opened bool) {
+	o.events = append(o.events, fmt.Sprintf("after:%d->bin%d(new=%v)", req.ID, b.ID, opened))
+}
+
+func (o *seqObserver) BinClosed(b *Bin, t float64) {
+	o.events = append(o.events, fmt.Sprintf("closed:bin%d@%g", b.ID, t))
+}
+
+func (o *seqObserver) AfterSelect(req Request, chosen *Bin, fitChecks int) {
+	c := "nil"
+	if chosen != nil {
+		c = fmt.Sprintf("bin%d", chosen.ID)
+	}
+	o.selects = append(o.selects, fmt.Sprintf("select:%d->%s(fits=%d)", req.ID, c, fitChecks))
+}
+
+// TestObserverCallbackOrdering pins the exact callback sequence on a
+// hand-built instance: BeforePack -> AfterPack per item, with BinClosed
+// delivered for departures at or before an arrival instant before that
+// arrival's BeforePack, and remaining closes in departure order at drain.
+func TestObserverCallbackOrdering(t *testing.T) {
+	l := item.NewList(1)
+	l.Add(0, 10, vector.Of(0.6)) // item 0: opens bin 0
+	l.Add(0, 5, vector.Of(0.6))  // item 1: opens bin 1, departs first
+	l.Add(6, 8, vector.Of(0.5))  // item 2: arrives after bin 1 closed, opens bin 2
+
+	obs := &seqObserver{}
+	if _, err := Simulate(l, NewFirstFit(), WithObserver(obs)); err != nil {
+		t.Fatal(err)
+	}
+
+	want := []string{
+		"before:0(open=0)",
+		"after:0->bin0(new=true)",
+		"before:1(open=1)",
+		"after:1->bin1(new=true)",
+		"closed:bin1@5", // item 1 departs at 5 <= arrival 6: close precedes BeforePack
+		"before:2(open=1)",
+		"after:2->bin2(new=true)",
+		"closed:bin2@8", // drain closes in departure order
+		"closed:bin0@10",
+	}
+	if !reflect.DeepEqual(obs.events, want) {
+		t.Errorf("callback sequence:\ngot  %v\nwant %v", obs.events, want)
+	}
+
+	wantSelects := []string{
+		"select:0->nil(fits=0)", // no open bins to probe
+		"select:1->nil(fits=1)", // bin 0 probed, does not fit
+		"select:2->nil(fits=1)", // bin 0 probed (0.6+0.5 > 1)
+	}
+	if !reflect.DeepEqual(obs.selects, wantSelects) {
+		t.Errorf("AfterSelect sequence:\ngot  %v\nwant %v", obs.selects, wantSelects)
+	}
+}
+
+// TestObserverOrderingInvariants checks the pairing rules on a larger random
+// workload: every BeforePack is immediately followed by its AfterPack, and
+// close events never interleave a before/after pair.
+func TestObserverOrderingInvariants(t *testing.T) {
+	l, err := workload.Uniform(workload.UniformConfig{D: 2, N: 500, Mu: 20, T: 200, B: 100}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range StandardPolicies(9) {
+		obs := &seqObserver{}
+		res, err := Simulate(l, p, WithObserver(obs))
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		var pending string // non-empty between a BeforePack and its AfterPack
+		var packs, closes int
+		for _, e := range obs.events {
+			switch {
+			case len(e) > 7 && e[:7] == "before:":
+				if pending != "" {
+					t.Fatalf("%s: BeforePack %q while %q still pending", p.Name(), e, pending)
+				}
+				pending = e
+			case len(e) > 6 && e[:6] == "after:":
+				if pending == "" {
+					t.Fatalf("%s: AfterPack %q without BeforePack", p.Name(), e)
+				}
+				pending = ""
+				packs++
+			default:
+				if pending != "" {
+					t.Fatalf("%s: %q interleaved a before/after pair", p.Name(), e)
+				}
+				closes++
+			}
+		}
+		if packs != l.Len() {
+			t.Errorf("%s: %d AfterPack events, want %d", p.Name(), packs, l.Len())
+		}
+		if closes != res.BinsOpened {
+			t.Errorf("%s: %d BinClosed events, want %d", p.Name(), closes, res.BinsOpened)
+		}
+		if len(obs.selects) != l.Len() {
+			t.Errorf("%s: %d AfterSelect events, want %d", p.Name(), len(obs.selects), l.Len())
+		}
+	}
+}
+
+// TestObservedRunResultIdentical asserts that attaching an observer (with or
+// without the SelectObserver extension) leaves the Result byte-identical to
+// an unobserved run.
+func TestObservedRunResultIdentical(t *testing.T) {
+	l, err := workload.Uniform(workload.UniformConfig{D: 2, N: 600, Mu: 50, T: 300, B: 100}, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	encode := func(r *Result) []byte {
+		b, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	for _, p := range StandardPolicies(21) {
+		plain, err := Simulate(l, p)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		observed, err := Simulate(l, p, WithObserver(&seqObserver{}))
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		baseOnly, err := Simulate(l, p, WithObserver(BaseObserver{}))
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		want := encode(plain)
+		if got := encode(observed); string(got) != string(want) {
+			t.Errorf("%s: SelectObserver run differs from unobserved run", p.Name())
+		}
+		if got := encode(baseOnly); string(got) != string(want) {
+			t.Errorf("%s: plain Observer run differs from unobserved run", p.Name())
+		}
+	}
+}

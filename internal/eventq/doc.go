@@ -1,0 +1,20 @@
+// Package eventq provides a deterministic min-heap event queue used by the
+// simulation engines (packing engine, sweep-line lower bounds, cloud
+// simulator).
+//
+// Events are ordered by time; ties are broken by an explicit sequence number
+// so that simulations are reproducible regardless of insertion order quirks.
+// This matters for the half-open interval convention of the packing engine:
+// a departure and an arrival at the same instant must be processed in a fixed
+// order (departure first) or costs and bin counts become run-dependent.
+//
+// The queue is generic over its payload type:
+//
+//	var q eventq.Queue[string]
+//	q.Push(eventq.Event[string]{Time: 2, Seq: 0, Payload: "depart"})
+//	q.Push(eventq.Event[string]{Time: 2, Seq: 1, Payload: "arrive"})
+//	e, _ := q.Pop() // "depart": equal times resolve by Seq
+//
+// The zero value of Queue is an empty queue ready to use; it is not safe for
+// concurrent use.
+package eventq

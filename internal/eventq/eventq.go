@@ -1,9 +1,3 @@
-// Package eventq provides a deterministic min-heap event queue used by the
-// simulation engines (packing engine, sweep-line lower bounds, cloud
-// simulator).
-//
-// Events are ordered by time; ties are broken by an explicit sequence number
-// so that simulations are reproducible regardless of insertion order quirks.
 package eventq
 
 import "container/heap"

@@ -19,6 +19,9 @@ type AblationConfig struct {
 	Instances      int
 	Seed           int64
 	Workers        int
+	// Observer, when non-nil, is attached to every simulation (see
+	// Figure4Config.Observer for the concurrency contract).
+	Observer core.Observer
 }
 
 // DefaultAblation matches one Figure 4 cell (d=2, μ=100) at reduced instance
@@ -37,6 +40,7 @@ func runPolicySet(cfg AblationConfig, names []string, mk func(name string, seed 
 	if err := wcfg.Validate(); err != nil {
 		return nil, err
 	}
+	opts = append(observerOpts(cfg.Observer), opts...)
 	trials, err := parallel.Map(cfg.Instances, func(i int) ([]float64, error) {
 		seed := parallel.SeedFor(cfg.Seed, i)
 		l, err := workload.Uniform(wcfg, seed)
@@ -127,7 +131,7 @@ func RunBillingAblation(cfg AblationConfig, quantum float64) ([]BillingRow, erro
 			if err != nil {
 				return trial{}, err
 			}
-			res, err := core.Simulate(l, p)
+			res, err := core.Simulate(l, p, observerOpts(cfg.Observer)...)
 			if err != nil {
 				return trial{}, err
 			}

@@ -39,6 +39,20 @@ type Figure4Config struct {
 	Seed int64
 	// Workers bounds parallelism (<= 0: GOMAXPROCS).
 	Workers int
+	// Observer, when non-nil, is attached to every simulation the
+	// experiment runs (via core.WithObserver). Trials execute in parallel,
+	// so the observer must be safe for concurrent use; a shared
+	// metrics.Collector qualifies and aggregates counters across the whole
+	// experiment. The observer does not affect packing results.
+	Observer core.Observer
+}
+
+// observerOpts converts an optional shared observer into Simulate options.
+func observerOpts(o core.Observer) []core.Option {
+	if o == nil {
+		return nil
+	}
+	return []core.Option{core.WithObserver(o)}
 }
 
 // DefaultFigure4 returns the paper's exact experimental grid.
@@ -138,7 +152,7 @@ func runFigure4Cell(cfg Figure4Config, d, mu int) (map[string]stats.Summary, err
 			if err != nil {
 				return nil, err
 			}
-			r, err := core.Simulate(l, p)
+			r, err := core.Simulate(l, p, observerOpts(cfg.Observer)...)
 			if err != nil {
 				return nil, err
 			}

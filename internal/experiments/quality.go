@@ -52,7 +52,7 @@ func RunQuality(cfg AblationConfig) ([]QualityRow, error) {
 			if err != nil {
 				return trial{}, err
 			}
-			res, err := core.Simulate(l, p)
+			res, err := core.Simulate(l, p, observerOpts(cfg.Observer)...)
 			if err != nil {
 				return trial{}, err
 			}

@@ -84,6 +84,9 @@ type Table1Config struct {
 	Params []int
 	// Seed feeds RandomFit (the only randomised policy).
 	Seed int64
+	// Observer, when non-nil, is attached to every simulation (see
+	// Figure4Config.Observer for the concurrency contract).
+	Observer core.Observer
 }
 
 // DefaultTable1 returns a sweep matching the theory section's asymptotics.
@@ -118,7 +121,7 @@ func RunTable1(cfg Table1Config) ([]AdversarialRow, error) {
 			if err != nil {
 				return nil, err
 			}
-			res, err := core.Simulate(in.List, sp.policy)
+			res, err := core.Simulate(in.List, sp.policy, observerOpts(cfg.Observer)...)
 			if err != nil {
 				return nil, fmt.Errorf("experiments: %s on %s: %w", sp.policy.Name(), in.Name, err)
 			}
@@ -167,6 +170,9 @@ type UpperBoundCheckConfig struct {
 	Instances      int
 	Seed           int64
 	Workers        int
+	// Observer, when non-nil, is attached to every simulation (see
+	// Figure4Config.Observer for the concurrency contract).
+	Observer core.Observer
 }
 
 // DefaultUpperBoundCheck uses a smaller grid than Figure 4 because the
@@ -212,7 +218,7 @@ func RunUpperBoundCheck(cfg UpperBoundCheckConfig) ([]UpperBoundViolation, int, 
 			if err != nil {
 				return trial{}, err
 			}
-			res, err := core.Simulate(l, p)
+			res, err := core.Simulate(l, p, observerOpts(cfg.Observer)...)
 			if err != nil {
 				return trial{}, err
 			}

@@ -24,6 +24,9 @@ type TrueRatioConfig struct {
 	// MaxActive guards the exponential DP; instances whose peak concurrency
 	// exceeds it are skipped (and counted).
 	MaxActive int
+	// Observer, when non-nil, is attached to every simulation (see
+	// Figure4Config.Observer for the concurrency contract).
+	Observer core.Observer
 }
 
 // DefaultTrueRatio keeps the expected peak concurrency ~ N·μ̄/T well under
@@ -92,7 +95,7 @@ func RunTrueRatio(cfg TrueRatioConfig) (*TrueRatioResult, error) {
 			if err != nil {
 				return trial{}, err
 			}
-			res, err := core.Simulate(l, p)
+			res, err := core.Simulate(l, p, observerOpts(cfg.Observer)...)
 			if err != nil {
 				return trial{}, err
 			}

@@ -1,0 +1,48 @@
+package metrics
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock supplies monotonic elapsed time since an arbitrary epoch. The engine
+// instrumentation only ever subtracts two readings, so the epoch is
+// irrelevant; what matters is that readings never go backwards.
+type Clock interface {
+	// Now returns the elapsed time since the clock's epoch.
+	Now() time.Duration
+}
+
+// NewWallClock returns a Clock backed by the runtime's monotonic clock
+// (readings are immune to wall-clock adjustments).
+func NewWallClock() Clock { return &wallClock{base: time.Now()} }
+
+type wallClock struct{ base time.Time }
+
+func (c *wallClock) Now() time.Duration { return time.Since(c.base) }
+
+// Manual is a hand-advanced Clock for deterministic tests: Now returns
+// whatever the test has accumulated via Advance. The zero value starts at 0
+// and is ready to use.
+type Manual struct {
+	mu sync.Mutex
+	t  time.Duration
+}
+
+// Now implements Clock.
+func (m *Manual) Now() time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.t
+}
+
+// Advance moves the clock forward by d. Negative d panics: clocks are
+// monotonic.
+func (m *Manual) Advance(d time.Duration) {
+	if d < 0 {
+		panic("metrics: Manual clock moved backwards")
+	}
+	m.mu.Lock()
+	m.t += d
+	m.mu.Unlock()
+}

@@ -1,0 +1,170 @@
+package metrics
+
+import (
+	"sync"
+	"time"
+
+	"dvbp/internal/core"
+)
+
+// Metric names recorded by Collector.
+const (
+	// MetricItemsPlaced counts successful placements; on a single run it
+	// equals Result.Items.
+	MetricItemsPlaced = "dvbp_items_placed_total"
+	// MetricBinsOpened counts bins opened; on a single run it equals
+	// Result.BinsOpened.
+	MetricBinsOpened = "dvbp_bins_opened_total"
+	// MetricBinsClosed counts bins whose last item departed.
+	MetricBinsClosed = "dvbp_bins_closed_total"
+	// MetricFitChecks counts Bin.Fits evaluations performed by the policy
+	// inside Select (engine-internal feasibility re-checks are excluded).
+	MetricFitChecks = "dvbp_fit_checks_total"
+	// MetricOpenBins gauges the currently open bin population.
+	MetricOpenBins = "dvbp_open_bins"
+	// MetricOpenBinsPeak gauges the open-bin high-water mark; on a single
+	// run it equals Result.MaxConcurrentBins.
+	MetricOpenBinsPeak = "dvbp_open_bins_peak"
+	// MetricUsageTime gauges accrued bin usage time (simulated time units),
+	// credited per bin as it closes; after a full run it equals Result.Cost.
+	MetricUsageTime = "dvbp_usage_time_total"
+	// MetricPlacementSeconds is a histogram of wall time per placement
+	// (BeforePack to AfterPack).
+	MetricPlacementSeconds = "dvbp_placement_seconds"
+	// MetricFitChecksPerSelect is a histogram of fit checks per Select call.
+	MetricFitChecksPerSelect = "dvbp_fit_checks_per_select"
+)
+
+// DefaultPlacementBuckets are the placement-latency histogram bounds, in
+// seconds. Placements are sub-microsecond for small open-bin populations, so
+// the grid starts at 100ns.
+var DefaultPlacementBuckets = []float64{
+	100e-9, 250e-9, 500e-9, 1e-6, 2.5e-6, 5e-6,
+	1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 1e-2, 1e-1,
+}
+
+// DefaultFitCheckBuckets are the fit-checks-per-Select histogram bounds: a
+// power-of-two grid because a Select scans at most the open-bin population.
+var DefaultFitCheckBuckets = []float64{0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096}
+
+// CollectorOption configures NewCollector.
+type CollectorOption func(*Collector)
+
+// WithClock substitutes the wall clock, e.g. with a *Manual in tests.
+func WithClock(c Clock) CollectorOption {
+	return func(col *Collector) { col.clock = c }
+}
+
+// Collector records per-run engine series into a Registry. It implements
+// core.Observer and the optional core.SelectObserver extension; attach it
+// with core.WithObserver. See the package documentation for the exact
+// Result correspondences and for the semantics of sharing one Collector
+// across concurrent simulations.
+type Collector struct {
+	clock Clock
+	reg   *Registry
+
+	itemsPlaced *Counter
+	binsOpened  *Counter
+	binsClosed  *Counter
+	fitChecks   *Counter
+
+	openBins     *Gauge
+	openBinsPeak *Gauge
+	usageTime    *Gauge
+
+	placementSeconds   *Histogram
+	fitChecksPerSelect *Histogram
+
+	mu     sync.Mutex
+	open   int
+	starts map[placeKey]time.Duration
+}
+
+// placeKey pairs the item identifiers that make a placement unique within
+// one run, for matching BeforePack to AfterPack.
+type placeKey struct{ id, seq int }
+
+var (
+	_ core.Observer       = (*Collector)(nil)
+	_ core.SelectObserver = (*Collector)(nil)
+)
+
+// NewCollector returns a Collector with a fresh Registry and wall clock.
+func NewCollector(opts ...CollectorOption) *Collector {
+	c := &Collector{
+		clock:  NewWallClock(),
+		reg:    NewRegistry(),
+		starts: make(map[placeKey]time.Duration),
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	c.itemsPlaced = c.reg.Counter(MetricItemsPlaced, "items placed by the engine")
+	c.binsOpened = c.reg.Counter(MetricBinsOpened, "bins opened")
+	c.binsClosed = c.reg.Counter(MetricBinsClosed, "bins closed (last item departed)")
+	c.fitChecks = c.reg.Counter(MetricFitChecks, "Bin.Fits evaluations inside policy Select")
+	c.openBins = c.reg.Gauge(MetricOpenBins, "currently open bins")
+	c.openBinsPeak = c.reg.Gauge(MetricOpenBinsPeak, "open-bin high-water mark")
+	c.usageTime = c.reg.Gauge(MetricUsageTime, "accrued bin usage time (simulated units)")
+	c.placementSeconds = c.reg.Histogram(MetricPlacementSeconds,
+		"wall time per placement in seconds", DefaultPlacementBuckets...)
+	c.fitChecksPerSelect = c.reg.Histogram(MetricFitChecksPerSelect,
+		"fit checks per policy Select call", DefaultFitCheckBuckets...)
+	return c
+}
+
+// Registry returns the collector's registry, so callers can register
+// additional instruments alongside the engine series.
+func (c *Collector) Registry() *Registry { return c.reg }
+
+// Snapshot freezes the current state of every instrument.
+func (c *Collector) Snapshot() Snapshot { return c.reg.Snapshot() }
+
+// BeforePack implements core.Observer: it timestamps the placement start.
+func (c *Collector) BeforePack(req core.Request, open []*core.Bin) {
+	now := c.clock.Now()
+	c.mu.Lock()
+	c.starts[placeKey{req.ID, req.SeqNo}] = now
+	c.mu.Unlock()
+}
+
+// AfterPack implements core.Observer: it counts the placement, observes its
+// wall time, and maintains the open-bin gauge and high-water mark.
+func (c *Collector) AfterPack(req core.Request, b *core.Bin, opened bool) {
+	now := c.clock.Now()
+	c.mu.Lock()
+	key := placeKey{req.ID, req.SeqNo}
+	if start, ok := c.starts[key]; ok {
+		delete(c.starts, key)
+		if d := now - start; d >= 0 {
+			c.placementSeconds.Observe(d.Seconds())
+		}
+	}
+	c.itemsPlaced.Inc()
+	if opened {
+		c.binsOpened.Inc()
+		c.open++
+		c.openBins.Set(float64(c.open))
+		c.openBinsPeak.SetMax(float64(c.open))
+	}
+	c.mu.Unlock()
+}
+
+// BinClosed implements core.Observer: it counts the close and accrues the
+// bin's usage time.
+func (c *Collector) BinClosed(b *core.Bin, t float64) {
+	c.mu.Lock()
+	c.binsClosed.Inc()
+	c.open--
+	c.openBins.Set(float64(c.open))
+	c.usageTime.Add(t - b.OpenedAt)
+	c.mu.Unlock()
+}
+
+// AfterSelect implements core.SelectObserver: it accounts the policy's fit
+// checks for the decision that just completed.
+func (c *Collector) AfterSelect(req core.Request, chosen *core.Bin, fitChecks int) {
+	c.fitChecks.Add(uint64(fitChecks))
+	c.fitChecksPerSelect.Observe(float64(fitChecks))
+}

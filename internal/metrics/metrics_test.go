@@ -1,0 +1,232 @@
+package metrics
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Errorf("Value = %d, want 42", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(3.5)
+	g.Add(-1.5)
+	if got := g.Value(); got != 2 {
+		t.Errorf("Value = %g, want 2", got)
+	}
+	g.SetMax(1) // below current: no-op
+	if got := g.Value(); got != 2 {
+		t.Errorf("SetMax lowered the gauge to %g", got)
+	}
+	g.SetMax(7)
+	if got := g.Value(); got != 7 {
+		t.Errorf("SetMax = %g, want 7", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(1, 2, 4)
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 4, 100} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 7 {
+		t.Fatalf("Count = %d, want 7", got)
+	}
+	if got, want := h.Sum(), 0.5+1+1.5+2+3+4+100; got != want {
+		t.Errorf("Sum = %g, want %g", got, want)
+	}
+	// Cumulative: le=1 -> {0.5, 1}; le=2 -> +{1.5, 2}; le=4 -> +{3, 4};
+	// +Inf -> +{100}.
+	want := []uint64{2, 4, 6, 7}
+	got := h.Buckets()
+	if len(got) != len(want) {
+		t.Fatalf("Buckets = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Buckets[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestHistogramSortsAndDedupsBounds(t *testing.T) {
+	h := NewHistogram(4, 1, 2, 2, 1)
+	if got := h.Bounds(); len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 4 {
+		t.Errorf("Bounds = %v, want [1 2 4]", got)
+	}
+}
+
+func TestInstrumentsConcurrent(t *testing.T) {
+	var (
+		c  Counter
+		g  Gauge
+		h  = NewHistogram(10, 20)
+		wg sync.WaitGroup
+	)
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i % 30))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Errorf("Counter = %d, want %d", got, workers*per)
+	}
+	if got := g.Value(); got != workers*per {
+		t.Errorf("Gauge = %g, want %d", got, workers*per)
+	}
+	if got := h.Count(); got != workers*per {
+		t.Errorf("Histogram count = %d, want %d", got, workers*per)
+	}
+}
+
+func TestRegistrySnapshotOrderAndReuse(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", "second").Inc()
+	r.Gauge("a_gauge", "first").Set(1.5)
+	if c2 := r.Counter("b_total", "second"); c2.Value() != 1 {
+		t.Error("re-registering a counter did not return the existing instrument")
+	}
+	s := r.Snapshot()
+	if len(s.Metrics) != 2 || s.Metrics[0].Name != "b_total" || s.Metrics[1].Name != "a_gauge" {
+		t.Errorf("snapshot order = %v, want registration order", s.Metrics)
+	}
+	if m, ok := s.Find("a_gauge"); !ok || m.Value != 1.5 {
+		t.Errorf("Find(a_gauge) = %+v, %v", m, ok)
+	}
+}
+
+func TestRegistryPanicsOnBadNameOrKindClash(t *testing.T) {
+	r := NewRegistry()
+	mustPanic(t, func() { r.Counter("bad name", "") })
+	r.Counter("x_total", "")
+	mustPanic(t, func() { r.Gauge("x_total", "") })
+}
+
+func mustPanic(t *testing.T, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	fn()
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("n_total", "things").Add(3)
+	h := r.Histogram("lat", "latency", 1, 2)
+	h.Observe(0.5)
+	h.Observe(10)
+
+	var decoded struct {
+		Metrics []struct {
+			Name    string  `json:"name"`
+			Kind    string  `json:"kind"`
+			Value   float64 `json:"value"`
+			Count   uint64  `json:"count"`
+			Buckets []struct {
+				Le    json.RawMessage `json:"le"`
+				Count uint64          `json:"count"`
+			} `json:"buckets"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal([]byte(r.Snapshot().JSON()), &decoded); err != nil {
+		t.Fatalf("snapshot JSON does not parse: %v", err)
+	}
+	if len(decoded.Metrics) != 2 {
+		t.Fatalf("decoded %d metrics, want 2", len(decoded.Metrics))
+	}
+	if m := decoded.Metrics[0]; m.Name != "n_total" || m.Kind != "counter" || m.Value != 3 {
+		t.Errorf("counter decoded as %+v", m)
+	}
+	hist := decoded.Metrics[1]
+	if hist.Count != 2 || len(hist.Buckets) != 3 {
+		t.Fatalf("histogram decoded as %+v", hist)
+	}
+	if string(hist.Buckets[2].Le) != `"+Inf"` {
+		t.Errorf("last bucket le = %s, want \"+Inf\"", hist.Buckets[2].Le)
+	}
+	if hist.Buckets[2].Count != 2 || hist.Buckets[0].Count != 1 {
+		t.Errorf("cumulative bucket counts wrong: %+v", hist.Buckets)
+	}
+}
+
+func TestSnapshotPrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dvbp_things_total", "how many things").Add(5)
+	r.Gauge("dvbp_level", "").Set(2.25)
+	h := r.Histogram("dvbp_lat_seconds", "latency", 0.1, 1)
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	text := r.Snapshot().Prometheus()
+	for _, want := range []string{
+		"# HELP dvbp_things_total how many things",
+		"# TYPE dvbp_things_total counter",
+		"dvbp_things_total 5",
+		"# TYPE dvbp_level gauge",
+		"dvbp_level 2.25",
+		"# TYPE dvbp_lat_seconds histogram",
+		`dvbp_lat_seconds_bucket{le="0.1"} 1`,
+		`dvbp_lat_seconds_bucket{le="1"} 2`,
+		`dvbp_lat_seconds_bucket{le="+Inf"} 3`,
+		"dvbp_lat_seconds_sum 5.55",
+		"dvbp_lat_seconds_count 3",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	// A gauge with no help string must not emit a HELP line.
+	if strings.Contains(text, "# HELP dvbp_level") {
+		t.Error("HELP line emitted for empty help")
+	}
+}
+
+func TestManualClock(t *testing.T) {
+	var m Manual
+	if m.Now() != 0 {
+		t.Error("zero Manual clock not at 0")
+	}
+	m.Advance(3 * time.Second)
+	m.Advance(2 * time.Second)
+	if got := m.Now(); got != 5*time.Second {
+		t.Errorf("Now = %v, want 5s", got)
+	}
+	mustPanic(t, func() { m.Advance(-time.Second) })
+}
+
+func TestWallClockMonotone(t *testing.T) {
+	c := NewWallClock()
+	a := c.Now()
+	b := c.Now()
+	if b < a {
+		t.Errorf("wall clock went backwards: %v then %v", a, b)
+	}
+}
+
+func TestHistogramRejectsNonFiniteBounds(t *testing.T) {
+	mustPanic(t, func() { NewHistogram(math.Inf(1)) })
+	mustPanic(t, func() { NewHistogram(math.NaN()) })
+}

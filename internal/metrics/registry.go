@@ -1,0 +1,238 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Kind identifies an instrument type in snapshots and expositions.
+type Kind string
+
+// The three instrument kinds.
+const (
+	KindCounter   Kind = "counter"
+	KindGauge     Kind = "gauge"
+	KindHistogram Kind = "histogram"
+)
+
+// validName is the Prometheus metric-name grammar.
+var validName = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+type registered struct {
+	name string
+	help string
+	kind Kind
+
+	counter   *Counter
+	gauge     *Gauge
+	histogram *Histogram
+}
+
+// Registry is an ordered, named set of instruments. Registration order is
+// preserved in snapshots so output is deterministic. The zero value is ready
+// to use; all methods are safe for concurrent use.
+type Registry struct {
+	mu      sync.Mutex
+	byName  map[string]*registered
+	ordered []*registered
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+func (r *Registry) register(name, help string, kind Kind) *registered {
+	if !validName.MatchString(name) {
+		panic(fmt.Sprintf("metrics: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.byName == nil {
+		r.byName = make(map[string]*registered)
+	}
+	if m, ok := r.byName[name]; ok {
+		if m.kind != kind {
+			panic(fmt.Sprintf("metrics: %s re-registered as %s (was %s)", name, kind, m.kind))
+		}
+		return m
+	}
+	m := &registered{name: name, help: help, kind: kind}
+	r.byName[name] = m
+	r.ordered = append(r.ordered, m)
+	return m
+}
+
+// Counter registers (or returns the existing) counter with the given name.
+func (r *Registry) Counter(name, help string) *Counter {
+	m := r.register(name, help, KindCounter)
+	if m.counter == nil {
+		m.counter = &Counter{}
+	}
+	return m.counter
+}
+
+// Gauge registers (or returns the existing) gauge with the given name.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	m := r.register(name, help, KindGauge)
+	if m.gauge == nil {
+		m.gauge = &Gauge{}
+	}
+	return m.gauge
+}
+
+// Histogram registers (or returns the existing) histogram with the given
+// name and fixed bucket upper bounds. Bounds are ignored when the name is
+// already registered.
+func (r *Registry) Histogram(name, help string, bounds ...float64) *Histogram {
+	m := r.register(name, help, KindHistogram)
+	if m.histogram == nil {
+		m.histogram = NewHistogram(bounds...)
+	}
+	return m.histogram
+}
+
+// Bucket is one cumulative histogram bucket in a snapshot: Count
+// observations were <= UpperBound.
+type Bucket struct {
+	UpperBound float64 `json:"le"`
+	Count      uint64  `json:"count"`
+}
+
+// Metric is the frozen state of one instrument.
+type Metric struct {
+	Name string `json:"name"`
+	Help string `json:"help,omitempty"`
+	Kind Kind   `json:"kind"`
+
+	// Value holds the counter or gauge reading (unset for histograms).
+	Value float64 `json:"value,omitempty"`
+
+	// Count, Sum and Buckets hold histogram state (unset otherwise).
+	// Buckets are cumulative; the final bucket is le=+Inf and equals Count.
+	Count   uint64   `json:"count,omitempty"`
+	Sum     float64  `json:"sum,omitempty"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Snapshot is a point-in-time reading of every instrument in a Registry, in
+// registration order.
+type Snapshot struct {
+	Metrics []Metric `json:"metrics"`
+}
+
+// Snapshot freezes the current state of all registered instruments.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	regs := append([]*registered(nil), r.ordered...)
+	r.mu.Unlock()
+
+	s := Snapshot{Metrics: make([]Metric, 0, len(regs))}
+	for _, m := range regs {
+		out := Metric{Name: m.name, Help: m.help, Kind: m.kind}
+		switch m.kind {
+		case KindCounter:
+			out.Value = float64(m.counter.Value())
+		case KindGauge:
+			out.Value = m.gauge.Value()
+		case KindHistogram:
+			out.Count = m.histogram.Count()
+			out.Sum = m.histogram.Sum()
+			bounds := m.histogram.Bounds()
+			cum := m.histogram.Buckets()
+			for i, b := range bounds {
+				out.Buckets = append(out.Buckets, Bucket{UpperBound: b, Count: cum[i]})
+			}
+			out.Buckets = append(out.Buckets, Bucket{UpperBound: inf, Count: cum[len(cum)-1]})
+		}
+		s.Metrics = append(s.Metrics, out)
+	}
+	return s
+}
+
+// inf is +Inf; JSON cannot encode it, so Bucket marshals it specially below.
+var inf = math.Inf(1)
+
+// MarshalJSON encodes the +Inf bound as the string "+Inf" (JSON numbers
+// cannot represent infinities).
+func (b Bucket) MarshalJSON() ([]byte, error) {
+	type plain Bucket
+	if b.UpperBound == inf {
+		return json.Marshal(struct {
+			UpperBound string `json:"le"`
+			Count      uint64 `json:"count"`
+		}{"+Inf", b.Count})
+	}
+	return json.Marshal(plain(b))
+}
+
+// UnmarshalJSON is the inverse of MarshalJSON: it accepts either a JSON
+// number or the string "+Inf" as the bound, so snapshots round-trip.
+func (b *Bucket) UnmarshalJSON(data []byte) error {
+	var raw struct {
+		UpperBound json.RawMessage `json:"le"`
+		Count      uint64          `json:"count"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	b.Count = raw.Count
+	if string(raw.UpperBound) == `"+Inf"` {
+		b.UpperBound = inf
+		return nil
+	}
+	return json.Unmarshal(raw.UpperBound, &b.UpperBound)
+}
+
+// Find returns the snapshot entry with the given name.
+func (s Snapshot) Find(name string) (Metric, bool) {
+	for _, m := range s.Metrics {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Metric{}, false
+}
+
+// JSON renders the snapshot as indented JSON.
+func (s Snapshot) JSON() string {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		// Snapshot contains only plain data; this cannot happen.
+		panic("metrics: " + err.Error())
+	}
+	return string(b)
+}
+
+// Prometheus renders the snapshot in the Prometheus text exposition format
+// (version 0.0.4): HELP/TYPE headers, cumulative le-labelled histogram
+// buckets, and _sum/_count series.
+func (s Snapshot) Prometheus() string {
+	var b strings.Builder
+	for _, m := range s.Metrics {
+		if m.Help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", m.Name, m.Help)
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", m.Name, m.Kind)
+		switch m.Kind {
+		case KindHistogram:
+			for _, bk := range m.Buckets {
+				le := "+Inf"
+				if bk.UpperBound != inf {
+					le = formatFloat(bk.UpperBound)
+				}
+				fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", m.Name, le, bk.Count)
+			}
+			fmt.Fprintf(&b, "%s_sum %s\n", m.Name, formatFloat(m.Sum))
+			fmt.Fprintf(&b, "%s_count %d\n", m.Name, m.Count)
+		default:
+			fmt.Fprintf(&b, "%s %s\n", m.Name, formatFloat(m.Value))
+		}
+	}
+	return b.String()
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

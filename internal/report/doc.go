@@ -1,0 +1,16 @@
+// Package report renders experiment results as aligned ASCII tables, CSV
+// files and standalone SVG line charts — the machinery cmd/dvbpbench uses to
+// regenerate the paper's tables and figures.
+//
+// Table is the central type: a titled grid of string cells that renders as a
+// box-drawn ASCII table (Render) or as CSV (WriteCSV). F formats floats with
+// the four-significant-digit convention used throughout the repo's output.
+//
+// Chart builds minimal dependency-free SVG line charts (one series per
+// policy, log-scale x for the μ sweeps) so figure artefacts can be produced
+// without a plotting stack.
+//
+// MetricsTable and WriteMetrics bridge to internal/metrics: they render a
+// metrics.Snapshot as a table plus its JSON and Prometheus-text expositions,
+// letting the commands dump engine telemetry next to their result tables.
+package report

@@ -1,0 +1,43 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"dvbp/internal/metrics"
+)
+
+// MetricsTable renders a metrics snapshot as a table: counters and gauges
+// one per row with their value, histograms with count / mean / max-bucket
+// summaries. The commands embed it next to their result tables so a run's
+// engine telemetry reads like any other report artefact.
+func MetricsTable(title string, s metrics.Snapshot) *Table {
+	t := &Table{Title: title, Headers: []string{"metric", "kind", "value", "help"}}
+	for _, m := range s.Metrics {
+		switch m.Kind {
+		case metrics.KindHistogram:
+			mean := 0.0
+			if m.Count > 0 {
+				mean = m.Sum / float64(m.Count)
+			}
+			t.AddRow(m.Name, string(m.Kind),
+				fmt.Sprintf("count=%d mean=%s sum=%s", m.Count, F(mean), F(m.Sum)), m.Help)
+		default:
+			t.AddRow(m.Name, string(m.Kind), F(m.Value), m.Help)
+		}
+	}
+	return t
+}
+
+// WriteMetrics writes all three renderings of a snapshot — aligned table,
+// JSON, and Prometheus text exposition — to w. label distinguishes several
+// dumps in one program run (e.g. one per policy); it may be empty.
+func WriteMetrics(w io.Writer, label string, s metrics.Snapshot) error {
+	suffix := ""
+	if label != "" {
+		suffix = ": " + label
+	}
+	_, err := fmt.Fprintf(w, "%s== metrics (json)%s ==\n%s\n== metrics (prometheus)%s ==\n%s",
+		MetricsTable("== metrics"+suffix+" ==", s).Render(), suffix, s.JSON(), suffix, s.Prometheus())
+	return err
+}

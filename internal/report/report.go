@@ -1,6 +1,3 @@
-// Package report renders experiment results as aligned ASCII tables, CSV
-// files and standalone SVG line charts — the machinery cmd/dvbpbench uses to
-// regenerate the paper's tables and figures.
 package report
 
 import (

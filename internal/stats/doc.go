@@ -1,0 +1,15 @@
+// Package stats provides the statistical accumulation used by the experiment
+// harness: streaming mean/variance, min/max and percentiles.
+//
+// Accumulator computes running summaries with Welford's algorithm, which is
+// numerically stable over the hundreds of thousands of ratio samples the
+// paper grid produces; its zero value is ready to use. Summarize freezes an
+// Accumulator into a Summary (N, Mean, StdDev, Min, Max) for reporting.
+//
+// Percentile operates on explicit samples when the full distribution is
+// needed (e.g. the packing-quality studies), using linear interpolation
+// between order statistics.
+//
+// Nothing in this package is concurrency-safe; the experiment harness
+// accumulates per-worker and merges results on the coordinating goroutine.
+package stats

@@ -1,6 +1,3 @@
-// Package stats provides the statistical accumulation used by the experiment
-// harness: streaming mean/variance (Welford), min/max, percentiles, and
-// labelled series aggregation for figure generation.
 package stats
 
 import (

@@ -1,0 +1,23 @@
+// Package workload generates synthetic MinUsageTime DVBP instances and
+// serialises item traces.
+//
+// The primary generator, Uniform, implements the paper's experimental model
+// (Section 7, Table 2): bins of integral capacity B^d, item sizes uniform on
+// {1,...,B}^d (normalised by B so bins have unit capacity), integral arrival
+// times uniform on [0, T-μ], and integral durations uniform on [1, μ].
+//
+// Additional generators model the cloud-gaming / VM-placement workloads the
+// paper's introduction motivates, exercising the same code paths with more
+// realistic arrival processes:
+//
+//   - Sessions (cloud.go): Poisson arrivals, heavy-tailed or exponential
+//     durations, correlated resource dimensions, optional diurnal modulation.
+//   - Spike (spike.go): flash crowds — a low background rate punctuated by
+//     short bursts during which the arrival rate multiplies.
+//
+// Traces round-trip through CSV and JSON (trace.go, the formats accepted by
+// dvbpsim -trace and produced by dvbptrace), and Describe (describe.go)
+// summarises a trace's shape for inspection tooling.
+//
+// All generators are deterministic functions of their Config and Seed.
+package workload

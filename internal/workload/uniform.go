@@ -1,18 +1,3 @@
-// Package workload generates synthetic MinUsageTime DVBP instances and
-// serialises item traces.
-//
-// The primary generator, Uniform, implements the paper's experimental model
-// (Section 7, Table 2): bins of integral capacity B^d, item sizes uniform on
-// {1,...,B}^d (normalised by B so bins have unit capacity), integral arrival
-// times uniform on [0, T-μ], and integral durations uniform on [1, μ].
-//
-// Additional generators (Poisson sessions, heavy-tailed durations, correlated
-// dimensions, diurnal load) model the cloud-gaming / VM-placement workloads
-// the paper's introduction motivates; they exercise the same code paths with
-// more realistic arrival processes and are used by the example applications
-// and ablation experiments.
-//
-// All generators are deterministic functions of their Config and Seed.
 package workload
 
 import (
