@@ -1,11 +1,13 @@
 # Developer entry points. `make ci` is the full gate: formatting, vet,
-# and the test suite under the race detector.
+# the test suite under the race detector, and a short fuzz pass over the
+# engine and fault-schedule fuzzers.
 
 GO ?= go
+FUZZTIME ?= 5s
 
-.PHONY: ci fmt vet test race build bench
+.PHONY: ci fmt vet test race build bench fuzz-smoke
 
-ci: fmt vet race
+ci: fmt vet race fuzz-smoke
 
 # gofmt -l prints offending files; fail when the list is non-empty.
 fmt:
@@ -26,3 +28,10 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# Short differential-fuzz pass: the clean engine, the engine under fault
+# injection, and the fault-schedule parsers. Each fuzzer gets FUZZTIME.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz='^FuzzSimulate$$' -fuzztime=$(FUZZTIME) ./internal/core
+	$(GO) test -run='^$$' -fuzz='^FuzzSimulateFaulty$$' -fuzztime=$(FUZZTIME) ./internal/core
+	$(GO) test -run='^$$' -fuzz='^FuzzParse$$' -fuzztime=$(FUZZTIME) ./internal/faults

@@ -23,6 +23,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
@@ -56,6 +58,13 @@ func observer() core.Observer {
 // output survives failed runs.
 var cleanup = func() {}
 
+// benchCtx carries the -timeout deadline into every experiment; experiments
+// thread it to internal/parallel, which cancels outstanding trials.
+var benchCtx = context.Background()
+
+// outDirGlobal mirrors -out so fatal can flush partial metrics on timeout.
+var outDirGlobal string
+
 func main() {
 	var (
 		experiment = flag.String("experiment", "fig4", "fig4 | table1 | ubcheck | trueratio | quality | ablation-bestfit | ablation-clairvoyant | ablation-billing | all")
@@ -69,8 +78,16 @@ func main() {
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address while running (e.g. localhost:6060)")
+		timeout    = flag.Duration("timeout", 0, "wall-clock budget for the whole run (0 = none); on expiry profiles and partial metrics are flushed and the exit code is 2")
 	)
 	flag.Parse()
+
+	outDirGlobal = *outDir
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		benchCtx, cancel = context.WithTimeout(benchCtx, *timeout)
+		defer cancel()
+	}
 
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
@@ -107,6 +124,9 @@ func main() {
 	}
 	if *experiment == "all" {
 		for _, e := range []string{"fig4", "table1", "ubcheck", "trueratio", "quality", "ablation-bestfit", "ablation-clairvoyant", "ablation-billing"} {
+			if err := benchCtx.Err(); err != nil {
+				fatal(err)
+			}
 			run(e)
 		}
 	} else {
@@ -195,6 +215,7 @@ func runFigure4(d, instances int, mus string, seed int64, workers int, outDir st
 	cfg.Seed = seed
 	cfg.Workers = workers
 	cfg.Observer = observer()
+	cfg.Ctx = benchCtx
 	if d != 0 {
 		cfg.Ds = []int{d}
 	}
@@ -247,6 +268,7 @@ func runUBCheck(instances int, seed int64, workers int) {
 	cfg.Seed = seed
 	cfg.Workers = workers
 	cfg.Observer = observer()
+	cfg.Ctx = benchCtx
 	fmt.Printf("== Table 1 upper-bound validation: %d instances of d=%d n=%d mu=%d ==\n",
 		cfg.Instances, cfg.D, cfg.N, cfg.Mu)
 	viol, checked, err := experiments.RunUpperBoundCheck(cfg)
@@ -267,6 +289,7 @@ func ablationCfg(instances int, seed int64, workers int) experiments.AblationCon
 	cfg.Seed = seed
 	cfg.Workers = workers
 	cfg.Observer = observer()
+	cfg.Ctx = benchCtx
 	return cfg
 }
 
@@ -326,6 +349,7 @@ func runTrueRatio(instances int, seed int64, workers int, outDir string) {
 	cfg.Seed = seed
 	cfg.Workers = workers
 	cfg.Observer = observer()
+	cfg.Ctx = benchCtx
 	fmt.Printf("== True competitive ratios via exact OPT (d=%d n=%d mu=%d, %d instances) ==\n",
 		cfg.D, cfg.N, cfg.Mu, cfg.Instances)
 	res, err := experiments.RunTrueRatio(cfg)
@@ -374,6 +398,15 @@ func writeFile(dir, name, content string) {
 
 func fatal(err error) {
 	cleanup() // flush any open CPU/heap profile before exiting
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		// The -timeout budget expired: flush whatever metrics accumulated so
+		// the partial run is still inspectable, then exit distinctly.
+		if collector != nil {
+			dumpMetrics(outDirGlobal)
+		}
+		fmt.Fprintln(os.Stderr, "dvbpbench: timeout:", err)
+		os.Exit(2)
+	}
 	fmt.Fprintln(os.Stderr, "dvbpbench:", err)
 	os.Exit(1)
 }

@@ -1,0 +1,183 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dvbp/internal/core"
+	"dvbp/internal/faults"
+	"dvbp/internal/metrics"
+	"dvbp/internal/workload"
+)
+
+var chaosArgs = []string{
+	"-d", "2", "-n", "250", "-mu", "8", "-T", "120", "-B", "100", "-seed", "7",
+	"-mtbf", "18", "-fault-seed", "4", "-retry", "backoff:0.5:4",
+	"-max-servers", "10", "-queue-deadline", "3",
+}
+
+// runSelf builds and runs this command with the given arguments, returning
+// its combined output.
+func runSelf(t *testing.T, args ...string) string {
+	t.Helper()
+	out, err := exec.Command("go", append([]string{"run", "."}, args...)...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("go run . %v: %v\n%s", args, err, out)
+	}
+	return string(out)
+}
+
+// extractJSONSnapshot parses the JSON section of a -metrics dump.
+func extractJSONSnapshot(t *testing.T, out string) metrics.Snapshot {
+	t.Helper()
+	const begin = "== metrics (json) ==\n"
+	const end = "\n== metrics (prometheus)"
+	i := strings.Index(out, begin)
+	j := strings.Index(out, end)
+	if i < 0 || j < 0 || j < i {
+		t.Fatalf("no metrics JSON section in output:\n%s", out)
+	}
+	var s metrics.Snapshot
+	if err := json.Unmarshal([]byte(out[i+len(begin):j]), &s); err != nil {
+		t.Fatalf("unmarshal metrics JSON: %v", err)
+	}
+	return s
+}
+
+// TestChaosDeterminism is the replay acceptance check: identical flags must
+// produce byte-identical output, including the metrics snapshots.
+func TestChaosDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the go tool")
+	}
+	args := append([]string{"-all", "-json", "-metrics"}, chaosArgs...)
+	a := runSelf(t, args...)
+	b := runSelf(t, args...)
+	if a != b {
+		t.Fatalf("two runs with identical flags differ:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", a, b)
+	}
+}
+
+// TestChaosMetricsMatchResult is the fixed-seed acceptance check for the
+// failure counters: the run JSON, the metrics snapshot the command emits, and
+// an identical in-process simulation must all agree exactly on every
+// eviction/retry/rejection/queue series.
+func TestChaosMetricsMatchResult(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the go tool")
+	}
+	out := runSelf(t, append([]string{"-policy", "FirstFit", "-json", "-metrics"}, chaosArgs...)...)
+
+	var got output
+	if err := json.NewDecoder(strings.NewReader(out)).Decode(&got); err != nil {
+		t.Fatalf("decode run JSON: %v\n%s", err, out)
+	}
+	if len(got.Runs) != 1 {
+		t.Fatalf("expected 1 run, got %d", len(got.Runs))
+	}
+	r := got.Runs[0]
+
+	// Reproduce the faulty run in-process to obtain the ground truth.
+	l, err := workload.Uniform(workload.UniformConfig{D: 2, N: 250, Mu: 8, T: 120, B: 100}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.NewPolicy("FirstFit", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := faults.Plan{
+		Injector:   faults.MTBF{Mean: 18, Seed: 4},
+		Retry:      faults.Backoff{Base: 0.5, Cap: 4},
+		MaxServers: 10, Queue: true, QueueDeadline: 3,
+	}
+	res, err := core.Simulate(l, p, plan.Options()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Crashes == 0 || res.Evictions == 0 || res.QueuedPlaced == 0 {
+		t.Fatalf("fixture does not exercise the fault paths: %s", res)
+	}
+
+	// Run JSON against the Result.
+	if r.Crashes != res.Crashes || r.Evictions != res.Evictions || r.Retries != res.Retries ||
+		r.ItemsLost != res.ItemsLost || r.Rejected != res.Rejected || r.TimedOut != res.TimedOut ||
+		r.QueuedPlaced != res.QueuedPlaced {
+		t.Errorf("run JSON counters %+v disagree with Result %s", r, res)
+	}
+	if r.FaultyCost != res.Cost || r.QueueDelay != res.QueueDelay || r.LostUsageTime != res.LostUsageTime {
+		t.Errorf("run JSON accumulators (%v, %v, %v) disagree with Result (%v, %v, %v)",
+			r.FaultyCost, r.QueueDelay, r.LostUsageTime, res.Cost, res.QueueDelay, res.LostUsageTime)
+	}
+
+	// Metrics snapshot against the Result.
+	s := extractJSONSnapshot(t, out)
+	for name, want := range map[string]float64{
+		metrics.MetricBinsCrashed:   float64(res.Crashes),
+		metrics.MetricItemsEvicted:  float64(res.Evictions),
+		metrics.MetricItemsRetried:  float64(res.Retries),
+		metrics.MetricItemsLost:     float64(res.ItemsLost),
+		metrics.MetricItemsRejected: float64(res.Rejected),
+		metrics.MetricItemsTimedOut: float64(res.TimedOut),
+		metrics.MetricItemsDequeued: float64(res.QueuedPlaced),
+		metrics.MetricQueueDelay:    res.QueueDelay,
+		metrics.MetricLostUsage:     res.LostUsageTime,
+		metrics.MetricItemsPlaced:   float64(len(res.Placements)),
+		metrics.MetricUsageTime:     res.Cost,
+	} {
+		g, ok := s.Find(name)
+		if !ok {
+			t.Errorf("metric %s missing from command output", name)
+			continue
+		}
+		if g.Value != want {
+			t.Errorf("%s = %v from command, want %v", name, g.Value, want)
+		}
+	}
+}
+
+// TestChaosRequiresFaultPlan: the command refuses to run without any fault or
+// admission flag — fault-free comparisons belong to dvbpsim.
+func TestChaosRequiresFaultPlan(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the go tool")
+	}
+	out, err := exec.Command("go", "run", ".", "-n", "50").CombinedOutput()
+	if err == nil {
+		t.Fatalf("expected failure without a fault plan, got:\n%s", out)
+	}
+	if !strings.Contains(string(out), "no fault plan configured") {
+		t.Errorf("unexpected error output:\n%s", out)
+	}
+}
+
+// TestChaosTimeoutFlushesPartial: an expired -timeout must still flush the
+// completed prefix (here: the header and empty table) and exit with code 2.
+func TestChaosTimeoutFlushesPartial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the go tool")
+	}
+	bin := filepath.Join(t.TempDir(), "dvbpchaos")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	var stdout, stderr bytes.Buffer
+	cmd := exec.Command(bin, append([]string{"-all", "-timeout", "1ns"}, chaosArgs...)...)
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	err := cmd.Run()
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) || ee.ExitCode() != 2 {
+		t.Fatalf("want exit code 2, got %v\nstderr: %s", err, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "policies completed") {
+		t.Errorf("stderr missing partial-results notice: %s", stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "faults: mtbf(mean=18,seed=4)") {
+		t.Errorf("partial output not flushed:\n%s", stdout.String())
+	}
+}

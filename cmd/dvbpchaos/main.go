@@ -1,0 +1,237 @@
+// Command dvbpchaos runs policy comparisons under failure: server crashes
+// from deterministic schedules (seeded MTBF or explicit traces), eviction and
+// retry of displaced items, and finite fleets with rejection or an admission
+// queue. For every policy it simulates the same workload twice — once clean,
+// once under the fault plan — and reports the robustness overhead next to
+// the failure accounting.
+//
+// All schedules are pure functions of their seeds: the same flags produce
+// byte-identical output, so runs are replayable and diffable.
+//
+// Examples:
+//
+//	dvbpchaos -d 2 -n 1000 -mtbf 50 -retry backoff:1:30 -all
+//	dvbpchaos -trace trace.csv -crash-trace '0@5,2+1.5' -policy ff
+//	dvbpchaos -n 500 -mtbf 20 -max-servers 10 -queue-deadline 5 -json
+//	dvbpchaos -all -mtbf 30 -metrics -timeout 30s
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dvbp/internal/core"
+	"dvbp/internal/faults"
+	"dvbp/internal/item"
+	"dvbp/internal/metrics"
+	"dvbp/internal/report"
+	"dvbp/internal/workload"
+)
+
+// run is one policy's clean-vs-faulty comparison, shaped for JSON output.
+type run struct {
+	Policy        string  `json:"policy"`
+	CleanCost     float64 `json:"clean_cost"`
+	FaultyCost    float64 `json:"faulty_cost"`
+	Overhead      float64 `json:"overhead"`
+	Crashes       int     `json:"crashes"`
+	Evictions     int     `json:"evictions"`
+	Retries       int     `json:"retries"`
+	ItemsLost     int     `json:"items_lost"`
+	Rejected      int     `json:"rejected"`
+	TimedOut      int     `json:"timed_out"`
+	QueuedPlaced  int     `json:"queued_placed"`
+	QueueDelay    float64 `json:"queue_delay"`
+	LostUsageTime float64 `json:"lost_usage_time"`
+	Served        int     `json:"served"`
+}
+
+type output struct {
+	Dim    int     `json:"d"`
+	Items  int     `json:"items"`
+	Span   float64 `json:"span"`
+	Mu     float64 `json:"mu"`
+	Faults string  `json:"faults"`
+	Runs   []run   `json:"runs"`
+	// Partial is set when a -timeout cancelled the sweep before every
+	// policy finished; Runs holds the completed prefix.
+	Partial bool `json:"partial,omitempty"`
+}
+
+func main() {
+	var (
+		tracePath = flag.String("trace", "", "trace file (.csv or .json); overrides the generator flags")
+		d         = flag.Int("d", 2, "dimensions (generator)")
+		n         = flag.Int("n", 1000, "items (generator)")
+		mu        = flag.Int("mu", 10, "max item duration (generator)")
+		horizon   = flag.Int("T", 1000, "span (generator)")
+		binSize   = flag.Int("B", 100, "bin capacity granularity (generator)")
+		seed      = flag.Int64("seed", 1, "generator / RandomFit seed")
+		policy    = flag.String("policy", "MoveToFront", "packing policy (see dvbpsim -list)")
+		all       = flag.Bool("all", false, "run all seven standard policies")
+		jsonOut   = flag.Bool("json", false, "emit the comparison as JSON instead of a table")
+		metricsF  = flag.Bool("metrics", false, "dump JSON + Prometheus metric snapshots per policy")
+		timeout   = flag.Duration("timeout", 0, "wall-clock budget for the whole sweep (0 = none); partial results are flushed on expiry")
+	)
+	var spec faults.Spec
+	spec.Register(flag.CommandLine, "")
+	flag.Parse()
+
+	plan, err := spec.Plan()
+	if err != nil {
+		fatal(err)
+	}
+	if !plan.Active() {
+		fatal(fmt.Errorf("no fault plan configured: set -mtbf, -crash-trace or -max-servers (this command exists to run chaos; for fault-free runs use dvbpsim)"))
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	l, err := loadInstance(*tracePath, *d, *n, *mu, *horizon, *binSize, *seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	var policies []core.Policy
+	if *all {
+		policies = core.StandardPolicies(*seed)
+	} else {
+		p, err := core.NewPolicy(*policy, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		policies = []core.Policy{p}
+	}
+
+	out := output{Dim: l.Dim, Items: l.Len(), Span: l.Span(), Mu: l.Mu(), Faults: plan.String()}
+	collectors := make(map[string]*metrics.Collector)
+	for _, p := range policies {
+		if ctx.Err() != nil {
+			out.Partial = true
+			break
+		}
+		clean, err := core.Simulate(l, p)
+		if err != nil {
+			fatal(err)
+		}
+		p.Reset()
+		opts := plan.Options()
+		if *metricsF {
+			// A manual clock keeps the snapshot free of wall-time noise:
+			// chaos runs care about simulated time, and the output stays
+			// byte-identical across replays.
+			col := metrics.NewCollector(metrics.WithClock(&metrics.Manual{}))
+			collectors[p.Name()] = col
+			opts = append(opts, core.WithObserver(col))
+		}
+		faulty, err := core.Simulate(l, p, opts...)
+		if err != nil {
+			fatal(err)
+		}
+		served := 0
+		for _, o := range faulty.Outcomes {
+			if o == core.OutcomeServed {
+				served++
+			}
+		}
+		out.Runs = append(out.Runs, run{
+			Policy:        p.Name(),
+			CleanCost:     clean.Cost,
+			FaultyCost:    faulty.Cost,
+			Overhead:      faulty.Cost / clean.Cost,
+			Crashes:       faulty.Crashes,
+			Evictions:     faulty.Evictions,
+			Retries:       faulty.Retries,
+			ItemsLost:     faulty.ItemsLost,
+			Rejected:      faulty.Rejected,
+			TimedOut:      faulty.TimedOut,
+			QueuedPlaced:  faulty.QueuedPlaced,
+			QueueDelay:    faulty.QueueDelay,
+			LostUsageTime: faulty.LostUsageTime,
+			Served:        served,
+		})
+	}
+
+	if err := flush(out, *jsonOut); err != nil {
+		fatal(err)
+	}
+	if *metricsF {
+		for _, p := range policies {
+			col, ok := collectors[p.Name()]
+			if !ok {
+				continue
+			}
+			label := ""
+			if len(policies) > 1 {
+				label = p.Name()
+			}
+			if err := report.WriteMetrics(os.Stdout, label, col.Snapshot()); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	if out.Partial {
+		fmt.Fprintf(os.Stderr, "dvbpchaos: timeout after %v: %d/%d policies completed (partial results above)\n",
+			*timeout, len(out.Runs), len(policies))
+		os.Exit(2)
+	}
+}
+
+// flush writes the comparison, as JSON or as the human-readable header+table.
+func flush(out output, asJSON bool) error {
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(out)
+	}
+	fmt.Printf("instance: d=%d items=%d span=%.4g mu=%.4g\n", out.Dim, out.Items, out.Span, out.Mu)
+	fmt.Printf("faults: %s\n", out.Faults)
+	t := &report.Table{Headers: []string{
+		"policy", "clean cost", "faulty cost", "overhead",
+		"crashes", "evict", "retry", "lost", "reject", "timeout", "served",
+	}}
+	for _, r := range out.Runs {
+		t.AddRow(r.Policy,
+			fmt.Sprintf("%.4f", r.CleanCost), fmt.Sprintf("%.4f", r.FaultyCost),
+			fmt.Sprintf("%.4fx", r.Overhead),
+			fmt.Sprintf("%d", r.Crashes), fmt.Sprintf("%d", r.Evictions),
+			fmt.Sprintf("%d", r.Retries), fmt.Sprintf("%d", r.ItemsLost),
+			fmt.Sprintf("%d", r.Rejected), fmt.Sprintf("%d", r.TimedOut),
+			fmt.Sprintf("%d/%d", r.Served, out.Items))
+	}
+	fmt.Print(t.Render())
+	return nil
+}
+
+func loadInstance(path string, d, n, mu, horizon, binSize int, seed int64) (*item.List, error) {
+	if path == "" {
+		return workload.Uniform(workload.UniformConfig{D: d, N: n, Mu: mu, T: horizon, B: binSize}, seed)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".json") {
+		return workload.ReadJSON(f)
+	}
+	return workload.ReadCSV(f)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dvbpchaos:", err)
+	if errors.Is(err, context.DeadlineExceeded) {
+		os.Exit(2)
+	}
+	os.Exit(1)
+}

@@ -21,6 +21,7 @@ import (
 	"dvbp/internal/check"
 	"dvbp/internal/core"
 	"dvbp/internal/exactopt"
+	"dvbp/internal/faults"
 	"dvbp/internal/item"
 	"dvbp/internal/lowerbound"
 	"dvbp/internal/metrics"
@@ -47,11 +48,22 @@ func main() {
 		metricsF  = flag.Bool("metrics", false, "collect engine metrics per policy and dump JSON + Prometheus snapshots")
 		list      = flag.Bool("list", false, "list policy names and exit")
 	)
+	var spec faults.Spec
+	spec.Register(flag.CommandLine, "")
 	flag.Parse()
+
+	plan, err := spec.Plan()
+	if err != nil {
+		fatal(err)
+	}
 
 	if *list {
 		fmt.Println(strings.Join(core.PolicyNames(), "\n"))
 		return
+	}
+
+	if plan.Active() && *checkFlag {
+		fatal(fmt.Errorf("-check validates the fault-free model; it cannot be combined with fault/admission flags"))
 	}
 
 	l, err := loadInstance(*tracePath, *d, *n, *mu, *horizon, *binSize, *seed)
@@ -61,6 +73,9 @@ func main() {
 
 	lb := lowerbound.Compute(l)
 	fmt.Printf("instance: d=%d items=%d span=%.4g mu=%.4g\n", l.Dim, l.Len(), l.Span(), l.Mu())
+	if plan.Active() {
+		fmt.Printf("faults: %s\n", plan)
+	}
 	fmt.Printf("lower bounds on OPT: integral=%.4f utilization=%.4f span=%.4f\n",
 		lb.Integral, lb.Utilization, lb.Span)
 	var upCost float64
@@ -102,10 +117,14 @@ func main() {
 	if *exact {
 		ratioHeader = "cost/OPT"
 	}
-	t := &report.Table{Headers: []string{"policy", "cost", ratioHeader, "bins", "peak bins"}}
+	headers := []string{"policy", "cost", ratioHeader, "bins", "peak bins"}
+	if plan.Active() {
+		headers = append(headers, "crashes", "evict", "retry", "lost", "reject", "timeout")
+	}
+	t := &report.Table{Headers: headers}
 	collectors := make(map[string]*metrics.Collector)
 	for _, p := range policies {
-		var opts []core.Option
+		opts := plan.Options()
 		if *metricsF {
 			col := metrics.NewCollector()
 			collectors[p.Name()] = col
@@ -120,12 +139,22 @@ func main() {
 				fatal(fmt.Errorf("%s failed validation: %w", p.Name(), err))
 			}
 		}
-		t.AddRow(p.Name(), fmt.Sprintf("%.4f", res.Cost), fmt.Sprintf("%.4f", res.Cost/denom),
-			fmt.Sprintf("%d", res.BinsOpened), fmt.Sprintf("%d", res.MaxConcurrentBins))
+		row := []string{p.Name(), fmt.Sprintf("%.4f", res.Cost), fmt.Sprintf("%.4f", res.Cost/denom),
+			fmt.Sprintf("%d", res.BinsOpened), fmt.Sprintf("%d", res.MaxConcurrentBins)}
+		if plan.Active() {
+			row = append(row, fmt.Sprintf("%d", res.Crashes), fmt.Sprintf("%d", res.Evictions),
+				fmt.Sprintf("%d", res.Retries), fmt.Sprintf("%d", res.ItemsLost),
+				fmt.Sprintf("%d", res.Rejected), fmt.Sprintf("%d", res.TimedOut))
+		}
+		t.AddRow(row...)
 		if *bins {
 			for _, b := range res.Bins {
-				fmt.Printf("  %s bin %d: [%.4g, %.4g) usage=%.4g items=%d\n",
-					p.Name(), b.BinID, b.OpenedAt, b.ClosedAt, b.Usage(), b.Packed)
+				mark := ""
+				if b.Crashed {
+					mark = " CRASHED"
+				}
+				fmt.Printf("  %s bin %d: [%.4g, %.4g) usage=%.4g items=%d%s\n",
+					p.Name(), b.BinID, b.OpenedAt, b.ClosedAt, b.Usage(), b.Packed, mark)
 			}
 		}
 	}

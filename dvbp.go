@@ -20,6 +20,9 @@
 //     certificates;
 //   - a cloud-billing simulation layer (servers, VM requests, pay-as-you-go
 //     tariffs);
+//   - a fault-injection and failure-recovery layer: deterministic crash
+//     schedules (seeded MTBF or explicit traces), eviction with retry
+//     backoff, and finite fleets with admission control (see cmd/dvbpchaos);
 //   - the experiment harness that regenerates every table and figure of the
 //     paper (see cmd/dvbpbench).
 //
@@ -41,6 +44,7 @@ import (
 	"dvbp/internal/clairvoyant"
 	"dvbp/internal/cloudsim"
 	"dvbp/internal/core"
+	"dvbp/internal/faults"
 	"dvbp/internal/item"
 	"dvbp/internal/lowerbound"
 	"dvbp/internal/offline"
@@ -215,6 +219,84 @@ func TheoremEightInstance(n int, mu float64) (*AdversarialInstance, error) {
 func BestFitDegradationInstance(r int) (*AdversarialInstance, error) {
 	return adversary.BestFitPillars(r, float64(r*r))
 }
+
+// FailureInjector decides, per opened bin, whether and when it crashes.
+// Implementations must be deterministic functions of their configuration —
+// internal/faults provides seeded MTBF schedules and explicit traces.
+type FailureInjector = core.FailureInjector
+
+// RetryPolicy maps an eviction's attempt number to a re-dispatch delay.
+type RetryPolicy = core.RetryPolicy
+
+// FailureObserver extends Observer with failure-path callbacks (crashes,
+// evictions, losses, admission rejections, queueing).
+type FailureObserver = core.FailureObserver
+
+// BaseFailureObserver is a no-op FailureObserver for embedding.
+type BaseFailureObserver = core.BaseFailureObserver
+
+// Outcome classifies how the engine disposed of one item under faults and
+// admission control (served, lost, rejected, timed out).
+type Outcome = core.Outcome
+
+// Outcome values, mirrored from internal/core.
+const (
+	OutcomeServed   = core.OutcomeServed
+	OutcomeLost     = core.OutcomeLost
+	OutcomeRejected = core.OutcomeRejected
+	OutcomeTimedOut = core.OutcomeTimedOut
+)
+
+// WithFaults injects a deterministic crash schedule into a simulation: bins
+// crash per inj, evicted items re-dispatch per retry (nil = immediately).
+func WithFaults(inj FailureInjector, retry RetryPolicy) Option {
+	return core.WithFaults(inj, retry)
+}
+
+// WithMaxBins caps the fleet at n concurrently open bins; dispatches that
+// find no room are rejected (or queued, with WithAdmissionQueue).
+func WithMaxBins(n int) Option { return core.WithMaxBins(n) }
+
+// WithAdmissionQueue holds dispatches that the full fleet cannot place and
+// retries them as capacity frees, abandoning them after deadline time units.
+func WithAdmissionQueue(deadline float64) Option { return core.WithAdmissionQueue(deadline) }
+
+// MTBFSchedule is a seeded exponential (memoryless) crash schedule: each bin
+// draws its time-to-failure from its (Seed, BinID) stream, so runs replay
+// bit-identically.
+type MTBFSchedule = faults.MTBF
+
+// CrashTrace is an explicit, validated list of bin-crash events.
+type CrashTrace = faults.Trace
+
+// CrashEvent is one entry of a CrashTrace: a bin and its crash time,
+// absolute or relative to the bin's opening.
+type CrashEvent = faults.TraceEvent
+
+// NewCrashTrace validates events and builds a CrashTrace.
+func NewCrashTrace(events []CrashEvent) (*CrashTrace, error) { return faults.NewTrace(events) }
+
+// RetryImmediate re-dispatches evicted items at the crash instant.
+type RetryImmediate = faults.Immediate
+
+// RetryFixed re-dispatches evicted items after a constant wait.
+type RetryFixed = faults.Fixed
+
+// RetryBackoff re-dispatches with exponential backoff (Base·Factor^(k−1),
+// capped at Cap).
+type RetryBackoff = faults.Backoff
+
+// ParseRetry parses a retry-policy spec such as "immediate", "fixed:2" or
+// "backoff:0.5:30:2" (the CLI -retry syntax).
+func ParseRetry(s string) (RetryPolicy, error) { return faults.ParseRetry(s) }
+
+// ParseCrashTrace parses a compact crash-trace spec such as "0@5,2+1.5"
+// (bin@absolute-time, bin+time-after-open — the CLI -crash-trace syntax).
+func ParseCrashTrace(s string) (*CrashTrace, error) { return faults.ParseTrace(s) }
+
+// FaultPlan bundles an injector, retry policy and fleet limits into the
+// Option set a chaos run needs; see cmd/dvbpchaos for the CLI counterpart.
+type FaultPlan = faults.Plan
 
 // CloudConfig configures the cloud-billing simulation layer.
 type CloudConfig = cloudsim.Config

@@ -88,6 +88,26 @@ func ExampleSimulate_clairvoyant() {
 	// Output: bins=2 (classes kept apart)
 }
 
+// ExampleWithFaults crashes a server mid-run: the item is evicted, retried
+// immediately, and finishes its session on a replacement bin.
+func ExampleWithFaults() {
+	l := dvbp.NewList(1)
+	l.Add(0, 10, dvbp.Vec(0.6))
+
+	trace, err := dvbp.NewCrashTrace([]dvbp.CrashEvent{{BinID: 0, At: 4}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := dvbp.Simulate(l, dvbp.NewFirstFit(),
+		dvbp.WithFaults(trace, dvbp.RetryImmediate{}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cost=%.0f bins=%d crashes=%d retries=%d outcome=%s\n",
+		res.Cost, res.BinsOpened, res.Crashes, res.Retries, res.Outcomes[0])
+	// Output: cost=10 bins=2 crashes=1 retries=1 outcome=served
+}
+
 // ExampleUniformWorkload generates the paper's Table 2 experimental model.
 func ExampleUniformWorkload() {
 	l, err := dvbp.UniformWorkload(dvbp.UniformConfig{D: 2, N: 100, Mu: 10, T: 100, B: 100}, 1)

@@ -65,6 +65,25 @@ type Config struct {
 	Policy core.Policy
 	// Billing is the tariff.
 	Billing Billing
+
+	// MaxServers caps the fleet at this many simultaneously rented servers
+	// (0 = unbounded, the paper's model). When a request fits no active
+	// server and the cap is reached, the request is rejected — or queued,
+	// when Queue is set.
+	MaxServers int
+	// Queue enables graceful degradation under MaxServers: over-capacity
+	// requests wait in a FIFO admission queue instead of being rejected.
+	Queue bool
+	// QueueDeadline is how long a queued request may wait before timing
+	// out (also bounded by the request's own duration window).
+	QueueDeadline float64
+
+	// Faults, when non-nil, injects server crashes (see internal/faults for
+	// deterministic schedules). Sessions running on a crashed server are
+	// evicted and re-dispatched per Retry.
+	Faults core.FailureInjector
+	// Retry schedules re-dispatch of evicted sessions; nil means immediate.
+	Retry core.RetryPolicy
 }
 
 // ServerUsage reports one rented server's lifetime.
@@ -75,6 +94,9 @@ type ServerUsage struct {
 	Usage    float64
 	Billed   float64
 	Sessions int
+	// Crashed reports that the server was taken down by fault injection
+	// rather than released after its last session.
+	Crashed bool
 }
 
 // Report is the outcome of a cloud simulation.
@@ -90,8 +112,37 @@ type Report struct {
 	BilledCost float64
 	// Servers lists per-server usage, ascending by ServerID.
 	Servers []ServerUsage
-	// PlacementOf maps request ID -> server ID.
+	// PlacementOf maps request ID -> server ID (the last server the request
+	// ran on, when crashes forced re-placements).
 	PlacementOf map[int]int
+
+	// Failure and admission accounting; all zero on a fault-free,
+	// uncapped run.
+
+	// Crashes is the number of servers lost to fault injection.
+	Crashes int
+	// Evictions counts session displacements caused by crashes.
+	Evictions int
+	// Retries counts successful re-placements of evicted sessions.
+	Retries int
+	// QueuedPlaced counts placements that came out of the admission queue,
+	// and QueueDelay the total time those requests spent waiting.
+	QueuedPlaced int
+	QueueDelay   float64
+	// LostUsageTime is the total session time lost to crashes.
+	LostUsageTime float64
+	// LostIDs, RejectedIDs and TimedOutIDs list the requests (by caller ID,
+	// ascending) that terminally failed: evicted with no time to resume,
+	// rejected at admission, or expired in the admission queue.
+	LostIDs     []int
+	RejectedIDs []int
+	TimedOutIDs []int
+}
+
+// Failed reports the total number of requests that were not served to
+// completion.
+func (r *Report) Failed() int {
+	return len(r.LostIDs) + len(r.RejectedIDs) + len(r.TimedOutIDs)
 }
 
 // Run dispatches the requests online and returns the usage/billing report.
@@ -111,13 +162,21 @@ func Run(cfg Config, reqs []Request) (*Report, error) {
 			return nil, fmt.Errorf("cloudsim: non-positive capacity component in %v", cfg.Capacity)
 		}
 	}
+	if cfg.MaxServers < 0 {
+		return nil, fmt.Errorf("cloudsim: negative MaxServers")
+	}
+	if cfg.Queue && (cfg.MaxServers == 0 || cfg.QueueDeadline < 0 || math.IsNaN(cfg.QueueDeadline)) {
+		return nil, fmt.Errorf("cloudsim: Queue requires MaxServers > 0 and a non-negative QueueDeadline")
+	}
 	if len(reqs) == 0 {
 		return nil, fmt.Errorf("cloudsim: no requests")
+	}
+	if err := ValidateRequests(cfg.Capacity, reqs); err != nil {
+		return nil, err
 	}
 
 	d := cfg.Capacity.Dim()
 	l := item.NewList(d)
-	ids := make(map[int]bool, len(reqs))
 	// Keep input order for ties; items get internal IDs 0..n-1 and we map
 	// back through reqIDs.
 	reqIDs := make([]int, 0, len(reqs))
@@ -125,32 +184,25 @@ func Run(cfg Config, reqs []Request) (*Report, error) {
 	copy(sorted, reqs)
 	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Arrive < sorted[j].Arrive })
 	for _, rq := range sorted {
-		if ids[rq.ID] {
-			return nil, fmt.Errorf("cloudsim: duplicate request id %d", rq.ID)
-		}
-		ids[rq.ID] = true
-		if rq.Demand.Dim() != d {
-			return nil, fmt.Errorf("cloudsim: request %d demand dimension %d, want %d", rq.ID, rq.Demand.Dim(), d)
-		}
-		if rq.Duration <= 0 {
-			return nil, fmt.Errorf("cloudsim: request %d non-positive duration", rq.ID)
-		}
 		norm := vector.New(d)
 		for j := 0; j < d; j++ {
-			if rq.Demand[j] < 0 {
-				return nil, fmt.Errorf("cloudsim: request %d negative demand", rq.ID)
-			}
 			norm[j] = rq.Demand[j] / cfg.Capacity[j]
-			if norm[j] > 1+vector.Eps {
-				return nil, fmt.Errorf("cloudsim: request %d demand %v exceeds capacity %v in dimension %d",
-					rq.ID, rq.Demand, cfg.Capacity, j)
-			}
 		}
 		l.Add(rq.Arrive, rq.Arrive+rq.Duration, norm)
 		reqIDs = append(reqIDs, rq.ID)
 	}
 
-	res, err := core.Simulate(l, cfg.Policy)
+	var opts []core.Option
+	if cfg.Faults != nil {
+		opts = append(opts, core.WithFaults(cfg.Faults, cfg.Retry))
+	}
+	if cfg.MaxServers > 0 {
+		opts = append(opts, core.WithMaxBins(cfg.MaxServers))
+		if cfg.Queue {
+			opts = append(opts, core.WithAdmissionQueue(cfg.QueueDeadline))
+		}
+	}
+	res, err := core.Simulate(l, cfg.Policy, opts...)
 	if err != nil {
 		return nil, fmt.Errorf("cloudsim: %w", err)
 	}
@@ -162,6 +214,12 @@ func Run(cfg Config, reqs []Request) (*Report, error) {
 		UsageTime:     res.Cost,
 		PlacementOf:   make(map[int]int, len(reqs)),
 	}
+	rep.Crashes = res.Crashes
+	rep.Evictions = res.Evictions
+	rep.Retries = res.Retries
+	rep.QueuedPlaced = res.QueuedPlaced
+	rep.QueueDelay = res.QueueDelay
+	rep.LostUsageTime = res.LostUsageTime
 	for _, b := range res.Bins {
 		su := ServerUsage{
 			ServerID: b.BinID,
@@ -170,13 +228,29 @@ func Run(cfg Config, reqs []Request) (*Report, error) {
 			Usage:    b.Usage(),
 			Billed:   cfg.Billing.Bill(b.Usage()),
 			Sessions: b.Packed,
+			Crashed:  b.Crashed,
 		}
 		rep.BilledCost += su.Billed
 		rep.Servers = append(rep.Servers, su)
 	}
+	// Placements are time-ordered, so later re-placements overwrite: the map
+	// records where each request last ran.
 	for _, p := range res.Placements {
 		rep.PlacementOf[reqIDs[p.ItemID]] = p.BinID
 	}
+	for itemID, o := range res.Outcomes {
+		switch o {
+		case core.OutcomeLost:
+			rep.LostIDs = append(rep.LostIDs, reqIDs[itemID])
+		case core.OutcomeRejected:
+			rep.RejectedIDs = append(rep.RejectedIDs, reqIDs[itemID])
+		case core.OutcomeTimedOut:
+			rep.TimedOutIDs = append(rep.TimedOutIDs, reqIDs[itemID])
+		}
+	}
+	sort.Ints(rep.LostIDs)
+	sort.Ints(rep.RejectedIDs)
+	sort.Ints(rep.TimedOutIDs)
 	return rep, nil
 }
 

@@ -1,0 +1,208 @@
+package cloudsim
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"dvbp/internal/core"
+	"dvbp/internal/faults"
+	"dvbp/internal/vector"
+)
+
+func TestValidateRequestsStructuredErrors(t *testing.T) {
+	cap2 := vector.Of(4, 8)
+	good := Request{ID: 1, Arrive: 0, Duration: 5, Demand: vector.Of(2, 4)}
+	cases := []struct {
+		name  string
+		reqs  []Request
+		field string
+		id    int
+	}{
+		{"duplicate-id", []Request{good, {ID: 1, Arrive: 1, Duration: 2, Demand: vector.Of(1, 1)}}, "ID", 1},
+		{"nan-arrive", []Request{{ID: 2, Arrive: math.NaN(), Duration: 5, Demand: vector.Of(1, 1)}}, "Arrive", 2},
+		{"inf-arrive", []Request{{ID: 3, Arrive: math.Inf(1), Duration: 5, Demand: vector.Of(1, 1)}}, "Arrive", 3},
+		{"zero-duration", []Request{{ID: 4, Arrive: 0, Duration: 0, Demand: vector.Of(1, 1)}}, "Duration", 4},
+		{"nan-duration", []Request{{ID: 5, Arrive: 0, Duration: math.NaN(), Demand: vector.Of(1, 1)}}, "Duration", 5},
+		{"dim-mismatch", []Request{{ID: 6, Arrive: 0, Duration: 5, Demand: vector.Of(1)}}, "Demand", 6},
+		{"nan-demand", []Request{{ID: 7, Arrive: 0, Duration: 5, Demand: vector.Of(math.NaN(), 1)}}, "Demand", 7},
+		{"negative-demand", []Request{{ID: 8, Arrive: 0, Duration: 5, Demand: vector.Of(-1, 1)}}, "Demand", 8},
+		{"oversized-demand", []Request{{ID: 9, Arrive: 0, Duration: 5, Demand: vector.Of(5, 1)}}, "Demand", 9},
+	}
+	for _, c := range cases {
+		err := ValidateRequests(cap2, c.reqs)
+		if err == nil {
+			t.Errorf("%s: expected error", c.name)
+			continue
+		}
+		var re *RequestError
+		if !errors.As(err, &re) {
+			t.Errorf("%s: error %v is not a *RequestError", c.name, err)
+			continue
+		}
+		if re.Field != c.field || re.ID != c.id {
+			t.Errorf("%s: got (id=%d, field=%s), want (id=%d, field=%s): %v",
+				c.name, re.ID, re.Field, c.id, c.field, err)
+		}
+	}
+	if err := ValidateRequests(cap2, []Request{good}); err != nil {
+		t.Errorf("valid request rejected: %v", err)
+	}
+}
+
+func TestRunRejectsInvalidStreamBeforeDispatch(t *testing.T) {
+	cfg := Config{Capacity: vector.Of(4), Policy: core.NewFirstFit(), Billing: Billing{PricePerUnit: 1}}
+	_, err := Run(cfg, []Request{{ID: 1, Arrive: 0, Duration: 5, Demand: vector.Of(math.NaN())}})
+	var re *RequestError
+	if !errors.As(err, &re) {
+		t.Fatalf("Run should surface *RequestError, got %v", err)
+	}
+}
+
+func TestRunFiniteFleetRejects(t *testing.T) {
+	cfg := Config{
+		Capacity: vector.Of(4), Policy: core.NewFirstFit(),
+		Billing: Billing{PricePerUnit: 1}, MaxServers: 1,
+	}
+	reqs := []Request{
+		{ID: 10, Arrive: 0, Duration: 10, Demand: vector.Of(4)},
+		{ID: 20, Arrive: 1, Duration: 5, Demand: vector.Of(4)},
+	}
+	rep, err := Run(cfg, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep.RejectedIDs, []int{20}) {
+		t.Errorf("RejectedIDs = %v, want [20]", rep.RejectedIDs)
+	}
+	if rep.PeakServers != 1 || rep.ServersRented != 1 {
+		t.Errorf("fleet cap violated: %+v", rep)
+	}
+	if rep.Failed() != 1 {
+		t.Errorf("Failed() = %d, want 1", rep.Failed())
+	}
+}
+
+func TestRunFiniteFleetQueues(t *testing.T) {
+	cfg := Config{
+		Capacity: vector.Of(4), Policy: core.NewFirstFit(),
+		Billing: Billing{PricePerUnit: 1}, MaxServers: 1, Queue: true, QueueDeadline: 100,
+	}
+	reqs := []Request{
+		{ID: 10, Arrive: 0, Duration: 4, Demand: vector.Of(4)},
+		{ID: 20, Arrive: 1, Duration: 9, Demand: vector.Of(4)},
+	}
+	rep, err := Run(cfg, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.QueuedPlaced != 1 || rep.QueueDelay != 3 {
+		t.Errorf("queue accounting: %+v", rep)
+	}
+	if len(rep.RejectedIDs) != 0 || len(rep.TimedOutIDs) != 0 {
+		t.Errorf("no request should fail: %+v", rep)
+	}
+	// Request 20 waits from t=1 to t=4; its departure stays at t=10, so the
+	// queue delay eats into the session: usage is 4 + 6, not 4 + 9.
+	if rep.UsageTime != 10 {
+		t.Errorf("UsageTime = %v, want 10", rep.UsageTime)
+	}
+}
+
+func TestRunQueueConfigValidation(t *testing.T) {
+	base := Config{Capacity: vector.Of(4), Policy: core.NewFirstFit()}
+	reqs := []Request{{ID: 1, Arrive: 0, Duration: 1, Demand: vector.Of(1)}}
+	for _, cfg := range []Config{
+		{Capacity: base.Capacity, Policy: base.Policy, Queue: true, QueueDeadline: 5},                 // queue without cap
+		{Capacity: base.Capacity, Policy: base.Policy, MaxServers: 1, Queue: true, QueueDeadline: -1}, // negative deadline
+		{Capacity: base.Capacity, Policy: base.Policy, MaxServers: -2},                                // negative cap
+	} {
+		if _, err := Run(cfg, reqs); err == nil {
+			t.Errorf("config %+v should be rejected", cfg)
+		}
+	}
+}
+
+func TestRunWithCrashSchedule(t *testing.T) {
+	tr, err := faults.NewTrace([]faults.TraceEvent{{BinID: 0, At: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Capacity: vector.Of(4), Policy: core.NewFirstFit(),
+		Billing: Billing{PricePerUnit: 1},
+		Faults:  tr, Retry: faults.Immediate{},
+	}
+	reqs := []Request{{ID: 7, Arrive: 0, Duration: 10, Demand: vector.Of(2)}}
+	rep, err := Run(cfg, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Crashes != 1 || rep.Evictions != 1 || rep.Retries != 1 {
+		t.Fatalf("failure accounting: %+v", rep)
+	}
+	if !rep.Servers[0].Crashed || rep.Servers[1].Crashed {
+		t.Errorf("Crashed flags: %+v", rep.Servers)
+	}
+	// The session migrated: PlacementOf records the final server.
+	if rep.PlacementOf[7] != 1 {
+		t.Errorf("PlacementOf[7] = %d, want 1 (re-placed after crash)", rep.PlacementOf[7])
+	}
+	if rep.UsageTime != 10 || rep.BilledCost != 10 {
+		t.Errorf("usage/billing: %+v", rep)
+	}
+}
+
+func TestRunLostSessionAccounting(t *testing.T) {
+	tr, err := faults.NewTrace([]faults.TraceEvent{{BinID: 0, At: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Capacity: vector.Of(4), Policy: core.NewFirstFit(),
+		Faults: tr, Retry: faults.Fixed{Wait: 100},
+	}
+	reqs := []Request{{ID: 7, Arrive: 0, Duration: 10, Demand: vector.Of(2)}}
+	rep, err := Run(cfg, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep.LostIDs, []int{7}) {
+		t.Errorf("LostIDs = %v, want [7]", rep.LostIDs)
+	}
+	if rep.LostUsageTime != 6 {
+		t.Errorf("LostUsageTime = %v, want 6 (crash at 4 of a 10-long session)", rep.LostUsageTime)
+	}
+}
+
+// TestRunFaultyDeterminism: identical config and stream → identical reports.
+func TestRunFaultyDeterminism(t *testing.T) {
+	cfg := Config{
+		Capacity: vector.Of(8, 16), Policy: core.NewBestFit(core.MaxLoad()),
+		Billing:    Billing{PricePerUnit: 2},
+		MaxServers: 3, Queue: true, QueueDeadline: 5,
+		Faults: faults.MTBF{Mean: 12, Seed: 9}, Retry: faults.Backoff{Base: 0.5, Cap: 4},
+	}
+	var reqs []Request
+	for i := 0; i < 60; i++ {
+		reqs = append(reqs, Request{
+			ID: i, Arrive: float64(i % 17), Duration: 3 + float64(i%7),
+			Demand: vector.Of(float64(1+i%8), float64(2+i%15)),
+		})
+	}
+	a, err := Run(cfg, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("non-deterministic reports:\n%+v\n%+v", a, b)
+	}
+	if a.Crashes == 0 {
+		t.Error("schedule exercised no crashes")
+	}
+}

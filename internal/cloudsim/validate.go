@@ -1,0 +1,63 @@
+package cloudsim
+
+import (
+	"fmt"
+	"math"
+
+	"dvbp/internal/vector"
+)
+
+// RequestError is a structured validation failure for one request, reported
+// before any dispatch happens. Errors from ValidateRequests unwrap to it, so
+// callers can switch on the offending field programmatically.
+type RequestError struct {
+	// ID is the offending request's ID (the caller's identifier).
+	ID int
+	// Field names the invalid field: "ID", "Arrive", "Duration" or "Demand".
+	Field string
+	// Detail is a human-readable description of the violation.
+	Detail string
+}
+
+// Error implements error.
+func (e *RequestError) Error() string {
+	return fmt.Sprintf("cloudsim: request %d: invalid %s: %s", e.ID, e.Field, e.Detail)
+}
+
+// ValidateRequests checks a request stream against a capacity vector before
+// dispatch, mirroring item.List.Validate on the engine side: finite arrival,
+// positive finite duration, demand vector of the right dimension with finite,
+// non-negative components that fit the capacity, and unique IDs. The first
+// violation is returned as a *RequestError; nil means the stream is clean.
+func ValidateRequests(capacity vector.Vector, reqs []Request) error {
+	d := capacity.Dim()
+	ids := make(map[int]bool, len(reqs))
+	for _, rq := range reqs {
+		if ids[rq.ID] {
+			return &RequestError{ID: rq.ID, Field: "ID", Detail: "duplicate request ID"}
+		}
+		ids[rq.ID] = true
+		if math.IsNaN(rq.Arrive) || math.IsInf(rq.Arrive, 0) {
+			return &RequestError{ID: rq.ID, Field: "Arrive", Detail: fmt.Sprintf("non-finite arrival %v", rq.Arrive)}
+		}
+		if math.IsNaN(rq.Duration) || math.IsInf(rq.Duration, 0) || rq.Duration <= 0 {
+			return &RequestError{ID: rq.ID, Field: "Duration", Detail: fmt.Sprintf("duration %v must be finite and positive", rq.Duration)}
+		}
+		if rq.Demand.Dim() != d {
+			return &RequestError{ID: rq.ID, Field: "Demand", Detail: fmt.Sprintf("dimension %d, want %d", rq.Demand.Dim(), d)}
+		}
+		for j := 0; j < d; j++ {
+			v := rq.Demand[j]
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return &RequestError{ID: rq.ID, Field: "Demand", Detail: fmt.Sprintf("non-finite component %v in dimension %d", v, j)}
+			}
+			if v < 0 {
+				return &RequestError{ID: rq.ID, Field: "Demand", Detail: fmt.Sprintf("negative component %v in dimension %d", v, j)}
+			}
+			if v/capacity[j] > 1+vector.Eps {
+				return &RequestError{ID: rq.ID, Field: "Demand", Detail: fmt.Sprintf("demand %v exceeds capacity %v in dimension %d", rq.Demand, capacity, j)}
+			}
+		}
+	}
+	return nil
+}

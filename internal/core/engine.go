@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"dvbp/internal/eventq"
 	"dvbp/internal/item"
@@ -14,6 +15,13 @@ type config struct {
 	clairvoyant bool
 	audit       *Audit
 	observer    Observer
+
+	// Failure/recovery configuration (see failure.go).
+	injector      FailureInjector
+	retry         RetryPolicy
+	maxBins       int
+	queueWhenFull bool
+	queueDeadline float64
 }
 
 // WithClairvoyance exposes item departure times to the policy (Request.
@@ -33,12 +41,16 @@ func WithAudit(a *Audit) Option {
 // as the Theorem 2 leading-interval decomposition. Any method may be nil-safe
 // no-op via BaseObserver.
 type Observer interface {
-	// BeforePack fires when an item is about to be packed, after departures
-	// at or before its arrival time have been processed.
+	// BeforePack fires when an item is about to be dispatched, after all
+	// events at or before the dispatch time have been processed. Under
+	// admission control (WithMaxBins) the dispatch may fail: the follow-up
+	// is then ItemQueued or ItemRejected (FailureObserver) instead of
+	// AfterPack.
 	BeforePack(req Request, open []*Bin)
 	// AfterPack fires after the item is packed.
 	AfterPack(req Request, b *Bin, opened bool)
-	// BinClosed fires when a bin's last item departs at time t.
+	// BinClosed fires when a bin closes at time t — its last item departed,
+	// or fault injection crashed it (in which case BinCrashed follows).
 	BinClosed(b *Bin, t float64)
 }
 
@@ -80,6 +92,33 @@ type departure struct {
 	binID  int
 }
 
+// retryDispatch is a scheduled re-dispatch of an evicted item.
+type retryDispatch struct {
+	it      item.Item
+	attempt int
+}
+
+// queuedDispatch is one admission-queue entry, FIFO by enqueue order.
+type queuedDispatch struct {
+	it       item.Item
+	attempt  int
+	queuedAt float64
+	deadline float64 // absolute drop time (inclusive)
+}
+
+// Event classes: when several events share a time instant they are processed
+// in this order. Departures free capacity first (half-open intervals);
+// crashes evict next, so a same-instant departure completes before the crash;
+// re-dispatches of evicted items precede fresh arrivals (they have been
+// waiting longer).
+const (
+	evDeparture = iota
+	evCrash
+	evRetry
+	evArrival
+	evNone
+)
+
 // Simulate runs the Any Fit skeleton (Algorithm 1) over the item list with
 // the given policy and returns the resulting packing and its MinUsageTime
 // cost. The list is validated first; the input is not modified.
@@ -90,7 +129,10 @@ type departure struct {
 // item arriving at t. (The paper's Theorem 5 construction has new items
 // arrive "just before" old ones depart; such instances encode the arrival at
 // time t - ε or rely on same-time arrival ordering, both of which this
-// engine preserves.)
+// engine preserves.) With fault injection, same-instant events run
+// departures, then crashes, then re-dispatches of evicted items, then
+// arrivals; the admission queue is drained after every capacity-freeing
+// event, ahead of same-instant dispatches.
 func Simulate(l *item.List, p Policy, opts ...Option) (*Result, error) {
 	if err := l.Validate(); err != nil {
 		return nil, fmt.Errorf("core: invalid input: %w", err)
@@ -99,37 +141,62 @@ func Simulate(l *item.List, p Policy, opts ...Option) (*Result, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
+	if cfg.injector != nil && cfg.retry == nil {
+		cfg.retry = retryNow{}
+	}
 	p.Reset()
 
 	arrivals := l.SortedByArrival()
 
 	var (
-		open        []*Bin // opening order (ascending ID); may hold tombstones until compacted
-		holes       int    // tombstone (nil) count in open
-		departures  eventq.Queue[departure]
-		res         = &Result{Algorithm: p.Name(), Dim: l.Dim, Items: l.Len(), Span: l.Span(), Mu: l.Mu()}
-		nextBinID   int
-		binsByID    = make(map[int]*Bin)
-		sizesByItem = make(map[int]item.Item, l.Len())
+		open       []*Bin // opening order (ascending ID); may hold tombstones until compacted
+		holes      int    // tombstone (nil) count in open
+		departures eventq.Queue[departure]
+		crashes    eventq.Queue[int] // payload: bin ID
+		retries    eventq.Queue[retryDispatch]
+		retrySeq   int64
+		waitq      []queuedDispatch
+		res        = &Result{
+			Algorithm: p.Name(), Dim: l.Dim, Items: l.Len(), Span: l.Span(), Mu: l.Mu(),
+			Outcomes: make(map[int]Outcome, l.Len()),
+		}
+		nextBinID int
+		binsByID  = make(map[int]*Bin)
+		itemsByID = make(map[int]item.Item, l.Len())
+		attempts  map[int]int // item ID -> eviction count (allocated on first crash)
+		served    int
 	)
 	for _, it := range l.Items {
-		sizesByItem[it.ID] = it
+		itemsByID[it.ID] = it
 	}
 	var (
 		probe  *fitProbe
 		selObs SelectObserver
+		fObs   FailureObserver
 	)
 	if so, ok := cfg.observer.(SelectObserver); ok {
 		selObs = so
 		probe = &fitProbe{}
 	}
+	if fo, ok := cfg.observer.(FailureObserver); ok {
+		fObs = fo
+	}
+
+	makeReq := func(it item.Item, now float64, attempt int) Request {
+		req := Request{ID: it.ID, SeqNo: it.SeqNo, Arrival: now, Size: it.Size, Attempt: attempt}
+		if cfg.clairvoyant {
+			req.Departure = it.Departure
+			req.HasDeparture = true
+		}
+		return req
+	}
 
 	// Closing a bin only tombstones its slot — O(1), so a burst of closings
 	// between two arrivals costs O(burst) instead of the O(burst·open)
 	// repeated splicing would. The slice is compacted (order preserved)
-	// before the next arrival consults the policy.
-	closeBinAt := func(b *Bin, t float64) {
-		res.Bins = append(res.Bins, BinUsage{BinID: b.ID, OpenedAt: b.OpenedAt, ClosedAt: t, Packed: b.PackedItems()})
+	// before the next dispatch consults the policy.
+	closeBinAt := func(b *Bin, t float64, crashed bool) {
+		res.Bins = append(res.Bins, BinUsage{BinID: b.ID, OpenedAt: b.OpenedAt, ClosedAt: t, Packed: b.PackedItems(), Crashed: crashed})
 		res.Cost += t - b.OpenedAt
 		open[b.openIdx] = nil
 		holes++
@@ -158,39 +225,15 @@ func Simulate(l *item.List, p Policy, opts ...Option) (*Result, error) {
 		holes = 0
 	}
 
-	processDepartures := func(upTo float64) error {
-		for _, ev := range departures.PopUntil(upTo) {
-			b, ok := binsByID[ev.Payload.binID]
-			if !ok {
-				return fmt.Errorf("core: departure from unknown bin %d", ev.Payload.binID)
-			}
-			if err := b.remove(ev.Payload.itemID); err != nil {
-				return fmt.Errorf("core: %w", err)
-			}
-			if b.Empty() {
-				closeBinAt(b, ev.Time)
-			}
-		}
-		return nil
-	}
-
-	for _, it := range arrivals {
-		// Departures strictly before or at the arrival instant free capacity
-		// first (half-open intervals).
-		if err := processDepartures(it.Arrival); err != nil {
-			return nil, err
-		}
+	// dispatch runs one packing decision for it at time now. It returns
+	// placed=false when admission control turned the dispatch away (queued,
+	// rejected, or — for fromQueue dispatches — left in the queue).
+	dispatch := func(it item.Item, attempt int, now float64, fromQueue bool) (placed bool, err error) {
 		compact()
-
-		req := Request{ID: it.ID, SeqNo: it.SeqNo, Arrival: it.Arrival, Size: it.Size}
-		if cfg.clairvoyant {
-			req.Departure = it.Departure
-			req.HasDeparture = true
-		}
+		req := makeReq(it, now, attempt)
 		if cfg.observer != nil {
 			cfg.observer.BeforePack(req, open)
 		}
-
 		if probe != nil {
 			probe.armed, probe.n = true, 0
 		}
@@ -201,15 +244,38 @@ func Simulate(l *item.List, p Policy, opts ...Option) (*Result, error) {
 		}
 		opened := false
 		if b == nil {
-			b = newBin(nextBinID, l.Dim, it.Arrival)
+			if cfg.maxBins > 0 && len(open)-holes >= cfg.maxBins {
+				if fromQueue {
+					return false, nil // stays queued; caller keeps the entry
+				}
+				if cfg.queueWhenFull {
+					waitq = append(waitq, queuedDispatch{it: it, attempt: attempt, queuedAt: now, deadline: now + cfg.queueDeadline})
+					if fObs != nil {
+						fObs.ItemQueued(req, now)
+					}
+				} else {
+					res.Rejected++
+					res.Outcomes[it.ID] = OutcomeRejected
+					if fObs != nil {
+						fObs.ItemRejected(req, now, false)
+					}
+				}
+				return false, nil
+			}
+			b = newBin(nextBinID, l.Dim, now)
 			b.openIdx = len(open)
 			b.probe = probe
 			nextBinID++
 			open = append(open, b)
 			binsByID[b.ID] = b
 			opened = true
+			if cfg.injector != nil {
+				if at, ok := cfg.injector.BinOpened(b.ID, now); ok && !math.IsNaN(at) && at > now {
+					crashes.PushAt(at, int64(b.ID), b.ID)
+				}
+			}
 		} else if _, known := binsByID[b.ID]; !known {
-			return nil, fmt.Errorf("core: policy %s returned closed or foreign bin %d", p.Name(), b.ID)
+			return false, fmt.Errorf("core: policy %s returned closed or foreign bin %d", p.Name(), b.ID)
 		}
 		if cfg.audit != nil {
 			// Record before packing so loads and fit flags reflect the state
@@ -217,26 +283,189 @@ func Simulate(l *item.List, p Policy, opts ...Option) (*Result, error) {
 			cfg.audit.record(req, b, opened, open)
 		}
 		if err := b.pack(it.ID, it.Size); err != nil {
-			return nil, fmt.Errorf("core: policy %s chose unfit bin: %w", p.Name(), err)
+			return false, fmt.Errorf("core: policy %s chose unfit bin: %w", p.Name(), err)
 		}
 		p.OnPack(req, b, opened)
 		if cfg.observer != nil {
 			cfg.observer.AfterPack(req, b, opened)
 		}
 
-		res.Placements = append(res.Placements, Placement{ItemID: it.ID, BinID: b.ID, Opened: opened, Time: it.Arrival})
+		res.Placements = append(res.Placements, Placement{ItemID: it.ID, BinID: b.ID, Opened: opened, Time: now, Attempt: attempt})
+		if attempt > 0 {
+			res.Retries++
+		}
 		departures.PushAt(it.Departure, int64(it.ID), departure{itemID: it.ID, binID: b.ID})
-		if len(open) > res.MaxConcurrentBins {
-			res.MaxConcurrentBins = len(open)
+		if live := len(open) - holes; live > res.MaxConcurrentBins {
+			res.MaxConcurrentBins = live
+		}
+		return true, nil
+	}
+
+	// drainQueue gives every admission-queue entry one placement attempt at
+	// time t, in FIFO order, dropping expired entries along the way. A single
+	// pass suffices: capacity only shrinks while the pass places items.
+	drainQueue := func(t float64) error {
+		if len(waitq) == 0 {
+			return nil
+		}
+		kept := waitq[:0]
+		for _, q := range waitq {
+			if t > q.deadline || t >= q.it.Departure {
+				res.TimedOut++
+				res.Outcomes[q.it.ID] = OutcomeTimedOut
+				if fObs != nil {
+					fObs.ItemRejected(makeReq(q.it, t, q.attempt), t, true)
+				}
+				continue
+			}
+			placed, err := dispatch(q.it, q.attempt, t, true)
+			if err != nil {
+				return err
+			}
+			if placed {
+				res.QueuedPlaced++
+				res.QueueDelay += t - q.queuedAt
+				if fObs != nil {
+					fObs.ItemDequeued(makeReq(q.it, t, q.attempt), q.queuedAt, t)
+				}
+				continue
+			}
+			kept = append(kept, q)
+		}
+		// Zero the tail so dropped entries don't pin memory.
+		tail := waitq[len(kept):]
+		for i := range tail {
+			tail[i] = queuedDispatch{}
+		}
+		waitq = kept
+		return nil
+	}
+
+	handleDeparture := func(t float64, ev departure) error {
+		b, ok := binsByID[ev.binID]
+		if !ok {
+			if cfg.injector != nil {
+				return nil // stale: the bin crashed and the item was evicted
+			}
+			return fmt.Errorf("core: departure from unknown bin %d", ev.binID)
+		}
+		if err := b.remove(ev.itemID); err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
+		served++
+		res.Outcomes[ev.itemID] = OutcomeServed
+		if b.Empty() {
+			closeBinAt(b, t, false)
+		}
+		return drainQueue(t)
+	}
+
+	handleCrash := func(t float64, binID int) error {
+		b, ok := binsByID[binID]
+		if !ok {
+			return nil // the bin closed naturally before its crash fired
+		}
+		evicted := b.ActiveItemIDs() // ascending ID: deterministic eviction order
+		res.Crashes++
+		closeBinAt(b, t, true)
+		if fObs != nil {
+			fObs.BinCrashed(b, t, len(evicted))
+		}
+		if attempts == nil {
+			attempts = make(map[int]int)
+		}
+		for _, id := range evicted {
+			it := itemsByID[id]
+			attempts[id]++
+			attempt := attempts[id]
+			res.Evictions++
+			req := makeReq(it, t, attempt)
+			delay := cfg.retry.Delay(attempt)
+			if !(delay > 0) { // also normalises NaN and negative delays
+				delay = 0
+			}
+			retryAt := t + delay
+			if retryAt < it.Departure {
+				res.LostUsageTime += retryAt - t
+				retrySeq++
+				retries.PushAt(retryAt, retrySeq, retryDispatch{it: it, attempt: attempt})
+				if fObs != nil {
+					fObs.ItemEvicted(req, b, t, retryAt)
+				}
+			} else {
+				res.ItemsLost++
+				res.LostUsageTime += it.Departure - t
+				res.Outcomes[id] = OutcomeLost
+				if fObs != nil {
+					fObs.ItemEvicted(req, b, t, it.Departure)
+					fObs.ItemLost(req, t)
+				}
+			}
+		}
+		return drainQueue(t)
+	}
+
+	// Merge loop: repeatedly process the earliest pending event across the
+	// four sources, breaking time ties by event class (departure < crash <
+	// re-dispatch < arrival) and, within a class, by each queue's own
+	// deterministic sequence.
+	ai := 0
+	for {
+		t, class := math.Inf(1), evNone
+		if e, ok := departures.Peek(); ok {
+			t, class = e.Time, evDeparture
+		}
+		if e, ok := crashes.Peek(); ok && (e.Time < t || (e.Time == t && evCrash < class)) {
+			t, class = e.Time, evCrash
+		}
+		if e, ok := retries.Peek(); ok && (e.Time < t || (e.Time == t && evRetry < class)) {
+			t, class = e.Time, evRetry
+		}
+		if ai < len(arrivals) && (arrivals[ai].Arrival < t || (arrivals[ai].Arrival == t && evArrival < class)) {
+			t, class = arrivals[ai].Arrival, evArrival
+		}
+		if class == evNone {
+			break
+		}
+		var err error
+		switch class {
+		case evDeparture:
+			e, _ := departures.Pop()
+			err = handleDeparture(e.Time, e.Payload)
+		case evCrash:
+			e, _ := crashes.Pop()
+			err = handleCrash(e.Time, e.Payload)
+		case evRetry:
+			e, _ := retries.Pop()
+			_, err = dispatch(e.Payload.it, e.Payload.attempt, e.Time, false)
+		case evArrival:
+			it := arrivals[ai]
+			ai++
+			_, err = dispatch(it, 0, it.Arrival, false)
+		}
+		if err != nil {
+			return nil, err
 		}
 	}
 
-	// Drain remaining departures.
-	if err := processDepartures(l.Hull().Hi); err != nil {
-		return nil, err
+	// Defensive sweep: the final bin close drains the queue with the whole
+	// fleet free, so entries can remain only if they were already expired.
+	for _, q := range waitq {
+		res.TimedOut++
+		res.Outcomes[q.it.ID] = OutcomeTimedOut
+		if fObs != nil {
+			t := math.Min(q.deadline, q.it.Departure)
+			fObs.ItemRejected(makeReq(q.it, t, q.attempt), t, true)
+		}
 	}
-	if departures.Len() != 0 || len(open)-holes != 0 {
-		return nil, fmt.Errorf("core: internal error: %d departures and %d bins left after drain", departures.Len(), len(open)-holes)
+	waitq = nil
+
+	if len(open)-holes != 0 {
+		return nil, fmt.Errorf("core: internal error: %d bins left open after drain", len(open)-holes)
+	}
+	if served+res.ItemsLost+res.Rejected+res.TimedOut != l.Len() {
+		return nil, fmt.Errorf("core: internal error: item conservation violated (%d served, %d lost, %d rejected, %d timed out of %d)",
+			served, res.ItemsLost, res.Rejected, res.TimedOut, l.Len())
 	}
 
 	res.BinsOpened = nextBinID

@@ -37,6 +37,93 @@ func FuzzSimulate(f *testing.F) {
 	})
 }
 
+// FuzzSimulateFaulty decodes an item list plus a fault configuration from the
+// byte string and differentially tests the fast engine against the naive
+// faulty reference: identical Results (including failure accounting), item
+// conservation, and structural bin invariants under crash/evict/retry and
+// admission control.
+func FuzzSimulateFaulty(f *testing.F) {
+	f.Add([]byte{3, 9, 1, 2, 10, 1, 5, 3, 20, 2, 7, 9, 50, 10, 1, 1})
+	f.Add([]byte{1, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{255, 255, 255, 255, 255, 255, 255, 255, 255, 255, 255, 255})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 8 {
+			return
+		}
+		seed := int64(data[0])
+		mean := 1 + float64(data[1]%24)
+		retryWait := float64(data[2]%8) / 2
+		maxBins := int(data[3] % 5) // 0 = unbounded
+		queue := data[3]&0x80 != 0
+		l := decodeInstance(data[4:])
+		if l == nil {
+			return
+		}
+		opts := []Option{WithFaults(hashInj{seed: seed, mean: mean}, fixedRetry{wait: retryWait})}
+		if maxBins > 0 {
+			opts = append(opts, WithMaxBins(maxBins))
+			if queue {
+				opts = append(opts, WithAdmissionQueue(float64(data[1]%10)))
+			}
+		}
+		for _, p := range StandardPolicies(seed) {
+			res, err := Simulate(l, p, opts...)
+			if err != nil {
+				t.Fatalf("%s: %v on %v", p.Name(), err, l.Items)
+			}
+			ref, err := SimulateFaultyReference(l, p, opts...)
+			if err != nil {
+				t.Fatalf("%s: reference: %v on %v", p.Name(), err, l.Items)
+			}
+			faultyResultsEqual(t, p.Name(), res, ref)
+			checkFaultStructure(t, p.Name(), res, maxBins)
+		}
+	})
+}
+
+// checkFaultStructure asserts the structural invariants any faulty run must
+// satisfy: interval sanity per bin, placements inside their bin's lifetime,
+// fleet cap respected, and conservation of items across terminal outcomes.
+func checkFaultStructure(t *testing.T, label string, res *Result, maxBins int) {
+	t.Helper()
+	if len(res.Bins) != res.BinsOpened {
+		t.Fatalf("%s: %d bin records for %d opened", label, len(res.Bins), res.BinsOpened)
+	}
+	byID := make(map[int]BinUsage, len(res.Bins))
+	for i, b := range res.Bins {
+		if b.ClosedAt < b.OpenedAt {
+			t.Fatalf("%s: bin %d closed before it opened: %+v", label, b.BinID, b)
+		}
+		if i > 0 && res.Bins[i-1].BinID >= b.BinID {
+			t.Fatalf("%s: bin records not ascending by ID", label)
+		}
+		if i > 0 && res.Bins[i-1].OpenedAt > b.OpenedAt {
+			t.Fatalf("%s: bin %d opened before its predecessor", label, b.BinID)
+		}
+		byID[b.BinID] = b
+	}
+	for _, p := range res.Placements {
+		b, ok := byID[p.BinID]
+		if !ok {
+			t.Fatalf("%s: placement into unknown bin %d", label, p.BinID)
+		}
+		if p.Time < b.OpenedAt || p.Time > b.ClosedAt {
+			t.Fatalf("%s: placement at %v outside bin %d lifetime [%v,%v]",
+				label, p.Time, p.BinID, b.OpenedAt, b.ClosedAt)
+		}
+	}
+	if maxBins > 0 && res.MaxConcurrentBins > maxBins {
+		t.Fatalf("%s: peak %d bins exceeds cap %d", label, res.MaxConcurrentBins, maxBins)
+	}
+	counts := map[Outcome]int{}
+	for _, o := range res.Outcomes {
+		counts[o]++
+	}
+	if got := counts[OutcomeServed] + res.ItemsLost + res.Rejected + res.TimedOut; got != res.Items {
+		t.Fatalf("%s: conservation violated: %d terminal items of %d", label, got, res.Items)
+	}
+}
+
 // decodeInstance maps fuzz bytes onto a small valid instance: groups of four
 // bytes become (arrival, duration, size0, size1) with all values scaled into
 // range. Returns nil when the input is too short.

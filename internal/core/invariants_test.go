@@ -208,6 +208,87 @@ func TestAllPoliciesAgreeOnTrivialInstance(t *testing.T) {
 	}
 }
 
+// faultyAuditRun simulates with auditing under a seeded crash schedule, a
+// delayed retry policy and a capped fleet with an admission queue — the
+// harshest combination the engine supports.
+func faultyAuditRun(t *testing.T, seed int64, p Policy) (*Result, *Audit) {
+	t.Helper()
+	l := randomList(seed, 400, 2, 30)
+	var a Audit
+	res := mustSimulate(t, l, p, WithAudit(&a),
+		WithFaults(hashInj{seed: seed, mean: 10}, fixedRetry{wait: 1}),
+		WithMaxBins(6), WithAdmissionQueue(5))
+	if res.Crashes == 0 || res.Evictions == 0 {
+		t.Fatalf("%s seed=%d: fault paths not exercised (%s)", p.Name(), seed, res)
+	}
+	return res, &a
+}
+
+// TestAnyFitInvariantUnderEviction: the Any Fit rule must survive crashes —
+// every re-placement of an evicted item is a fresh decision, and a new bin
+// may open only when no open bin fits. (Next Fit exempt as in the fault-free
+// test; the fleet-cap rejection path never records a decision, so the audit
+// stream stays decision-per-placement.)
+func TestAnyFitInvariantUnderEviction(t *testing.T) {
+	policies := []Policy{
+		NewFirstFit(), NewBestFit(MaxLoad()), NewWorstFit(MaxLoad()),
+		NewLastFit(), NewRandomFit(11), NewMoveToFront(),
+	}
+	for _, p := range policies {
+		for seed := int64(0); seed < 3; seed++ {
+			res, a := faultyAuditRun(t, seed, p)
+			if len(a.Decisions) != len(res.Placements) {
+				t.Fatalf("%s seed=%d: %d decisions for %d placements",
+					p.Name(), seed, len(a.Decisions), len(res.Placements))
+			}
+			for i, d := range a.Decisions {
+				if d.Opened && len(d.FittingBinIDs) > 0 {
+					t.Errorf("%s seed=%d decision %d (attempt %d): opened a bin while %v fit item %d",
+						p.Name(), seed, i, d.Req.Attempt, d.FittingBinIDs, d.Req.ID)
+				}
+			}
+		}
+	}
+}
+
+// TestCapacityInvariantUnderEviction: no audited load snapshot may exceed
+// capacity even while evicted items are being re-packed.
+func TestCapacityInvariantUnderEviction(t *testing.T) {
+	for _, p := range StandardPolicies(17) {
+		_, a := faultyAuditRun(t, 17, p)
+		for i, d := range a.Decisions {
+			for k, load := range d.LoadsLinf {
+				if load > 1+1e-9 {
+					t.Errorf("%s decision %d: bin %d overfull (%v)", p.Name(), i, d.OpenBinIDs[k], load)
+				}
+			}
+		}
+	}
+}
+
+// TestIntervalAndOrderInvariantsUnderEviction: crashed and naturally closed
+// bins alike must have sane usage intervals, ascending IDs with nondecreasing
+// opening times, every placement inside its bin's lifetime, and the fleet cap
+// respected at all times.
+func TestIntervalAndOrderInvariantsUnderEviction(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		for _, p := range StandardPolicies(seed) {
+			res, _ := faultyAuditRun(t, seed, p)
+			checkFaultStructure(t, p.Name(), res, 6)
+			crashed := 0
+			for _, b := range res.Bins {
+				if b.Crashed {
+					crashed++
+				}
+			}
+			if crashed != res.Crashes {
+				t.Errorf("%s seed=%d: %d crashed-bin records vs Crashes=%d",
+					p.Name(), seed, crashed, res.Crashes)
+			}
+		}
+	}
+}
+
 // TestAuditNewBinOpeningsMatchesResult verifies audit bookkeeping.
 func TestAuditNewBinOpeningsMatchesResult(t *testing.T) {
 	l := randomList(5, 200, 2, 10)

@@ -19,6 +19,11 @@ type Request struct {
 
 	Departure    float64
 	HasDeparture bool
+
+	// Attempt is 0 on the item's first dispatch and k when the item is
+	// being re-dispatched after its k-th eviction (fault injection only).
+	// Arrival is the current dispatch time, not the original arrival.
+	Attempt int
 }
 
 // Policy chooses among open bins. Implementations hold any per-run state they

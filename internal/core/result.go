@@ -6,14 +6,18 @@ import (
 	"strings"
 )
 
-// Placement records where one item was packed.
+// Placement records where one item was packed. Under fault injection an
+// item may have several placements (one per dispatch that succeeded).
 type Placement struct {
 	ItemID int
 	BinID  int
 	// Opened reports whether packing this item opened a new bin.
 	Opened bool
-	// Time is the packing (arrival) time.
+	// Time is the packing (dispatch) time.
 	Time float64
+	// Attempt is 0 for the first placement and k for the re-placement after
+	// the item's k-th eviction.
+	Attempt int
 }
 
 // BinUsage summarises one bin's lifetime: a single usage interval, per the
@@ -24,6 +28,9 @@ type BinUsage struct {
 	ClosedAt float64
 	// Packed is the number of items the bin ever held.
 	Packed int
+	// Crashed reports that the bin was forcibly closed by fault injection
+	// rather than by its last item departing.
+	Crashed bool
 }
 
 // Usage returns the bin's contribution to the packing cost.
@@ -52,10 +59,76 @@ type Result struct {
 	Span float64
 	// Mu is the max/min duration ratio of the input.
 	Mu float64
+
+	// Failure and admission accounting. All fields below are zero on a
+	// fault-free, uncapped run (the paper's model).
+
+	// Crashes is the number of bins forcibly closed by fault injection.
+	Crashes int
+	// Evictions counts item displacements caused by crashes (an item
+	// evicted twice counts twice).
+	Evictions int
+	// Retries counts successful re-placements of evicted items.
+	Retries int
+	// ItemsLost counts evicted items that could not be re-dispatched before
+	// their own departure time.
+	ItemsLost int
+	// Rejected counts dispatches dropped because the fleet was at WithMaxBins
+	// capacity and no admission queue was configured.
+	Rejected int
+	// TimedOut counts admission-queue entries dropped because their deadline
+	// or their own departure passed before capacity freed.
+	TimedOut int
+	// QueuedPlaced counts placements that came out of the admission queue.
+	QueuedPlaced int
+	// QueueDelay is the total simulated time QueuedPlaced items spent
+	// waiting in the admission queue.
+	QueueDelay float64
+	// LostUsageTime is the total usage time lost to crashes: for every
+	// eviction, the gap between the crash and the item's re-dispatch (or its
+	// departure, when the item is lost).
+	LostUsageTime float64
+	// Outcomes maps every input item ID to its terminal state.
+	Outcomes map[int]Outcome
 }
 
-// PlacementOf returns the placement record for an item ID (ok=false if the
-// item is unknown).
+// Outcome is the terminal state of one input item.
+type Outcome uint8
+
+// The four terminal states. Every item reaches exactly one.
+const (
+	// OutcomeServed: the item departed normally (possibly after one or more
+	// eviction/re-placement cycles).
+	OutcomeServed Outcome = iota
+	// OutcomeLost: the item was evicted by a crash and could not resume
+	// before its departure.
+	OutcomeLost
+	// OutcomeRejected: a dispatch of the item was dropped at admission with
+	// no queue configured.
+	OutcomeRejected
+	// OutcomeTimedOut: the item waited in the admission queue until its
+	// deadline (or departure) passed.
+	OutcomeTimedOut
+)
+
+// String renders the outcome name.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeServed:
+		return "served"
+	case OutcomeLost:
+		return "lost"
+	case OutcomeRejected:
+		return "rejected"
+	case OutcomeTimedOut:
+		return "timed-out"
+	}
+	return "unknown"
+}
+
+// PlacementOf returns the first placement record for an item ID (ok=false
+// if the item was never placed). Under fault injection later placements of
+// the same item are found by scanning Placements directly.
 func (r *Result) PlacementOf(itemID int) (Placement, bool) {
 	for _, p := range r.Placements {
 		if p.ItemID == itemID {
@@ -89,6 +162,10 @@ func (r *Result) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s: d=%d items=%d bins=%d peak=%d cost=%.4f span=%.4f",
 		r.Algorithm, r.Dim, r.Items, r.BinsOpened, r.MaxConcurrentBins, r.Cost, r.Span)
+	if r.Crashes > 0 || r.Rejected > 0 || r.TimedOut > 0 {
+		fmt.Fprintf(&b, " crashes=%d evict=%d retry=%d lost=%d reject=%d timeout=%d",
+			r.Crashes, r.Evictions, r.Retries, r.ItemsLost, r.Rejected, r.TimedOut)
+	}
 	return b.String()
 }
 

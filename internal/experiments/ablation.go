@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"dvbp/internal/clairvoyant"
@@ -22,6 +23,8 @@ type AblationConfig struct {
 	// Observer, when non-nil, is attached to every simulation (see
 	// Figure4Config.Observer for the concurrency contract).
 	Observer core.Observer
+	// Ctx cancels outstanding trials early (see Figure4Config.Ctx).
+	Ctx context.Context
 }
 
 // DefaultAblation matches one Figure 4 cell (d=2, μ=100) at reduced instance
@@ -61,7 +64,7 @@ func runPolicySet(cfg AblationConfig, names []string, mk func(name string, seed 
 			out[pi] = res.Cost / lb
 		}
 		return out, nil
-	}, parallel.Options{Workers: cfg.Workers})
+	}, parallel.Options{Workers: cfg.Workers, Context: cfg.Ctx})
 	if err != nil {
 		return nil, err
 	}
@@ -146,7 +149,7 @@ func RunBillingAblation(cfg AblationConfig, quantum float64) ([]BillingRow, erro
 			}
 		}
 		return tr, nil
-	}, parallel.Options{Workers: cfg.Workers})
+	}, parallel.Options{Workers: cfg.Workers, Context: cfg.Ctx})
 	if err != nil {
 		return nil, err
 	}

@@ -9,6 +9,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -45,6 +46,9 @@ type Figure4Config struct {
 	// metrics.Collector qualifies and aggregates counters across the whole
 	// experiment. The observer does not affect packing results.
 	Observer core.Observer
+	// Ctx cancels outstanding trials early (e.g. a command -timeout); nil
+	// means Background. On cancellation the run returns the context error.
+	Ctx context.Context
 }
 
 // observerOpts converts an optional shared observer into Simulate options.
@@ -159,7 +163,7 @@ func runFigure4Cell(cfg Figure4Config, d, mu int) (map[string]stats.Summary, err
 			out[pi] = r.Cost / lb
 		}
 		return out, nil
-	}, parallel.Options{Workers: cfg.Workers})
+	}, parallel.Options{Workers: cfg.Workers, Context: cfg.Ctx})
 	if err != nil {
 		return nil, err
 	}

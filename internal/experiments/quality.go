@@ -65,7 +65,7 @@ func RunQuality(cfg AblationConfig) ([]QualityRow, error) {
 			tr.ratio[pi] = res.Cost / lb
 		}
 		return tr, nil
-	}, parallel.Options{Workers: cfg.Workers})
+	}, parallel.Options{Workers: cfg.Workers, Context: cfg.Ctx})
 	if err != nil {
 		return nil, err
 	}

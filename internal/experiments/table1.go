@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -173,6 +174,8 @@ type UpperBoundCheckConfig struct {
 	// Observer, when non-nil, is attached to every simulation (see
 	// Figure4Config.Observer for the concurrency contract).
 	Observer core.Observer
+	// Ctx cancels outstanding trials early (see Figure4Config.Ctx).
+	Ctx context.Context
 }
 
 // DefaultUpperBoundCheck uses a smaller grid than Figure 4 because the
@@ -231,7 +234,7 @@ func RunUpperBoundCheck(cfg UpperBoundCheckConfig) ([]UpperBoundViolation, int, 
 			}
 		}
 		return tr, nil
-	}, parallel.Options{Workers: cfg.Workers})
+	}, parallel.Options{Workers: cfg.Workers, Context: cfg.Ctx})
 	if err != nil {
 		return nil, 0, err
 	}

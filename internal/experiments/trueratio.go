@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -27,6 +28,8 @@ type TrueRatioConfig struct {
 	// Observer, when non-nil, is attached to every simulation (see
 	// Figure4Config.Observer for the concurrency contract).
 	Observer core.Observer
+	// Ctx cancels outstanding trials early (see Figure4Config.Ctx).
+	Ctx context.Context
 }
 
 // DefaultTrueRatio keeps the expected peak concurrency ~ N·μ̄/T well under
@@ -102,7 +105,7 @@ func RunTrueRatio(cfg TrueRatioConfig) (*TrueRatioResult, error) {
 			tr.costs[pi] = res.Cost
 		}
 		return tr, nil
-	}, parallel.Options{Workers: cfg.Workers})
+	}, parallel.Options{Workers: cfg.Workers, Context: cfg.Ctx})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,139 @@
+// Package faults provides deterministic fault-injection schedules and retry
+// policies for the packing engine (core.WithFaults) and the cloud simulator.
+//
+// The paper's model assumes a perfectly reliable, unbounded fleet. This
+// package relaxes the reliability half: it decides when bins (servers) crash
+// and how evicted items are re-dispatched. Everything here is a pure
+// function of explicit configuration — no wall clock, no global RNG — so a
+// run with the same workload seed and the same fault schedule is bit-for-bit
+// reproducible.
+//
+// Two schedule families are provided:
+//
+//   - MTBF: every opened bin draws a time-to-failure from a seeded
+//     exponential distribution (memoryless, the classic mean-time-between-
+//     failures model). The draw depends only on (Seed, bin ID), so two
+//     engines replaying the same run see identical crash times.
+//   - Trace: an explicit list of crash events, absolute or relative to bin
+//     opening, for scripted chaos experiments and regression tests.
+//
+// Retry policies cover the standard ladder: Immediate, Fixed delay, and
+// capped exponential Backoff. ParseRetry and ParseTrace give the commands a
+// shared flag syntax.
+package faults
+
+import (
+	"fmt"
+	"math"
+)
+
+// DefaultMinTTF is the floor applied to MTBF time-to-failure draws. A crash
+// at (or arbitrarily near) the opening instant would evict the very item
+// whose placement opened the bin in a zero-width usage interval; the floor
+// keeps generated schedules physically sensible while remaining far below
+// any realistic duration scale.
+const DefaultMinTTF = 1e-6
+
+// MTBF schedules a crash for every opened bin at an exponentially
+// distributed time-to-failure with the given mean. The zero value is not
+// useful; Mean must be positive. MTBF is stateless: the draw for a bin is a
+// pure function of (Seed, binID), so replays and reference simulations see
+// the same schedule regardless of call order.
+type MTBF struct {
+	// Mean is the mean time between failures (the exponential's mean), in
+	// simulated time units. Must be > 0.
+	Mean float64
+	// Seed selects the schedule. Two MTBF values with the same Mean and Seed
+	// produce identical crash times.
+	Seed int64
+	// MinTTF floors each draw; 0 means DefaultMinTTF.
+	MinTTF float64
+}
+
+// BinOpened implements core.FailureInjector.
+func (m MTBF) BinOpened(binID int, openedAt float64) (float64, bool) {
+	if !(m.Mean > 0) {
+		return 0, false
+	}
+	u := rng01(m.Seed, binID)
+	ttf := -m.Mean * math.Log(1-u)
+	min := m.MinTTF
+	if min <= 0 {
+		min = DefaultMinTTF
+	}
+	if ttf < min {
+		ttf = min
+	}
+	return openedAt + ttf, true
+}
+
+// String renders the schedule for logs and reports.
+func (m MTBF) String() string {
+	return fmt.Sprintf("mtbf(mean=%g,seed=%d)", m.Mean, m.Seed)
+}
+
+// rng01 maps (seed, n) to a uniform float64 in [0, 1) via a SplitMix64 step,
+// mirroring parallel.SeedFor. Stateless by construction.
+func rng01(seed int64, n int) float64 {
+	z := uint64(seed) + 0x9E3779B97F4A7C15*uint64(n+1)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return float64(z>>11) / (1 << 53)
+}
+
+// TraceEvent is one scripted crash.
+type TraceEvent struct {
+	// BinID is the bin (server) the event targets. Bin IDs are assigned by
+	// the engine in opening order starting from 0.
+	BinID int
+	// At is the crash time: absolute simulation time, or an offset after the
+	// bin's opening when AfterOpen is set.
+	At float64
+	// AfterOpen interprets At as "time units after the bin opened".
+	AfterOpen bool
+}
+
+// Trace is an explicit fault schedule: at most one crash per bin ID. Crashes
+// scheduled for bins that never open, or after the target bin has already
+// closed naturally, are silently inert (the engine drops them).
+type Trace struct {
+	byBin map[int]TraceEvent
+}
+
+// NewTrace builds a trace schedule, rejecting duplicate bin IDs and
+// non-finite or negative times.
+func NewTrace(events []TraceEvent) (*Trace, error) {
+	byBin := make(map[int]TraceEvent, len(events))
+	for _, e := range events {
+		if e.BinID < 0 {
+			return nil, fmt.Errorf("faults: trace event with negative bin ID %d", e.BinID)
+		}
+		if math.IsNaN(e.At) || math.IsInf(e.At, 0) || e.At < 0 {
+			return nil, fmt.Errorf("faults: trace event for bin %d has invalid time %v", e.BinID, e.At)
+		}
+		if _, dup := byBin[e.BinID]; dup {
+			return nil, fmt.Errorf("faults: duplicate trace event for bin %d", e.BinID)
+		}
+		byBin[e.BinID] = e
+	}
+	return &Trace{byBin: byBin}, nil
+}
+
+// BinOpened implements core.FailureInjector.
+func (tr *Trace) BinOpened(binID int, openedAt float64) (float64, bool) {
+	e, ok := tr.byBin[binID]
+	if !ok {
+		return 0, false
+	}
+	if e.AfterOpen {
+		return openedAt + e.At, true
+	}
+	return e.At, true
+}
+
+// Len returns the number of scheduled crashes.
+func (tr *Trace) Len() int { return len(tr.byBin) }
+
+// String renders the schedule for logs and reports.
+func (tr *Trace) String() string { return fmt.Sprintf("trace(%d events)", len(tr.byBin)) }

@@ -1,0 +1,215 @@
+package faults
+
+import (
+	"math"
+	"testing"
+
+	"dvbp/internal/core"
+	"dvbp/internal/item"
+	"dvbp/internal/vector"
+)
+
+func TestMTBFDeterministicAndStateless(t *testing.T) {
+	m := MTBF{Mean: 10, Seed: 42}
+	a1, ok1 := m.BinOpened(3, 5)
+	a2, ok2 := m.BinOpened(3, 5)
+	if !ok1 || !ok2 || a1 != a2 {
+		t.Fatalf("same (seed, bin) must give identical crash times: %v vs %v", a1, a2)
+	}
+	// Call order must not matter (stateless): interleave other bins.
+	m.BinOpened(0, 0)
+	m.BinOpened(7, 1)
+	a3, _ := m.BinOpened(3, 5)
+	if a3 != a1 {
+		t.Fatalf("draw for bin 3 changed after other calls: %v vs %v", a3, a1)
+	}
+	if b, _ := m.BinOpened(4, 5); b == a1 {
+		t.Error("different bins should (generically) crash at different times")
+	}
+	if d, _ := (MTBF{Mean: 10, Seed: 43}).BinOpened(3, 5); d == a1 {
+		t.Error("different seeds should (generically) differ")
+	}
+}
+
+func TestMTBFRespectsFloorAndOffset(t *testing.T) {
+	m := MTBF{Mean: 1e-12, Seed: 1}
+	at, ok := m.BinOpened(0, 100)
+	if !ok {
+		t.Fatal("mean > 0 must schedule a crash")
+	}
+	if at < 100+DefaultMinTTF {
+		t.Errorf("crash at %v violates the MinTTF floor", at)
+	}
+	if _, ok := (MTBF{Mean: 0}).BinOpened(0, 0); ok {
+		t.Error("zero mean must disable crashes")
+	}
+}
+
+func TestMTBFMeanIsPlausible(t *testing.T) {
+	m := MTBF{Mean: 20, Seed: 7}
+	sum := 0.0
+	const n = 4000
+	for i := 0; i < n; i++ {
+		at, _ := m.BinOpened(i, 0)
+		sum += at
+	}
+	if avg := sum / n; math.Abs(avg-20) > 2 {
+		t.Errorf("empirical mean TTF %v too far from 20", avg)
+	}
+}
+
+func TestTraceSchedules(t *testing.T) {
+	tr, err := NewTrace([]TraceEvent{
+		{BinID: 0, At: 5},
+		{BinID: 2, At: 1.5, AfterOpen: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at, ok := tr.BinOpened(0, 3); !ok || at != 5 {
+		t.Errorf("absolute event: got %v,%v", at, ok)
+	}
+	if at, ok := tr.BinOpened(2, 10); !ok || at != 11.5 {
+		t.Errorf("after-open event: got %v,%v", at, ok)
+	}
+	if _, ok := tr.BinOpened(1, 0); ok {
+		t.Error("unscheduled bin must not crash")
+	}
+	if tr.Len() != 2 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+}
+
+func TestTraceRejectsBadEvents(t *testing.T) {
+	for _, events := range [][]TraceEvent{
+		{{BinID: -1, At: 1}},
+		{{BinID: 0, At: math.NaN()}},
+		{{BinID: 0, At: -2}},
+		{{BinID: 1, At: 1}, {BinID: 1, At: 2}},
+	} {
+		if _, err := NewTrace(events); err == nil {
+			t.Errorf("NewTrace(%v) should fail", events)
+		}
+	}
+}
+
+func TestRetryPolicies(t *testing.T) {
+	if d := (Immediate{}).Delay(3); d != 0 {
+		t.Errorf("Immediate.Delay = %v", d)
+	}
+	if d := (Fixed{Wait: 2.5}).Delay(7); d != 2.5 {
+		t.Errorf("Fixed.Delay = %v", d)
+	}
+	b := Backoff{Base: 1, Cap: 10}
+	for attempt, want := range map[int]float64{1: 1, 2: 2, 3: 4, 4: 8, 5: 10, 6: 10} {
+		if d := b.Delay(attempt); d != want {
+			t.Errorf("Backoff.Delay(%d) = %v, want %v", attempt, d, want)
+		}
+	}
+	if d := (Backoff{Base: 1, Factor: 3}).Delay(3); d != 9 {
+		t.Errorf("factor-3 Delay(3) = %v, want 9", d)
+	}
+	if d := b.Delay(0); d != 1 {
+		t.Errorf("attempt < 1 should clamp to 1, got delay %v", d)
+	}
+}
+
+func TestParseRetry(t *testing.T) {
+	cases := map[string]string{
+		"":                 "immediate",
+		"immediate":        "immediate",
+		"fixed:2":          "fixed(2)",
+		"backoff:1":        "backoff(1,x2)",
+		"backoff:1:30":     "backoff(1,x2,cap=30)",
+		"backoff:0.5:30:3": "backoff(0.5,x3,cap=30)",
+	}
+	for in, want := range cases {
+		rp, err := ParseRetry(in)
+		if err != nil {
+			t.Fatalf("ParseRetry(%q): %v", in, err)
+		}
+		if rp.Name() != want {
+			t.Errorf("ParseRetry(%q).Name() = %q, want %q", in, rp.Name(), want)
+		}
+	}
+	for _, bad := range []string{"nope", "fixed", "fixed:x", "fixed:-1", "backoff", "backoff:1:2:3:4", "immediate:1", "fixed:NaN"} {
+		if _, err := ParseRetry(bad); err == nil {
+			t.Errorf("ParseRetry(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseTrace(t *testing.T) {
+	tr, err := ParseTrace("0@5, 2+1.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at, _ := tr.BinOpened(0, 0); at != 5 {
+		t.Errorf("bin 0 crash = %v", at)
+	}
+	if at, _ := tr.BinOpened(2, 4); at != 5.5 {
+		t.Errorf("bin 2 crash = %v", at)
+	}
+	for _, bad := range []string{"", "x@1", "0@", "0@-1", "0@1,0@2", "0"} {
+		if _, err := ParseTrace(bad); err == nil {
+			t.Errorf("ParseTrace(%q) should fail", bad)
+		}
+	}
+}
+
+func TestPlanOptionsAndString(t *testing.T) {
+	if (Plan{}).Active() {
+		t.Error("zero plan must be inactive")
+	}
+	if got := (Plan{}).String(); got != "none" {
+		t.Errorf("zero plan String = %q", got)
+	}
+	p := Plan{Injector: MTBF{Mean: 5, Seed: 1}, Retry: Fixed{Wait: 1}, MaxServers: 3, Queue: true, QueueDeadline: 2}
+	if !p.Active() {
+		t.Error("plan with injector must be active")
+	}
+	if n := len(p.Options()); n != 3 {
+		t.Errorf("Options() returned %d options, want 3", n)
+	}
+	if s := p.String(); s == "" || s == "none" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+// TestPlanDrivesEngine end-to-end: a trace plan through core.Simulate.
+func TestPlanDrivesEngine(t *testing.T) {
+	l := item.NewList(1)
+	l.Add(0, 10, vector.Of(0.5))
+	tr, err := NewTrace([]TraceEvent{{BinID: 0, At: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := Plan{Injector: tr, Retry: Immediate{}}
+	res, err := core.Simulate(l, core.NewFirstFit(), plan.Options()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Crashes != 1 || res.Retries != 1 || res.Cost != 10 {
+		t.Errorf("unexpected result: %s", res)
+	}
+}
+
+// FuzzParse exercises the flag-syntax parsers for panics and false accepts.
+func FuzzParse(f *testing.F) {
+	f.Add("backoff:1:30:2", "0@5,2+1.5")
+	f.Add("fixed:2", "1+0.5")
+	f.Add("", "")
+	f.Fuzz(func(t *testing.T, retry, trace string) {
+		if rp, err := ParseRetry(retry); err == nil {
+			d := rp.Delay(3)
+			if math.IsNaN(d) || d < 0 {
+				t.Fatalf("ParseRetry(%q) produced invalid delay %v", retry, d)
+			}
+		}
+		if tr, err := ParseTrace(trace); err == nil {
+			if at, ok := tr.BinOpened(0, 1); ok && (math.IsNaN(at) || at < 0) {
+				t.Fatalf("ParseTrace(%q) produced invalid crash time %v", trace, at)
+			}
+		}
+	})
+}

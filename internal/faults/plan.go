@@ -1,0 +1,128 @@
+package faults
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"dvbp/internal/core"
+)
+
+// Plan bundles one complete failure/admission configuration for a run.
+// The zero value is the paper's model: no crashes, unbounded fleet.
+type Plan struct {
+	// Injector schedules bin crashes; nil disables fault injection.
+	Injector core.FailureInjector
+	// Retry schedules re-dispatch of evicted items; nil means Immediate.
+	Retry core.RetryPolicy
+	// MaxServers caps the fleet (0 = unbounded).
+	MaxServers int
+	// Queue enables the admission queue when the fleet is full; otherwise
+	// over-capacity dispatches are rejected outright.
+	Queue bool
+	// QueueDeadline is how long a queued dispatch may wait before timing out.
+	QueueDeadline float64
+}
+
+// Active reports whether the plan changes anything relative to the paper's
+// fault-free, unbounded model.
+func (p Plan) Active() bool {
+	return p.Injector != nil || p.MaxServers > 0
+}
+
+// Options expands the plan into engine options for core.Simulate.
+func (p Plan) Options() []core.Option {
+	var opts []core.Option
+	if p.Injector != nil {
+		opts = append(opts, core.WithFaults(p.Injector, p.Retry))
+	}
+	if p.MaxServers > 0 {
+		opts = append(opts, core.WithMaxBins(p.MaxServers))
+		if p.Queue {
+			opts = append(opts, core.WithAdmissionQueue(p.QueueDeadline))
+		}
+	}
+	return opts
+}
+
+// String renders the plan for run headers.
+func (p Plan) String() string {
+	if !p.Active() {
+		return "none"
+	}
+	var parts []string
+	if p.Injector != nil {
+		parts = append(parts, fmt.Sprint(p.Injector))
+		retry := p.Retry
+		if retry == nil {
+			retry = Immediate{}
+		}
+		parts = append(parts, "retry="+retry.Name())
+	}
+	if p.MaxServers > 0 {
+		parts = append(parts, fmt.Sprintf("max-servers=%d", p.MaxServers))
+		if p.Queue {
+			parts = append(parts, fmt.Sprintf("queue-deadline=%g", p.QueueDeadline))
+		} else {
+			parts = append(parts, "overflow=reject")
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+// Spec holds the raw command-line fault flags shared by dvbpsim and
+// dvbpchaos. Register wires them into a FlagSet; Plan resolves them.
+type Spec struct {
+	MTBF          float64
+	FaultSeed     int64
+	Trace         string
+	Retry         string
+	MaxServers    int
+	QueueDeadline float64
+}
+
+// Register declares the fault flags on fs with the given prefix (e.g. ""
+// yields -mtbf, "faults-" yields -faults-mtbf).
+func (s *Spec) Register(fs *flag.FlagSet, prefix string) {
+	fs.Float64Var(&s.MTBF, prefix+"mtbf", 0, "mean time between failures per server (0 = no crashes)")
+	fs.Int64Var(&s.FaultSeed, prefix+"fault-seed", 1, "seed for the MTBF crash schedule")
+	fs.StringVar(&s.Trace, prefix+"crash-trace", "", "explicit crash schedule, e.g. '0@5,2+1.5' (BIN@TIME or BIN+OFFSET; overrides -"+prefix+"mtbf)")
+	fs.StringVar(&s.Retry, prefix+"retry", "immediate", "retry policy for evicted items: immediate | fixed:WAIT | backoff:BASE[:CAP[:FACTOR]]")
+	fs.IntVar(&s.MaxServers, prefix+"max-servers", 0, "finite fleet cap (0 = unbounded)")
+	fs.Float64Var(&s.QueueDeadline, prefix+"queue-deadline", -1, "admission-queue deadline when the fleet is full (<0 = reject instead of queueing)")
+}
+
+// Plan resolves the flags into a Plan, validating the combination.
+func (s *Spec) Plan() (Plan, error) {
+	p := Plan{MaxServers: s.MaxServers}
+	switch {
+	case s.Trace != "":
+		tr, err := ParseTrace(s.Trace)
+		if err != nil {
+			return Plan{}, err
+		}
+		p.Injector = tr
+	case s.MTBF < 0:
+		return Plan{}, fmt.Errorf("faults: -mtbf must be non-negative, got %g", s.MTBF)
+	case s.MTBF > 0:
+		p.Injector = MTBF{Mean: s.MTBF, Seed: s.FaultSeed}
+	}
+	if p.Injector != nil {
+		rp, err := ParseRetry(s.Retry)
+		if err != nil {
+			return Plan{}, err
+		}
+		p.Retry = rp
+	}
+	if s.MaxServers < 0 {
+		return Plan{}, fmt.Errorf("faults: -max-servers must be non-negative, got %d", s.MaxServers)
+	}
+	if s.QueueDeadline >= 0 {
+		if s.MaxServers == 0 {
+			return Plan{}, fmt.Errorf("faults: -queue-deadline requires -max-servers")
+		}
+		p.Queue = true
+		p.QueueDeadline = s.QueueDeadline
+	}
+	return p, nil
+}

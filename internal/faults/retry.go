@@ -1,0 +1,164 @@
+package faults
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"dvbp/internal/core"
+)
+
+// Immediate re-dispatches evicted items at the crash instant.
+type Immediate struct{}
+
+// Name implements core.RetryPolicy.
+func (Immediate) Name() string { return "immediate" }
+
+// Delay implements core.RetryPolicy.
+func (Immediate) Delay(int) float64 { return 0 }
+
+// Fixed re-dispatches evicted items a constant delay after every eviction.
+type Fixed struct {
+	// Wait is the re-dispatch delay in simulated time units.
+	Wait float64
+}
+
+// Name implements core.RetryPolicy.
+func (f Fixed) Name() string { return fmt.Sprintf("fixed(%g)", f.Wait) }
+
+// Delay implements core.RetryPolicy.
+func (f Fixed) Delay(int) float64 { return f.Wait }
+
+// Backoff re-dispatches with capped exponential delays: the k-th eviction of
+// an item waits min(Cap, Base·Factor^(k-1)).
+type Backoff struct {
+	// Base is the delay after the first eviction. Must be > 0 for the policy
+	// to back off at all.
+	Base float64
+	// Factor is the per-attempt multiplier; values <= 0 default to 2.
+	Factor float64
+	// Cap bounds the delay; 0 or negative means uncapped.
+	Cap float64
+}
+
+// Name implements core.RetryPolicy.
+func (b Backoff) Name() string {
+	f := b.Factor
+	if f <= 0 {
+		f = 2
+	}
+	if b.Cap > 0 {
+		return fmt.Sprintf("backoff(%g,x%g,cap=%g)", b.Base, f, b.Cap)
+	}
+	return fmt.Sprintf("backoff(%g,x%g)", b.Base, f)
+}
+
+// Delay implements core.RetryPolicy.
+func (b Backoff) Delay(attempt int) float64 {
+	if attempt < 1 {
+		attempt = 1
+	}
+	f := b.Factor
+	if f <= 0 {
+		f = 2
+	}
+	d := b.Base * math.Pow(f, float64(attempt-1))
+	if b.Cap > 0 && d > b.Cap {
+		d = b.Cap
+	}
+	return d
+}
+
+// ParseRetry parses the shared command-line retry syntax:
+//
+//	immediate
+//	fixed:WAIT
+//	backoff:BASE[:CAP[:FACTOR]]
+//
+// An empty string parses to Immediate.
+func ParseRetry(s string) (core.RetryPolicy, error) {
+	parts := strings.Split(strings.TrimSpace(s), ":")
+	switch parts[0] {
+	case "", "immediate":
+		if len(parts) > 1 {
+			return nil, fmt.Errorf("faults: retry %q takes no arguments", parts[0])
+		}
+		return Immediate{}, nil
+	case "fixed":
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("faults: retry syntax is fixed:WAIT, got %q", s)
+		}
+		w, err := parseNonNegative(parts[1])
+		if err != nil {
+			return nil, fmt.Errorf("faults: fixed retry: %w", err)
+		}
+		return Fixed{Wait: w}, nil
+	case "backoff":
+		if len(parts) < 2 || len(parts) > 4 {
+			return nil, fmt.Errorf("faults: retry syntax is backoff:BASE[:CAP[:FACTOR]], got %q", s)
+		}
+		b := Backoff{}
+		var err error
+		if b.Base, err = parseNonNegative(parts[1]); err != nil {
+			return nil, fmt.Errorf("faults: backoff base: %w", err)
+		}
+		if len(parts) > 2 {
+			if b.Cap, err = parseNonNegative(parts[2]); err != nil {
+				return nil, fmt.Errorf("faults: backoff cap: %w", err)
+			}
+		}
+		if len(parts) > 3 {
+			if b.Factor, err = parseNonNegative(parts[3]); err != nil {
+				return nil, fmt.Errorf("faults: backoff factor: %w", err)
+			}
+		}
+		return b, nil
+	}
+	return nil, fmt.Errorf("faults: unknown retry policy %q (want immediate, fixed:WAIT or backoff:BASE[:CAP[:FACTOR]])", parts[0])
+}
+
+func parseNonNegative(s string) (float64, error) {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+		return 0, fmt.Errorf("value %q must be finite and non-negative", s)
+	}
+	return v, nil
+}
+
+// ParseTrace parses a comma-separated crash schedule. Each element is
+// BIN@TIME (absolute crash time) or BIN+OFFSET (crash OFFSET time units
+// after the bin opens), e.g. "0@5,2+1.5".
+func ParseTrace(s string) (*Trace, error) {
+	var events []TraceEvent
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		sep, after := "@", false
+		if !strings.Contains(part, "@") {
+			sep, after = "+", true
+		}
+		fields := strings.SplitN(part, sep, 2)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("faults: trace element %q: want BIN@TIME or BIN+OFFSET", part)
+		}
+		bin, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("faults: trace element %q: bad bin ID: %w", part, err)
+		}
+		at, err := parseNonNegative(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("faults: trace element %q: bad time: %w", part, err)
+		}
+		events = append(events, TraceEvent{BinID: bin, At: at, AfterOpen: after})
+	}
+	if len(events) == 0 {
+		return nil, fmt.Errorf("faults: empty trace %q", s)
+	}
+	return NewTrace(events)
+}

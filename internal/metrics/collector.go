@@ -33,6 +33,39 @@ const (
 	MetricPlacementSeconds = "dvbp_placement_seconds"
 	// MetricFitChecksPerSelect is a histogram of fit checks per Select call.
 	MetricFitChecksPerSelect = "dvbp_fit_checks_per_select"
+
+	// Failure-path series, populated only when the engine runs with fault
+	// injection or admission control (core.WithFaults / core.WithMaxBins).
+
+	// MetricBinsCrashed counts bins forcibly closed by fault injection; on a
+	// single run it equals Result.Crashes.
+	MetricBinsCrashed = "dvbp_bins_crashed_total"
+	// MetricItemsEvicted counts items displaced by crashes
+	// (Result.Evictions).
+	MetricItemsEvicted = "dvbp_items_evicted_total"
+	// MetricItemsRetried counts successful re-placements of evicted items
+	// (Result.Retries).
+	MetricItemsRetried = "dvbp_items_retried_total"
+	// MetricItemsLost counts evicted items that could not resume before
+	// their departure (Result.ItemsLost).
+	MetricItemsLost = "dvbp_items_lost_total"
+	// MetricItemsRejected counts dispatches dropped at admission with no
+	// queue (Result.Rejected).
+	MetricItemsRejected = "dvbp_items_rejected_total"
+	// MetricItemsTimedOut counts admission-queue entries that expired
+	// (Result.TimedOut).
+	MetricItemsTimedOut = "dvbp_items_timed_out_total"
+	// MetricItemsQueued counts dispatches parked in the admission queue.
+	MetricItemsQueued = "dvbp_items_queued_total"
+	// MetricItemsDequeued counts queued dispatches that were eventually
+	// placed (Result.QueuedPlaced).
+	MetricItemsDequeued = "dvbp_items_dequeued_total"
+	// MetricQueueDelay gauges total simulated time placed items spent
+	// queued (Result.QueueDelay).
+	MetricQueueDelay = "dvbp_queue_delay_total"
+	// MetricLostUsage gauges total usage time lost to crashes
+	// (Result.LostUsageTime).
+	MetricLostUsage = "dvbp_lost_usage_time_total"
 )
 
 // DefaultPlacementBuckets are the placement-latency histogram bounds, in
@@ -76,6 +109,17 @@ type Collector struct {
 	placementSeconds   *Histogram
 	fitChecksPerSelect *Histogram
 
+	binsCrashed   *Counter
+	itemsEvicted  *Counter
+	itemsRetried  *Counter
+	itemsLost     *Counter
+	itemsRejected *Counter
+	itemsTimedOut *Counter
+	itemsQueued   *Counter
+	itemsDequeued *Counter
+	queueDelay    *Gauge
+	lostUsage     *Gauge
+
 	mu     sync.Mutex
 	open   int
 	starts map[placeKey]time.Duration
@@ -86,8 +130,9 @@ type Collector struct {
 type placeKey struct{ id, seq int }
 
 var (
-	_ core.Observer       = (*Collector)(nil)
-	_ core.SelectObserver = (*Collector)(nil)
+	_ core.Observer        = (*Collector)(nil)
+	_ core.SelectObserver  = (*Collector)(nil)
+	_ core.FailureObserver = (*Collector)(nil)
 )
 
 // NewCollector returns a Collector with a fresh Registry and wall clock.
@@ -111,6 +156,16 @@ func NewCollector(opts ...CollectorOption) *Collector {
 		"wall time per placement in seconds", DefaultPlacementBuckets...)
 	c.fitChecksPerSelect = c.reg.Histogram(MetricFitChecksPerSelect,
 		"fit checks per policy Select call", DefaultFitCheckBuckets...)
+	c.binsCrashed = c.reg.Counter(MetricBinsCrashed, "bins forcibly closed by fault injection")
+	c.itemsEvicted = c.reg.Counter(MetricItemsEvicted, "items evicted by bin crashes")
+	c.itemsRetried = c.reg.Counter(MetricItemsRetried, "evicted items successfully re-placed")
+	c.itemsLost = c.reg.Counter(MetricItemsLost, "evicted items lost (could not resume before departure)")
+	c.itemsRejected = c.reg.Counter(MetricItemsRejected, "dispatches rejected at admission (fleet full, no queue)")
+	c.itemsTimedOut = c.reg.Counter(MetricItemsTimedOut, "admission-queue entries expired")
+	c.itemsQueued = c.reg.Counter(MetricItemsQueued, "dispatches parked in the admission queue")
+	c.itemsDequeued = c.reg.Counter(MetricItemsDequeued, "queued dispatches eventually placed")
+	c.queueDelay = c.reg.Gauge(MetricQueueDelay, "total simulated queue wait of placed items")
+	c.lostUsage = c.reg.Gauge(MetricLostUsage, "total usage time lost to crashes (simulated units)")
 	return c
 }
 
@@ -142,6 +197,9 @@ func (c *Collector) AfterPack(req core.Request, b *core.Bin, opened bool) {
 		}
 	}
 	c.itemsPlaced.Inc()
+	if req.Attempt > 0 {
+		c.itemsRetried.Inc()
+	}
 	if opened {
 		c.binsOpened.Inc()
 		c.open++
@@ -167,4 +225,55 @@ func (c *Collector) BinClosed(b *core.Bin, t float64) {
 func (c *Collector) AfterSelect(req core.Request, chosen *core.Bin, fitChecks int) {
 	c.fitChecks.Add(uint64(fitChecks))
 	c.fitChecksPerSelect.Observe(float64(fitChecks))
+}
+
+// dropStart discards the pending placement timestamp for a dispatch that did
+// not complete (queued or rejected instead of packed), so the starts map
+// cannot leak under admission control.
+func (c *Collector) dropStart(req core.Request) {
+	c.mu.Lock()
+	delete(c.starts, placeKey{req.ID, req.SeqNo})
+	c.mu.Unlock()
+}
+
+// BinCrashed implements core.FailureObserver. The usage-time accrual happened
+// in BinClosed (which the engine fires first); this only counts the crash.
+func (c *Collector) BinCrashed(b *core.Bin, t float64, evicted int) {
+	c.binsCrashed.Inc()
+}
+
+// ItemEvicted implements core.FailureObserver: resumeAt - t is exactly the
+// usage time the crash cost this item, whether it resumes or is lost — the
+// same accumulation order the engine uses for Result.LostUsageTime.
+func (c *Collector) ItemEvicted(req core.Request, from *core.Bin, t, resumeAt float64) {
+	c.itemsEvicted.Inc()
+	c.lostUsage.Add(resumeAt - t)
+}
+
+// ItemLost implements core.FailureObserver.
+func (c *Collector) ItemLost(req core.Request, t float64) {
+	c.itemsLost.Inc()
+}
+
+// ItemRejected implements core.FailureObserver.
+func (c *Collector) ItemRejected(req core.Request, t float64, timedOut bool) {
+	if timedOut {
+		c.itemsTimedOut.Inc()
+	} else {
+		c.itemsRejected.Inc()
+	}
+	c.dropStart(req)
+}
+
+// ItemQueued implements core.FailureObserver.
+func (c *Collector) ItemQueued(req core.Request, t float64) {
+	c.itemsQueued.Inc()
+	c.dropStart(req)
+}
+
+// ItemDequeued implements core.FailureObserver: the queue delay is simulated
+// time, accumulated in the same order the engine adds Result.QueueDelay.
+func (c *Collector) ItemDequeued(req core.Request, queuedAt, t float64) {
+	c.itemsDequeued.Inc()
+	c.queueDelay.Add(t - queuedAt)
 }

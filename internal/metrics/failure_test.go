@@ -1,0 +1,87 @@
+package metrics
+
+import (
+	"testing"
+
+	"dvbp/internal/core"
+	"dvbp/internal/faults"
+	"dvbp/internal/workload"
+)
+
+// TestCollectorMatchesResultUnderFaults: every failure-path series must agree
+// exactly with the engine's own Result accounting — counters integer-exact,
+// the two simulated-time gauges bit-identical (same accumulation order).
+func TestCollectorMatchesResultUnderFaults(t *testing.T) {
+	l, err := workload.Uniform(workload.UniformConfig{D: 2, N: 400, Mu: 10, T: 200, B: 100}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := faults.Plan{
+		Injector:   faults.MTBF{Mean: 15, Seed: 4},
+		Retry:      faults.Backoff{Base: 0.5, Cap: 4},
+		MaxServers: 12, Queue: true, QueueDeadline: 3,
+	}
+	for _, p := range core.StandardPolicies(3) {
+		col := NewCollector()
+		opts := append(plan.Options(), core.WithObserver(col))
+		res, err := core.Simulate(l, p, opts...)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		if res.Crashes == 0 || res.Evictions == 0 {
+			t.Fatalf("%s: fault paths not exercised (%s)", p.Name(), res)
+		}
+		s := col.Snapshot()
+		for name, want := range map[string]float64{
+			MetricBinsCrashed:   float64(res.Crashes),
+			MetricItemsEvicted:  float64(res.Evictions),
+			MetricItemsRetried:  float64(res.Retries),
+			MetricItemsLost:     float64(res.ItemsLost),
+			MetricItemsRejected: float64(res.Rejected),
+			MetricItemsTimedOut: float64(res.TimedOut),
+			MetricItemsDequeued: float64(res.QueuedPlaced),
+			MetricQueueDelay:    res.QueueDelay,
+			MetricLostUsage:     res.LostUsageTime,
+			MetricItemsPlaced:   float64(len(res.Placements)),
+			MetricBinsOpened:    float64(res.BinsOpened),
+			MetricBinsClosed:    float64(res.BinsOpened),
+			MetricUsageTime:     res.Cost,
+			MetricOpenBins:      0,
+		} {
+			if got := counterValue(t, s, name); got != want {
+				t.Errorf("%s: %s = %g, want %g", p.Name(), name, got, want)
+			}
+		}
+		// Queued dispatches either come back out or expire.
+		queued := counterValue(t, s, MetricItemsQueued)
+		if deq := float64(res.QueuedPlaced + res.TimedOut); queued < deq {
+			t.Errorf("%s: queued %g < dequeued+expired %g", p.Name(), queued, deq)
+		}
+	}
+}
+
+// TestCollectorStartsMapDrainsUnderAdmissionControl: dispatches that are
+// queued or rejected must not leak pending placement timestamps.
+func TestCollectorStartsMapDrainsUnderAdmissionControl(t *testing.T) {
+	l, err := workload.Uniform(workload.UniformConfig{D: 2, N: 300, Mu: 8, T: 150, B: 100}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := NewCollector()
+	res, err := core.Simulate(l, core.NewFirstFit(),
+		core.WithFaults(faults.MTBF{Mean: 10, Seed: 2}, faults.Fixed{Wait: 1}),
+		core.WithMaxBins(6), core.WithAdmissionQueue(2),
+		core.WithObserver(col))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rejected+res.TimedOut == 0 {
+		t.Fatalf("admission paths not exercised: %s", res)
+	}
+	col.mu.Lock()
+	pending := len(col.starts)
+	col.mu.Unlock()
+	if pending != 0 {
+		t.Errorf("%d placement timestamps leaked", pending)
+	}
+}
