@@ -4,10 +4,13 @@
 
 GO ?= go
 FUZZTIME ?= 5s
+# bench-json knobs: raise for quieter numbers (e.g. BENCHTIME=30x BENCHCOUNT=5).
+BENCHTIME ?= 10x
+BENCHCOUNT ?= 3
 
-.PHONY: ci fmt vet test race build bench fuzz-smoke
+.PHONY: ci fmt vet test race build bench bench-smoke bench-json fuzz-smoke
 
-ci: fmt vet race fuzz-smoke
+ci: fmt vet race bench-smoke fuzz-smoke
 
 # gofmt -l prints offending files; fail when the list is non-empty.
 fmt:
@@ -28,6 +31,25 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# Run every benchmark exactly once so bench code can never rot unnoticed:
+# compiles all benchmarks and executes each for a single iteration.
+bench-smoke:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+# Machine-readable perf trajectory: run the core hot-path benchmarks and
+# write BENCH_core.json (benchstat-comparable names, mean ns/op, B/op,
+# allocs/op). When artifacts/bench/BENCH_core_pre.txt exists (the pre-change
+# capture), it is embedded as the document's baseline section so the
+# before/after pair travels together.
+bench-json:
+	@mkdir -p artifacts/bench
+	$(GO) test ./internal/core -run='^$$' -bench='ChurnHotPath|SimulateUniform|BinChurnClose' \
+		-benchmem -benchtime=$(BENCHTIME) -count=$(BENCHCOUNT) | tee artifacts/bench/BENCH_core_cur.txt
+	$(GO) run ./cmd/dvbpbench -benchjson artifacts/bench/BENCH_core_cur.txt \
+		$(if $(wildcard artifacts/bench/BENCH_core_pre.txt),-benchjson-baseline artifacts/bench/BENCH_core_pre.txt) \
+		-benchjson-out BENCH_core.json
+	@echo "wrote BENCH_core.json"
 
 # Short differential-fuzz pass: the clean engine, the engine under fault
 # injection, and the fault-schedule parsers. Each fuzzer gets FUZZTIME.

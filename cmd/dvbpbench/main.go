@@ -79,8 +79,19 @@ func main() {
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address while running (e.g. localhost:6060)")
 		timeout    = flag.Duration("timeout", 0, "wall-clock budget for the whole run (0 = none); on expiry profiles and partial metrics are flushed and the exit code is 2")
+
+		benchJSON     = flag.String("benchjson", "", "convert `go test -bench` output from this file (- = stdin) to JSON and exit; see make bench-json")
+		benchJSONBase = flag.String("benchjson-baseline", "", "optional second -bench output embedded as the baseline section")
+		benchJSONOut  = flag.String("benchjson-out", "", "destination for -benchjson output (default stdout)")
 	)
 	flag.Parse()
+
+	if *benchJSON != "" {
+		if err := runBenchJSON(*benchJSON, *benchJSONBase, *benchJSONOut); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	outDirGlobal = *outDir
 	if *timeout > 0 {

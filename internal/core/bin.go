@@ -17,7 +17,18 @@ type Bin struct {
 	// OpenedAt is the time the bin received its first item.
 	OpenedAt float64
 
-	load   vector.Vector
+	// load caches acc rounded to float64 per dimension; refreshed after
+	// every pack/remove so read paths stay plain slice loads.
+	load vector.Vector
+	// acc holds the exact per-dimension sum of the active item sizes. Its
+	// state is a pure function of the active multiset (integer limb sums are
+	// order-independent and removal cancels exactly), so load — its rounding
+	// — is bit-identical across any pack/depart history reaching the same
+	// active set. That is the determinism contract load-driven policies
+	// (Best/Worst Fit compare loads with exact float comparisons) rely on,
+	// previously bought by re-summing all k active items in canonical order
+	// on every event; acc makes each event O(d) instead of O(k·log k + k·d).
+	acc    []vector.Acc
 	active map[int]vector.Vector // item ID -> size, for departure handling
 	packed int                   // total items ever packed into this bin
 
@@ -43,6 +54,7 @@ func newBin(id int, d int, openedAt float64) *Bin {
 		ID:       id,
 		OpenedAt: openedAt,
 		load:     vector.New(d),
+		acc:      make([]vector.Acc, d),
 		active:   make(map[int]vector.Vector),
 	}
 }
@@ -77,12 +89,19 @@ func (b *Bin) PackedItems() int { return b.packed }
 
 // ActiveItemIDs returns the IDs of the active items in ascending order.
 func (b *Bin) ActiveItemIDs() []int {
-	ids := make([]int, 0, len(b.active))
+	return b.appendActiveItemIDs(make([]int, 0, len(b.active)))
+}
+
+// appendActiveItemIDs appends the active item IDs to dst in ascending order
+// and returns the extended slice. The engine passes a reused scratch slice so
+// eviction handling stays allocation-free in steady state.
+func (b *Bin) appendActiveItemIDs(dst []int) []int {
+	n := len(dst)
 	for id := range b.active {
-		ids = append(ids, id)
+		dst = append(dst, id)
 	}
-	sort.Ints(ids)
-	return ids
+	sort.Ints(dst[n:])
+	return dst
 }
 
 // Empty reports whether the bin has no active items (and should close).
@@ -97,37 +116,74 @@ func (b *Bin) pack(itemID int, size vector.Vector) error {
 	}
 	b.active[itemID] = size
 	b.packed++
-	b.recomputeLoad()
+	for j := range b.acc {
+		b.acc[j].Add(size[j])
+		b.load[j] = b.acc[j].Round()
+	}
 	return nil
 }
 
 func (b *Bin) remove(itemID int) error {
-	if _, ok := b.active[itemID]; !ok {
+	size, ok := b.active[itemID]
+	if !ok {
 		return fmt.Errorf("bin %d: item %d not active", b.ID, itemID)
 	}
 	delete(b.active, itemID)
-	b.recomputeLoad()
+	for j := range b.acc {
+		b.acc[j].Sub(size[j])
+		b.load[j] = b.acc[j].Round()
+	}
 	return nil
 }
 
-// recomputeLoad rebuilds the load as the sum of active item sizes in
-// ascending item-ID order. Summing in a canonical order (rather than
-// incrementally adding and subtracting) keeps the load bit-identical no
-// matter which sequence of packs and departures produced the active set —
-// floating-point addition is not associative, and load-driven policies such
-// as Best Fit compare loads exactly, so representation drift would make
-// otherwise-identical states behave differently.
-func (b *Bin) recomputeLoad() {
-	ids := make([]int, 0, len(b.active))
-	for id := range b.active {
-		ids = append(ids, id)
+// refreshLoadFromActive rebuilds the accumulators and cached load from the
+// active map alone. The naive reference implementations use it after editing
+// a bin's active set wholesale: because the accumulator state is a pure
+// function of the active multiset, the result is bit-identical to the
+// engine's incrementally-maintained load.
+func (b *Bin) refreshLoadFromActive() {
+	for j := range b.acc {
+		b.acc[j].Reset()
 	}
-	sort.Ints(ids)
+	for _, size := range b.active {
+		for j := range b.acc {
+			b.acc[j].Add(size[j])
+		}
+	}
+	for j := range b.acc {
+		b.load[j] = b.acc[j].Round()
+	}
+}
+
+// canonicalLoad re-sums the active item sizes in ascending item-ID order with
+// plain float64 addition — the engine's original (pre-incremental)
+// definition of a bin's load. The audit seam uses it as an independent
+// cross-check: the exact accumulator must agree with this naive canonical sum
+// to within its worst-case rounding error.
+func (b *Bin) canonicalLoad() vector.Vector {
+	ids := b.ActiveItemIDs()
 	load := vector.New(b.load.Dim())
 	for _, id := range ids {
 		load.AddInPlace(b.active[id])
 	}
-	b.load = load
+	return load
+}
+
+// auditCrossCheckLoad panics if the cached incremental load drifts from the
+// naive canonical recompute by more than the naive sum's own error bound —
+// (k+1)·ulp-scale per dimension for k active items of size ≤ 1. It runs only
+// under WithAudit, where the engine already pays O(k) per decision for
+// snapshots, so the O(k·d) recompute does not change the audit cost class.
+func (b *Bin) auditCrossCheckLoad() {
+	want := b.canonicalLoad()
+	tol := float64(len(b.active)+1) * 1e-15
+	for j, got := range b.load {
+		if diff := got - want[j]; diff > tol || diff < -tol {
+			panic(fmt.Sprintf(
+				"bin %d: incremental load[%d]=%g drifted from canonical recompute %g (tol %g, %d active)",
+				b.ID, j, got, want[j], tol, len(b.active)))
+		}
+	}
 }
 
 // String renders a compact description for debugging.

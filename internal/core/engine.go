@@ -285,6 +285,11 @@ func Simulate(l *item.List, p Policy, opts ...Option) (*Result, error) {
 		if err := b.pack(it.ID, it.Size); err != nil {
 			return false, fmt.Errorf("core: policy %s chose unfit bin: %w", p.Name(), err)
 		}
+		if cfg.audit != nil {
+			// Audit mode cross-checks the incremental load against the
+			// original canonical recompute after every mutation.
+			b.auditCrossCheckLoad()
+		}
 		p.OnPack(req, b, opened)
 		if cfg.observer != nil {
 			cfg.observer.AfterPack(req, b, opened)
@@ -352,6 +357,9 @@ func Simulate(l *item.List, p Policy, opts ...Option) (*Result, error) {
 		if err := b.remove(ev.itemID); err != nil {
 			return fmt.Errorf("core: %w", err)
 		}
+		if cfg.audit != nil {
+			b.auditCrossCheckLoad()
+		}
 		served++
 		res.Outcomes[ev.itemID] = OutcomeServed
 		if b.Empty() {
@@ -360,12 +368,17 @@ func Simulate(l *item.List, p Policy, opts ...Option) (*Result, error) {
 		return drainQueue(t)
 	}
 
+	var evictIDs []int // scratch reused across crashes
 	handleCrash := func(t float64, binID int) error {
 		b, ok := binsByID[binID]
 		if !ok {
 			return nil // the bin closed naturally before its crash fired
 		}
-		evicted := b.ActiveItemIDs() // ascending ID: deterministic eviction order
+		// Ascending ID: deterministic eviction order. The scratch slice is
+		// reused across crashes so eviction handling does not allocate once
+		// it has grown to the largest eviction burst.
+		evictIDs = b.appendActiveItemIDs(evictIDs[:0])
+		evicted := evictIDs
 		res.Crashes++
 		closeBinAt(b, t, true)
 		if fObs != nil {

@@ -44,6 +44,76 @@ func BenchmarkBinChurnClose(b *testing.B) {
 	}
 }
 
+// churnHotPathInstance builds the load-accounting worst case: bins full of
+// long-lived anchor items plus a long tail of short-lived churn items, so
+// every churn arrival and departure hits a bin holding k active items.
+//
+// Layout: `bins` bins are each anchored by k items of per-dimension size
+// (1-1.5c)/k arriving at t=0 and living until the end of the run, where
+// c = 0.5/(k+1) is the churn size. The anchor size exceeds the residual
+// capacity 1.5c, so no bin accepts a (k+1)-th anchor, and exactly one churn
+// item fits in a bin at a time (a second would need capacity 2c > 1.5c).
+// Churn items then arrive strictly sequentially — item j lives [1+j, 1+j+0.5)
+// — so the steady state alternates pack and departure events against bins
+// whose active population stays pinned at k (or k+1 mid-churn).
+//
+// Every policy is deterministic on this family: all bins carry identical
+// loads, so Best/Worst Fit tie-break to bin 0, First Fit scans to bin 0, and
+// Move To Front keeps its leader. The per-event cost is therefore exactly the
+// engine's load-accounting cost at k active items — the quantity this
+// benchmark exists to track.
+func churnHotPathInstance(d, bins, k, churn int) *item.List {
+	c := 0.5 / float64(k+1)
+	a := (1 - 1.5*c) / float64(k)
+	end := float64(churn) + 2
+	l := item.NewList(d)
+	for b := 0; b < bins; b++ {
+		for i := 0; i < k; i++ {
+			l.Add(0, end, vector.Uniform(d, a))
+		}
+	}
+	for j := 0; j < churn; j++ {
+		t := 1 + float64(j)
+		l.Add(t, t+0.5, vector.Uniform(d, c))
+	}
+	return l
+}
+
+// BenchmarkChurnHotPath is the per-event hot-path benchmark: many long-lived
+// items per bin, one departure per arrival in steady state. Load accounting
+// that costs O(k·log k) per event dominates this family; the incremental
+// engine should be flat in k. Results feed BENCH_core.json (make bench-json).
+func BenchmarkChurnHotPath(b *testing.B) {
+	const (
+		bins  = 16
+		k     = 64 // active items per bin: the ISSUE's churn floor
+		churn = 2048
+	)
+	for _, d := range []int{1, 2, 5} {
+		l := churnHotPathInstance(d, bins, k, churn)
+		for _, name := range []string{"FirstFit", "MoveToFront", "BestFit"} {
+			b.Run(fmt.Sprintf("policy=%s/d=%d", name, d), func(b *testing.B) {
+				p, err := NewPolicy(name, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					res, err := Simulate(l, p)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.BinsOpened != bins {
+						b.Fatalf("bins opened = %d, want %d", res.BinsOpened, bins)
+					}
+				}
+				events := float64(2 * l.Len()) // one arrival + one departure per item
+				b.ReportMetric(events*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+			})
+		}
+	}
+}
+
 // BenchmarkSimulateUniform tracks end-to-end engine throughput on the
 // paper's workload model, for before/after comparisons when optimising the
 // hot path.

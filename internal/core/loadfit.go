@@ -1,8 +1,8 @@
 package core
 
 import (
-	"fmt"
 	"math"
+	"strconv"
 )
 
 // LoadMeasure maps a bin's load vector to a scalar "how full" value. For
@@ -14,7 +14,7 @@ type LoadMeasure struct {
 	eval func(*Bin) float64
 }
 
-// Name returns the measure's identifier ("Linf", "L1", "Lp2.0", ...).
+// Name returns the measure's identifier ("Linf", "L1", "Lp2", "Lp2.25", ...).
 func (m LoadMeasure) Name() string { return m.name }
 
 // Eval applies the measure to a bin.
@@ -31,13 +31,24 @@ func SumLoad() LoadMeasure {
 	return LoadMeasure{name: "L1", eval: (*Bin).LoadSum}
 }
 
-// PNormLoad is w(R) = ‖s(R)‖p for p ≥ 2.
+// PNormLoad is w(R) = ‖s(R)‖p for finite p ≥ 1 (p = 1 coincides with
+// SumLoad up to naming). p = +Inf is the max norm and maps to MaxLoad()
+// explicitly, so the returned measure carries the canonical "Linf" name and
+// `BestFit-Lp+Inf` round-trips as plain "BestFit". NaN and p < 1 panic.
+//
+// The name renders p with the shortest representation that parses back to
+// the same float64 (strconv 'g', precision -1): PNormLoad(2.25) is "Lp2.25",
+// not a truncated "Lp2.2" that would silently rebuild a different policy via
+// NewPolicy(measureName).
 func PNormLoad(p float64) LoadMeasure {
 	if p < 1 || math.IsNaN(p) {
 		panic("core: PNormLoad requires p >= 1")
 	}
+	if math.IsInf(p, 1) {
+		return MaxLoad()
+	}
 	return LoadMeasure{
-		name: fmt.Sprintf("Lp%.1f", p),
+		name: "Lp" + strconv.FormatFloat(p, 'g', -1, 64),
 		eval: func(b *Bin) float64 { return b.LoadPNorm(p) },
 	}
 }

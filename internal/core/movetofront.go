@@ -6,31 +6,57 @@ package core
 // (Section 2.2). Theorem 2 bounds its competitive ratio by (2μ+1)d + 1 —
 // for d = 1, 2μ+2, nearly settling the Kamali–López-Ortiz conjecture — and
 // Theorem 8 bounds it below by max{2μ, (μ+1)d}.
+//
+// The recency list is an intrusive doubly-linked list threaded through a node
+// slice, indexed by bin ID via pos. OnPack promotes in O(1) (the old
+// implementation scanned and shifted a slice, O(n) per pack) and OnClose
+// unlinks in O(1); Select walks the list directly instead of rebuilding an
+// ID→bin map per decision, so steady-state decisions are allocation-free.
 type MoveToFront struct {
-	// order holds open-bin IDs, front (index 0) = most recently used.
-	order []int
+	nodes []mtfNode
+	free  []int       // recycled node indices
+	pos   map[int]int // open-bin ID -> node index
+	head  int         // most recently used; -1 when no bin is open
+}
+
+// mtfNode is one recency-list entry. prev/next are node indices (-1 = none):
+// indices into a slice keep the list compact and recyclable, where per-node
+// heap allocation would defeat the zero-allocation goal.
+type mtfNode struct {
+	bin  *Bin
+	prev int
+	next int
 }
 
 // NewMoveToFront returns a Move To Front policy.
-func NewMoveToFront() *MoveToFront { return &MoveToFront{} }
+func NewMoveToFront() *MoveToFront {
+	return &MoveToFront{pos: make(map[int]int), head: -1}
+}
 
 // Name implements Policy.
 func (*MoveToFront) Name() string { return "MoveToFront" }
 
 // Reset implements Policy.
-func (mf *MoveToFront) Reset() { mf.order = mf.order[:0] }
+func (mf *MoveToFront) Reset() {
+	mf.nodes = mf.nodes[:0]
+	mf.free = mf.free[:0]
+	if mf.pos == nil {
+		mf.pos = make(map[int]int)
+	} else {
+		clear(mf.pos)
+	}
+	mf.head = -1
+}
 
-// Select implements Policy: scan bins in recency order; first fit wins.
+// Select implements Policy: scan bins in recency order; first fit wins. The
+// recency list mirrors the open set exactly (OnPack adds, OnClose removes),
+// so the open slice is only consulted for its emptiness.
 func (mf *MoveToFront) Select(req Request, open []*Bin) *Bin {
 	if len(open) == 0 {
 		return nil
 	}
-	byID := make(map[int]*Bin, len(open))
-	for _, b := range open {
-		byID[b.ID] = b
-	}
-	for _, id := range mf.order {
-		if b, ok := byID[id]; ok && b.Fits(req.Size) {
+	for i := mf.head; i != -1; i = mf.nodes[i].next {
+		if b := mf.nodes[i].bin; b.Fits(req.Size) {
 			return b
 		}
 	}
@@ -40,38 +66,67 @@ func (mf *MoveToFront) Select(req Request, open []*Bin) *Bin {
 // OnPack implements Policy: the receiving bin becomes the leader (front of
 // the recency list).
 func (mf *MoveToFront) OnPack(_ Request, b *Bin, opened bool) {
-	mf.moveToFront(b.ID)
-}
-
-// OnClose implements Policy: drop the closed bin from the recency list.
-func (mf *MoveToFront) OnClose(b *Bin) {
-	for i, id := range mf.order {
-		if id == b.ID {
-			mf.order = append(mf.order[:i], mf.order[i+1:]...)
+	if i, ok := mf.pos[b.ID]; ok {
+		if i == mf.head {
 			return
 		}
+		mf.unlink(i)
+		mf.pushFront(i)
+		return
 	}
+	var i int
+	if n := len(mf.free); n > 0 {
+		i = mf.free[n-1]
+		mf.free = mf.free[:n-1]
+	} else {
+		mf.nodes = append(mf.nodes, mtfNode{})
+		i = len(mf.nodes) - 1
+	}
+	mf.nodes[i].bin = b
+	mf.pos[b.ID] = i
+	mf.pushFront(i)
+}
+
+// OnClose implements Policy: drop the closed bin from the recency list and
+// recycle its node.
+func (mf *MoveToFront) OnClose(b *Bin) {
+	i, ok := mf.pos[b.ID]
+	if !ok {
+		return
+	}
+	mf.unlink(i)
+	mf.nodes[i].bin = nil // release the bin to the GC
+	mf.free = append(mf.free, i)
+	delete(mf.pos, b.ID)
 }
 
 // LeaderID returns the ID of the current leader bin (front of the list), or
 // -1 when no bin is open. Exposed for the decomposition analysis in tests and
 // the Theorem 2 instrumentation.
 func (mf *MoveToFront) LeaderID() int {
-	if len(mf.order) == 0 {
+	if mf.head == -1 {
 		return -1
 	}
-	return mf.order[0]
+	return mf.nodes[mf.head].bin.ID
 }
 
-func (mf *MoveToFront) moveToFront(id int) {
-	for i, x := range mf.order {
-		if x == id {
-			copy(mf.order[1:i+1], mf.order[:i])
-			mf.order[0] = id
-			return
-		}
+func (mf *MoveToFront) unlink(i int) {
+	n := &mf.nodes[i]
+	if n.prev != -1 {
+		mf.nodes[n.prev].next = n.next
+	} else {
+		mf.head = n.next
 	}
-	mf.order = append(mf.order, 0)
-	copy(mf.order[1:], mf.order[:len(mf.order)-1])
-	mf.order[0] = id
+	if n.next != -1 {
+		mf.nodes[n.next].prev = n.prev
+	}
+}
+
+func (mf *MoveToFront) pushFront(i int) {
+	mf.nodes[i].prev = -1
+	mf.nodes[i].next = mf.head
+	if mf.head != -1 {
+		mf.nodes[mf.head].prev = i
+	}
+	mf.head = i
 }

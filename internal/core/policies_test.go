@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"testing"
 
 	"dvbp/internal/item"
@@ -279,8 +280,12 @@ func TestNewPolicyRegistry(t *testing.T) {
 	aliases := map[string]string{
 		"ff": "FirstFit", "nf": "NextFit", "bf": "BestFit", "wf": "WorstFit",
 		"lf": "LastFit", "rf": "RandomFit", "mtf": "MoveToFront",
-		"bestfit-l1": "BestFit-L1", "bestfit-lp2": "BestFit-Lp2.0",
-		"worstfit-lp3": "WorstFit-Lp3.0",
+		"bestfit-l1": "BestFit-L1", "bestfit-lp2": "BestFit-Lp2",
+		"bestfit-lp2.0": "BestFit-Lp2", "bestfit-lp2.25": "BestFit-Lp2.25",
+		"worstfit-lp3": "WorstFit-Lp3", "worstfit-lp3.0": "WorstFit-Lp3",
+		// +Inf is the max norm: explicit handling maps it to the canonical
+		// Linf measure rather than a distinct "Lp+Inf" spelling.
+		"bestfit-lp+inf": "BestFit",
 	}
 	for alias, want := range aliases {
 		p, err := NewPolicy(alias, 1)
@@ -324,10 +329,39 @@ func TestSortedPolicyNames(t *testing.T) {
 }
 
 func TestPNormLoadPanicsBelow1(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("want panic")
+	for _, p := range []float64{0.5, 0, -1, math.NaN(), math.Inf(-1)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("PNormLoad(%v): want panic", p)
+				}
+			}()
+			PNormLoad(p)
+		}()
+	}
+}
+
+// TestPNormLoadNameRoundTrips pins the Lp naming fix: names carry the exact
+// p (no %.1f truncation), so distinct measures never collide and every name
+// rebuilds the same measure through the registry.
+func TestPNormLoadNameRoundTrips(t *testing.T) {
+	cases := map[float64]string{
+		1:      "Lp1",
+		2:      "Lp2",
+		2.2:    "Lp2.2",
+		2.25:   "Lp2.25",
+		3:      "Lp3",
+		10.125: "Lp10.125",
+	}
+	for p, want := range cases {
+		if got := PNormLoad(p).Name(); got != want {
+			t.Errorf("PNormLoad(%v).Name() = %q, want %q", p, got, want)
 		}
-	}()
-	PNormLoad(0.5)
+	}
+	if PNormLoad(2.25).Name() == PNormLoad(2.2).Name() {
+		t.Error("distinct p values collide in the measure name")
+	}
+	if got := PNormLoad(math.Inf(1)).Name(); got != "Linf" {
+		t.Errorf("PNormLoad(+Inf).Name() = %q, want Linf (max norm)", got)
+	}
 }

@@ -50,29 +50,27 @@ func SimulateReference(l *item.List, p Policy) (*Result, error) {
 		return last
 	}
 
-	// syncLoads rebuilds every open bin's policy-facing load from scratch
-	// for time t, summing in ascending item-ID order — the same canonical
-	// order Bin.recomputeLoad uses, so loads are bit-identical across
-	// engines.
+	// syncLoads rebuilds every open bin's policy-facing active set from the
+	// ground-truth intervals for time t and re-derives the load from scratch
+	// through the exact accumulator. The accumulator's rounding is a pure
+	// function of the active multiset, so this from-scratch rebuild is
+	// bit-identical to the engine's incrementally-maintained load — the
+	// reference stays independent in bookkeeping while sharing only the
+	// summation arithmetic.
 	syncLoads := func(t float64) {
 		for _, rb := range bins {
 			if rb.closed {
 				continue
 			}
-			ids := make([]int, len(rb.itemIDs))
-			copy(ids, rb.itemIDs)
-			sort.Ints(ids)
-			load := vector.New(l.Dim)
 			active := make(map[int]vector.Vector)
-			for _, id := range ids {
+			for _, id := range rb.itemIDs {
 				it := itemByID[id]
 				if it.ActiveAt(t) {
-					load.AddInPlace(it.Size)
 					active[id] = it.Size
 				}
 			}
-			rb.bin.load = load
 			rb.bin.active = active
+			rb.bin.refreshLoadFromActive()
 		}
 	}
 
@@ -146,7 +144,7 @@ func SimulateReference(l *item.List, p Policy) (*Result, error) {
 		target.itemIDs = append(target.itemIDs, it.ID)
 		target.bin.active[it.ID] = it.Size
 		target.bin.packed++
-		target.bin.recomputeLoad()
+		target.bin.refreshLoadFromActive()
 		p.OnPack(req, target.bin, opened)
 
 		res.Placements = append(res.Placements, Placement{ItemID: it.ID, BinID: target.bin.ID, Opened: opened, Time: it.Arrival})

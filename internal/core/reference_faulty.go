@@ -149,7 +149,9 @@ func SimulateFaultyReference(l *item.List, p Policy, opts ...Option) (*Result, e
 		}
 		target.bin.active[it.ID] = it.Size
 		target.bin.packed++
-		target.bin.recomputeLoad()
+		// From-scratch rebuild through the exact accumulator: bit-identical
+		// to the fast engine's incremental load by order-independence.
+		target.bin.refreshLoadFromActive()
 		p.OnPack(req, target.bin, opened)
 
 		res.Placements = append(res.Placements, Placement{ItemID: it.ID, BinID: target.bin.ID, Opened: opened, Time: now, Attempt: attempt})
@@ -245,7 +247,7 @@ func SimulateFaultyReference(l *item.List, p Policy, opts ...Option) (*Result, e
 				return nil, fmt.Errorf("core: faulty reference: departure from closed bin %d", d.binID)
 			}
 			delete(target.bin.active, d.itemID)
-			target.bin.recomputeLoad()
+			target.bin.refreshLoadFromActive()
 			served++
 			res.Outcomes[d.itemID] = OutcomeServed
 			if len(target.bin.active) == 0 {

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"dvbp/internal/vector"
+	"dvbp/internal/workload"
+)
+
+// roundTripPolicies enumerates every constructible policy shape the registry
+// can produce: the seven standard policies, the Best/Worst Fit load-measure
+// variants (including non-integer and +Inf p), and HarmonicFit sizes.
+func roundTripPolicies(seed int64) []Policy {
+	ps := StandardPolicies(seed)
+	for _, m := range []LoadMeasure{
+		SumLoad(), PNormLoad(1), PNormLoad(2), PNormLoad(2.25), PNormLoad(2.2),
+		PNormLoad(3), PNormLoad(10.125), PNormLoad(math.Inf(1)),
+	} {
+		ps = append(ps, NewBestFit(m), NewWorstFit(m))
+	}
+	for _, k := range []int{1, 3, 8} {
+		ps = append(ps, NewHarmonicFit(k))
+	}
+	return ps
+}
+
+// TestRegistryRoundTrip is the registry property test: for every
+// constructible policy p, NewPolicy(p.Name(), seed) must return a policy with
+// the same Name() and identical decisions on a fixed sample trace. This is
+// what makes Result.Algorithm a faithful serialisation key — a trace replayed
+// from an archived result reconstructs the exact policy that produced it.
+func TestRegistryRoundTrip(t *testing.T) {
+	const seed = 7
+	l, err := workload.Uniform(workload.UniformConfig{D: 2, N: 400, Mu: 50, T: 200, B: 40}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, p := range roundTripPolicies(seed) {
+		name := p.Name()
+		if seen[name] {
+			continue // e.g. BestFit-Lp+Inf and BestFit both canonicalise to "BestFit"
+		}
+		seen[name] = true
+		rebuilt, err := NewPolicy(name, seed)
+		if err != nil {
+			t.Errorf("NewPolicy(%q): %v", name, err)
+			continue
+		}
+		if rebuilt.Name() != name {
+			t.Errorf("NewPolicy(%q).Name() = %q", name, rebuilt.Name())
+			continue
+		}
+		a := mustSimulate(t, l, p)
+		b := mustSimulate(t, l, rebuilt)
+		resultsEqual(t, "round-trip "+name, a, b)
+	}
+}
+
+// primePolicy runs a policy through a steady-state prefix: several bins are
+// opened and partially loaded via the real OnPack path, so later Select calls
+// exercise the primed state (recency lists, class indexes, ...). Returns the
+// open slice a Select would receive.
+func primePolicy(t *testing.T, p Policy) []*Bin {
+	t.Helper()
+	p.Reset()
+	open := make([]*Bin, 0, 8)
+	for i := 0; i < 8; i++ {
+		b := newBin(i, 2, 0)
+		// Mixed loads so load-driven policies have real argmax/argmin work.
+		load := 0.1 + 0.08*float64(i)
+		if err := b.pack(1000+i, vector.Of(load, load/2)); err != nil {
+			t.Fatal(err)
+		}
+		b.openIdx = len(open)
+		open = append(open, b)
+		p.OnPack(Request{ID: 1000 + i, Size: vector.Of(load, load/2)}, b, true)
+	}
+	return open
+}
+
+// TestSelectSteadyStateAllocs pins the hot path: once a run is in steady
+// state, Select must not allocate for any of the seven standard policies.
+// This is the regression fence for the per-Select map rebuild MoveToFront
+// used to do (and for any future policy tempted to build scratch state per
+// decision).
+func TestSelectSteadyStateAllocs(t *testing.T) {
+	for _, p := range StandardPolicies(1) {
+		p := p
+		t.Run(p.Name(), func(t *testing.T) {
+			open := primePolicy(t, p)
+			req := Request{ID: 5000, Size: vector.Of(0.05, 0.05)}
+			// Warm once: lazily-grown internal state (if any) settles here.
+			p.Select(req, open)
+			allocs := testing.AllocsPerRun(100, func() {
+				p.Select(req, open)
+			})
+			if allocs != 0 {
+				t.Errorf("%s.Select allocates %v per call in steady state, want 0", p.Name(), allocs)
+			}
+		})
+	}
+}
+
+// TestSimulateSteadyStateEventAllocs pins the engine end to end: on the churn
+// family (one pack + one departure per churn item against bins already at k
+// active items), the marginal cost of an extra churn item must be
+// allocation-free — the whole point of the incremental load accounting and
+// scratch reuse. Comparing two run lengths cancels the fixed setup
+// allocations (bins, maps, result slices).
+func TestSimulateSteadyStateEventAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation accounting run")
+	}
+	const bins, k = 4, 16
+	run := func(churn int, p Policy) float64 {
+		l := churnHotPathInstance(2, bins, k, churn)
+		return testing.AllocsPerRun(10, func() {
+			if _, err := Simulate(l, p); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	for _, name := range []string{"FirstFit", "MoveToFront", "BestFit"} {
+		p, err := NewPolicy(name, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		short := run(64, p)
+		long := run(192, p)
+		// 128 extra churn items = 256 extra steady-state events. Allow the
+		// slack of amortised slice growth (placements, departure queue).
+		perEvent := (long - short) / 256
+		if perEvent > 0.1 {
+			t.Errorf("%s: %.2f allocs per steady-state event (short=%v long=%v), want ~0",
+				name, perEvent, short, long)
+		}
+	}
+}

@@ -138,3 +138,21 @@ func BenchmarkPushPop(b *testing.B) {
 		}
 	}
 }
+
+// TestSteadyStateAllocs pins the queue's engine-facing contract: once the
+// backing slice has grown, Push and Pop are allocation-free. The previous
+// container/heap implementation boxed every event through `any`, costing one
+// allocation per Push and per Pop on the simulation hot path.
+func TestSteadyStateAllocs(t *testing.T) {
+	var q Queue[int]
+	for i := 0; i < 64; i++ {
+		q.PushAt(float64(i), int64(i), i) // grow the backing slice
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		q.PushAt(3.5, 999, 42)
+		q.Pop()
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Push+Pop allocates %v per cycle, want 0", allocs)
+	}
+}

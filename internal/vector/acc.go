@@ -1,0 +1,216 @@
+package vector
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Acc is an exact, order-independent accumulator for one dimension of a bin
+// load. It supports adding and removing float64 values in O(1) and exposes
+// the running sum correctly rounded to float64 via Round.
+//
+// Why the engine needs it: bin loads drive Best/Worst Fit decisions through
+// exact float comparisons, and the engine's documented contract is that two
+// different pack/depart histories reaching the same active item set expose
+// bit-identical loads. Plain running addition cannot honour that contract —
+// float64 addition is neither associative nor exactly invertible, so
+// ((a+b)-a) generally differs from b in the last ulp — and the pre-incremental
+// engine paid O(k·log k) per event re-summing all k active items in a
+// canonical order instead. Compensated (Neumaier) summation narrows the error
+// but its compensation term itself rounds, so it is order-dependent too.
+//
+// Acc sidesteps rounding entirely: it maintains the *exact* sum as a
+// fixed-point integer spread over 32-bit limbs ("superaccumulator"), the way
+// exact-summation literature (Shewchuk's expansions, Neal's superaccumulators)
+// represents float sums. Every float64 is an integer multiple of 2^-1074, so
+// each Add/Sub contributes exact integer limb increments; integer addition is
+// associative and commutative, and a removed value cancels its own
+// contribution exactly. The limb vector is therefore a pure function of the
+// multiset of currently-accumulated values — any history reaching the same
+// active set yields identical limbs, hence identical Round outputs, which is
+// precisely the determinism contract.
+//
+// Costs: an Acc is ~0.5 KiB; Add/Sub touch three limbs; Round scans only the
+// limb window actually in use (a handful of limbs for realistic size
+// distributions, ≤ numAccLimbs always). Limb magnitudes grow with the number
+// of *active* values (cancelled pairs contribute zero), overflowing int64
+// only beyond 2^30 simultaneously-active values per accumulator — far past
+// anything a bin can hold.
+type Acc struct {
+	limb [numAccLimbs]int64
+	// lo, hi bound the limb indices written since the last Reset (or ever,
+	// for the zero value); used is false while no value has been added, so
+	// the zero value is ready to use.
+	lo, hi int16
+	used   bool
+}
+
+// numAccLimbs covers the full finite float64 range: bit p of the fixed-point
+// frame (value scaled by 2^1074) lives in limb p>>5, and the highest frame
+// bit of the largest finite float64 is 2045+52, so limb 65 is the last one
+// ever touched.
+const numAccLimbs = 67
+
+// Add accumulates x exactly. It panics on NaN or ±Inf (item sizes and loads
+// are validated finite everywhere upstream, so a non-finite value here is a
+// programming error).
+func (a *Acc) Add(x float64) { a.accumulate(x, 1) }
+
+// Sub removes x exactly: Sub(x) is Add(-x), and after adding and removing
+// the same value the accumulator is bit-identical to never having seen it.
+func (a *Acc) Sub(x float64) { a.accumulate(x, -1) }
+
+func (a *Acc) accumulate(x float64, sign int64) {
+	if x == 0 {
+		return
+	}
+	b := math.Float64bits(x)
+	if b>>63 != 0 {
+		sign, b = -sign, b&^(1<<63)
+	}
+	e := int(b >> 52)
+	m := b & (1<<52 - 1)
+	if e == 0x7FF {
+		panic("vector: Acc cannot accumulate Inf or NaN")
+	}
+	if e == 0 {
+		e = 1 // subnormal: same scale as e=1, no implicit bit
+	} else {
+		m |= 1 << 52
+	}
+	// x = ±m·2^(e-1075); in the fixed-point frame (scaled by 2^1074) the
+	// mantissa starts at bit p = e-1 and spans three 32-bit limbs.
+	p := e - 1
+	i, off := p>>5, uint(p&31)
+	a.limb[i] += sign * int64((m<<off)&0xFFFFFFFF)
+	a.limb[i+1] += sign * int64((m>>(32-off))&0xFFFFFFFF)
+	a.limb[i+2] += sign * int64(m>>(64-off))
+	if !a.used {
+		a.lo, a.hi, a.used = int16(i), int16(i+2), true
+		return
+	}
+	if int16(i) < a.lo {
+		a.lo = int16(i)
+	}
+	if int16(i+2) > a.hi {
+		a.hi = int16(i + 2)
+	}
+}
+
+// Round returns the exact accumulated sum rounded to the nearest float64
+// (ties to even). The result is a pure function of the accumulated multiset:
+// identical active sets give bit-identical results regardless of the
+// Add/Sub order that produced them. (In the far subnormal range the value is
+// rounded to 53 bits before Ldexp denormalises it, so it may differ from the
+// infinitely-precise rounding by one ulp — still deterministically.)
+func (a *Acc) Round() float64 {
+	if !a.used {
+		return 0
+	}
+	// Carry-propagate the window into canonical base-2^32 digits. digits[j]
+	// holds the digit of limb index lo+j; a trailing positive carry extends
+	// above the window (at most a few digits).
+	var digits [numAccLimbs + 3]uint32
+	n, carry := a.propagate(&digits, 1)
+	neg := false
+	if carry < 0 {
+		// The exact value is negative (possible for a general caller even
+		// though bin loads never are): canonicalise the magnitude instead.
+		neg = true
+		n, carry = a.propagate(&digits, -1)
+	}
+	for carry > 0 {
+		d := carry & 0xFFFFFFFF
+		digits[n] = uint32(d)
+		n++
+		carry >>= 32
+	}
+	h := n - 1
+	for h >= 0 && digits[h] == 0 {
+		h--
+	}
+	if h < 0 {
+		return 0
+	}
+	// Assemble the top four digits into a 128-bit window A (the leading digit
+	// is non-zero, so A has 97..128 significant bits — enough for a 53-bit
+	// mantissa plus round and sticky) and fold everything below into sticky.
+	dig := func(j int) uint64 {
+		if j < 0 {
+			return 0
+		}
+		return uint64(digits[j])
+	}
+	hi := dig(h)<<32 | dig(h-1)
+	lo := dig(h-2)<<32 | dig(h-3)
+	sticky := false
+	for j := 0; j <= h-4; j++ {
+		if digits[j] != 0 {
+			sticky = true
+			break
+		}
+	}
+	length := 64 + bits.Len64(hi)
+	shift := length - 53
+	var mant uint64
+	var roundBit, restNonzero bool
+	if shift > 64 {
+		mant = hi >> (shift - 64)
+		rb := shift - 1 - 64
+		roundBit = (hi>>rb)&1 == 1
+		restNonzero = hi&(1<<rb-1) != 0 || lo != 0
+	} else {
+		mant = hi<<(64-shift) | lo>>shift
+		rb := shift - 1
+		roundBit = (lo>>rb)&1 == 1
+		restNonzero = lo&(1<<rb-1) != 0
+	}
+	if roundBit && (restNonzero || sticky || mant&1 == 1) {
+		mant++ // mant may reach 2^53; float64(2^53) is still exact
+	}
+	v := math.Ldexp(float64(mant), 32*(int(a.lo)+h-3)-1074+shift)
+	if neg {
+		v = -v
+	}
+	return v
+}
+
+// propagate writes sign·limbs as partially-canonical digits (each in
+// [0, 2^32)) and returns the digit count and the final carry. A negative
+// final carry means sign·value < 0.
+func (a *Acc) propagate(digits *[numAccLimbs + 3]uint32, sign int64) (n int, carry int64) {
+	for i := a.lo; i <= a.hi; i++ {
+		t := sign*a.limb[i] + carry
+		d := t & 0xFFFFFFFF
+		carry = (t - d) >> 32
+		digits[n] = uint32(d)
+		n++
+	}
+	return n, carry
+}
+
+// Reset clears the accumulator to zero, touching only the limb window in use.
+func (a *Acc) Reset() {
+	if !a.used {
+		return
+	}
+	for i := a.lo; i <= a.hi; i++ {
+		a.limb[i] = 0
+	}
+	a.lo, a.hi, a.used = 0, 0, false
+}
+
+// IsZero reports whether the exact accumulated sum is zero. Unlike comparing
+// Round() against 0, this is exact even when cancellation leaves a sum too
+// small to represent.
+func (a *Acc) IsZero() bool {
+	if !a.used {
+		return true
+	}
+	for i := a.lo; i <= a.hi; i++ {
+		if a.limb[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
