@@ -1,16 +1,19 @@
 # Developer entry points. `make ci` is the full gate: formatting, vet,
-# the test suite under the race detector, and a short fuzz pass over the
-# engine and fault-schedule fuzzers.
+# the test suite under the race detector, a repeated-run concurrency stress
+# pass, and a short fuzz pass over the engine and fault-schedule fuzzers.
 
 GO ?= go
 FUZZTIME ?= 5s
+# stress repeats the concurrency/determinism tests to shake out rare
+# interleavings; raise for soak runs (e.g. STRESSCOUNT=50).
+STRESSCOUNT ?= 5
 # bench-json knobs: raise for quieter numbers (e.g. BENCHTIME=30x BENCHCOUNT=5).
 BENCHTIME ?= 10x
 BENCHCOUNT ?= 3
 
-.PHONY: ci fmt vet test race build bench bench-smoke bench-json fuzz-smoke
+.PHONY: ci fmt vet test race stress build bench bench-smoke bench-json fuzz-smoke
 
-ci: fmt vet race bench-smoke fuzz-smoke
+ci: fmt vet race stress bench-smoke fuzz-smoke
 
 # gofmt -l prints offending files; fail when the list is non-empty.
 fmt:
@@ -29,6 +32,16 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Repeated-run concurrency stress under the race detector: the scheduler,
+# sharded-sweep determinism, run-scoped metrics, the engine's policy-reuse
+# guard, and concurrent-read contracts. GOMAXPROCS is forced above the core
+# count so goroutines interleave even on small machines.
+stress:
+	GOMAXPROCS=4 $(GO) test -race -count=$(STRESSCOUNT) \
+		-run='Concurrent|Stress|Steal|Sweep|Shard|Slice|ForRun|Progress|Cancellation|Panic|WorkerCounts' \
+		./internal/parallel ./internal/experiments ./internal/metrics \
+		./internal/core ./internal/faults ./internal/vector
+
 bench:
 	$(GO) test -bench=. -benchmem
 
@@ -37,7 +50,8 @@ bench:
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
-# Machine-readable perf trajectory: run the core hot-path benchmarks and
+# Machine-readable perf trajectory: run the core hot-path benchmarks plus the
+# sharded-sweep throughput benchmark (shards/sec at 1 and 8 workers) and
 # write BENCH_core.json (benchstat-comparable names, mean ns/op, B/op,
 # allocs/op). When artifacts/bench/BENCH_core_pre.txt exists (the pre-change
 # capture), it is embedded as the document's baseline section so the
@@ -46,6 +60,8 @@ bench-json:
 	@mkdir -p artifacts/bench
 	$(GO) test ./internal/core -run='^$$' -bench='ChurnHotPath|SimulateUniform|BinChurnClose' \
 		-benchmem -benchtime=$(BENCHTIME) -count=$(BENCHCOUNT) | tee artifacts/bench/BENCH_core_cur.txt
+	$(GO) test . -run='^$$' -bench='Figure4SweepThroughput' \
+		-benchmem -benchtime=$(BENCHTIME) -count=$(BENCHCOUNT) | tee -a artifacts/bench/BENCH_core_cur.txt
 	$(GO) run ./cmd/dvbpbench -benchjson artifacts/bench/BENCH_core_cur.txt \
 		$(if $(wildcard artifacts/bench/BENCH_core_pre.txt),-benchjson-baseline artifacts/bench/BENCH_core_pre.txt) \
 		-benchjson-out BENCH_core.json

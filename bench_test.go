@@ -270,6 +270,34 @@ func BenchmarkOfflinePackers(b *testing.B) {
 	}
 }
 
+// BenchmarkFigure4SweepThroughput measures shard-scheduler throughput on the
+// sharded Figure 4 sweep at 1 and 8 workers; the metric is shards completed
+// per second (one shard = one policy on one regenerated instance). The
+// "workers=N" spelling keeps the two entries distinct in BENCH_core.json
+// (the converter strips a trailing -N as the GOMAXPROCS suffix).
+func BenchmarkFigure4SweepThroughput(b *testing.B) {
+	for _, w := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			cfg := experiments.Figure4Config{
+				Ds: []int{1, 2}, Mus: []int{5, 10}, Instances: 8,
+				N: 300, T: 300, B: 100,
+				Policies: []string{"MoveToFront", "FirstFit", "NextFit"},
+				Seed:     1,
+			}
+			cfg.Workers = w
+			shards := cfg.ShardCount()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.RunFigure4Sweep(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(shards)*float64(b.N)/b.Elapsed().Seconds(), "shards/sec")
+		})
+	}
+}
+
 // BenchmarkParallelScaling measures Figure 4 cell throughput at 1, 2, 4 and
 // 8 workers.
 func BenchmarkParallelScaling(b *testing.B) {
@@ -279,8 +307,9 @@ func BenchmarkParallelScaling(b *testing.B) {
 				Ds: []int{2}, Mus: []int{10}, Instances: 16,
 				N: 500, T: 500, B: 100,
 				Policies: []string{"MoveToFront", "FirstFit"},
-				Seed:     1, Workers: w,
+				Seed:     1,
 			}
+			cfg.Workers = w
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := experiments.RunFigure4(cfg); err != nil {

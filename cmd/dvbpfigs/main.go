@@ -9,10 +9,17 @@
 //	           instance (Section 6's illustration);
 //	plus a packing Gantt chart of any instance.
 //
+// Each figure is an independent shard: -workers renders them in parallel and
+// -shard k/m restricts one invocation to a slice of them (shard index =
+// figure position above, Gantt last). Every figure re-simulates its own
+// policy instance from the seed, so output bytes are identical for any
+// worker count or slice partition (DESIGN.md §9).
+//
 //	dvbpfigs -out figures
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -21,76 +28,123 @@ import (
 	"dvbp/internal/adversary"
 	"dvbp/internal/analysis"
 	"dvbp/internal/core"
+	"dvbp/internal/experiments"
 	"dvbp/internal/gantt"
+	"dvbp/internal/parallel"
 	"dvbp/internal/workload"
 )
 
 func main() {
 	var (
-		outDir = flag.String("out", "figures", "output directory")
-		seed   = flag.Int64("seed", 11, "workload seed for figures 1/2")
-		n      = flag.Int("n", 24, "items in the random instance for figures 1/2")
+		outDir  = flag.String("out", "figures", "output directory")
+		seed    = flag.Int64("seed", 11, "workload seed for figures 1/2")
+		n       = flag.Int("n", 24, "items in the random instance for figures 1/2")
+		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		shardF  = flag.String("shard", "", "render only figure slice k/m (0=figure1 1=figure2 2=figure3 3=gantt)")
 	)
 	flag.Parse()
-	if err := os.MkdirAll(*outDir, 0o755); err != nil {
-		fatal(err)
-	}
-
-	l, err := workload.Uniform(workload.UniformConfig{D: 1, N: *n, Mu: 8, T: 40, B: 10}, *seed)
+	shard, err := experiments.ParseShardSlice(*shardF)
 	if err != nil {
 		fatal(err)
 	}
-
-	// Figure 1: MTF leading/non-leading decomposition.
-	mtf := core.NewMoveToFront()
-	dec := analysis.NewMTFDecomposition(mtf)
-	resMTF, err := core.Simulate(l, mtf, core.WithObserver(dec))
+	wrote, err := renderFigures(*outDir, *seed, *n, *workers, shard)
 	if err != nil {
 		fatal(err)
 	}
-	if err := dec.Verify(resMTF); err != nil {
-		fatal(err)
-	}
-	write(*outDir, "figure1_mtf_decomposition.svg",
-		gantt.MTFFigure1(l, resMTF, dec, gantt.Options{Title: "Figure 1: Move To Front leading/non-leading decomposition"}))
-
-	// Figure 2: FF P/Q decomposition.
-	resFF, err := core.Simulate(l, core.NewFirstFit())
-	if err != nil {
-		fatal(err)
-	}
-	if err := analysis.VerifyFFDecomposition(resFF); err != nil {
-		fatal(err)
-	}
-	write(*outDir, "figure2_ff_decomposition.svg",
-		gantt.FFFigure2(l, resFF, gantt.Options{Title: "Figure 2: First Fit P/Q decomposition"}))
-
-	// Figure 3: loads on the Theorem 5 instance at t=0.5 (R0 packed),
-	// t just after R1 lands, and deep in the long phase.
-	in, err := adversary.Theorem5(2, 3, 5)
-	if err != nil {
-		fatal(err)
-	}
-	resAdv, err := core.Simulate(in.List, core.NewFirstFit())
-	if err != nil {
-		fatal(err)
-	}
-	write(*outDir, "figure3_theorem5_loads.svg",
-		gantt.LoadFigure3(in.List, resAdv, []float64{0.5, 0.9995, 3}, gantt.Options{
-			Title: "Figure 3: bin loads on the Theorem 5 instance (d=2, k=3, mu=5)",
-		}))
-
-	// Bonus: packing Gantt of the random instance under MTF.
-	write(*outDir, "packing_gantt.svg",
-		gantt.Packing(l, resMTF, gantt.Options{Title: "Move To Front packing", ShowItemIDs: true}))
-
-	fmt.Printf("wrote 4 figures to %s/\n", *outDir)
+	fmt.Printf("wrote %d figures to %s/\n", wrote, *outDir)
 }
 
-func write(dir, name, content string) {
-	if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
-		fatal(err)
+// figure is one renderable output: a filename plus a self-contained renderer
+// that re-simulates everything it needs (no shared mutable state, so shards
+// can run concurrently and in any order).
+type figure struct {
+	name   string
+	render func() (string, error)
+}
+
+// figures lists the renderers in shard-index order. The order is part of the
+// -shard contract documented in the command help.
+func figures(seed int64, n int) ([]figure, error) {
+	l, err := workload.Uniform(workload.UniformConfig{D: 1, N: n, Mu: 8, T: 40, B: 10}, seed)
+	if err != nil {
+		return nil, err
 	}
+	return []figure{
+		{"figure1_mtf_decomposition.svg", func() (string, error) {
+			mtf := core.NewMoveToFront()
+			dec := analysis.NewMTFDecomposition(mtf)
+			res, err := core.Simulate(l, mtf, core.WithObserver(dec))
+			if err != nil {
+				return "", err
+			}
+			if err := dec.Verify(res); err != nil {
+				return "", err
+			}
+			return gantt.MTFFigure1(l, res, dec, gantt.Options{Title: "Figure 1: Move To Front leading/non-leading decomposition"}), nil
+		}},
+		{"figure2_ff_decomposition.svg", func() (string, error) {
+			res, err := core.Simulate(l, core.NewFirstFit())
+			if err != nil {
+				return "", err
+			}
+			if err := analysis.VerifyFFDecomposition(res); err != nil {
+				return "", err
+			}
+			return gantt.FFFigure2(l, res, gantt.Options{Title: "Figure 2: First Fit P/Q decomposition"}), nil
+		}},
+		{"figure3_theorem5_loads.svg", func() (string, error) {
+			// Loads on the Theorem 5 instance at t=0.5 (R0 packed), t just
+			// after R1 lands, and deep in the long phase.
+			in, err := adversary.Theorem5(2, 3, 5)
+			if err != nil {
+				return "", err
+			}
+			res, err := core.Simulate(in.List, core.NewFirstFit())
+			if err != nil {
+				return "", err
+			}
+			return gantt.LoadFigure3(in.List, res, []float64{0.5, 0.9995, 3}, gantt.Options{
+				Title: "Figure 3: bin loads on the Theorem 5 instance (d=2, k=3, mu=5)",
+			}), nil
+		}},
+		{"packing_gantt.svg", func() (string, error) {
+			res, err := core.Simulate(l, core.NewMoveToFront())
+			if err != nil {
+				return "", err
+			}
+			return gantt.Packing(l, res, gantt.Options{Title: "Move To Front packing", ShowItemIDs: true}), nil
+		}},
+	}, nil
+}
+
+// renderFigures renders the selected figure shards into outDir through the
+// work-stealing scheduler and returns how many files were written.
+func renderFigures(outDir string, seed int64, n, workers int, shard experiments.ShardSlice) (int, error) {
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return 0, err
+	}
+	figs, err := figures(seed, n)
+	if err != nil {
+		return 0, err
+	}
+	var sel []int
+	for i := range figs {
+		if shard.Selects(i) {
+			sel = append(sel, i)
+		}
+	}
+	err = parallel.Run(len(sel), func(_ context.Context, j int) error {
+		f := figs[sel[j]]
+		svg, err := f.render()
+		if err != nil {
+			return fmt.Errorf("%s: %w", f.name, err)
+		}
+		return os.WriteFile(filepath.Join(outDir, f.name), []byte(svg), 0o644)
+	}, parallel.RunOptions{Workers: workers})
+	if err != nil {
+		return 0, err
+	}
+	return len(sel), nil
 }
 
 func fatal(err error) {

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dvbp/internal/experiments"
+)
+
+// readAll returns name -> content for every file in dir.
+func readAll(t *testing.T, dir string) map[string]string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]string, len(entries))
+	for _, e := range entries {
+		b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[e.Name()] = string(b)
+	}
+	return out
+}
+
+// TestRenderFiguresDeterministic pins the -workers/-shard contract: the same
+// four SVGs, byte for byte, whether rendered sequentially, in parallel, or as
+// two merged shard slices into separate invocations.
+func TestRenderFiguresDeterministic(t *testing.T) {
+	seq := t.TempDir()
+	if wrote, err := renderFigures(seq, 11, 24, 1, experiments.ShardSlice{}); err != nil || wrote != 4 {
+		t.Fatalf("sequential render: wrote=%d err=%v", wrote, err)
+	}
+	want := readAll(t, seq)
+	if len(want) != 4 {
+		t.Fatalf("expected 4 figures, got %d", len(want))
+	}
+
+	par := t.TempDir()
+	if _, err := renderFigures(par, 11, 24, 4, experiments.ShardSlice{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := readAll(t, par); len(got) != len(want) {
+		t.Fatalf("parallel render produced %d files, want %d", len(got), len(want))
+	} else {
+		for name, content := range want {
+			if got[name] != content {
+				t.Errorf("parallel render of %s differs from sequential", name)
+			}
+		}
+	}
+
+	sliced := t.TempDir()
+	w0, err := renderFigures(sliced, 11, 24, 2, experiments.ShardSlice{Index: 0, Count: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1, err := renderFigures(sliced, 11, 24, 2, experiments.ShardSlice{Index: 1, Count: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w0+w1 != 4 {
+		t.Fatalf("slices wrote %d+%d figures, want 4 total", w0, w1)
+	}
+	got := readAll(t, sliced)
+	if len(got) != len(want) {
+		t.Fatalf("sliced render produced %d files, want %d", len(got), len(want))
+	}
+	for name, content := range want {
+		if got[name] != content {
+			t.Errorf("sliced render of %s differs from sequential", name)
+		}
+	}
+}

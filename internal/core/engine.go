@@ -144,6 +144,10 @@ func Simulate(l *item.List, p Policy, opts ...Option) (*Result, error) {
 	if cfg.injector != nil && cfg.retry == nil {
 		cfg.retry = retryNow{}
 	}
+	if err := acquirePolicy(p); err != nil {
+		return nil, err
+	}
+	defer releasePolicy(p)
 	p.Reset()
 
 	arrivals := l.SortedByArrival()

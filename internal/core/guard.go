@@ -1,0 +1,47 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+)
+
+// activePolicies tracks the Policy instances currently driving a Simulate
+// call. Policies are stateful (Move To Front's bin ordering, Next Fit's
+// cursor, Random Fit's RNG), so one instance shared by two concurrent
+// simulations is a data race that corrupts both runs silently. The engine
+// refuses such reuse up front with a diagnosable error instead: each
+// concurrent run must construct its own policy (they are cheap, and
+// deterministic given the same seed). Sequential reuse of one instance
+// remains allowed — Simulate resets the policy on entry.
+var activePolicies sync.Map // Policy -> struct{}
+
+// guardable reports whether p has a trackable identity worth guarding.
+// Zero-sized policies (First Fit, Last Fit) are excluded on both counts: Go
+// gives every allocation of a zero-sized type the same address, so distinct
+// instances are indistinguishable — and a type with no fields has no mutable
+// state, making concurrent sharing harmless. Non-pointer policies are also
+// excluded (copies would compare equal).
+func guardable(p Policy) bool {
+	v := reflect.ValueOf(p)
+	return v.Kind() == reflect.Pointer && !v.IsNil() && v.Elem().Type().Size() > 0
+}
+
+// acquirePolicy registers p for the duration of one simulation, failing if p
+// is already inside another.
+func acquirePolicy(p Policy) error {
+	if !guardable(p) {
+		return nil
+	}
+	if _, loaded := activePolicies.LoadOrStore(p, struct{}{}); loaded {
+		return fmt.Errorf("core: policy %s is already driving a concurrent simulation; construct one policy instance per run", p.Name())
+	}
+	return nil
+}
+
+// releasePolicy deregisters p after its simulation completes.
+func releasePolicy(p Policy) {
+	if guardable(p) {
+		activePolicies.Delete(p)
+	}
+}

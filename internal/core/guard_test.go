@@ -1,0 +1,108 @@
+package core
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"dvbp/internal/item"
+)
+
+// blockingPolicy parks inside Select until released, so a test can hold one
+// policy instance mid-simulation while probing the engine from outside.
+type blockingPolicy struct {
+	entered chan struct{}
+	release chan struct{}
+	once    sync.Once
+}
+
+func (p *blockingPolicy) Name() string { return "Blocking" }
+func (p *blockingPolicy) Reset()       {}
+func (p *blockingPolicy) Select(req Request, open []*Bin) *Bin {
+	p.once.Do(func() {
+		close(p.entered)
+		<-p.release
+	})
+	return nil
+}
+func (p *blockingPolicy) OnPack(req Request, b *Bin, opened bool) {}
+func (p *blockingPolicy) OnClose(b *Bin)                          {}
+
+func guardList(t *testing.T) *item.List {
+	t.Helper()
+	l := item.NewList(1)
+	l.Add(0, 1, []float64{0.5})
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestSimulateRejectsConcurrentPolicyReuse(t *testing.T) {
+	l := guardList(t)
+	p := &blockingPolicy{entered: make(chan struct{}), release: make(chan struct{})}
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := Simulate(l, p)
+		done <- err
+	}()
+	<-p.entered // first run is now mid-simulation, holding p
+
+	if _, err := Simulate(l, p); err == nil || !strings.Contains(err.Error(), "concurrent simulation") {
+		t.Errorf("concurrent reuse: err = %v, want concurrent-simulation rejection", err)
+	}
+
+	close(p.release)
+	if err := <-done; err != nil {
+		t.Fatalf("first simulation failed: %v", err)
+	}
+
+	// After the first run finishes the instance is free again: sequential
+	// reuse must keep working (Simulate resets the policy on entry).
+	if _, err := Simulate(l, p); err != nil {
+		t.Errorf("sequential reuse after release: %v", err)
+	}
+}
+
+func TestSimulateAllowsSharedStatelessPolicy(t *testing.T) {
+	// Zero-sized policies (First Fit, Last Fit) have no mutable state, and Go
+	// aliases all their allocations anyway — sharing one across concurrent
+	// runs is safe and must not trip the guard.
+	l := guardList(t)
+	p := NewFirstFit()
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = Simulate(l, p)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("run %d: %v", i, err)
+		}
+	}
+}
+
+func TestSimulateAllowsDistinctPolicyInstancesConcurrently(t *testing.T) {
+	l := guardList(t)
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = Simulate(l, NewFirstFit())
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("run %d: %v", i, err)
+		}
+	}
+}

@@ -19,12 +19,9 @@ type AblationConfig struct {
 	D, N, Mu, T, B int
 	Instances      int
 	Seed           int64
-	Workers        int
-	// Observer, when non-nil, is attached to every simulation (see
-	// Figure4Config.Observer for the concurrency contract).
-	Observer core.Observer
-	// Ctx cancels outstanding trials early (see Figure4Config.Ctx).
-	Ctx context.Context
+	// RunControl supplies the execution knobs; shard slices are not
+	// supported here (the result is not reassemblable from parts).
+	RunControl
 }
 
 // DefaultAblation matches one Figure 4 cell (d=2, μ=100) at reduced instance
@@ -43,8 +40,13 @@ func runPolicySet(cfg AblationConfig, names []string, mk func(name string, seed 
 	if err := wcfg.Validate(); err != nil {
 		return nil, err
 	}
-	opts = append(observerOpts(cfg.Observer), opts...)
-	trials, err := parallel.Map(cfg.Instances, func(i int) ([]float64, error) {
+	if err := cfg.requireUnsharded("ablation"); err != nil {
+		return nil, err
+	}
+	trials, err := runShards(cfg.RunControl, cfg.Instances, func(_ context.Context, i int) ([]float64, error) {
+		// Observer scoping is per shard: views minted here are never shared
+		// between concurrent shards.
+		opts := append(cfg.observerOpts(), opts...)
 		seed := parallel.SeedFor(cfg.Seed, i)
 		l, err := workload.Uniform(wcfg, seed)
 		if err != nil {
@@ -64,7 +66,7 @@ func runPolicySet(cfg AblationConfig, names []string, mk func(name string, seed 
 			out[pi] = res.Cost / lb
 		}
 		return out, nil
-	}, parallel.Options{Workers: cfg.Workers, Context: cfg.Ctx})
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -120,9 +122,12 @@ func RunBillingAblation(cfg AblationConfig, quantum float64) ([]BillingRow, erro
 	if err := wcfg.Validate(); err != nil {
 		return nil, err
 	}
+	if err := cfg.requireUnsharded("billing"); err != nil {
+		return nil, err
+	}
 	names := core.PolicyNames()
 	type trial struct{ usage, billed []float64 }
-	trials, err := parallel.Map(cfg.Instances, func(i int) (trial, error) {
+	trials, err := runShards(cfg.RunControl, cfg.Instances, func(_ context.Context, i int) (trial, error) {
 		seed := parallel.SeedFor(cfg.Seed, i)
 		l, err := workload.Uniform(wcfg, seed)
 		if err != nil {
@@ -134,7 +139,7 @@ func RunBillingAblation(cfg AblationConfig, quantum float64) ([]BillingRow, erro
 			if err != nil {
 				return trial{}, err
 			}
-			res, err := core.Simulate(l, p, observerOpts(cfg.Observer)...)
+			res, err := core.Simulate(l, p, cfg.observerOpts()...)
 			if err != nil {
 				return trial{}, err
 			}
@@ -149,7 +154,7 @@ func RunBillingAblation(cfg AblationConfig, quantum float64) ([]BillingRow, erro
 			}
 		}
 		return tr, nil
-	}, parallel.Options{Workers: cfg.Workers, Context: cfg.Ctx})
+	})
 	if err != nil {
 		return nil, err
 	}

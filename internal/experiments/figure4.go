@@ -10,6 +10,7 @@ package experiments
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"sort"
 
@@ -38,25 +39,34 @@ type Figure4Config struct {
 	Policies []string
 	// Seed derives all per-trial seeds.
 	Seed int64
-	// Workers bounds parallelism (<= 0: GOMAXPROCS).
-	Workers int
-	// Observer, when non-nil, is attached to every simulation the
-	// experiment runs (via core.WithObserver). Trials execute in parallel,
-	// so the observer must be safe for concurrent use; a shared
-	// metrics.Collector qualifies and aggregates counters across the whole
-	// experiment. The observer does not affect packing results.
-	Observer core.Observer
-	// Ctx cancels outstanding trials early (e.g. a command -timeout); nil
-	// means Background. On cancellation the run returns the context error.
-	Ctx context.Context
+	// RunControl supplies the execution knobs (Workers, Ctx, Progress,
+	// Shard, Observer); none of them affect results.
+	RunControl
 }
 
-// observerOpts converts an optional shared observer into Simulate options.
-func observerOpts(o core.Observer) []core.Option {
-	if o == nil {
-		return nil
-	}
-	return []core.Option{core.WithObserver(o)}
+// Figure4Grid is the result-affecting part of Figure4Config, serialised into
+// sweep documents so merge can reject parts run under different grids.
+type Figure4Grid struct {
+	Ds        []int    `json:"ds"`
+	Mus       []int    `json:"mus"`
+	Instances int      `json:"instances"`
+	N         int      `json:"n"`
+	T         int      `json:"t"`
+	B         int      `json:"b"`
+	Policies  []string `json:"policies"`
+	Seed      int64    `json:"seed"`
+}
+
+// Grid extracts the serialisable grid from the config.
+func (c Figure4Config) Grid() Figure4Grid {
+	return Figure4Grid{Ds: c.Ds, Mus: c.Mus, Instances: c.Instances,
+		N: c.N, T: c.T, B: c.B, Policies: c.Policies, Seed: c.Seed}
+}
+
+// Config rebuilds an executable config (zero RunControl) from a grid.
+func (g Figure4Grid) Config() Figure4Config {
+	return Figure4Config{Ds: g.Ds, Mus: g.Mus, Instances: g.Instances,
+		N: g.N, T: g.T, B: g.B, Policies: g.Policies, Seed: g.Seed}
 }
 
 // DefaultFigure4 returns the paper's exact experimental grid.
@@ -110,75 +120,175 @@ type Figure4Result struct {
 	Cells  map[Cell]stats.Summary
 }
 
-// RunFigure4 executes the experiment. For each (d, μ) it generates Instances
-// random instances; each instance is normalised by the Lemma 1(i) lower
-// bound and every policy's cost/LB ratio is folded into its cell summary.
-func RunFigure4(cfg Figure4Config) (*Figure4Result, error) {
+// figure4Cell is one (d, μ) point of the grid, in Ds × Mus iteration order.
+type figure4Cell struct{ d, mu int }
+
+func (c Figure4Config) cellGrid() []figure4Cell {
+	cells := make([]figure4Cell, 0, len(c.Ds)*len(c.Mus))
+	for _, d := range c.Ds {
+		for _, mu := range c.Mus {
+			cells = append(cells, figure4Cell{d, mu})
+		}
+	}
+	return cells
+}
+
+// Figure 4 shard-index layout: one shard per (cell, instance, policy) triple,
+// flattened as ((cellIdx*Instances)+instance)*len(Policies)+policyIdx. Each
+// shard regenerates its instance's workload from (cell, instance) alone —
+// using the same seed derivation as the historical per-instance trials, so
+// recorded experiment outputs for a given root seed stay valid — and runs a
+// single policy. The shard value is that policy's cost/LB ratio.
+
+// ShardCount returns the sweep's total shard count.
+func (c Figure4Config) ShardCount() int {
+	return len(c.Ds) * len(c.Mus) * c.Instances * len(c.Policies)
+}
+
+// cellSeed is the historical per-(d, μ) seed base; per-instance seeds are
+// parallel.SeedFor(cellSeed, instance).
+func (c Figure4Config) cellSeed(d, mu int) int64 {
+	return c.Seed ^ (int64(d) << 32) ^ (int64(mu) << 16)
+}
+
+// figure4Shard computes one shard: cost/LB of a single policy on a single
+// regenerated instance.
+func figure4Shard(cfg Figure4Config, cells []figure4Cell, shard int) (float64, error) {
+	pi := shard % len(cfg.Policies)
+	rest := shard / len(cfg.Policies)
+	i := rest % cfg.Instances
+	cell := cells[rest/cfg.Instances]
+
+	wcfg := workload.UniformConfig{D: cell.d, N: cfg.N, Mu: cell.mu, T: cfg.T, B: cfg.B}
+	seed := parallel.SeedFor(cfg.cellSeed(cell.d, cell.mu), i)
+	l, err := workload.Uniform(wcfg, seed)
+	if err != nil {
+		return 0, err
+	}
+	lb := lowerbound.IntegralBound(l)
+	if lb <= 0 {
+		return 0, fmt.Errorf("non-positive lower bound")
+	}
+	p, err := core.NewPolicy(cfg.Policies[pi], seed)
+	if err != nil {
+		return 0, err
+	}
+	r, err := core.Simulate(l, p, cfg.observerOpts()...)
+	if err != nil {
+		return 0, err
+	}
+	return r.Cost / lb, nil
+}
+
+// RunFigure4Sweep executes the (possibly slice-restricted) sharded sweep and
+// returns the raw per-shard ratios as a serialisable sweep document.
+func RunFigure4Sweep(cfg Figure4Config) (*Figure4Sweep, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	cells := cfg.cellGrid()
+	dense, err := runShards(cfg.RunControl, cfg.ShardCount(), func(_ context.Context, s int) (float64, error) {
+		return figure4Shard(cfg, cells, s)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return newSweep("figure4", cfg.Grid(), cfg.Shard, dense)
+}
+
+// RunFigure4 executes the experiment. For each (d, μ) it generates Instances
+// random instances; each instance is normalised by the Lemma 1(i) lower
+// bound and every policy's cost/LB ratio is folded into its cell summary.
+// Slice-restricted configs cannot produce summaries — run RunFigure4Sweep per
+// slice and merge.
+func RunFigure4(cfg Figure4Config) (*Figure4Result, error) {
+	sweep, err := RunFigure4Sweep(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return Figure4SweepResult(sweep)
+}
+
+// Figure4Sweep is the sweep document for Figure 4: one cost/LB ratio per
+// (cell, instance, policy) shard.
+type Figure4Sweep = Sweep[float64]
+
+// Figure4SweepResult folds a complete sweep into per-cell summaries. Ratios
+// are folded in ascending instance order per (cell, policy) — the same order
+// as the sequential reference path, so summaries are bit-identical to it for
+// any worker count or slice partition.
+func Figure4SweepResult(s *Figure4Sweep) (*Figure4Result, error) {
+	if s.Experiment != "figure4" {
+		return nil, fmt.Errorf("experiments: sweep is %q, not figure4", s.Experiment)
+	}
+	var grid Figure4Grid
+	if err := json.Unmarshal(s.Grid, &grid); err != nil {
+		return nil, fmt.Errorf("experiments: decode figure4 grid: %w", err)
+	}
+	cfg := grid.Config()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if want := cfg.ShardCount(); s.Shards != want {
+		return nil, fmt.Errorf("experiments: sweep has %d shards, grid implies %d", s.Shards, want)
+	}
+	ratios, err := s.Dense()
+	if err != nil {
+		return nil, err
+	}
+	cells := cfg.cellGrid()
 	res := &Figure4Result{Config: cfg, Cells: make(map[Cell]stats.Summary)}
-	for _, d := range cfg.Ds {
-		for _, mu := range cfg.Mus {
-			cellSummaries, err := runFigure4Cell(cfg, d, mu)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: d=%d mu=%d: %w", d, mu, err)
+	nP := len(cfg.Policies)
+	for ci, cell := range cells {
+		for pi, name := range cfg.Policies {
+			var acc stats.Accumulator
+			for i := 0; i < cfg.Instances; i++ {
+				acc.Add(ratios[(ci*cfg.Instances+i)*nP+pi])
 			}
-			for p, s := range cellSummaries {
-				res.Cells[Cell{D: d, Mu: mu, Policy: p}] = s
-			}
+			res.Cells[Cell{D: cell.d, Mu: cell.mu, Policy: name}] = acc.Summarize()
 		}
 	}
 	return res, nil
 }
 
-// trialRatios holds one instance's cost/LB ratio per policy, in
-// cfg.Policies order.
-type trialRatios []float64
-
-func runFigure4Cell(cfg Figure4Config, d, mu int) (map[string]stats.Summary, error) {
-	wcfg := workload.UniformConfig{D: d, N: cfg.N, Mu: mu, T: cfg.T, B: cfg.B}
-	base := cfg.Seed ^ (int64(d) << 32) ^ (int64(mu) << 16)
-
-	trials, err := parallel.Map(cfg.Instances, func(i int) (trialRatios, error) {
-		seed := parallel.SeedFor(base, i)
-		l, err := workload.Uniform(wcfg, seed)
-		if err != nil {
-			return nil, err
-		}
-		lb := lowerbound.IntegralBound(l)
-		if lb <= 0 {
-			return nil, fmt.Errorf("non-positive lower bound")
-		}
-		out := make(trialRatios, len(cfg.Policies))
-		for pi, name := range cfg.Policies {
-			p, err := core.NewPolicy(name, seed)
-			if err != nil {
-				return nil, err
-			}
-			r, err := core.Simulate(l, p, observerOpts(cfg.Observer)...)
-			if err != nil {
-				return nil, err
-			}
-			out[pi] = r.Cost / lb
-		}
-		return out, nil
-	}, parallel.Options{Workers: cfg.Workers, Context: cfg.Ctx})
-	if err != nil {
+// runFigure4Sequential is the single-goroutine reference implementation the
+// differential tests compare the sharded runner against: the plain nested
+// loop over cells, instances and policies, folding ratios as it goes.
+func runFigure4Sequential(cfg Figure4Config) (*Figure4Result, error) {
+	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-
-	accs := make([]stats.Accumulator, len(cfg.Policies))
-	for _, tr := range trials {
-		for pi, ratio := range tr {
-			accs[pi].Add(ratio)
+	res := &Figure4Result{Config: cfg, Cells: make(map[Cell]stats.Summary)}
+	for _, cell := range cfg.cellGrid() {
+		wcfg := workload.UniformConfig{D: cell.d, N: cfg.N, Mu: cell.mu, T: cfg.T, B: cfg.B}
+		accs := make([]stats.Accumulator, len(cfg.Policies))
+		for i := 0; i < cfg.Instances; i++ {
+			seed := parallel.SeedFor(cfg.cellSeed(cell.d, cell.mu), i)
+			l, err := workload.Uniform(wcfg, seed)
+			if err != nil {
+				return nil, err
+			}
+			lb := lowerbound.IntegralBound(l)
+			if lb <= 0 {
+				return nil, fmt.Errorf("non-positive lower bound")
+			}
+			for pi, name := range cfg.Policies {
+				p, err := core.NewPolicy(name, seed)
+				if err != nil {
+					return nil, err
+				}
+				r, err := core.Simulate(l, p, cfg.observerOpts()...)
+				if err != nil {
+					return nil, err
+				}
+				accs[pi].Add(r.Cost / lb)
+			}
+		}
+		for pi, name := range cfg.Policies {
+			res.Cells[Cell{D: cell.d, Mu: cell.mu, Policy: name}] = accs[pi].Summarize()
 		}
 	}
-	out := make(map[string]stats.Summary, len(cfg.Policies))
-	for pi, name := range cfg.Policies {
-		out[name] = accs[pi].Summarize()
-	}
-	return out, nil
+	return res, nil
 }
 
 // Table renders the result for one dimension panel as a μ × policy grid of

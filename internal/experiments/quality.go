@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"dvbp/internal/analysis"
 	"dvbp/internal/core"
 	"dvbp/internal/lowerbound"
@@ -35,7 +37,10 @@ func RunQuality(cfg AblationConfig) ([]QualityRow, error) {
 	type trial struct {
 		util, strag, ratio []float64
 	}
-	trials, err := parallel.Map(cfg.Instances, func(i int) (trial, error) {
+	if err := cfg.requireUnsharded("quality"); err != nil {
+		return nil, err
+	}
+	trials, err := runShards(cfg.RunControl, cfg.Instances, func(_ context.Context, i int) (trial, error) {
 		seed := parallel.SeedFor(cfg.Seed, i)
 		l, err := workload.Uniform(wcfg, seed)
 		if err != nil {
@@ -52,7 +57,7 @@ func RunQuality(cfg AblationConfig) ([]QualityRow, error) {
 			if err != nil {
 				return trial{}, err
 			}
-			res, err := core.Simulate(l, p, observerOpts(cfg.Observer)...)
+			res, err := core.Simulate(l, p, cfg.observerOpts()...)
 			if err != nil {
 				return trial{}, err
 			}
@@ -65,7 +70,7 @@ func RunQuality(cfg AblationConfig) ([]QualityRow, error) {
 			tr.ratio[pi] = res.Cost / lb
 		}
 		return tr, nil
-	}, parallel.Options{Workers: cfg.Workers, Context: cfg.Ctx})
+	})
 	if err != nil {
 		return nil, err
 	}

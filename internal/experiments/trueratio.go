@@ -21,15 +21,12 @@ type TrueRatioConfig struct {
 	D, N, Mu, T, B int
 	Instances      int
 	Seed           int64
-	Workers        int
 	// MaxActive guards the exponential DP; instances whose peak concurrency
 	// exceeds it are skipped (and counted).
 	MaxActive int
-	// Observer, when non-nil, is attached to every simulation (see
-	// Figure4Config.Observer for the concurrency contract).
-	Observer core.Observer
-	// Ctx cancels outstanding trials early (see Figure4Config.Ctx).
-	Ctx context.Context
+	// RunControl supplies the execution knobs; shard slices are not
+	// supported here (the result is not reassemblable from parts).
+	RunControl
 }
 
 // DefaultTrueRatio keeps the expected peak concurrency ~ N·μ̄/T well under
@@ -76,7 +73,10 @@ func RunTrueRatio(cfg TrueRatioConfig) (*TrueRatioResult, error) {
 		opt, lb float64
 		costs   []float64
 	}
-	trials, err := parallel.Map(cfg.Instances, func(i int) (trial, error) {
+	if err := cfg.requireUnsharded("trueratio"); err != nil {
+		return nil, err
+	}
+	trials, err := runShards(cfg.RunControl, cfg.Instances, func(_ context.Context, i int) (trial, error) {
 		seed := parallel.SeedFor(cfg.Seed, i)
 		l, err := workload.Uniform(wcfg, seed)
 		if err != nil {
@@ -98,14 +98,14 @@ func RunTrueRatio(cfg TrueRatioConfig) (*TrueRatioResult, error) {
 			if err != nil {
 				return trial{}, err
 			}
-			res, err := core.Simulate(l, p, observerOpts(cfg.Observer)...)
+			res, err := core.Simulate(l, p, cfg.observerOpts()...)
 			if err != nil {
 				return trial{}, err
 			}
 			tr.costs[pi] = res.Cost
 		}
 		return tr, nil
-	}, parallel.Options{Workers: cfg.Workers, Context: cfg.Ctx})
+	})
 	if err != nil {
 		return nil, err
 	}

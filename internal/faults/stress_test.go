@@ -1,0 +1,74 @@
+package faults
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestMTBFStatelessUnderConcurrency pins the injector's core contract: crash
+// schedules are pure functions of (Seed, binID), so concurrent engines
+// sharing one MTBF value (it is copied by value into each run's config, but
+// even literal sharing must be safe) see exactly the sequential schedule —
+// no hidden RNG state, no call-order dependence. Run under -race.
+func TestMTBFStatelessUnderConcurrency(t *testing.T) {
+	m := MTBF{Mean: 50, Seed: 42}
+	const bins = 500
+
+	want := make([]float64, bins)
+	for id := range want {
+		at, ok := m.BinOpened(id, float64(id))
+		if !ok {
+			t.Fatalf("bin %d: no crash scheduled", id)
+		}
+		want[id] = at
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Each goroutine walks the bins in a different order.
+			for k := 0; k < bins; k++ {
+				id := (k*7 + g*13) % bins
+				at, ok := m.BinOpened(id, float64(id))
+				if !ok || at != want[id] {
+					t.Errorf("goroutine %d: bin %d = (%v, %v), want (%v, true)", g, id, at, ok, want[id])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestTraceConcurrentReads verifies a Trace can serve concurrent engines:
+// its per-bin schedule map is immutable after construction.
+func TestTraceConcurrentReads(t *testing.T) {
+	events := []TraceEvent{{BinID: 0, At: 5}, {BinID: 1, At: 7}, {BinID: 3, At: 2}}
+	tr, err := NewTrace(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 1000; k++ {
+				for _, ev := range events {
+					at, ok := tr.BinOpened(ev.BinID, 0)
+					if !ok || at != ev.At {
+						t.Errorf("bin %d = (%v, %v), want (%v, true)", ev.BinID, at, ok, ev.At)
+						return
+					}
+				}
+				if _, ok := tr.BinOpened(99, 0); ok {
+					t.Error("bin 99 should have no scheduled crash")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,112 @@
+package interval
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The property tests below generate interval sets with endpoints on the grid
+// {k/4 : 0 <= k <= 400}. Quarter-steps are exact binary fractions and every
+// partial sum stays far below 2^53, so all the measures involved are exact in
+// float64 and the properties can be asserted with ==, not tolerances.
+
+const gridStep = 0.25
+const gridCells = 400
+
+func randomGridSet(rng *rand.Rand, n int) Set {
+	s := make(Set, 0, n)
+	for i := 0; i < n; i++ {
+		a := rng.Intn(gridCells + 1)
+		b := rng.Intn(gridCells + 1)
+		if a > b {
+			a, b = b, a
+		}
+		s = append(s, New(float64(a)*gridStep, float64(b)*gridStep))
+	}
+	return s
+}
+
+// oracleSpan measures the union by brute force: count grid cells whose
+// midpoint lies in some interval. With grid-aligned endpoints this equals the
+// union measure exactly.
+func oracleSpan(s Set) float64 {
+	covered := 0
+	for c := 0; c < gridCells; c++ {
+		mid := (float64(c) + 0.5) * gridStep
+		if s.Contains(mid) {
+			covered++
+		}
+	}
+	return float64(covered) * gridStep
+}
+
+func TestSpanAgreesWithPointSamplingOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 500; trial++ {
+		s := randomGridSet(rng, rng.Intn(12))
+		if got, want := s.Span(), oracleSpan(s); got != want {
+			t.Fatalf("trial %d: Span = %v, oracle = %v (set %v)", trial, got, want, s)
+		}
+	}
+}
+
+func TestSpanIsOrderIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		s := randomGridSet(rng, 2+rng.Intn(10))
+		want := s.Span()
+		for shuffle := 0; shuffle < 5; shuffle++ {
+			perm := append(Set(nil), s...)
+			rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+			if got := perm.Span(); got != want {
+				t.Fatalf("trial %d: Span changed under permutation: %v vs %v", trial, got, want)
+			}
+		}
+	}
+}
+
+func TestSpanIsMonotoneUnderSuperset(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		s := randomGridSet(rng, rng.Intn(10))
+		bigger := append(append(Set(nil), s...), randomGridSet(rng, 1+rng.Intn(4))...)
+		if s.Span() > bigger.Span() {
+			t.Fatalf("trial %d: Span(s)=%v > Span(superset)=%v", trial, s.Span(), bigger.Span())
+		}
+		// Adding an already-covered interval must not change the measure.
+		if len(s) > 0 {
+			dup := append(append(Set(nil), s...), s[rng.Intn(len(s))])
+			if dup.Span() != s.Span() {
+				t.Fatalf("trial %d: duplicate member changed Span: %v vs %v", trial, dup.Span(), s.Span())
+			}
+		}
+	}
+}
+
+// TestMergeIsCanonical pins Merge's normal form: disjoint, non-abutting,
+// sorted, measure-preserving — for any input order.
+func TestMergeIsCanonical(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 200; trial++ {
+		s := randomGridSet(rng, rng.Intn(12))
+		m := s.Merge()
+		for i, iv := range m {
+			if iv.Empty() {
+				t.Fatalf("trial %d: merged set contains empty interval %v", trial, iv)
+			}
+			if i > 0 && !(m[i-1].Hi < iv.Lo) {
+				t.Fatalf("trial %d: merged intervals not disjoint/sorted: %v then %v", trial, m[i-1], iv)
+			}
+		}
+		if m.Span() != s.Span() {
+			t.Fatalf("trial %d: Merge changed the measure: %v vs %v", trial, m.Span(), s.Span())
+		}
+		// Union unchanged: every cell midpoint agrees.
+		for c := 0; c < gridCells; c++ {
+			mid := (float64(c) + 0.5) * gridStep
+			if s.Contains(mid) != m.Contains(mid) {
+				t.Fatalf("trial %d: Merge changed membership at %v", trial, mid)
+			}
+		}
+	}
+}

@@ -121,7 +121,6 @@ type Collector struct {
 	lostUsage     *Gauge
 
 	mu     sync.Mutex
-	open   int
 	starts map[placeKey]time.Duration
 }
 
@@ -196,28 +195,31 @@ func (c *Collector) AfterPack(req core.Request, b *core.Bin, opened bool) {
 			c.placementSeconds.Observe(d.Seconds())
 		}
 	}
+	c.mu.Unlock()
+	c.countPlacement(req, opened)
+}
+
+// countPlacement is the per-run-state-free part of AfterPack, shared with
+// RunView. The open-bin gauge is adjusted atomically and its high-water mark
+// taken from the value this update installed, so the peak is correct even
+// when several runs feed the gauge concurrently.
+func (c *Collector) countPlacement(req core.Request, opened bool) {
 	c.itemsPlaced.Inc()
 	if req.Attempt > 0 {
 		c.itemsRetried.Inc()
 	}
 	if opened {
 		c.binsOpened.Inc()
-		c.open++
-		c.openBins.Set(float64(c.open))
-		c.openBinsPeak.SetMax(float64(c.open))
+		c.openBinsPeak.SetMax(c.openBins.AddAndGet(1))
 	}
-	c.mu.Unlock()
 }
 
 // BinClosed implements core.Observer: it counts the close and accrues the
 // bin's usage time.
 func (c *Collector) BinClosed(b *core.Bin, t float64) {
-	c.mu.Lock()
 	c.binsClosed.Inc()
-	c.open--
-	c.openBins.Set(float64(c.open))
+	c.openBins.Add(-1)
 	c.usageTime.Add(t - b.OpenedAt)
-	c.mu.Unlock()
 }
 
 // AfterSelect implements core.SelectObserver: it accounts the policy's fit
@@ -276,4 +278,86 @@ func (c *Collector) ItemQueued(req core.Request, t float64) {
 func (c *Collector) ItemDequeued(req core.Request, queuedAt, t float64) {
 	c.itemsDequeued.Inc()
 	c.queueDelay.Add(t - queuedAt)
+}
+
+// RunScoper is implemented by observers that can mint per-run views of
+// themselves. The experiment harness scopes a shared observer through it
+// before every simulation, so per-run matching state is never shared between
+// concurrent engines while aggregate instruments still accumulate across the
+// whole experiment.
+type RunScoper interface {
+	ForRun() core.Observer
+}
+
+var _ RunScoper = (*Collector)(nil)
+
+// ForRun returns a view of the collector for one simulation run. The view
+// feeds the same registry instruments as the collector, but keeps its own
+// BeforePack→AfterPack matching state: two concurrent runs may carry items
+// with identical (ID, SeqNo), and matching them through one shared map would
+// cross-pair timestamps between runs (corrupting the placement-latency
+// histogram). A view must observe a single simulation at a time; mint one per
+// run.
+func (c *Collector) ForRun() core.Observer {
+	return &RunView{Collector: c, starts: make(map[placeKey]time.Duration)}
+}
+
+// RunView is a single-run view of a shared Collector; see ForRun. It
+// overrides exactly the methods that touch per-run matching state and
+// inherits the pure instrument updates.
+type RunView struct {
+	*Collector
+	mu     sync.Mutex
+	starts map[placeKey]time.Duration
+}
+
+var (
+	_ core.Observer        = (*RunView)(nil)
+	_ core.SelectObserver  = (*RunView)(nil)
+	_ core.FailureObserver = (*RunView)(nil)
+)
+
+// BeforePack implements core.Observer against the view's own matching state.
+func (v *RunView) BeforePack(req core.Request, open []*core.Bin) {
+	now := v.Collector.clock.Now()
+	v.mu.Lock()
+	v.starts[placeKey{req.ID, req.SeqNo}] = now
+	v.mu.Unlock()
+}
+
+// AfterPack implements core.Observer against the view's own matching state.
+func (v *RunView) AfterPack(req core.Request, b *core.Bin, opened bool) {
+	now := v.Collector.clock.Now()
+	v.mu.Lock()
+	key := placeKey{req.ID, req.SeqNo}
+	if start, ok := v.starts[key]; ok {
+		delete(v.starts, key)
+		if d := now - start; d >= 0 {
+			v.Collector.placementSeconds.Observe(d.Seconds())
+		}
+	}
+	v.mu.Unlock()
+	v.Collector.countPlacement(req, opened)
+}
+
+func (v *RunView) dropStart(req core.Request) {
+	v.mu.Lock()
+	delete(v.starts, placeKey{req.ID, req.SeqNo})
+	v.mu.Unlock()
+}
+
+// ItemRejected implements core.FailureObserver against the view's own state.
+func (v *RunView) ItemRejected(req core.Request, t float64, timedOut bool) {
+	if timedOut {
+		v.Collector.itemsTimedOut.Inc()
+	} else {
+		v.Collector.itemsRejected.Inc()
+	}
+	v.dropStart(req)
+}
+
+// ItemQueued implements core.FailureObserver against the view's own state.
+func (v *RunView) ItemQueued(req core.Request, t float64) {
+	v.Collector.itemsQueued.Inc()
+	v.dropStart(req)
 }

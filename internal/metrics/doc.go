@@ -45,9 +45,15 @@
 // On a single run the collector's counters match the run's Result exactly:
 // dvbp_items_placed_total == Result.Items, dvbp_bins_opened_total ==
 // Result.BinsOpened, dvbp_open_bins_peak == Result.MaxConcurrentBins and
-// dvbp_usage_time_total == Result.Cost (up to float formatting). A single
-// Collector may also be shared across concurrent simulations (the experiment
-// harness does this); counters then aggregate across runs, while the
-// placement-latency histogram becomes approximate because BeforePack /
-// AfterPack pairs from different runs can interleave.
+// dvbp_usage_time_total == Result.Cost (up to float formatting).
+//
+// To share one Collector across concurrent simulations, give each run its own
+// view via ForRun (Collector implements RunScoper; the experiment harness
+// scopes shared observers automatically). Views feed the same registry —
+// counters and gauges aggregate across runs, dvbp_open_bins_peak becomes the
+// concurrent high-water mark — but each view matches BeforePack/AfterPack
+// pairs privately, so the placement-latency histogram stays exact even when
+// runs carry items with identical identifiers. Attaching the Collector itself
+// to concurrent runs is safe but cross-pairs those timestamps, corrupting the
+// latency histogram.
 package metrics

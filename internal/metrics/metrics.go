@@ -32,12 +32,18 @@ type Gauge struct {
 func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 
 // Add adjusts the gauge by delta (which may be negative).
-func (g *Gauge) Add(delta float64) {
+func (g *Gauge) Add(delta float64) { g.AddAndGet(delta) }
+
+// AddAndGet adjusts the gauge by delta and returns the value it installed.
+// Unlike Add-then-Value, the returned value is the atomic result of this
+// update, so concurrent adjusters each observe a distinct intermediate state
+// (needed e.g. to maintain a high-water mark of a shared up/down gauge).
+func (g *Gauge) AddAndGet(delta float64) float64 {
 	for {
 		old := g.bits.Load()
-		next := math.Float64bits(math.Float64frombits(old) + delta)
-		if g.bits.CompareAndSwap(old, next) {
-			return
+		v := math.Float64frombits(old) + delta
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return v
 		}
 	}
 }

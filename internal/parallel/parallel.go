@@ -2,17 +2,18 @@
 // experiment harness uses to run thousands of independent simulation trials
 // across CPU cores.
 //
-// Determinism contract: MapReduce assigns each trial an index-derived seed
-// and collects results by index, so the outcome is bit-identical regardless
-// of GOMAXPROCS or scheduling order. Errors cancel the remaining work and the
-// first error (by trial index) is returned, again deterministically.
+// The execution engine is a work-stealing shard scheduler (see Run): bounded
+// workers own contiguous index blocks and steal from each other when they run
+// dry. Determinism contract: every shard derives its behaviour from its index
+// alone (seeded via SeedFor or Derive) and results are collected by index, so
+// the outcome is bit-identical regardless of GOMAXPROCS, steal pattern, or
+// completion order. Errors cancel the remaining work; the reported error is
+// the smallest-indexed failure observed before cancellation took effect.
 package parallel
 
 import (
 	"context"
-	"fmt"
 	"runtime"
-	"sync"
 )
 
 // Options configures a parallel map.
@@ -38,79 +39,14 @@ func (o Options) context() context.Context {
 }
 
 // Map runs fn(i) for i in [0, n) across workers and returns the results in
-// index order. If any invocation fails, Map cancels the rest and returns the
-// error with the smallest index (deterministic even under races).
+// index order. It is MapShards without the context parameter, for trial
+// functions that do not poll cancellation mid-shard; the scheduler still
+// stops claiming new indices once the context is cancelled or any invocation
+// fails.
 func Map[T any](n int, fn func(i int) (T, error), opts Options) ([]T, error) {
-	if n < 0 {
-		return nil, fmt.Errorf("parallel: negative n %d", n)
-	}
-	results := make([]T, n)
-	if n == 0 {
-		return results, nil
-	}
-	workers := opts.workers()
-	if workers > n {
-		workers = n
-	}
-
-	ctx, cancel := context.WithCancel(opts.context())
-	defer cancel()
-
-	type failure struct {
-		idx int
-		err error
-	}
-	var (
-		mu       sync.Mutex
-		firstErr *failure
-	)
-	record := func(i int, err error) {
-		mu.Lock()
-		defer mu.Unlock()
-		if firstErr == nil || i < firstErr.idx {
-			firstErr = &failure{idx: i, err: err}
-		}
-		cancel()
-	}
-
-	indices := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range indices {
-				if ctx.Err() != nil {
-					return
-				}
-				v, err := fn(i)
-				if err != nil {
-					record(i, err)
-					return
-				}
-				results[i] = v
-			}
-		}()
-	}
-
-feed:
-	for i := 0; i < n; i++ {
-		select {
-		case indices <- i:
-		case <-ctx.Done():
-			break feed
-		}
-	}
-	close(indices)
-	wg.Wait()
-
-	if firstErr != nil {
-		return nil, fmt.Errorf("parallel: trial %d: %w", firstErr.idx, firstErr.err)
-	}
-	if err := opts.context().Err(); err != nil {
-		return nil, err
-	}
-	return results, nil
+	return MapShards(n, func(_ context.Context, i int) (T, error) {
+		return fn(i)
+	}, RunOptions{Workers: opts.Workers, Context: opts.Context})
 }
 
 // Reduce folds results in index order: deterministic regardless of execution
@@ -133,8 +69,5 @@ func Reduce[T, A any](n int, fn func(i int) (T, error), fold func(acc A, v T) A,
 // decorrelated streams and the mapping is stable across releases.
 func SeedFor(base int64, index int) int64 {
 	z := uint64(base) + 0x9E3779B97F4A7C15*uint64(index+1)
-	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
-	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
-	z ^= z >> 31
-	return int64(z)
+	return int64(mix64(z))
 }
