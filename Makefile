@@ -1,6 +1,8 @@
 # Developer entry points. `make ci` is the full gate: formatting, vet,
 # the test suite under the race detector, a repeated-run concurrency stress
-# pass, and a short fuzz pass over the engine and fault-schedule fuzzers.
+# pass, a seeded kill-and-recover torture pass over the persistence layer,
+# and a short fuzz pass over the engine, fault-schedule, and on-disk-format
+# fuzzers.
 
 GO ?= go
 FUZZTIME ?= 5s
@@ -11,9 +13,9 @@ STRESSCOUNT ?= 5
 BENCHTIME ?= 10x
 BENCHCOUNT ?= 3
 
-.PHONY: ci fmt vet test race stress build bench bench-smoke bench-json fuzz-smoke
+.PHONY: ci fmt vet test race stress torture-smoke build bench bench-smoke bench-json fuzz-smoke
 
-ci: fmt vet race stress bench-smoke fuzz-smoke
+ci: fmt vet race stress torture-smoke bench-smoke fuzz-smoke
 
 # gofmt -l prints offending files; fail when the list is non-empty.
 fmt:
@@ -42,6 +44,14 @@ stress:
 		./internal/parallel ./internal/experiments ./internal/metrics \
 		./internal/core ./internal/faults ./internal/vector
 
+# Seeded kill-and-recover torture: random WAL truncations, snapshot
+# deletions, and bit flips at the package level, plus real process kills
+# (-kill-at hard exits and SIGKILL) at the CLI level — every recovery must be
+# byte-identical to an uninterrupted run. Runs under the race detector.
+torture-smoke:
+	$(GO) test -race -run='Torture|KillAt|SIGKILL|Recover|Restore' \
+		./internal/persist ./cmd/dvbpchaos ./cmd/dvbpsim
+
 bench:
 	$(GO) test -bench=. -benchmem
 
@@ -68,8 +78,12 @@ bench-json:
 	@echo "wrote BENCH_core.json"
 
 # Short differential-fuzz pass: the clean engine, the engine under fault
-# injection, and the fault-schedule parsers. Each fuzzer gets FUZZTIME.
+# injection, the fault-schedule parsers, and the persistence layer's WAL and
+# snapshot decoders (seed corpus committed under internal/persist/testdata).
+# Each fuzzer gets FUZZTIME.
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzSimulate$$' -fuzztime=$(FUZZTIME) ./internal/core
 	$(GO) test -run='^$$' -fuzz='^FuzzSimulateFaulty$$' -fuzztime=$(FUZZTIME) ./internal/core
 	$(GO) test -run='^$$' -fuzz='^FuzzParse$$' -fuzztime=$(FUZZTIME) ./internal/faults
+	$(GO) test -run='^$$' -fuzz='^FuzzWALDecode$$' -fuzztime=$(FUZZTIME) ./internal/persist
+	$(GO) test -run='^$$' -fuzz='^FuzzSnapshotDecode$$' -fuzztime=$(FUZZTIME) ./internal/persist

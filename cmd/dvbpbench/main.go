@@ -33,7 +33,6 @@ package main
 import (
 	"context"
 	"encoding/json"
-	"errors"
 	"flag"
 	"fmt"
 	"net/http"
@@ -45,6 +44,7 @@ import (
 	"strconv"
 	"strings"
 
+	"dvbp/internal/cli"
 	"dvbp/internal/core"
 	"dvbp/internal/experiments"
 	"dvbp/internal/metrics"
@@ -577,15 +577,13 @@ func writeFile(dir, name, content string) {
 
 func fatal(err error) {
 	cleanup() // flush any open CPU/heap profile before exiting
-	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+	if cli.ExitCode(err) == cli.ExitTimeout {
 		// The -timeout budget expired: flush whatever metrics accumulated so
 		// the partial run is still inspectable, then exit distinctly.
 		if collector != nil {
 			dumpMetrics(outDirGlobal)
 		}
-		fmt.Fprintln(os.Stderr, "dvbpbench: timeout:", err)
-		os.Exit(2)
+		err = fmt.Errorf("timeout: %w", err)
 	}
-	fmt.Fprintln(os.Stderr, "dvbpbench:", err)
-	os.Exit(1)
+	cli.Fatal("dvbpbench", err)
 }

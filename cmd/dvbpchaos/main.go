@@ -19,16 +19,17 @@ package main
 import (
 	"context"
 	"encoding/json"
-	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
+	"dvbp/internal/cli"
 	"dvbp/internal/core"
 	"dvbp/internal/faults"
 	"dvbp/internal/item"
 	"dvbp/internal/metrics"
+	"dvbp/internal/persist"
 	"dvbp/internal/report"
 	"dvbp/internal/workload"
 )
@@ -77,6 +78,10 @@ func main() {
 		jsonOut   = flag.Bool("json", false, "emit the comparison as JSON instead of a table")
 		metricsF  = flag.Bool("metrics", false, "dump JSON + Prometheus metric snapshots per policy")
 		timeout   = flag.Duration("timeout", 0, "wall-clock budget for the whole sweep (0 = none); partial results are flushed on expiry")
+		ckptDir   = flag.String("checkpoint-dir", "", "persist the faulty run (WAL + snapshots) into this directory; single policy only")
+		ckptEvery = flag.Int64("checkpoint-every", 64, "events between automatic snapshots when -checkpoint-dir is set (0 = WAL only)")
+		restoreF  = flag.Bool("restore", false, "resume the faulty run persisted in -checkpoint-dir instead of starting fresh")
+		killAt    = flag.Int64("kill-at", -1, "crash on purpose (exit 3, no cleanup) once this many events are persisted; requires -checkpoint-dir")
 	)
 	var spec faults.Spec
 	spec.Register(flag.CommandLine, "")
@@ -88,6 +93,12 @@ func main() {
 	}
 	if !plan.Active() {
 		fatal(fmt.Errorf("no fault plan configured: set -mtbf, -crash-trace or -max-servers (this command exists to run chaos; for fault-free runs use dvbpsim)"))
+	}
+	if (*killAt >= 0 || *restoreF) && *ckptDir == "" {
+		fatal(fmt.Errorf("-kill-at and -restore act on a persisted run: set -checkpoint-dir"))
+	}
+	if *ckptDir != "" && *all {
+		fatal(fmt.Errorf("-checkpoint-dir persists a single run; it cannot be combined with -all"))
 	}
 
 	ctx := context.Background()
@@ -134,7 +145,14 @@ func main() {
 			collectors[p.Name()] = col
 			opts = append(opts, core.WithObserver(col))
 		}
-		faulty, err := core.Simulate(l, p, opts...)
+		var col *metrics.Collector
+		if *metricsF {
+			col = collectors[p.Name()]
+		}
+		faulty, err := faultyRun(ctx, l, p, opts, chaosRun{
+			dir: *ckptDir, every: *ckptEvery, restore: *restoreF, killAt: *killAt,
+			seed: *seed, faults: plan.String(), col: col,
+		})
 		if err != nil {
 			fatal(err)
 		}
@@ -145,7 +163,7 @@ func main() {
 			}
 		}
 		out.Runs = append(out.Runs, run{
-			Policy:        p.Name(),
+			Policy:        faulty.Algorithm,
 			CleanCost:     clean.Cost,
 			FaultyCost:    faulty.Cost,
 			Overhead:      faulty.Cost / clean.Cost,
@@ -183,7 +201,78 @@ func main() {
 	if out.Partial {
 		fmt.Fprintf(os.Stderr, "dvbpchaos: timeout after %v: %d/%d policies completed (partial results above)\n",
 			*timeout, len(out.Runs), len(policies))
-		os.Exit(2)
+		os.Exit(cli.ExitTimeout)
+	}
+}
+
+// chaosRun shapes the faulty leg of one comparison: plain in-memory
+// simulation, or one persisted through internal/persist — which is what
+// -kill-at crashes mid-flight and -restore brings back.
+type chaosRun struct {
+	dir     string
+	every   int64
+	restore bool
+	killAt  int64
+	seed    int64
+	faults  string
+	col     *metrics.Collector
+}
+
+// faultyRun executes the faulty leg. In checkpoint mode every committed event
+// is appended to the WAL before the next one runs; -kill-at then dies with
+// os.Exit, deliberately skipping every flush and sync, so the directory is
+// left exactly as a SIGKILL would leave it.
+func faultyRun(ctx context.Context, l *item.List, p core.Policy, opts []core.Option, rc chaosRun) (*core.Result, error) {
+	if rc.dir == "" {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return core.Simulate(l, p, opts...)
+	}
+	pcfg := persist.Config{Dir: rc.dir, Every: rc.every}
+	if rc.col != nil {
+		pcfg.Aux = []persist.AuxCodec{rc.col.Registry()}
+	}
+	var s *persist.Session
+	if rc.restore {
+		rec, err := persist.Recover(l, pcfg, opts...)
+		if err != nil {
+			return nil, err
+		}
+		for _, ce := range rec.Corruptions {
+			fmt.Fprintln(os.Stderr, "dvbpchaos: tolerated:", ce)
+		}
+		fmt.Fprintf(os.Stderr, "dvbpchaos: resumed at event %d (snapshot %d + %d replayed)\n",
+			rec.Session.Logged(), rec.SnapshotSeq, rec.Replayed)
+		s = rec.Session
+	} else {
+		e, err := core.NewEngine(l, p, opts...)
+		if err != nil {
+			return nil, err
+		}
+		s, err = persist.Begin(e, persist.NewRunMeta(l, p.Name(), rc.seed, rc.faults), pcfg)
+		if err != nil {
+			e.Close()
+			return nil, err
+		}
+	}
+	for {
+		if rc.killAt >= 0 && s.Logged() >= rc.killAt {
+			fmt.Fprintf(os.Stderr, "dvbpchaos: kill-at %d reached: dying without cleanup\n", rc.killAt)
+			os.Exit(cli.ExitKilled)
+		}
+		if err := ctx.Err(); err != nil {
+			s.Close()
+			return nil, err
+		}
+		_, ok, err := s.Step()
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		if !ok {
+			return s.Finish()
+		}
 	}
 }
 
@@ -229,9 +318,5 @@ func loadInstance(path string, d, n, mu, horizon, binSize int, seed int64) (*ite
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "dvbpchaos:", err)
-	if errors.Is(err, context.DeadlineExceeded) {
-		os.Exit(2)
-	}
-	os.Exit(1)
+	cli.Fatal("dvbpchaos", err)
 }

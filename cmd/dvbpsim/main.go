@@ -13,12 +13,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"dvbp/internal/check"
+	"dvbp/internal/cli"
 	"dvbp/internal/core"
 	"dvbp/internal/exactopt"
 	"dvbp/internal/faults"
@@ -26,6 +28,7 @@ import (
 	"dvbp/internal/lowerbound"
 	"dvbp/internal/metrics"
 	"dvbp/internal/offline"
+	"dvbp/internal/persist"
 	"dvbp/internal/report"
 	"dvbp/internal/workload"
 )
@@ -47,6 +50,10 @@ func main() {
 		checkFlag = flag.Bool("check", false, "re-validate every result from first principles (internal/check)")
 		metricsF  = flag.Bool("metrics", false, "collect engine metrics per policy and dump JSON + Prometheus snapshots")
 		list      = flag.Bool("list", false, "list policy names and exit")
+		timeout   = flag.Duration("timeout", 0, "wall-clock budget for the run (0 = none); on expiry the exit code is 2 and a checkpointed run stays resumable")
+		ckptDir   = flag.String("checkpoint-dir", "", "persist the run (WAL + snapshots) into this directory; single policy only")
+		ckptEvery = flag.Int64("checkpoint-every", 256, "events between automatic snapshots when -checkpoint-dir is set (0 = WAL only)")
+		restoreF  = flag.Bool("restore", false, "resume the run persisted in -checkpoint-dir instead of starting fresh")
 	)
 	var spec faults.Spec
 	spec.Register(flag.CommandLine, "")
@@ -64,6 +71,19 @@ func main() {
 
 	if plan.Active() && *checkFlag {
 		fatal(fmt.Errorf("-check validates the fault-free model; it cannot be combined with fault/admission flags"))
+	}
+	if *ckptDir != "" && *all {
+		fatal(fmt.Errorf("-checkpoint-dir persists a single run; it cannot be combined with -all"))
+	}
+	if *restoreF && *ckptDir == "" {
+		fatal(fmt.Errorf("-restore needs the -checkpoint-dir of the interrupted run"))
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	l, err := loadInstance(*tracePath, *d, *n, *mu, *horizon, *binSize, *seed)
@@ -121,6 +141,10 @@ func main() {
 	if plan.Active() {
 		headers = append(headers, "crashes", "evict", "retry", "lost", "reject", "timeout")
 	}
+	faultStr := ""
+	if plan.Active() {
+		faultStr = plan.String()
+	}
 	t := &report.Table{Headers: headers}
 	collectors := make(map[string]*metrics.Collector)
 	for _, p := range policies {
@@ -130,7 +154,9 @@ func main() {
 			collectors[p.Name()] = col
 			opts = append(opts, core.WithObserver(col))
 		}
-		res, err := core.Simulate(l, p, opts...)
+		rc := runConfig{dir: *ckptDir, every: *ckptEvery, restore: *restoreF,
+			seed: *seed, faults: faultStr, col: collectors[p.Name()]}
+		res, err := runPolicy(ctx, l, p, opts, rc)
 		if err != nil {
 			fatal(err)
 		}
@@ -139,7 +165,7 @@ func main() {
 				fatal(fmt.Errorf("%s failed validation: %w", p.Name(), err))
 			}
 		}
-		row := []string{p.Name(), fmt.Sprintf("%.4f", res.Cost), fmt.Sprintf("%.4f", res.Cost/denom),
+		row := []string{res.Algorithm, fmt.Sprintf("%.4f", res.Cost), fmt.Sprintf("%.4f", res.Cost/denom),
 			fmt.Sprintf("%d", res.BinsOpened), fmt.Sprintf("%d", res.MaxConcurrentBins)}
 		if plan.Active() {
 			row = append(row, fmt.Sprintf("%d", res.Crashes), fmt.Sprintf("%d", res.Evictions),
@@ -176,6 +202,73 @@ func main() {
 	}
 }
 
+// runConfig shapes one policy's run: plain in-memory simulation, or a
+// persisted (and possibly resumed) one.
+type runConfig struct {
+	dir     string
+	every   int64
+	restore bool
+	seed    int64
+	faults  string
+	col     *metrics.Collector
+}
+
+// runPolicy executes one policy over l, persisting and/or resuming through
+// internal/persist when a checkpoint directory is configured. The context is
+// checked between events, so an expired -timeout leaves the checkpoint
+// directory in a resumable state.
+func runPolicy(ctx context.Context, l *item.List, p core.Policy, opts []core.Option, rc runConfig) (*core.Result, error) {
+	if rc.dir == "" {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return core.Simulate(l, p, opts...)
+	}
+	pcfg := persist.Config{Dir: rc.dir, Every: rc.every}
+	if rc.col != nil {
+		pcfg.Aux = []persist.AuxCodec{rc.col.Registry()}
+	}
+	var s *persist.Session
+	if rc.restore {
+		// Recover rebuilds the engine (and policy) from the run's own
+		// metadata; the -policy flag only matters for fresh runs.
+		rec, err := persist.Recover(l, pcfg, opts...)
+		if err != nil {
+			return nil, err
+		}
+		for _, ce := range rec.Corruptions {
+			fmt.Fprintln(os.Stderr, "dvbpsim: tolerated:", ce)
+		}
+		fmt.Fprintf(os.Stderr, "dvbpsim: resumed at event %d (snapshot %d + %d replayed)\n",
+			rec.Session.Logged(), rec.SnapshotSeq, rec.Replayed)
+		s = rec.Session
+	} else {
+		e, err := core.NewEngine(l, p, opts...)
+		if err != nil {
+			return nil, err
+		}
+		s, err = persist.Begin(e, persist.NewRunMeta(l, p.Name(), rc.seed, rc.faults), pcfg)
+		if err != nil {
+			e.Close()
+			return nil, err
+		}
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			s.Close()
+			return nil, err
+		}
+		_, ok, err := s.Step()
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		if !ok {
+			return s.Finish()
+		}
+	}
+}
+
 func loadInstance(path string, d, n, mu, horizon, binSize int, seed int64) (*item.List, error) {
 	if path == "" {
 		return workload.Uniform(workload.UniformConfig{D: d, N: n, Mu: mu, T: horizon, B: binSize}, seed)
@@ -192,6 +285,5 @@ func loadInstance(path string, d, n, mu, horizon, binSize int, seed int64) (*ite
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "dvbpsim:", err)
-	os.Exit(1)
+	cli.Fatal("dvbpsim", err)
 }

@@ -1,0 +1,46 @@
+// Package cli holds the small conventions shared by every dvbp command-line
+// tool, so their behaviour stays consistent as commands accumulate: one exit
+// code vocabulary and one fatal-error shape.
+package cli
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+)
+
+// The shared exit-code vocabulary. Every dvbp command exits with one of
+// these (dvbpchaos additionally uses ExitKilled for its -kill-at crash mode).
+const (
+	// ExitOK: the run completed.
+	ExitOK = 0
+	// ExitError: the run failed (bad flags, bad input, internal error).
+	ExitError = 1
+	// ExitTimeout: the -timeout budget expired; partial results were flushed
+	// where the command supports them.
+	ExitTimeout = 2
+	// ExitKilled: the command killed itself on purpose (dvbpchaos -kill-at),
+	// leaving its checkpoint directory in a torn, recoverable state.
+	ExitKilled = 3
+)
+
+// ExitCode maps an error to the shared convention: nil is success, a context
+// deadline or cancellation anywhere in the chain is a timeout, anything else
+// is a plain failure.
+func ExitCode(err error) int {
+	switch {
+	case err == nil:
+		return ExitOK
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return ExitTimeout
+	default:
+		return ExitError
+	}
+}
+
+// Fatal reports err as "tool: err" on stderr and exits with ExitCode(err).
+func Fatal(tool string, err error) {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+	os.Exit(ExitCode(err))
+}

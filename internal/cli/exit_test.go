@@ -1,0 +1,35 @@
+package cli
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestExitCode(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"nil", nil, ExitOK},
+		{"plain", errors.New("boom"), ExitError},
+		{"deadline", context.DeadlineExceeded, ExitTimeout},
+		{"canceled", context.Canceled, ExitTimeout},
+		{"wrapped deadline", fmt.Errorf("sweep: %w", context.DeadlineExceeded), ExitTimeout},
+		{"deeply wrapped", fmt.Errorf("a: %w", fmt.Errorf("b: %w", context.Canceled)), ExitTimeout},
+	}
+	for _, tc := range cases {
+		if got := ExitCode(tc.err); got != tc.want {
+			t.Errorf("%s: ExitCode = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestExitCodesAreDistinct(t *testing.T) {
+	codes := map[int]string{ExitOK: "ok", ExitError: "error", ExitTimeout: "timeout", ExitKilled: "killed"}
+	if len(codes) != 4 {
+		t.Fatalf("exit codes collide: %v", codes)
+	}
+}

@@ -92,6 +92,20 @@ type departure struct {
 	binID  int
 }
 
+// depSeq is the departure queue's tie-break key: item-ID major, placement
+// attempt minor. Item IDs alone are not unique — an item evicted by a crash
+// and re-placed has one stale entry per earlier placement sharing its
+// departure time — and duplicate (Time, Seq) keys would make delivery order
+// depend on heap insertion history rather than on the event multiset,
+// breaking snapshot/restore bit-identity. With the attempt in the low bits,
+// same-instant departures of distinct items still fire in ascending item-ID
+// order (the engine's documented tie-break) and an item's stale entries
+// deterministically precede its live one. Item IDs are list indices
+// (item.List.Add assigns them), so the shift cannot overflow.
+func depSeq(itemID, attempt int) int64 {
+	return int64(itemID)<<32 | int64(uint32(attempt))
+}
+
 // retryDispatch is a scheduled re-dispatch of an evicted item.
 type retryDispatch struct {
 	it      item.Item
@@ -119,6 +133,518 @@ const (
 	evNone
 )
 
+// EventClass labels one committed engine event in an EventRecord. The values
+// mirror the engine's same-instant processing order (departure < crash <
+// retry < arrival) and are stable across versions: the write-ahead log
+// (internal/persist) stores them on disk.
+type EventClass uint8
+
+// The four event classes a Step can commit.
+const (
+	EventDeparture EventClass = evDeparture
+	EventCrash     EventClass = evCrash
+	EventRetry     EventClass = evRetry
+	EventArrival   EventClass = evArrival
+)
+
+// String renders the class name.
+func (c EventClass) String() string {
+	switch c {
+	case EventDeparture:
+		return "departure"
+	case EventCrash:
+		return "crash"
+	case EventRetry:
+		return "retry"
+	case EventArrival:
+		return "arrival"
+	}
+	return fmt.Sprintf("EventClass(%d)", uint8(c))
+}
+
+// EventRecord describes one committed engine event — the unit the
+// write-ahead log persists and replay verification compares. Because the
+// engine is deterministic, the sequence of EventRecords is a pure function
+// of (instance, policy, options); a recovered engine must regenerate the
+// logged suffix bit for bit.
+type EventRecord struct {
+	// Seq is the 1-based index of the event in the run.
+	Seq int64
+	// Class is the event kind.
+	Class EventClass
+	// Time is the simulated instant the event was processed at.
+	Time float64
+	// ItemID identifies the item for departures, arrivals and retries;
+	// -1 for crashes.
+	ItemID int
+	// BinID is the affected bin: the departed-from or crashed bin, or the
+	// bin the dispatch placed into (-1 when the dispatch was queued,
+	// rejected, or — for departures under faults — the bin was already
+	// gone).
+	BinID int
+	// Placed reports that an arrival/retry dispatch packed its item.
+	Placed bool
+	// Opened reports that the placement opened a fresh bin.
+	Opened bool
+}
+
+// Engine is the Any Fit simulation engine (Algorithm 1) in steppable form:
+// NewEngine validates and primes a run, each Step commits exactly one event
+// (departure, crash, retry re-dispatch, or arrival — including every
+// cascading consequence: evictions, admission-queue drains), and Finish
+// seals the run into a Result. Simulate wraps the three for callers that
+// need no mid-run access.
+//
+// Stepping exists for the persistence layer: between any two Steps the
+// engine's complete state can be captured with Snapshot and later rebuilt
+// with RestoreEngine, and the EventRecord stream feeds the write-ahead log.
+// An Engine is single-goroutine; it holds its Policy exclusively (the
+// concurrent-reuse guard) until Finish or Close releases it.
+type Engine struct {
+	cfg  config
+	p    Policy
+	list *item.List
+
+	arrivals []item.Item
+	ai       int // next arrival index
+
+	open  []*Bin // opening order (ascending ID); may hold tombstones until compacted
+	holes int    // tombstone (nil) count in open
+
+	departures eventq.Queue[departure]
+	crashes    eventq.Queue[int] // payload: bin ID
+	retries    eventq.Queue[retryDispatch]
+	retrySeq   int64
+	waitq      []queuedDispatch
+
+	res       *Result
+	nextBinID int
+	binsByID  map[int]*Bin
+	itemsByID map[int]item.Item
+	attempts  map[int]int // item ID -> eviction count (allocated on first crash)
+	served    int
+	eventSeq  int64
+
+	probe  *fitProbe
+	selObs SelectObserver
+	fObs   FailureObserver
+
+	evictIDs []int // scratch reused across crashes
+
+	err      error // sticky: the engine is poisoned after any Step error
+	finished bool  // Finish has sealed the result
+	released bool  // the policy guard has been released
+}
+
+// NewEngine validates the instance and prepares a run. The returned engine
+// owns p until Finish or Close; callers that abandon a run without finishing
+// it must Close it to release the policy-reuse guard.
+func NewEngine(l *item.List, p Policy, opts ...Option) (*Engine, error) {
+	if err := l.Validate(); err != nil {
+		return nil, fmt.Errorf("core: invalid input: %w", err)
+	}
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.injector != nil && cfg.retry == nil {
+		cfg.retry = retryNow{}
+	}
+	if err := acquirePolicy(p); err != nil {
+		return nil, err
+	}
+	p.Reset()
+	e := newEngineShell(l, p, cfg)
+	e.arrivals = l.SortedByArrival()
+	return e, nil
+}
+
+// newEngineShell builds the run scaffolding shared by NewEngine and
+// RestoreEngine: the policy is already acquired and reset; no events have
+// been primed.
+func newEngineShell(l *item.List, p Policy, cfg config) *Engine {
+	e := &Engine{
+		cfg:  cfg,
+		p:    p,
+		list: l,
+		res: &Result{
+			Algorithm: p.Name(), Dim: l.Dim, Items: l.Len(), Span: l.Span(), Mu: l.Mu(),
+			Outcomes: make(map[int]Outcome, l.Len()),
+		},
+		binsByID:  make(map[int]*Bin),
+		itemsByID: make(map[int]item.Item, l.Len()),
+	}
+	for _, it := range l.Items {
+		e.itemsByID[it.ID] = it
+	}
+	if so, ok := cfg.observer.(SelectObserver); ok {
+		e.selObs = so
+		e.probe = &fitProbe{}
+	}
+	if fo, ok := cfg.observer.(FailureObserver); ok {
+		e.fObs = fo
+	}
+	return e
+}
+
+// Close releases the policy-reuse guard. It is idempotent and implied by
+// Finish; only abandoned runs need an explicit Close.
+func (e *Engine) Close() {
+	if !e.released {
+		e.released = true
+		releasePolicy(e.p)
+	}
+}
+
+// EventSeq returns the number of events committed so far.
+func (e *Engine) EventSeq() int64 { return e.eventSeq }
+
+// Policy returns the policy driving the run.
+func (e *Engine) Policy() Policy { return e.p }
+
+// makeReq shapes the Request a policy sees for a dispatch of it at now.
+func (e *Engine) makeReq(it item.Item, now float64, attempt int) Request {
+	req := Request{ID: it.ID, SeqNo: it.SeqNo, Arrival: now, Size: it.Size, Attempt: attempt}
+	if e.cfg.clairvoyant {
+		req.Departure = it.Departure
+		req.HasDeparture = true
+	}
+	return req
+}
+
+// closeBinAt closes b at time t. Closing only tombstones the bin's slot —
+// O(1), so a burst of closings between two arrivals costs O(burst) instead
+// of the O(burst·open) repeated splicing would. The slice is compacted
+// (order preserved) before the next dispatch consults the policy.
+func (e *Engine) closeBinAt(b *Bin, t float64, crashed bool) {
+	e.res.Bins = append(e.res.Bins, BinUsage{BinID: b.ID, OpenedAt: b.OpenedAt, ClosedAt: t, Packed: b.PackedItems(), Crashed: crashed})
+	e.res.Cost += t - b.OpenedAt
+	e.open[b.openIdx] = nil
+	e.holes++
+	delete(e.binsByID, b.ID)
+	e.p.OnClose(b)
+	if e.cfg.observer != nil {
+		e.cfg.observer.BinClosed(b, t)
+	}
+}
+
+func (e *Engine) compact() {
+	if e.holes == 0 {
+		return
+	}
+	live := e.open[:0]
+	for _, b := range e.open {
+		if b != nil {
+			b.openIdx = len(live)
+			live = append(live, b)
+		}
+	}
+	for i := len(live); i < len(e.open); i++ {
+		e.open[i] = nil // release closed bins to the GC
+	}
+	e.open = live
+	e.holes = 0
+}
+
+// dispatch runs one packing decision for it at time now. It returns
+// placed=false when admission control turned the dispatch away (queued,
+// rejected, or — for fromQueue dispatches — left in the queue). binID and
+// opened describe the landed placement (binID is -1 when nothing was
+// placed).
+func (e *Engine) dispatch(it item.Item, attempt int, now float64, fromQueue bool) (placed bool, binID int, opened bool, err error) {
+	e.compact()
+	req := e.makeReq(it, now, attempt)
+	if e.cfg.observer != nil {
+		e.cfg.observer.BeforePack(req, e.open)
+	}
+	if e.probe != nil {
+		e.probe.armed, e.probe.n = true, 0
+	}
+	b := e.p.Select(req, e.open)
+	if e.probe != nil {
+		e.probe.armed = false
+		e.selObs.AfterSelect(req, b, e.probe.n)
+	}
+	if b == nil {
+		if e.cfg.maxBins > 0 && len(e.open)-e.holes >= e.cfg.maxBins {
+			if fromQueue {
+				return false, -1, false, nil // stays queued; caller keeps the entry
+			}
+			if e.cfg.queueWhenFull {
+				e.waitq = append(e.waitq, queuedDispatch{it: it, attempt: attempt, queuedAt: now, deadline: now + e.cfg.queueDeadline})
+				if e.fObs != nil {
+					e.fObs.ItemQueued(req, now)
+				}
+			} else {
+				e.res.Rejected++
+				e.res.Outcomes[it.ID] = OutcomeRejected
+				if e.fObs != nil {
+					e.fObs.ItemRejected(req, now, false)
+				}
+			}
+			return false, -1, false, nil
+		}
+		b = newBin(e.nextBinID, e.list.Dim, now)
+		b.openIdx = len(e.open)
+		b.probe = e.probe
+		e.nextBinID++
+		e.open = append(e.open, b)
+		e.binsByID[b.ID] = b
+		opened = true
+		if e.cfg.injector != nil {
+			if at, ok := e.cfg.injector.BinOpened(b.ID, now); ok && !math.IsNaN(at) && at > now {
+				e.crashes.PushAt(at, int64(b.ID), b.ID)
+			}
+		}
+	} else if _, known := e.binsByID[b.ID]; !known {
+		return false, -1, false, fmt.Errorf("core: policy %s returned closed or foreign bin %d", e.p.Name(), b.ID)
+	}
+	if e.cfg.audit != nil {
+		// Record before packing so loads and fit flags reflect the state
+		// the policy actually saw.
+		e.cfg.audit.record(req, b, opened, e.open)
+	}
+	if err := b.pack(it.ID, it.Size); err != nil {
+		return false, -1, false, fmt.Errorf("core: policy %s chose unfit bin: %w", e.p.Name(), err)
+	}
+	if e.cfg.audit != nil {
+		// Audit mode cross-checks the incremental load against the
+		// original canonical recompute after every mutation.
+		b.auditCrossCheckLoad()
+	}
+	e.p.OnPack(req, b, opened)
+	if e.cfg.observer != nil {
+		e.cfg.observer.AfterPack(req, b, opened)
+	}
+
+	e.res.Placements = append(e.res.Placements, Placement{ItemID: it.ID, BinID: b.ID, Opened: opened, Time: now, Attempt: attempt})
+	if attempt > 0 {
+		e.res.Retries++
+	}
+	e.departures.PushAt(it.Departure, depSeq(it.ID, attempt), departure{itemID: it.ID, binID: b.ID})
+	if live := len(e.open) - e.holes; live > e.res.MaxConcurrentBins {
+		e.res.MaxConcurrentBins = live
+	}
+	return true, b.ID, opened, nil
+}
+
+// drainQueue gives every admission-queue entry one placement attempt at
+// time t, in FIFO order, dropping expired entries along the way. A single
+// pass suffices: capacity only shrinks while the pass places items.
+func (e *Engine) drainQueue(t float64) error {
+	if len(e.waitq) == 0 {
+		return nil
+	}
+	kept := e.waitq[:0]
+	for _, q := range e.waitq {
+		if t > q.deadline || t >= q.it.Departure {
+			e.res.TimedOut++
+			e.res.Outcomes[q.it.ID] = OutcomeTimedOut
+			if e.fObs != nil {
+				e.fObs.ItemRejected(e.makeReq(q.it, t, q.attempt), t, true)
+			}
+			continue
+		}
+		placed, _, _, err := e.dispatch(q.it, q.attempt, t, true)
+		if err != nil {
+			return err
+		}
+		if placed {
+			e.res.QueuedPlaced++
+			e.res.QueueDelay += t - q.queuedAt
+			if e.fObs != nil {
+				e.fObs.ItemDequeued(e.makeReq(q.it, t, q.attempt), q.queuedAt, t)
+			}
+			continue
+		}
+		kept = append(kept, q)
+	}
+	// Zero the tail so dropped entries don't pin memory.
+	tail := e.waitq[len(kept):]
+	for i := range tail {
+		tail[i] = queuedDispatch{}
+	}
+	e.waitq = kept
+	return nil
+}
+
+// handleDeparture processes one departure event. binID reports the bin the
+// departure actually mutated (-1 when the event was stale: the bin crashed
+// and the item was evicted before its departure fired).
+func (e *Engine) handleDeparture(t float64, ev departure) (binID int, err error) {
+	b, ok := e.binsByID[ev.binID]
+	if !ok {
+		if e.cfg.injector != nil {
+			return -1, nil // stale: the bin crashed and the item was evicted
+		}
+		return -1, fmt.Errorf("core: departure from unknown bin %d", ev.binID)
+	}
+	if err := b.remove(ev.itemID); err != nil {
+		return -1, fmt.Errorf("core: %w", err)
+	}
+	if e.cfg.audit != nil {
+		b.auditCrossCheckLoad()
+	}
+	e.served++
+	e.res.Outcomes[ev.itemID] = OutcomeServed
+	if b.Empty() {
+		e.closeBinAt(b, t, false)
+	}
+	return ev.binID, e.drainQueue(t)
+}
+
+func (e *Engine) handleCrash(t float64, binID int) error {
+	b, ok := e.binsByID[binID]
+	if !ok {
+		return nil // the bin closed naturally before its crash fired
+	}
+	// Ascending ID: deterministic eviction order. The scratch slice is
+	// reused across crashes so eviction handling does not allocate once
+	// it has grown to the largest eviction burst.
+	e.evictIDs = b.appendActiveItemIDs(e.evictIDs[:0])
+	evicted := e.evictIDs
+	e.res.Crashes++
+	e.closeBinAt(b, t, true)
+	if e.fObs != nil {
+		e.fObs.BinCrashed(b, t, len(evicted))
+	}
+	if e.attempts == nil {
+		e.attempts = make(map[int]int)
+	}
+	for _, id := range evicted {
+		it := e.itemsByID[id]
+		e.attempts[id]++
+		attempt := e.attempts[id]
+		e.res.Evictions++
+		req := e.makeReq(it, t, attempt)
+		delay := e.cfg.retry.Delay(attempt)
+		if !(delay > 0) { // also normalises NaN and negative delays
+			delay = 0
+		}
+		retryAt := t + delay
+		if retryAt < it.Departure {
+			e.res.LostUsageTime += retryAt - t
+			e.retrySeq++
+			e.retries.PushAt(retryAt, e.retrySeq, retryDispatch{it: it, attempt: attempt})
+			if e.fObs != nil {
+				e.fObs.ItemEvicted(req, b, t, retryAt)
+			}
+		} else {
+			e.res.ItemsLost++
+			e.res.LostUsageTime += it.Departure - t
+			e.res.Outcomes[id] = OutcomeLost
+			if e.fObs != nil {
+				e.fObs.ItemEvicted(req, b, t, it.Departure)
+				e.fObs.ItemLost(req, t)
+			}
+		}
+	}
+	return e.drainQueue(t)
+}
+
+// Step commits the earliest pending event across the four sources, breaking
+// time ties by event class (departure < crash < re-dispatch < arrival) and,
+// within a class, by each queue's own deterministic sequence. It returns the
+// committed event's record; ok=false means no events remain (call Finish).
+// An error poisons the engine: every later Step and Finish returns it.
+func (e *Engine) Step() (rec EventRecord, ok bool, err error) {
+	if e.err != nil {
+		return EventRecord{}, false, e.err
+	}
+	if e.finished {
+		return EventRecord{}, false, nil
+	}
+	t, class := math.Inf(1), evNone
+	if ev, ok := e.departures.Peek(); ok {
+		t, class = ev.Time, evDeparture
+	}
+	if ev, ok := e.crashes.Peek(); ok && (ev.Time < t || (ev.Time == t && evCrash < class)) {
+		t, class = ev.Time, evCrash
+	}
+	if ev, ok := e.retries.Peek(); ok && (ev.Time < t || (ev.Time == t && evRetry < class)) {
+		t, class = ev.Time, evRetry
+	}
+	if e.ai < len(e.arrivals) && (e.arrivals[e.ai].Arrival < t || (e.arrivals[e.ai].Arrival == t && evArrival < class)) {
+		t, class = e.arrivals[e.ai].Arrival, evArrival
+	}
+	if class == evNone {
+		return EventRecord{}, false, nil
+	}
+	e.eventSeq++
+	rec = EventRecord{Seq: e.eventSeq, Class: EventClass(class), Time: t, ItemID: -1, BinID: -1}
+	switch class {
+	case evDeparture:
+		ev, _ := e.departures.Pop()
+		rec.ItemID = ev.Payload.itemID
+		rec.BinID, err = e.handleDeparture(ev.Time, ev.Payload)
+	case evCrash:
+		ev, _ := e.crashes.Pop()
+		rec.BinID = ev.Payload
+		err = e.handleCrash(ev.Time, ev.Payload)
+	case evRetry:
+		ev, _ := e.retries.Pop()
+		rec.ItemID = ev.Payload.it.ID
+		rec.Placed, rec.BinID, rec.Opened, err = e.dispatch(ev.Payload.it, ev.Payload.attempt, ev.Time, false)
+	case evArrival:
+		it := e.arrivals[e.ai]
+		e.ai++
+		rec.ItemID = it.ID
+		rec.Placed, rec.BinID, rec.Opened, err = e.dispatch(it, 0, it.Arrival, false)
+	}
+	if err != nil {
+		e.err = err
+		return EventRecord{}, false, err
+	}
+	return rec, true, nil
+}
+
+// Finish seals the run: it sweeps expired admission-queue entries, verifies
+// the engine's internal conservation invariants, releases the policy, and
+// returns the Result. Finishing with events still pending is an error (run
+// Step until it reports ok=false first).
+func (e *Engine) Finish() (*Result, error) {
+	if e.err != nil {
+		return nil, e.err
+	}
+	if e.finished {
+		return e.res, nil
+	}
+	fail := func(err error) (*Result, error) {
+		e.err = err
+		e.Close()
+		return nil, err
+	}
+	if _, ok, _ := e.Step(); ok {
+		return fail(fmt.Errorf("core: Finish called with events still pending"))
+	}
+
+	// Defensive sweep: the final bin close drains the queue with the whole
+	// fleet free, so entries can remain only if they were already expired.
+	for _, q := range e.waitq {
+		e.res.TimedOut++
+		e.res.Outcomes[q.it.ID] = OutcomeTimedOut
+		if e.fObs != nil {
+			t := math.Min(q.deadline, q.it.Departure)
+			e.fObs.ItemRejected(e.makeReq(q.it, t, q.attempt), t, true)
+		}
+	}
+	e.waitq = nil
+
+	if len(e.open)-e.holes != 0 {
+		return fail(fmt.Errorf("core: internal error: %d bins left open after drain", len(e.open)-e.holes))
+	}
+	if e.served+e.res.ItemsLost+e.res.Rejected+e.res.TimedOut != e.list.Len() {
+		return fail(fmt.Errorf("core: internal error: item conservation violated (%d served, %d lost, %d rejected, %d timed out of %d)",
+			e.served, e.res.ItemsLost, e.res.Rejected, e.res.TimedOut, e.list.Len()))
+	}
+
+	e.res.BinsOpened = e.nextBinID
+	e.res.sortBins()
+	e.finished = true
+	e.Close()
+	return e.res, nil
+}
+
 // Simulate runs the Any Fit skeleton (Algorithm 1) over the item list with
 // the given policy and returns the resulting packing and its MinUsageTime
 // cost. The list is validated first; the input is not modified.
@@ -134,358 +660,19 @@ const (
 // arrivals; the admission queue is drained after every capacity-freeing
 // event, ahead of same-instant dispatches.
 func Simulate(l *item.List, p Policy, opts ...Option) (*Result, error) {
-	if err := l.Validate(); err != nil {
-		return nil, fmt.Errorf("core: invalid input: %w", err)
-	}
-	var cfg config
-	for _, o := range opts {
-		o(&cfg)
-	}
-	if cfg.injector != nil && cfg.retry == nil {
-		cfg.retry = retryNow{}
-	}
-	if err := acquirePolicy(p); err != nil {
+	e, err := NewEngine(l, p, opts...)
+	if err != nil {
 		return nil, err
 	}
-	defer releasePolicy(p)
-	p.Reset()
-
-	arrivals := l.SortedByArrival()
-
-	var (
-		open       []*Bin // opening order (ascending ID); may hold tombstones until compacted
-		holes      int    // tombstone (nil) count in open
-		departures eventq.Queue[departure]
-		crashes    eventq.Queue[int] // payload: bin ID
-		retries    eventq.Queue[retryDispatch]
-		retrySeq   int64
-		waitq      []queuedDispatch
-		res        = &Result{
-			Algorithm: p.Name(), Dim: l.Dim, Items: l.Len(), Span: l.Span(), Mu: l.Mu(),
-			Outcomes: make(map[int]Outcome, l.Len()),
-		}
-		nextBinID int
-		binsByID  = make(map[int]*Bin)
-		itemsByID = make(map[int]item.Item, l.Len())
-		attempts  map[int]int // item ID -> eviction count (allocated on first crash)
-		served    int
-	)
-	for _, it := range l.Items {
-		itemsByID[it.ID] = it
-	}
-	var (
-		probe  *fitProbe
-		selObs SelectObserver
-		fObs   FailureObserver
-	)
-	if so, ok := cfg.observer.(SelectObserver); ok {
-		selObs = so
-		probe = &fitProbe{}
-	}
-	if fo, ok := cfg.observer.(FailureObserver); ok {
-		fObs = fo
-	}
-
-	makeReq := func(it item.Item, now float64, attempt int) Request {
-		req := Request{ID: it.ID, SeqNo: it.SeqNo, Arrival: now, Size: it.Size, Attempt: attempt}
-		if cfg.clairvoyant {
-			req.Departure = it.Departure
-			req.HasDeparture = true
-		}
-		return req
-	}
-
-	// Closing a bin only tombstones its slot — O(1), so a burst of closings
-	// between two arrivals costs O(burst) instead of the O(burst·open)
-	// repeated splicing would. The slice is compacted (order preserved)
-	// before the next dispatch consults the policy.
-	closeBinAt := func(b *Bin, t float64, crashed bool) {
-		res.Bins = append(res.Bins, BinUsage{BinID: b.ID, OpenedAt: b.OpenedAt, ClosedAt: t, Packed: b.PackedItems(), Crashed: crashed})
-		res.Cost += t - b.OpenedAt
-		open[b.openIdx] = nil
-		holes++
-		delete(binsByID, b.ID)
-		p.OnClose(b)
-		if cfg.observer != nil {
-			cfg.observer.BinClosed(b, t)
-		}
-	}
-
-	compact := func() {
-		if holes == 0 {
-			return
-		}
-		live := open[:0]
-		for _, b := range open {
-			if b != nil {
-				b.openIdx = len(live)
-				live = append(live, b)
-			}
-		}
-		for i := len(live); i < len(open); i++ {
-			open[i] = nil // release closed bins to the GC
-		}
-		open = live
-		holes = 0
-	}
-
-	// dispatch runs one packing decision for it at time now. It returns
-	// placed=false when admission control turned the dispatch away (queued,
-	// rejected, or — for fromQueue dispatches — left in the queue).
-	dispatch := func(it item.Item, attempt int, now float64, fromQueue bool) (placed bool, err error) {
-		compact()
-		req := makeReq(it, now, attempt)
-		if cfg.observer != nil {
-			cfg.observer.BeforePack(req, open)
-		}
-		if probe != nil {
-			probe.armed, probe.n = true, 0
-		}
-		b := p.Select(req, open)
-		if probe != nil {
-			probe.armed = false
-			selObs.AfterSelect(req, b, probe.n)
-		}
-		opened := false
-		if b == nil {
-			if cfg.maxBins > 0 && len(open)-holes >= cfg.maxBins {
-				if fromQueue {
-					return false, nil // stays queued; caller keeps the entry
-				}
-				if cfg.queueWhenFull {
-					waitq = append(waitq, queuedDispatch{it: it, attempt: attempt, queuedAt: now, deadline: now + cfg.queueDeadline})
-					if fObs != nil {
-						fObs.ItemQueued(req, now)
-					}
-				} else {
-					res.Rejected++
-					res.Outcomes[it.ID] = OutcomeRejected
-					if fObs != nil {
-						fObs.ItemRejected(req, now, false)
-					}
-				}
-				return false, nil
-			}
-			b = newBin(nextBinID, l.Dim, now)
-			b.openIdx = len(open)
-			b.probe = probe
-			nextBinID++
-			open = append(open, b)
-			binsByID[b.ID] = b
-			opened = true
-			if cfg.injector != nil {
-				if at, ok := cfg.injector.BinOpened(b.ID, now); ok && !math.IsNaN(at) && at > now {
-					crashes.PushAt(at, int64(b.ID), b.ID)
-				}
-			}
-		} else if _, known := binsByID[b.ID]; !known {
-			return false, fmt.Errorf("core: policy %s returned closed or foreign bin %d", p.Name(), b.ID)
-		}
-		if cfg.audit != nil {
-			// Record before packing so loads and fit flags reflect the state
-			// the policy actually saw.
-			cfg.audit.record(req, b, opened, open)
-		}
-		if err := b.pack(it.ID, it.Size); err != nil {
-			return false, fmt.Errorf("core: policy %s chose unfit bin: %w", p.Name(), err)
-		}
-		if cfg.audit != nil {
-			// Audit mode cross-checks the incremental load against the
-			// original canonical recompute after every mutation.
-			b.auditCrossCheckLoad()
-		}
-		p.OnPack(req, b, opened)
-		if cfg.observer != nil {
-			cfg.observer.AfterPack(req, b, opened)
-		}
-
-		res.Placements = append(res.Placements, Placement{ItemID: it.ID, BinID: b.ID, Opened: opened, Time: now, Attempt: attempt})
-		if attempt > 0 {
-			res.Retries++
-		}
-		departures.PushAt(it.Departure, int64(it.ID), departure{itemID: it.ID, binID: b.ID})
-		if live := len(open) - holes; live > res.MaxConcurrentBins {
-			res.MaxConcurrentBins = live
-		}
-		return true, nil
-	}
-
-	// drainQueue gives every admission-queue entry one placement attempt at
-	// time t, in FIFO order, dropping expired entries along the way. A single
-	// pass suffices: capacity only shrinks while the pass places items.
-	drainQueue := func(t float64) error {
-		if len(waitq) == 0 {
-			return nil
-		}
-		kept := waitq[:0]
-		for _, q := range waitq {
-			if t > q.deadline || t >= q.it.Departure {
-				res.TimedOut++
-				res.Outcomes[q.it.ID] = OutcomeTimedOut
-				if fObs != nil {
-					fObs.ItemRejected(makeReq(q.it, t, q.attempt), t, true)
-				}
-				continue
-			}
-			placed, err := dispatch(q.it, q.attempt, t, true)
-			if err != nil {
-				return err
-			}
-			if placed {
-				res.QueuedPlaced++
-				res.QueueDelay += t - q.queuedAt
-				if fObs != nil {
-					fObs.ItemDequeued(makeReq(q.it, t, q.attempt), q.queuedAt, t)
-				}
-				continue
-			}
-			kept = append(kept, q)
-		}
-		// Zero the tail so dropped entries don't pin memory.
-		tail := waitq[len(kept):]
-		for i := range tail {
-			tail[i] = queuedDispatch{}
-		}
-		waitq = kept
-		return nil
-	}
-
-	handleDeparture := func(t float64, ev departure) error {
-		b, ok := binsByID[ev.binID]
-		if !ok {
-			if cfg.injector != nil {
-				return nil // stale: the bin crashed and the item was evicted
-			}
-			return fmt.Errorf("core: departure from unknown bin %d", ev.binID)
-		}
-		if err := b.remove(ev.itemID); err != nil {
-			return fmt.Errorf("core: %w", err)
-		}
-		if cfg.audit != nil {
-			b.auditCrossCheckLoad()
-		}
-		served++
-		res.Outcomes[ev.itemID] = OutcomeServed
-		if b.Empty() {
-			closeBinAt(b, t, false)
-		}
-		return drainQueue(t)
-	}
-
-	var evictIDs []int // scratch reused across crashes
-	handleCrash := func(t float64, binID int) error {
-		b, ok := binsByID[binID]
-		if !ok {
-			return nil // the bin closed naturally before its crash fired
-		}
-		// Ascending ID: deterministic eviction order. The scratch slice is
-		// reused across crashes so eviction handling does not allocate once
-		// it has grown to the largest eviction burst.
-		evictIDs = b.appendActiveItemIDs(evictIDs[:0])
-		evicted := evictIDs
-		res.Crashes++
-		closeBinAt(b, t, true)
-		if fObs != nil {
-			fObs.BinCrashed(b, t, len(evicted))
-		}
-		if attempts == nil {
-			attempts = make(map[int]int)
-		}
-		for _, id := range evicted {
-			it := itemsByID[id]
-			attempts[id]++
-			attempt := attempts[id]
-			res.Evictions++
-			req := makeReq(it, t, attempt)
-			delay := cfg.retry.Delay(attempt)
-			if !(delay > 0) { // also normalises NaN and negative delays
-				delay = 0
-			}
-			retryAt := t + delay
-			if retryAt < it.Departure {
-				res.LostUsageTime += retryAt - t
-				retrySeq++
-				retries.PushAt(retryAt, retrySeq, retryDispatch{it: it, attempt: attempt})
-				if fObs != nil {
-					fObs.ItemEvicted(req, b, t, retryAt)
-				}
-			} else {
-				res.ItemsLost++
-				res.LostUsageTime += it.Departure - t
-				res.Outcomes[id] = OutcomeLost
-				if fObs != nil {
-					fObs.ItemEvicted(req, b, t, it.Departure)
-					fObs.ItemLost(req, t)
-				}
-			}
-		}
-		return drainQueue(t)
-	}
-
-	// Merge loop: repeatedly process the earliest pending event across the
-	// four sources, breaking time ties by event class (departure < crash <
-	// re-dispatch < arrival) and, within a class, by each queue's own
-	// deterministic sequence.
-	ai := 0
+	defer e.Close()
 	for {
-		t, class := math.Inf(1), evNone
-		if e, ok := departures.Peek(); ok {
-			t, class = e.Time, evDeparture
-		}
-		if e, ok := crashes.Peek(); ok && (e.Time < t || (e.Time == t && evCrash < class)) {
-			t, class = e.Time, evCrash
-		}
-		if e, ok := retries.Peek(); ok && (e.Time < t || (e.Time == t && evRetry < class)) {
-			t, class = e.Time, evRetry
-		}
-		if ai < len(arrivals) && (arrivals[ai].Arrival < t || (arrivals[ai].Arrival == t && evArrival < class)) {
-			t, class = arrivals[ai].Arrival, evArrival
-		}
-		if class == evNone {
-			break
-		}
-		var err error
-		switch class {
-		case evDeparture:
-			e, _ := departures.Pop()
-			err = handleDeparture(e.Time, e.Payload)
-		case evCrash:
-			e, _ := crashes.Pop()
-			err = handleCrash(e.Time, e.Payload)
-		case evRetry:
-			e, _ := retries.Pop()
-			_, err = dispatch(e.Payload.it, e.Payload.attempt, e.Time, false)
-		case evArrival:
-			it := arrivals[ai]
-			ai++
-			_, err = dispatch(it, 0, it.Arrival, false)
-		}
+		_, ok, err := e.Step()
 		if err != nil {
 			return nil, err
 		}
-	}
-
-	// Defensive sweep: the final bin close drains the queue with the whole
-	// fleet free, so entries can remain only if they were already expired.
-	for _, q := range waitq {
-		res.TimedOut++
-		res.Outcomes[q.it.ID] = OutcomeTimedOut
-		if fObs != nil {
-			t := math.Min(q.deadline, q.it.Departure)
-			fObs.ItemRejected(makeReq(q.it, t, q.attempt), t, true)
+		if !ok {
+			break
 		}
 	}
-	waitq = nil
-
-	if len(open)-holes != 0 {
-		return nil, fmt.Errorf("core: internal error: %d bins left open after drain", len(open)-holes)
-	}
-	if served+res.ItemsLost+res.Rejected+res.TimedOut != l.Len() {
-		return nil, fmt.Errorf("core: internal error: item conservation violated (%d served, %d lost, %d rejected, %d timed out of %d)",
-			served, res.ItemsLost, res.Rejected, res.TimedOut, l.Len())
-	}
-
-	res.BinsOpened = nextBinID
-	res.sortBins()
-	return res, nil
+	return e.Finish()
 }

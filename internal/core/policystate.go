@@ -1,0 +1,261 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// BinResolver maps a bin ID to the live *Bin of the engine being restored.
+// It returns nil for IDs that are not currently open.
+type BinResolver func(id int) *Bin
+
+// PolicyStateCodec is the optional checkpointing extension of Policy. A
+// policy that carries per-run state beyond its construction parameters
+// (Move To Front's recency order, Next Fit's cursor, Random Fit's RNG
+// position, Harmonic Fit's class index) must implement it to participate in
+// engine Snapshot/Restore; the engine refuses to snapshot a stateful policy
+// that does not.
+//
+// MarshalPolicyState serialises the state reached at an event boundary;
+// UnmarshalPolicyState rebuilds exactly that state on a freshly Reset
+// policy, resolving bin IDs against the restored engine's open set. The
+// contract is behavioural bit-identity: after restore, the policy must make
+// the same decisions as the original would from the same point. Codecs must
+// treat their input as untrusted (checkpoints can be corrupted on disk) and
+// return an error — never panic — on malformed bytes.
+//
+// Policies whose fields are pure configuration (Best/Worst Fit's load
+// measure, Harmonic Fit's K) need not serialise them: restore reconstructs
+// the policy from its registry Name first, which round-trips configuration
+// (see TestRegistryRoundTrip).
+type PolicyStateCodec interface {
+	MarshalPolicyState() ([]byte, error)
+	UnmarshalPolicyState(data []byte, resolve BinResolver) error
+}
+
+// statelessPolicy marks policies that carry no per-run state at all, so the
+// snapshot layer can accept them without a codec even though their type has
+// configuration fields (Best/Worst Fit's measure is config, not state).
+type statelessPolicy interface {
+	policyIsStateless()
+}
+
+// CheckpointablePolicy reports whether p can participate in engine
+// Snapshot/Restore: it implements PolicyStateCodec, is marked stateless, or
+// has a zero-sized type (no fields, hence no state).
+func CheckpointablePolicy(p Policy) bool {
+	if _, ok := p.(PolicyStateCodec); ok {
+		return true
+	}
+	if _, ok := p.(statelessPolicy); ok {
+		return true
+	}
+	return !guardable(p)
+}
+
+// marshalPolicyState extracts p's serialised state (nil for stateless
+// policies), failing for stateful policies without a codec.
+func marshalPolicyState(p Policy) ([]byte, error) {
+	if c, ok := p.(PolicyStateCodec); ok {
+		return c.MarshalPolicyState()
+	}
+	if !CheckpointablePolicy(p) {
+		return nil, fmt.Errorf("core: policy %s carries per-run state but implements no PolicyStateCodec; it cannot be checkpointed", p.Name())
+	}
+	return nil, nil
+}
+
+// unmarshalPolicyState applies serialised state to a freshly Reset p.
+func unmarshalPolicyState(p Policy, data []byte, resolve BinResolver) error {
+	if c, ok := p.(PolicyStateCodec); ok {
+		return c.UnmarshalPolicyState(data, resolve)
+	}
+	if len(data) != 0 {
+		return fmt.Errorf("core: snapshot carries %d bytes of policy state but %s implements no PolicyStateCodec", len(data), p.Name())
+	}
+	if !CheckpointablePolicy(p) {
+		return fmt.Errorf("core: policy %s carries per-run state but implements no PolicyStateCodec; it cannot be restored", p.Name())
+	}
+	return nil
+}
+
+// (*BestFit) and (*WorstFit) hold only their load measure — configuration
+// that NewPolicy(Name()) reconstructs — so they are stateless for
+// checkpointing purposes.
+func (*BestFit) policyIsStateless()  {}
+func (*WorstFit) policyIsStateless() {}
+
+// consumeVarint reads one varint from data, returning the value and the
+// remainder; ok=false on truncated or oversized input.
+func consumeVarint(data []byte) (v int64, rest []byte, ok bool) {
+	v, n := binary.Varint(data)
+	if n <= 0 {
+		return 0, nil, false
+	}
+	return v, data[n:], true
+}
+
+// consumeUvarint is consumeVarint for unsigned values.
+func consumeUvarint(data []byte) (v uint64, rest []byte, ok bool) {
+	v, n := binary.Uvarint(data)
+	if n <= 0 {
+		return 0, nil, false
+	}
+	return v, data[n:], true
+}
+
+// MarshalPolicyState implements PolicyStateCodec: the open-bin IDs in
+// recency order, front (most recently used) first.
+func (mf *MoveToFront) MarshalPolicyState() ([]byte, error) {
+	var ids []int64
+	for i := mf.head; i != -1; i = mf.nodes[i].next {
+		ids = append(ids, int64(mf.nodes[i].bin.ID))
+	}
+	out := binary.AppendUvarint(nil, uint64(len(ids)))
+	for _, id := range ids {
+		out = binary.AppendVarint(out, id)
+	}
+	return out, nil
+}
+
+// UnmarshalPolicyState implements PolicyStateCodec.
+func (mf *MoveToFront) UnmarshalPolicyState(data []byte, resolve BinResolver) error {
+	mf.Reset()
+	n, data, ok := consumeUvarint(data)
+	if !ok {
+		return fmt.Errorf("core: MoveToFront state: truncated length")
+	}
+	if n > uint64(len(data)) { // every ID takes >= 1 byte
+		return fmt.Errorf("core: MoveToFront state: %d IDs in %d bytes", n, len(data))
+	}
+	ids := make([]int, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var id int64
+		id, data, ok = consumeVarint(data)
+		if !ok {
+			return fmt.Errorf("core: MoveToFront state: truncated ID %d/%d", i, n)
+		}
+		ids = append(ids, int(id))
+	}
+	if len(data) != 0 {
+		return fmt.Errorf("core: MoveToFront state: %d trailing bytes", len(data))
+	}
+	// Rebuild back-to-front so pushFront reproduces the recency order.
+	for i := len(ids) - 1; i >= 0; i-- {
+		b := resolve(ids[i])
+		if b == nil {
+			return fmt.Errorf("core: MoveToFront state references unknown bin %d", ids[i])
+		}
+		if _, dup := mf.pos[b.ID]; dup {
+			return fmt.Errorf("core: MoveToFront state lists bin %d twice", b.ID)
+		}
+		mf.nodes = append(mf.nodes, mtfNode{bin: b})
+		idx := len(mf.nodes) - 1
+		mf.pos[b.ID] = idx
+		mf.pushFront(idx)
+	}
+	return nil
+}
+
+// MarshalPolicyState implements PolicyStateCodec: the current-bin cursor.
+func (nf *NextFit) MarshalPolicyState() ([]byte, error) {
+	return binary.AppendVarint(nil, int64(nf.currentID)), nil
+}
+
+// UnmarshalPolicyState implements PolicyStateCodec. The cursor may name a
+// bin that has already closed (Next Fit notices lazily on its next Select),
+// so the ID is not resolved against the open set.
+func (nf *NextFit) UnmarshalPolicyState(data []byte, _ BinResolver) error {
+	nf.Reset()
+	id, rest, ok := consumeVarint(data)
+	if !ok || len(rest) != 0 {
+		return fmt.Errorf("core: NextFit state: malformed cursor (%d bytes)", len(data))
+	}
+	if id < -1 {
+		return fmt.Errorf("core: NextFit state: invalid cursor %d", id)
+	}
+	nf.currentID = int(id)
+	return nil
+}
+
+// MarshalPolicyState implements PolicyStateCodec: the seed and the number of
+// RNG draws consumed so far. Restore re-seeds and fast-forwards, which
+// reproduces the generator state exactly (each draw advances the underlying
+// source by one step regardless of how it is consumed).
+func (rf *RandomFit) MarshalPolicyState() ([]byte, error) {
+	out := binary.AppendVarint(nil, rf.seed)
+	return binary.AppendUvarint(out, rf.src.draws), nil
+}
+
+// UnmarshalPolicyState implements PolicyStateCodec.
+func (rf *RandomFit) UnmarshalPolicyState(data []byte, _ BinResolver) error {
+	seed, data, ok := consumeVarint(data)
+	if !ok {
+		return fmt.Errorf("core: RandomFit state: truncated seed")
+	}
+	draws, rest, ok := consumeUvarint(data)
+	if !ok || len(rest) != 0 {
+		return fmt.Errorf("core: RandomFit state: malformed draw count")
+	}
+	rf.seed = seed
+	rf.Reset()
+	for i := uint64(0); i < draws; i++ {
+		rf.src.Uint64()
+	}
+	rf.src.draws = draws
+	return nil
+}
+
+// MarshalPolicyState implements PolicyStateCodec: (bin ID, class) pairs in
+// ascending bin-ID order.
+func (h *HarmonicFit) MarshalPolicyState() ([]byte, error) {
+	ids := make([]int, 0, len(h.classOfBin))
+	for id := range h.classOfBin {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	out := binary.AppendUvarint(nil, uint64(len(ids)))
+	for _, id := range ids {
+		out = binary.AppendVarint(out, int64(id))
+		out = binary.AppendVarint(out, int64(h.classOfBin[id]))
+	}
+	return out, nil
+}
+
+// UnmarshalPolicyState implements PolicyStateCodec.
+func (h *HarmonicFit) UnmarshalPolicyState(data []byte, resolve BinResolver) error {
+	h.Reset()
+	n, data, ok := consumeUvarint(data)
+	if !ok {
+		return fmt.Errorf("core: HarmonicFit state: truncated length")
+	}
+	if n > uint64(len(data)) { // every pair takes >= 2 bytes
+		return fmt.Errorf("core: HarmonicFit state: %d pairs in %d bytes", n, len(data))
+	}
+	for i := uint64(0); i < n; i++ {
+		var id, class int64
+		id, data, ok = consumeVarint(data)
+		if !ok {
+			return fmt.Errorf("core: HarmonicFit state: truncated pair %d/%d", i, n)
+		}
+		class, data, ok = consumeVarint(data)
+		if !ok {
+			return fmt.Errorf("core: HarmonicFit state: truncated pair %d/%d", i, n)
+		}
+		if resolve(int(id)) == nil {
+			return fmt.Errorf("core: HarmonicFit state references unknown bin %d", id)
+		}
+		if class < 1 || class > int64(h.K) {
+			return fmt.Errorf("core: HarmonicFit state: bin %d has class %d outside [1, %d]", id, class, h.K)
+		}
+		if _, dup := h.classOfBin[int(id)]; dup {
+			return fmt.Errorf("core: HarmonicFit state lists bin %d twice", id)
+		}
+		h.classOfBin[int(id)] = int(class)
+	}
+	if len(data) != 0 {
+		return fmt.Errorf("core: HarmonicFit state: %d trailing bytes", len(data))
+	}
+	return nil
+}

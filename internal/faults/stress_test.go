@@ -1,8 +1,12 @@
 package faults
 
 import (
+	"reflect"
 	"sync"
 	"testing"
+
+	"dvbp/internal/core"
+	"dvbp/internal/workload"
 )
 
 // TestMTBFStatelessUnderConcurrency pins the injector's core contract: crash
@@ -40,6 +44,85 @@ func TestMTBFStatelessUnderConcurrency(t *testing.T) {
 		}(g)
 	}
 	wg.Wait()
+}
+
+// TestRetryScheduleDeterminismStress pins the end-to-end retry contract the
+// persistence layer's replay verification depends on: with a seeded MTBF
+// injector and a backoff retry policy, the engine's full event stream —
+// including the exact instant of every retry — is a pure function of the
+// seeds. The run is recomputed concurrently and compared record for record;
+// the Makefile stress target repeats it (-count) under -race.
+func TestRetryScheduleDeterminismStress(t *testing.T) {
+	l, err := workload.Uniform(workload.UniformConfig{D: 2, N: 300, Mu: 8, T: 150, B: 100}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() []core.EventRecord {
+		p, err := core.NewPolicy("MoveToFront", 11)
+		if err != nil {
+			t.Error(err)
+			return nil
+		}
+		e, err := core.NewEngine(l, p,
+			core.WithFaults(MTBF{Mean: 20, Seed: 3}, Backoff{Base: 0.5, Cap: 6}),
+			core.WithMaxBins(10), core.WithAdmissionQueue(4))
+		if err != nil {
+			t.Error(err)
+			return nil
+		}
+		var recs []core.EventRecord
+		for {
+			rec, ok, err := e.Step()
+			if err != nil {
+				t.Error(err)
+				e.Close()
+				return nil
+			}
+			if !ok {
+				break
+			}
+			recs = append(recs, rec)
+		}
+		if _, err := e.Finish(); err != nil {
+			t.Error(err)
+			return nil
+		}
+		return recs
+	}
+
+	want := run()
+	if len(want) == 0 {
+		t.Fatal("reference run produced no events")
+	}
+	retries := 0
+	for _, r := range want {
+		if r.Class == core.EventRetry {
+			retries++
+		}
+	}
+	if retries == 0 {
+		t.Fatal("fixture schedules no retries; the test would pin nothing")
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if got := run(); !reflect.DeepEqual(got, want) {
+				t.Errorf("concurrent rerun diverged (%d vs %d events)", len(got), len(want))
+			}
+		}()
+	}
+	wg.Wait()
+
+	// The policies themselves must be pure in the attempt number alone.
+	b := Backoff{Base: 0.5, Factor: 3, Cap: 10}
+	for attempt := 1; attempt <= 1000; attempt++ {
+		if b.Delay(attempt) != b.Delay(attempt) {
+			t.Fatalf("Backoff.Delay(%d) is not deterministic", attempt)
+		}
+	}
 }
 
 // TestTraceConcurrentReads verifies a Trace can serve concurrent engines:

@@ -1,0 +1,136 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// Checkpoint support: a Registry can freeze itself into a Snapshot (it always
+// could) and now also re-install a Snapshot with Restore, so the persistence
+// layer can carry metrics across a crash. The contract matches the engine's:
+// metrics restored from a checkpoint at event k, then fed the replayed events
+// k+1..n through the ordinary observer callbacks, equal the uninterrupted
+// metrics at event n — when the collector uses a deterministic clock (see
+// Manual), byte for byte.
+//
+// The AuxKey/MarshalAux/UnmarshalAux triple implements persist.AuxCodec
+// structurally; metrics does not import persist.
+
+// restore installs an absolute counter value.
+func (c *Counter) restore(v uint64) { c.v.Store(v) }
+
+// restore installs absolute histogram state. perBucket is aligned with the
+// internal buckets: one entry per configured bound plus the +Inf catch-all.
+func (h *Histogram) restore(count uint64, sum float64, perBucket []uint64) {
+	for i := range h.buckets {
+		h.buckets[i].Store(perBucket[i])
+	}
+	h.count.Store(count)
+	h.sumBits.Store(math.Float64bits(sum))
+}
+
+// Restore re-installs a snapshot into the registry. Every snapshot metric
+// must already be registered with the same kind (registration happens at
+// collector construction, before restore), and histogram bucket bounds must
+// match exactly; any disagreement aborts with an error before instruments
+// are touched, leaving the registry unchanged. Metrics registered but absent
+// from the snapshot are an error too — a half-restored registry would break
+// the checkpoint-equals-replay contract silently.
+func (r *Registry) Restore(s Snapshot) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	if len(s.Metrics) != len(r.ordered) {
+		return fmt.Errorf("metrics: snapshot has %d metrics, registry has %d", len(s.Metrics), len(r.ordered))
+	}
+	// Validate everything first so a bad snapshot cannot leave the registry
+	// half-restored.
+	plans := make([]func(), 0, len(s.Metrics))
+	for _, m := range s.Metrics {
+		m := m
+		reg, ok := r.byName[m.Name]
+		if !ok {
+			return fmt.Errorf("metrics: snapshot metric %s is not registered", m.Name)
+		}
+		if reg.kind != m.Kind {
+			return fmt.Errorf("metrics: %s is a %s in the snapshot but registered as %s", m.Name, m.Kind, reg.kind)
+		}
+		switch m.Kind {
+		case KindCounter:
+			v := m.Value
+			if v < 0 || v != math.Trunc(v) || v > (1<<53) {
+				return fmt.Errorf("metrics: counter %s has non-integer snapshot value %v", m.Name, v)
+			}
+			c := reg.counter
+			plans = append(plans, func() { c.restore(uint64(v)) })
+		case KindGauge:
+			g := reg.gauge
+			plans = append(plans, func() { g.Set(m.Value) })
+		case KindHistogram:
+			h := reg.histogram
+			perBucket, err := planHistogram(m, h)
+			if err != nil {
+				return err
+			}
+			plans = append(plans, func() { h.restore(m.Count, m.Sum, perBucket) })
+		default:
+			return fmt.Errorf("metrics: %s has unknown kind %q", m.Name, m.Kind)
+		}
+	}
+	for _, apply := range plans {
+		apply()
+	}
+	return nil
+}
+
+// planHistogram validates one histogram snapshot against its registered
+// instrument and inverts the cumulative bucket counts into per-bucket counts.
+func planHistogram(m Metric, h *Histogram) ([]uint64, error) {
+	if len(m.Buckets) != len(h.bounds)+1 {
+		return nil, fmt.Errorf("metrics: histogram %s has %d snapshot buckets, instrument has %d", m.Name, len(m.Buckets), len(h.bounds)+1)
+	}
+	for i, b := range m.Buckets {
+		if i == len(h.bounds) {
+			if !math.IsInf(b.UpperBound, 1) {
+				return nil, fmt.Errorf("metrics: histogram %s: last snapshot bucket bound is %v, want +Inf", m.Name, b.UpperBound)
+			}
+			continue
+		}
+		if b.UpperBound != h.bounds[i] {
+			return nil, fmt.Errorf("metrics: histogram %s: bucket %d bound %v differs from configured %v", m.Name, i, b.UpperBound, h.bounds[i])
+		}
+	}
+	perBucket := make([]uint64, len(m.Buckets))
+	var prev uint64
+	for i, b := range m.Buckets {
+		if b.Count < prev {
+			return nil, fmt.Errorf("metrics: histogram %s: cumulative bucket counts decrease at bucket %d", m.Name, i)
+		}
+		perBucket[i] = b.Count - prev
+		prev = b.Count
+	}
+	if prev != m.Count {
+		return nil, fmt.Errorf("metrics: histogram %s: +Inf bucket holds %d but count is %d", m.Name, prev, m.Count)
+	}
+	return perBucket, nil
+}
+
+// AuxKey implements the persistence layer's aux-codec seam.
+func (r *Registry) AuxKey() string { return "metrics" }
+
+// MarshalAux serialises the registry state (its Snapshot as JSON — float64
+// values round-trip bit-exactly through Go's shortest-form formatting).
+func (r *Registry) MarshalAux() ([]byte, error) {
+	return json.Marshal(r.Snapshot())
+}
+
+// UnmarshalAux is the inverse of MarshalAux. Malformed input returns an
+// error and leaves the registry unchanged.
+func (r *Registry) UnmarshalAux(data []byte) error {
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return fmt.Errorf("metrics: undecodable aux state: %w", err)
+	}
+	return r.Restore(s)
+}

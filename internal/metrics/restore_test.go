@@ -1,0 +1,212 @@
+package metrics
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// populatedRegistry builds a registry with one instrument of every kind and
+// some non-trivial state in each.
+func populatedRegistry() *Registry {
+	r := &Registry{}
+	c := r.Counter("events_total", "events")
+	g := r.Gauge("bins_open", "open bins")
+	h := r.Histogram("latency", "latency", 0.5, 1, 2)
+	c.Add(42)
+	g.Set(7.25)
+	for _, v := range []float64{0.1, 0.75, 0.75, 1.5, 99} {
+		h.Observe(v)
+	}
+	return r
+}
+
+// sameRegistry registers the same instruments without populating them.
+func sameShapeRegistry() *Registry {
+	r := &Registry{}
+	r.Counter("events_total", "events")
+	r.Gauge("bins_open", "open bins")
+	r.Histogram("latency", "latency", 0.5, 1, 2)
+	return r
+}
+
+func TestRegistryRestoreRoundTrip(t *testing.T) {
+	src := populatedRegistry()
+	dst := sameShapeRegistry()
+	if err := dst.Restore(src.Snapshot()); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if got, want := dst.Snapshot(), src.Snapshot(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("restored snapshot differs:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestRegistryAuxRoundTrip(t *testing.T) {
+	src := populatedRegistry()
+	if src.AuxKey() != "metrics" {
+		t.Fatalf("AuxKey = %q", src.AuxKey())
+	}
+	blob, err := src.MarshalAux()
+	if err != nil {
+		t.Fatalf("MarshalAux: %v", err)
+	}
+	dst := sameShapeRegistry()
+	if err := dst.UnmarshalAux(blob); err != nil {
+		t.Fatalf("UnmarshalAux: %v", err)
+	}
+	if got, want := dst.Snapshot(), src.Snapshot(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("aux round-trip differs:\n got %+v\nwant %+v", got, want)
+	}
+	// Restore must survive extreme float values through JSON.
+	src.Gauge("bins_open", "").Set(math.Nextafter(1, 2))
+	blob, _ = src.MarshalAux()
+	if err := dst.UnmarshalAux(blob); err != nil {
+		t.Fatalf("UnmarshalAux after nextafter: %v", err)
+	}
+	if got := dst.Gauge("bins_open", "").Value(); got != math.Nextafter(1, 2) {
+		t.Fatalf("gauge lost precision: %v", got)
+	}
+}
+
+func TestRegistryRestoreRejectsMismatches(t *testing.T) {
+	base := populatedRegistry().Snapshot()
+	cases := []struct {
+		name   string
+		reg    func() *Registry
+		mutate func(*Snapshot)
+		want   string
+	}{
+		{
+			name: "missing metric",
+			reg: func() *Registry {
+				r := sameShapeRegistry()
+				r.Counter("extra_total", "")
+				return r
+			},
+			want: "registry has",
+		},
+		{
+			name: "unregistered metric",
+			reg: func() *Registry {
+				r := &Registry{}
+				r.Counter("events_total", "")
+				r.Gauge("bins_open", "")
+				r.Counter("other", "")
+				return r
+			},
+			want: "not registered",
+		},
+		{
+			name: "kind mismatch",
+			reg: func() *Registry {
+				r := &Registry{}
+				r.Gauge("events_total", "")
+				r.Gauge("bins_open", "")
+				r.Histogram("latency", "", 0.5, 1, 2)
+				return r
+			},
+			want: "registered as",
+		},
+		{
+			name:   "fractional counter",
+			reg:    sameShapeRegistry,
+			mutate: func(s *Snapshot) { s.Metrics[0].Value = 1.5 },
+			want:   "non-integer",
+		},
+		{
+			name:   "negative counter",
+			reg:    sameShapeRegistry,
+			mutate: func(s *Snapshot) { s.Metrics[0].Value = -1 },
+			want:   "non-integer",
+		},
+		{
+			name: "bounds mismatch",
+			reg: func() *Registry {
+				r := &Registry{}
+				r.Counter("events_total", "")
+				r.Gauge("bins_open", "")
+				r.Histogram("latency", "", 0.5, 1, 3)
+				return r
+			},
+			want: "differs from configured",
+		},
+		{
+			name: "bucket count mismatch",
+			reg: func() *Registry {
+				r := &Registry{}
+				r.Counter("events_total", "")
+				r.Gauge("bins_open", "")
+				r.Histogram("latency", "", 0.5, 1)
+				return r
+			},
+			want: "snapshot buckets",
+		},
+		{
+			name:   "decreasing cumulative counts",
+			reg:    sameShapeRegistry,
+			mutate: func(s *Snapshot) { s.Metrics[2].Buckets[1].Count = 0 },
+			want:   "decrease",
+		},
+		{
+			name:   "count disagrees with +Inf bucket",
+			reg:    sameShapeRegistry,
+			mutate: func(s *Snapshot) { s.Metrics[2].Count++ },
+			want:   "+Inf bucket holds",
+		},
+		{
+			name:   "last bound not +Inf",
+			reg:    sameShapeRegistry,
+			mutate: func(s *Snapshot) { s.Metrics[2].Buckets[3].UpperBound = 9 },
+			want:   "want +Inf",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := base
+			s.Metrics = append([]Metric(nil), base.Metrics...)
+			for i := range s.Metrics {
+				s.Metrics[i].Buckets = append([]Bucket(nil), base.Metrics[i].Buckets...)
+			}
+			if tc.mutate != nil {
+				tc.mutate(&s)
+			}
+			r := tc.reg()
+			err := r.Restore(s)
+			if err == nil {
+				t.Fatalf("Restore accepted a %s snapshot", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+			// A rejected snapshot must leave the registry untouched.
+			if got := r.Snapshot(); !snapshotIsZero(got) {
+				t.Fatalf("rejected restore mutated the registry: %+v", got)
+			}
+		})
+	}
+}
+
+func snapshotIsZero(s Snapshot) bool {
+	for _, m := range s.Metrics {
+		if m.Value != 0 || m.Count != 0 || m.Sum != 0 {
+			return false
+		}
+		for _, b := range m.Buckets {
+			if b.Count != 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestRegistryUnmarshalAuxRejectsGarbage(t *testing.T) {
+	r := sameShapeRegistry()
+	if err := r.UnmarshalAux([]byte("{not json")); err == nil {
+		t.Fatal("UnmarshalAux accepted garbage")
+	}
+	if err := r.UnmarshalAux([]byte(`{"metrics":[]}`)); err == nil {
+		t.Fatal("UnmarshalAux accepted an empty snapshot against a populated registry")
+	}
+}

@@ -1,0 +1,216 @@
+package persist
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// defaultSyncEvery is the fsync batch size: the writer fsyncs after this many
+// appended records (and always on Sync/Close). Batching amortises the fsync
+// cost over a window of events; a crash can lose at most the current batch,
+// which recovery treats as an ordinary torn tail.
+const defaultSyncEvery = 64
+
+// Writer appends checksummed records to a persist-format file. It buffers
+// in-process and fsyncs in batches; Sync forces both down to the device.
+// A Writer is single-goroutine, like the engine it records.
+type Writer struct {
+	f         *os.File
+	bw        *bufio.Writer
+	scratch   []byte
+	syncEvery int
+	pending   int
+	size      int64
+	err       error
+}
+
+// Create creates (truncating) a persist file of the given kind and writes its
+// header. syncEvery <= 0 selects the default batch size.
+func Create(path string, kind FileKind, syncEvery int) (*Writer, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	w := newWriter(f, syncEvery)
+	if _, err := w.bw.Write(appendHeader(w.scratch[:0], kind)); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	w.size = headerSize
+	if err := w.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+// openAppend reopens an existing persist file for appending after truncating
+// it to validSize — the recovery path that discards a torn tail and continues
+// the log in place.
+func openAppend(path string, validSize int64, syncEvery int) (*Writer, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	if err := f.Truncate(validSize); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	if _, err := f.Seek(validSize, 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	w := newWriter(f, syncEvery)
+	w.size = validSize
+	if err := w.Sync(); err != nil { // persist the truncation itself
+		f.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+func newWriter(f *os.File, syncEvery int) *Writer {
+	if syncEvery <= 0 {
+		syncEvery = defaultSyncEvery
+	}
+	return &Writer{f: f, bw: bufio.NewWriter(f), syncEvery: syncEvery}
+}
+
+// Append frames and writes one record. The payload is copied before Append
+// returns; the caller may reuse its buffer.
+func (w *Writer) Append(payload []byte) error {
+	if w.err != nil {
+		return w.err
+	}
+	w.scratch = appendRecord(w.scratch[:0], payload)
+	if _, err := w.bw.Write(w.scratch); err != nil {
+		w.err = fmt.Errorf("persist: %w", err)
+		return w.err
+	}
+	w.size += int64(len(w.scratch))
+	w.pending++
+	if w.pending >= w.syncEvery {
+		return w.Sync()
+	}
+	return nil
+}
+
+// Sync flushes the buffer and fsyncs the file.
+func (w *Writer) Sync() error {
+	if w.err != nil {
+		return w.err
+	}
+	if err := w.bw.Flush(); err != nil {
+		w.err = fmt.Errorf("persist: %w", err)
+		return w.err
+	}
+	if err := w.f.Sync(); err != nil {
+		w.err = fmt.Errorf("persist: %w", err)
+		return w.err
+	}
+	w.pending = 0
+	return nil
+}
+
+// Size returns the file size including any still-buffered bytes.
+func (w *Writer) Size() int64 { return w.size }
+
+// Close syncs and closes the file. Closing an already-failed writer closes
+// the descriptor and reports the first error.
+func (w *Writer) Close() error {
+	syncErr := w.Sync()
+	closeErr := w.f.Close()
+	if syncErr != nil {
+		return syncErr
+	}
+	if closeErr != nil {
+		return fmt.Errorf("persist: %w", closeErr)
+	}
+	return nil
+}
+
+// FileData is the decoded content of one persist file.
+type FileData struct {
+	Kind FileKind
+	// Records holds every intact payload, in file order.
+	Records [][]byte
+	// Offsets[i] is the byte offset of Records[i]'s frame.
+	Offsets []int64
+	// Size is the file's full size; ValidSize the prefix covered by the
+	// header and intact records (== Size when the file is clean).
+	Size      int64
+	ValidSize int64
+	// Torn describes the first defect in the record region, nil when clean.
+	// A torn file is still usable up to ValidSize.
+	Torn *CorruptionError
+}
+
+// ReadFile reads and validates a persist file. A damaged header (or an
+// unreadable file) is fatal and returned as the error; damaged records only
+// truncate: the intact prefix comes back in FileData with Torn describing
+// the defect. The returned payloads are private copies.
+func ReadFile(path string) (*FileData, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	kind, herr := parseHeader(data)
+	if herr != nil {
+		herr.Path = path
+		return nil, herr
+	}
+	recs, offs, torn := scanRecords(data[headerSize:], headerSize)
+	if torn != nil {
+		torn.Path = path
+	}
+	fd := &FileData{Kind: kind, Records: recs, Offsets: offs, Size: int64(len(data)), ValidSize: int64(len(data)), Torn: torn}
+	if torn != nil {
+		fd.ValidSize = torn.Offset
+	}
+	return fd, nil
+}
+
+// syncDir fsyncs a directory so renames and creations within it survive a
+// crash (the standard create-temp / rename / fsync-dir dance).
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	return nil
+}
+
+// writeFileAtomic writes content to path via a temp file + rename + directory
+// sync, so a crash never leaves a half-written file under the final name.
+func writeFileAtomic(path string, content []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func() { tmp.Close(); os.Remove(tmpName) }
+	if _, err := tmp.Write(content); err != nil {
+		cleanup()
+		return fmt.Errorf("persist: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return fmt.Errorf("persist: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("persist: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("persist: %w", err)
+	}
+	return syncDir(dir)
+}

@@ -1,0 +1,66 @@
+// Package persist is the crash-consistent checkpoint/restore layer for the
+// packing engine: a write-ahead log of committed engine events plus periodic
+// full-state snapshots, both stored in a versioned, CRC-checksummed,
+// length-prefixed record format.
+//
+// The design leans on the engine's determinism contract: the event stream is
+// a pure function of (instance, policy, options), so recovery does not need
+// to re-apply logged events as mutations. Instead it restores the newest
+// valid snapshot and re-steps the engine, verifying that every regenerated
+// event is bit-identical to the logged suffix — the WAL tells recovery how
+// far the run had progressed and doubles as an end-to-end determinism check.
+//
+// Corruption never panics. Torn or bit-flipped tails are truncated at the
+// first bad checksum, damaged snapshots are skipped in favour of older ones
+// (or a from-scratch replay), and every tolerated defect is surfaced as a
+// structured *CorruptionError in the recovery report.
+package persist
+
+import (
+	"fmt"
+)
+
+// CorruptionError describes one detected defect in a persisted file: a torn
+// record, a failed checksum, an undecodable payload, or a semantic
+// inconsistency (an event out of sequence, a snapshot disagreeing with the
+// instance). Recovery returns the defects it tolerated in its report and
+// wraps the ones it cannot get past.
+type CorruptionError struct {
+	// Path is the offending file ("" for in-memory decodes).
+	Path string
+	// Offset is the byte offset of the defect within the file, -1 if unknown.
+	Offset int64
+	// Record is the zero-based record index of the defect, -1 if unknown.
+	Record int
+	// Reason is a human-readable description of the defect.
+	Reason string
+	// Err is the underlying cause, when one exists.
+	Err error
+}
+
+// Error implements error.
+func (e *CorruptionError) Error() string {
+	s := "persist: corrupt"
+	if e.Path != "" {
+		s += " " + e.Path
+	}
+	if e.Record >= 0 {
+		s += fmt.Sprintf(" record %d", e.Record)
+	}
+	if e.Offset >= 0 {
+		s += fmt.Sprintf(" at byte %d", e.Offset)
+	}
+	s += ": " + e.Reason
+	if e.Err != nil {
+		s += ": " + e.Err.Error()
+	}
+	return s
+}
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *CorruptionError) Unwrap() error { return e.Err }
+
+// corrupt builds a CorruptionError with no file position.
+func corrupt(reason string, args ...any) *CorruptionError {
+	return &CorruptionError{Offset: -1, Record: -1, Reason: fmt.Sprintf(reason, args...)}
+}

@@ -1,0 +1,279 @@
+package persist
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"dvbp/internal/core"
+	"dvbp/internal/item"
+)
+
+// Recovery reports how a run was brought back: which snapshot seeded the
+// engine, how many WAL events were verified by replay, and every corruption
+// that was detected and tolerated along the way.
+type Recovery struct {
+	// Session is the resumed session, positioned exactly where the durable
+	// log ends; Step/Run continue the run, Finish seals it.
+	Session *Session
+	// Meta is the recovered run's identity.
+	Meta RunMeta
+	// SnapshotSeq is the event sequence of the snapshot the engine was
+	// restored from (0 = no usable snapshot, replayed from scratch).
+	SnapshotSeq int64
+	// SnapshotPath is the file the engine was restored from ("" for scratch).
+	SnapshotPath string
+	// Replayed is the number of WAL events re-stepped and verified.
+	Replayed int64
+	// Corruptions lists every defect recovery tolerated: torn WAL tails,
+	// out-of-sequence log records, and snapshots it had to skip. Recovery
+	// only fails outright when nothing consistent remains.
+	Corruptions []*CorruptionError
+}
+
+// Recover resumes the persisted run in cfg.Dir against the given instance.
+// The opts must reproduce the original run's configuration (injector, retry,
+// admission control, observers) — the engine is deterministic in them, and
+// replay verification catches a mismatch as a divergence.
+//
+// Recovery: read the WAL, truncating at the first torn or out-of-sequence
+// record; restore the newest snapshot that decodes cleanly, matches the run,
+// and is not ahead of the durable log (older snapshots, then a fresh engine,
+// are the fallbacks); re-step the engine through the logged suffix, checking
+// every regenerated event against the log bit for bit; then reopen the WAL
+// for appending, with any torn tail truncated away.
+func Recover(l *item.List, cfg Config, opts ...core.Option) (*Recovery, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("persist: no checkpoint directory configured")
+	}
+	if err := checkAuxKeys(cfg.Aux); err != nil {
+		return nil, err
+	}
+	rec := &Recovery{}
+
+	// 1. The write-ahead log: meta record + one record per event.
+	walPath := filepath.Join(cfg.Dir, walFile)
+	fd, err := ReadFile(walPath)
+	if err != nil {
+		return nil, fmt.Errorf("recovering %s: %w", cfg.Dir, err)
+	}
+	if fd.Kind != KindWAL {
+		return nil, &CorruptionError{Path: walPath, Offset: -1, Record: -1, Reason: fmt.Sprintf("expected a WAL file, found kind %d", fd.Kind)}
+	}
+	if fd.Torn != nil {
+		rec.Corruptions = append(rec.Corruptions, fd.Torn)
+	}
+	if len(fd.Records) == 0 {
+		return nil, &CorruptionError{Path: walPath, Offset: headerSize, Record: 0, Reason: "no run meta record survived"}
+	}
+	meta, err := decodeMeta(fd.Records[0])
+	if err != nil {
+		ce := err.(*CorruptionError)
+		ce.Path, ce.Offset, ce.Record = walPath, fd.Offsets[0], 0
+		return nil, ce
+	}
+	if err := meta.check(l); err != nil {
+		return nil, err
+	}
+	rec.Meta = meta
+
+	// Decode the event suffix, truncating at the first undecodable or
+	// out-of-sequence record (a valid checksum does not guarantee the run
+	// that wrote it agreed with this one about numbering).
+	events := make([]core.EventRecord, 0, len(fd.Records)-1)
+	validSize := fd.ValidSize
+	for i, payload := range fd.Records[1:] {
+		ev, err := DecodeEventRecord(payload)
+		if err == nil && ev.Seq != int64(len(events)+1) {
+			err = corrupt("event out of sequence: record claims seq %d, expected %d", ev.Seq, len(events)+1)
+		}
+		if err != nil {
+			ce := err.(*CorruptionError)
+			ce.Path, ce.Offset, ce.Record = walPath, fd.Offsets[i+1], i+1
+			rec.Corruptions = append(rec.Corruptions, ce)
+			validSize = fd.Offsets[i+1]
+			break
+		}
+		events = append(events, ev)
+	}
+
+	// 2. The newest usable snapshot. Damaged or over-eager candidates (a
+	// snapshot ahead of the durable log after a tail truncation) are skipped,
+	// not fatal: an older snapshot or a from-scratch replay always remains.
+	engine, err := restoreNewest(l, meta, cfg, opts, int64(len(events)), rec)
+	if err != nil {
+		return nil, err
+	}
+
+	// 3. Replay with verification: the deterministic engine must regenerate
+	// the logged suffix exactly.
+	for int64(len(events)) > engine.EventSeq() {
+		want := events[engine.EventSeq()]
+		got, ok, err := engine.Step()
+		if err != nil {
+			engine.Close()
+			return nil, fmt.Errorf("persist: replay failed at event %d: %w", want.Seq, err)
+		}
+		if !ok {
+			engine.Close()
+			return nil, &CorruptionError{Path: walPath, Offset: -1, Record: -1,
+				Reason: fmt.Sprintf("log has %d events but the run ends after %d — wrong instance or options", len(events), engine.EventSeq())}
+		}
+		if got != want {
+			engine.Close()
+			return nil, &CorruptionError{Path: walPath, Offset: -1, Record: -1,
+				Reason: fmt.Sprintf("replay divergence at event %d: engine regenerated %+v, log holds %+v — corrupt log or mismatched run options", want.Seq, got, want)}
+		}
+		rec.Replayed++
+	}
+
+	// 4. Reopen the log for appending, truncated to its verified prefix.
+	wal, err := openAppend(walPath, validSize, cfg.SyncEvery)
+	if err != nil {
+		engine.Close()
+		return nil, err
+	}
+	rec.Session = &Session{cfg: cfg, meta: meta, engine: engine, wal: wal, logged: int64(len(events))}
+	return rec, nil
+}
+
+// snapFile is one discovered snapshot file.
+type snapFile struct {
+	name string
+	seq  int64
+}
+
+// listSnapshots finds snapshot files in dir, ascending by event sequence.
+func listSnapshots(dir string) ([]snapFile, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	var out []snapFile
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, snapPrefix) || !strings.HasSuffix(name, snapSuffix) {
+			continue
+		}
+		seq, err := strconv.ParseInt(strings.TrimSuffix(strings.TrimPrefix(name, snapPrefix), snapSuffix), 10, 64)
+		if err != nil || seq < 0 {
+			continue // foreign file that happens to match the shape
+		}
+		out = append(out, snapFile{name: name, seq: seq})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
+	return out, nil
+}
+
+// restoreNewest restores the engine from the newest usable snapshot at or
+// below walEvents, falling back through older snapshots to a fresh engine.
+// Skipped snapshots are recorded in rec.Corruptions.
+func restoreNewest(l *item.List, meta RunMeta, cfg Config, opts []core.Option, walEvents int64, rec *Recovery) (*core.Engine, error) {
+	snaps, err := listSnapshots(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	for i := len(snaps) - 1; i >= 0; i-- {
+		sf := snaps[i]
+		path := filepath.Join(cfg.Dir, sf.name)
+		skip := func(why string, cause error) {
+			ce := &CorruptionError{Path: path, Offset: -1, Record: -1, Reason: why, Err: cause}
+			rec.Corruptions = append(rec.Corruptions, ce)
+		}
+		if sf.seq > walEvents {
+			skip(fmt.Sprintf("snapshot at event %d is ahead of the %d-event durable log", sf.seq, walEvents), nil)
+			continue
+		}
+		engine, err := restoreSnapshotFile(path, l, meta, cfg, opts)
+		if err != nil {
+			skip("unusable snapshot", err)
+			continue
+		}
+		if engine.EventSeq() != sf.seq {
+			engine.Close()
+			skip(fmt.Sprintf("snapshot content is at event %d but file name claims %d", engine.EventSeq(), sf.seq), nil)
+			continue
+		}
+		rec.SnapshotSeq = sf.seq
+		rec.SnapshotPath = path
+		return engine, nil
+	}
+	// From scratch: a fresh engine replays the whole log.
+	p, err := core.NewPolicy(meta.Policy, meta.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	engine, err := core.NewEngine(l, p, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return engine, nil
+}
+
+// restoreSnapshotFile loads one snapshot file into a restored engine and
+// applies its aux blobs.
+func restoreSnapshotFile(path string, l *item.List, meta RunMeta, cfg Config, opts []core.Option) (*core.Engine, error) {
+	fd, err := ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if fd.Kind != KindSnapshot {
+		return nil, corrupt("expected a snapshot file, found kind %d", fd.Kind)
+	}
+	if fd.Torn != nil {
+		// Unlike the WAL, a snapshot is all-or-nothing: a torn tail may have
+		// taken aux records with it, and partial aux state breaks the
+		// checkpoint-equals-replay contract.
+		return nil, fd.Torn
+	}
+	if len(fd.Records) < 2 {
+		return nil, corrupt("snapshot file has %d records, want meta + snapshot", len(fd.Records))
+	}
+	fileMeta, err := decodeMeta(fd.Records[0])
+	if err != nil {
+		return nil, err
+	}
+	if !fileMeta.equal(meta) {
+		return nil, corrupt("snapshot belongs to a different run (meta %+v, want %+v)", fileMeta, meta)
+	}
+	snap, err := DecodeSnapshot(fd.Records[1])
+	if err != nil {
+		return nil, err
+	}
+	p, err := core.NewPolicy(meta.Policy, meta.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	engine, err := core.RestoreEngine(l, p, snap, opts...)
+	if err != nil {
+		return nil, err
+	}
+	byKey := make(map[string][]byte)
+	for _, payload := range fd.Records[2:] {
+		key, blob, err := decodeAux(payload)
+		if err != nil {
+			engine.Close()
+			return nil, err
+		}
+		if _, dup := byKey[key]; dup {
+			engine.Close()
+			return nil, corrupt("duplicate aux record %q", key)
+		}
+		byKey[key] = blob
+	}
+	for _, aux := range cfg.Aux {
+		blob, ok := byKey[aux.AuxKey()]
+		if !ok {
+			engine.Close()
+			return nil, corrupt("snapshot carries no aux record %q", aux.AuxKey())
+		}
+		if err := aux.UnmarshalAux(blob); err != nil {
+			engine.Close()
+			return nil, &CorruptionError{Path: path, Offset: -1, Record: -1, Reason: fmt.Sprintf("aux %q rejected its blob", aux.AuxKey()), Err: err}
+		}
+	}
+	return engine, nil
+}

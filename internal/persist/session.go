@@ -1,0 +1,229 @@
+package persist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dvbp/internal/core"
+)
+
+// File names inside a checkpoint directory.
+const (
+	walFile    = "wal.dvbp"
+	snapPrefix = "snap-"
+	snapSuffix = ".dvbp"
+)
+
+// snapName renders the snapshot file name for a checkpoint at eventSeq.
+func snapName(eventSeq int64) string {
+	return fmt.Sprintf("%s%016d%s", snapPrefix, eventSeq, snapSuffix)
+}
+
+// AuxCodec lets a subsystem outside the engine (the metrics registry) ride
+// along in snapshots: Marshal captures its state at a checkpoint, Unmarshal
+// restores it before replay. The contract mirrors the engine's: aux state
+// captured at event k, plus replay of events k+1..n through the subsystem's
+// ordinary observer callbacks, must equal the uninterrupted state at n.
+type AuxCodec interface {
+	// AuxKey names the blob inside snapshot files; keys must be unique
+	// within a session.
+	AuxKey() string
+	MarshalAux() ([]byte, error)
+	UnmarshalAux(data []byte) error
+}
+
+// Config shapes a persistence session.
+type Config struct {
+	// Dir is the checkpoint directory (created if missing).
+	Dir string
+	// Every takes an automatic checkpoint after this many events; 0 disables
+	// automatic checkpoints (the WAL alone still recovers via full replay).
+	Every int64
+	// SyncEvery batches WAL fsyncs (default 64 records).
+	SyncEvery int
+	// Aux subsystems checkpointed alongside the engine.
+	Aux []AuxCodec
+}
+
+// Session couples a stepping engine to its write-ahead log: every committed
+// event is appended to the WAL before the next one runs, and checkpoints
+// capture engine + aux state between events. The caller owns the engine's
+// lifecycle through the session (Step/Finish/Close), never directly.
+type Session struct {
+	cfg    Config
+	meta   RunMeta
+	engine *core.Engine
+	wal    *Writer
+	buf    []byte
+	logged int64 // events in the WAL
+}
+
+// Begin starts persisting a fresh run: it creates the directory, the WAL
+// (truncating any previous run in the directory), and an initial checkpoint
+// at event 0 when cfg.Every > 0.
+func Begin(e *core.Engine, meta RunMeta, cfg Config) (*Session, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("persist: no checkpoint directory configured")
+	}
+	if !core.CheckpointablePolicy(e.Policy()) {
+		return nil, fmt.Errorf("persist: policy %s carries state but implements no PolicyStateCodec", e.Policy().Name())
+	}
+	if err := checkAuxKeys(cfg.Aux); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	// Remove checkpoints from any earlier run in the directory: they would
+	// otherwise be mistaken for this run's on recovery.
+	old, err := listSnapshots(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range old {
+		if err := os.Remove(filepath.Join(cfg.Dir, f.name)); err != nil {
+			return nil, fmt.Errorf("persist: %w", err)
+		}
+	}
+	wal, err := Create(filepath.Join(cfg.Dir, walFile), KindWAL, cfg.SyncEvery)
+	if err != nil {
+		return nil, err
+	}
+	s := &Session{cfg: cfg, meta: meta, engine: e, wal: wal}
+	if err := wal.Append(encodeMeta(meta)); err != nil {
+		wal.Close()
+		return nil, err
+	}
+	if err := wal.Sync(); err != nil {
+		wal.Close()
+		return nil, err
+	}
+	if err := syncDir(cfg.Dir); err != nil {
+		wal.Close()
+		return nil, err
+	}
+	if cfg.Every > 0 {
+		if err := s.Checkpoint(); err != nil {
+			wal.Close()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Engine exposes the engine the session is persisting.
+func (s *Session) Engine() *core.Engine { return s.engine }
+
+// Logged returns the number of events appended to the WAL.
+func (s *Session) Logged() int64 { return s.logged }
+
+// Step commits one engine event and appends it to the WAL, then takes an
+// automatic checkpoint when the configured interval elapses. ok=false means
+// the run is complete (call Finish).
+func (s *Session) Step() (rec core.EventRecord, ok bool, err error) {
+	rec, ok, err = s.engine.Step()
+	if err != nil || !ok {
+		return rec, ok, err
+	}
+	s.buf = AppendEventRecord(s.buf[:0], rec)
+	if err := s.wal.Append(s.buf); err != nil {
+		return rec, false, err
+	}
+	s.logged++
+	if s.cfg.Every > 0 && s.logged%s.cfg.Every == 0 {
+		if err := s.Checkpoint(); err != nil {
+			return rec, false, err
+		}
+	}
+	return rec, true, nil
+}
+
+// Checkpoint captures the engine and aux state at the current event boundary
+// into an atomically-written snapshot file. The WAL is synced first so the
+// snapshot never gets ahead of the durable log.
+func (s *Session) Checkpoint() error {
+	if err := s.wal.Sync(); err != nil {
+		return err
+	}
+	snap, err := s.engine.Snapshot()
+	if err != nil {
+		return err
+	}
+	content := appendHeader(nil, KindSnapshot)
+	content = appendRecord(content, encodeMeta(s.meta))
+	content = appendRecord(content, EncodeSnapshot(snap))
+	for _, aux := range s.cfg.Aux {
+		blob, err := aux.MarshalAux()
+		if err != nil {
+			return fmt.Errorf("persist: aux %q: %w", aux.AuxKey(), err)
+		}
+		content = appendRecord(content, encodeAux(aux.AuxKey(), blob))
+	}
+	return writeFileAtomic(filepath.Join(s.cfg.Dir, snapName(snap.EventSeq)), content)
+}
+
+// Finish syncs and closes the WAL and seals the engine into its Result.
+func (s *Session) Finish() (*core.Result, error) {
+	if err := s.wal.Close(); err != nil {
+		s.engine.Close()
+		return nil, err
+	}
+	return s.engine.Finish()
+}
+
+// Close abandons the session: the WAL is synced so everything logged
+// survives, and the engine's policy guard is released. A later Recover picks
+// the run back up.
+func (s *Session) Close() error {
+	err := s.wal.Close()
+	s.engine.Close()
+	return err
+}
+
+// Run drives the session to completion: Step until the event stream drains,
+// then Finish.
+func (s *Session) Run() (*core.Result, error) {
+	for {
+		_, ok, err := s.Step()
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+	}
+	return s.Finish()
+}
+
+// Aux record payload: uvarint key length | key | blob.
+func encodeAux(key string, blob []byte) []byte {
+	out := binary.AppendUvarint(nil, uint64(len(key)))
+	out = append(out, key...)
+	return append(out, blob...)
+}
+
+func decodeAux(payload []byte) (key string, blob []byte, err error) {
+	n, w := binary.Uvarint(payload)
+	if w <= 0 || n > uint64(len(payload)-w) {
+		return "", nil, corrupt("malformed aux record")
+	}
+	return string(payload[w : w+int(n)]), payload[w+int(n):], nil
+}
+
+func checkAuxKeys(aux []AuxCodec) error {
+	seen := make(map[string]bool, len(aux))
+	for _, a := range aux {
+		k := a.AuxKey()
+		if k == "" {
+			return fmt.Errorf("persist: empty aux key")
+		}
+		if seen[k] {
+			return fmt.Errorf("persist: duplicate aux key %q", k)
+		}
+		seen[k] = true
+	}
+	return nil
+}

@@ -1,0 +1,101 @@
+package persist
+
+import (
+	"encoding/binary"
+	"math"
+
+	"dvbp/internal/core"
+)
+
+// Event record payload layout (all integers varint unless noted):
+//
+//	class byte | seq | time float64-bits uint64 LE | itemID | binID | flags byte
+//
+// flags bit 0 = Placed, bit 1 = Opened. The class byte reuses the engine's
+// stable EventClass values.
+
+const eventFlagPlaced, eventFlagOpened = 1, 2
+
+// canonVarint decodes a varint and rejects overlong (non-canonical)
+// encodings, so decode∘encode is the identity on every accepted payload.
+func canonVarint(p []byte) (int64, int, bool) {
+	v, n := binary.Varint(p)
+	if n <= 0 {
+		return 0, 0, false
+	}
+	var tmp [binary.MaxVarintLen64]byte
+	if binary.PutVarint(tmp[:], v) != n {
+		return 0, 0, false
+	}
+	return v, n, true
+}
+
+// AppendEventRecord serialises one committed engine event onto dst.
+func AppendEventRecord(dst []byte, rec core.EventRecord) []byte {
+	dst = append(dst, byte(rec.Class))
+	dst = binary.AppendVarint(dst, rec.Seq)
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(rec.Time))
+	dst = binary.AppendVarint(dst, int64(rec.ItemID))
+	dst = binary.AppendVarint(dst, int64(rec.BinID))
+	var flags byte
+	if rec.Placed {
+		flags |= eventFlagPlaced
+	}
+	if rec.Opened {
+		flags |= eventFlagOpened
+	}
+	return append(dst, flags)
+}
+
+// DecodeEventRecord is the inverse of AppendEventRecord. It never panics:
+// malformed input of any shape returns a *CorruptionError.
+func DecodeEventRecord(payload []byte) (core.EventRecord, error) {
+	var rec core.EventRecord
+	if len(payload) < 1 {
+		return rec, corrupt("empty event record")
+	}
+	rec.Class = core.EventClass(payload[0])
+	if rec.Class > core.EventArrival {
+		return rec, corrupt("unknown event class %d", payload[0])
+	}
+	p := payload[1:]
+	seq, n, ok := canonVarint(p)
+	if !ok {
+		return rec, corrupt("malformed event sequence")
+	}
+	rec.Seq = seq
+	p = p[n:]
+	if len(p) < 8 {
+		return rec, corrupt("truncated event time")
+	}
+	rec.Time = math.Float64frombits(binary.LittleEndian.Uint64(p))
+	p = p[8:]
+	itemID, n, ok := canonVarint(p)
+	if !ok {
+		return rec, corrupt("malformed event item ID")
+	}
+	p = p[n:]
+	binID, n, ok := canonVarint(p)
+	if !ok {
+		return rec, corrupt("malformed event bin ID")
+	}
+	p = p[n:]
+	if len(p) != 1 {
+		return rec, corrupt("event record has %d trailing bytes", len(p))
+	}
+	flags := p[0]
+	if flags&^(eventFlagPlaced|eventFlagOpened) != 0 {
+		return rec, corrupt("unknown event flags %#x", flags)
+	}
+	rec.ItemID = int(itemID)
+	rec.BinID = int(binID)
+	rec.Placed = flags&eventFlagPlaced != 0
+	rec.Opened = flags&eventFlagOpened != 0
+	if rec.Seq < 1 {
+		return rec, corrupt("event sequence %d < 1", rec.Seq)
+	}
+	if math.IsNaN(rec.Time) {
+		return rec, corrupt("event time is NaN")
+	}
+	return rec, nil
+}

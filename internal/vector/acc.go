@@ -1,6 +1,7 @@
 package vector
 
 import (
+	"fmt"
 	"math"
 	"math/bits"
 )
@@ -198,6 +199,61 @@ func (a *Acc) Reset() {
 		a.limb[i] = 0
 	}
 	a.lo, a.hi, a.used = 0, 0, false
+}
+
+// accBinaryHeader is the byte size of the non-limb part of the Acc wire
+// format: a used flag plus the lo and hi window bounds.
+const accBinaryHeader = 1 + 2 + 2
+
+// AppendBinary serialises the accumulator's exact state onto dst and returns
+// the extended slice. Only the limb window actually in use is written, so an
+// idle accumulator costs one byte and a realistic bin-load accumulator a few
+// dozen. The format round-trips bit-exactly through UnmarshalBinary: the
+// persistence layer relies on a restored accumulator being indistinguishable
+// from the original (same limbs, same Round output).
+func (a *Acc) AppendBinary(dst []byte) []byte {
+	if !a.used {
+		return append(dst, 0)
+	}
+	dst = append(dst, 1, byte(a.lo), byte(a.lo>>8), byte(a.hi), byte(a.hi>>8))
+	for i := a.lo; i <= a.hi; i++ {
+		v := uint64(a.limb[i])
+		dst = append(dst,
+			byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+			byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+	}
+	return dst
+}
+
+// UnmarshalBinary replaces the accumulator's state with the serialised state
+// in data, which must be exactly one AppendBinary payload. Malformed input —
+// wrong length, out-of-range window bounds — returns an error and leaves the
+// accumulator reset; it never panics, so arbitrary (possibly corrupted)
+// checkpoint bytes are safe to feed through it.
+func (a *Acc) UnmarshalBinary(data []byte) error {
+	a.Reset()
+	if len(data) == 1 && data[0] == 0 {
+		return nil
+	}
+	if len(data) < accBinaryHeader || data[0] != 1 {
+		return fmt.Errorf("vector: malformed Acc state (%d bytes)", len(data))
+	}
+	lo := int16(uint16(data[1]) | uint16(data[2])<<8)
+	hi := int16(uint16(data[3]) | uint16(data[4])<<8)
+	if lo < 0 || hi < lo || hi >= numAccLimbs {
+		return fmt.Errorf("vector: Acc limb window [%d, %d] out of range", lo, hi)
+	}
+	if want := accBinaryHeader + 8*(int(hi)-int(lo)+1); len(data) != want {
+		return fmt.Errorf("vector: Acc state is %d bytes, want %d for window [%d, %d]", len(data), want, lo, hi)
+	}
+	p := data[accBinaryHeader:]
+	for i := lo; i <= hi; i++ {
+		a.limb[i] = int64(uint64(p[0]) | uint64(p[1])<<8 | uint64(p[2])<<16 | uint64(p[3])<<24 |
+			uint64(p[4])<<32 | uint64(p[5])<<40 | uint64(p[6])<<48 | uint64(p[7])<<56)
+		p = p[8:]
+	}
+	a.lo, a.hi, a.used = lo, hi, true
+	return nil
 }
 
 // IsZero reports whether the exact accumulated sum is zero. Unlike comparing
