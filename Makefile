@@ -13,9 +13,9 @@ STRESSCOUNT ?= 5
 BENCHTIME ?= 10x
 BENCHCOUNT ?= 3
 
-.PHONY: ci fmt vet test race stress torture-smoke build bench bench-smoke bench-json fuzz-smoke
+.PHONY: ci fmt vet test race stress torture-smoke build bench bench-smoke bench-json fuzz-smoke docs-check
 
-ci: fmt vet race stress torture-smoke bench-smoke fuzz-smoke
+ci: fmt vet docs-check race stress torture-smoke bench-smoke fuzz-smoke
 
 # gofmt -l prints offending files; fail when the list is non-empty.
 fmt:
@@ -56,9 +56,11 @@ bench:
 	$(GO) test -bench=. -benchmem
 
 # Run every benchmark exactly once so bench code can never rot unnoticed:
-# compiles all benchmarks and executes each for a single iteration.
+# compiles all benchmarks and executes each for a single iteration. -short
+# keeps the fleet-scale Select benchmarks at n=10^4 (the 10^5/10^6 rungs
+# build million-bin fleets; bench-json runs the full ladder).
 bench-smoke:
-	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+	$(GO) test -short -run='^$$' -bench=. -benchtime=1x ./...
 
 # Machine-readable perf trajectory: run the core hot-path benchmarks plus the
 # sharded-sweep throughput benchmark (shards/sec at 1 and 8 workers) and
@@ -68,7 +70,7 @@ bench-smoke:
 # before/after pair travels together.
 bench-json:
 	@mkdir -p artifacts/bench
-	$(GO) test ./internal/core -run='^$$' -bench='ChurnHotPath|SimulateUniform|BinChurnClose' \
+	$(GO) test ./internal/core -run='^$$' -bench='ChurnHotPath|SimulateUniform|BinChurnClose|FleetSelect' \
 		-benchmem -benchtime=$(BENCHTIME) -count=$(BENCHCOUNT) | tee artifacts/bench/BENCH_core_cur.txt
 	$(GO) test . -run='^$$' -bench='Figure4SweepThroughput' \
 		-benchmem -benchtime=$(BENCHTIME) -count=$(BENCHCOUNT) | tee -a artifacts/bench/BENCH_core_cur.txt
@@ -76,6 +78,21 @@ bench-json:
 		$(if $(wildcard artifacts/bench/BENCH_core_pre.txt),-benchjson-baseline artifacts/bench/BENCH_core_pre.txt) \
 		-benchjson-out BENCH_core.json
 	@echo "wrote BENCH_core.json"
+
+# Documentation gate: every internal package must carry a doc.go overview,
+# and every "DESIGN.md §N" reference in the top-level docs must point at a
+# "## N." section DESIGN.md actually has.
+docs-check:
+	@missing=""; for d in internal/*/; do \
+		[ -f "$$d"doc.go ] || missing="$$missing $$d"; \
+	done; \
+	if [ -n "$$missing" ]; then echo "docs-check: missing doc.go in:$$missing"; exit 1; fi
+	@bad=""; for n in $$(grep -ho 'DESIGN\.md §[0-9][0-9]*' README.md EXPERIMENTS.md ROADMAP.md 2>/dev/null \
+			| grep -o '[0-9][0-9]*$$' | sort -un); do \
+		grep -q "^## $$n\." DESIGN.md || bad="$$bad $$n"; \
+	done; \
+	if [ -n "$$bad" ]; then echo "docs-check: broken DESIGN.md section references:$$bad"; exit 1; fi
+	@echo "docs-check ok"
 
 # Short differential-fuzz pass: the clean engine, the engine under fault
 # injection, the fault-schedule parsers, and the persistence layer's WAL and

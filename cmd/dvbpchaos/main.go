@@ -73,7 +73,7 @@ func main() {
 		horizon   = flag.Int("T", 1000, "span (generator)")
 		binSize   = flag.Int("B", 100, "bin capacity granularity (generator)")
 		seed      = flag.Int64("seed", 1, "generator / RandomFit seed")
-		policy    = flag.String("policy", "MoveToFront", "packing policy (see dvbpsim -list)")
+		policy    = flag.String("policy", "MoveToFront", core.PolicyFlagUsage())
 		all       = flag.Bool("all", false, "run all seven standard policies")
 		jsonOut   = flag.Bool("json", false, "emit the comparison as JSON instead of a table")
 		metricsF  = flag.Bool("metrics", false, "dump JSON + Prometheus metric snapshots per policy")

@@ -19,7 +19,7 @@ import (
 
 func main() {
 	var (
-		policy    = flag.String("policy", "NextFit", "policy to attack")
+		policy    = flag.String("policy", "NextFit", "policy to attack; "+core.PolicyFlagUsage())
 		d         = flag.Int("d", 1, "dimensions")
 		items     = flag.Int("items", 10, "items per candidate instance")
 		mu        = flag.Float64("mu", 6, "max duration (min is 1)")

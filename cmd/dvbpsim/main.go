@@ -42,7 +42,7 @@ func main() {
 		horizon   = flag.Int("T", 1000, "span (generator)")
 		binSize   = flag.Int("B", 100, "bin capacity granularity (generator)")
 		seed      = flag.Int64("seed", 1, "generator / RandomFit seed")
-		policy    = flag.String("policy", "MoveToFront", "packing policy (see -list)")
+		policy    = flag.String("policy", "MoveToFront", core.PolicyFlagUsage())
 		all       = flag.Bool("all", false, "run all seven standard policies")
 		bins      = flag.Bool("bins", false, "print per-bin usage records")
 		bracket   = flag.Bool("bracket", true, "compute the offline OPT bracket (O(n^2); disable for huge traces)")
@@ -65,7 +65,7 @@ func main() {
 	}
 
 	if *list {
-		fmt.Println(strings.Join(core.PolicyNames(), "\n"))
+		fmt.Println(strings.Join(core.PolicySpellings(), "\n"))
 		return
 	}
 

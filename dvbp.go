@@ -100,6 +100,12 @@ func WithClairvoyance() Option { return core.WithClairvoyance() }
 // WithAudit records every packing decision into a, for invariant checking.
 func WithAudit(a *Audit) Option { return core.WithAudit(a) }
 
+// WithLinearSelect forces the O(n) linear policy scan instead of the default
+// indexed bin store (DESIGN.md §11). Decisions are bit-identical either way;
+// the scan survives as the differential oracle and for apples-to-apples
+// measurements against the indexed path.
+func WithLinearSelect() Option { return core.WithLinearSelect() }
+
 // Observer receives engine lifecycle callbacks during a simulation
 // (BeforePack, AfterPack, BinClosed). Attaching one never changes results.
 // internal/metrics.Collector is the ready-made implementation that turns the

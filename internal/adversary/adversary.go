@@ -1,13 +1,3 @@
-// Package adversary builds the worst-case instances from Section 6 of the
-// paper — the lower-bound constructions for Any Fit algorithms (Theorem 5),
-// Next Fit (Theorem 6) and Move To Front (Theorem 8) — plus a synthesised
-// family certifying Best Fit's degradation (Theorem 7 cites Li–Tang–Cai [22];
-// see the Best Fit note below and DESIGN.md §5).
-//
-// Each construction returns the instance together with a constructive upper
-// bound on OPT (exhibited by an explicit feasible offline packing), so the
-// measured ratio cost/OPTUpper is a certified lower bound on the true
-// competitive ratio of the algorithm on that instance.
 package adversary
 
 import (

@@ -1,15 +1,3 @@
-// Package check validates simulation results from first principles — an
-// independent re-derivation of cost, feasibility and bin accounting used by
-// tools (dvbpsim -check) and integration tests to guard against engine
-// regressions.
-//
-// Everything is recomputed from the instance plus the result's Placements
-// alone, never from the engine's incremental bookkeeping:
-//
-//   - the MinUsageTime cost (equation (1): Σ_bins span of the bin's items);
-//   - capacity feasibility at every arrival instant;
-//   - per-bin open/close times (first arrival / last departure);
-//   - the Lemma 1 lower bounds (cost must dominate each).
 package check
 
 import (

@@ -1,0 +1,19 @@
+// Package clairvoyant implements clairvoyant DVBP policies — algorithms that
+// know each item's departure time on arrival. The paper studies the
+// non-clairvoyant setting and lists the clairvoyant variant as future work
+// (Section 8); these policies make that extension concrete and are compared
+// against the Any Fit family in the ablation experiments.
+//
+// Both policies implement core.Policy and REQUIRE the engine to run with
+// core.WithClairvoyance(); Select panics otherwise, since running a
+// clairvoyant policy without departures is a programming error, not an input
+// condition.
+//
+//   - DurationClassFit packs items into bins dedicated to their duration
+//     class (⌈log₂ duration⌉, relative to a configured minimum duration):
+//     items that die together live together, the alignment mechanism behind
+//     the O(√log μ) clairvoyant algorithms of Azar–Vainstein.
+//   - AlignedBestFit packs an item into the fitting bin whose projected
+//     closing time is nearest the item's own departure (ties: most loaded),
+//     trading a little packing efficiency for alignment.
+package clairvoyant

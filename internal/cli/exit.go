@@ -1,6 +1,3 @@
-// Package cli holds the small conventions shared by every dvbp command-line
-// tool, so their behaviour stays consistent as commands accumulate: one exit
-// code vocabulary and one fatal-error shape.
 package cli
 
 import (

@@ -1,14 +1,3 @@
-// Package cloudsim is the cloud-operations substrate around the packing
-// engine: servers with multi-dimensional capacities, VM/session requests in
-// native resource units, online dispatch through any packing policy, and
-// pay-as-you-go billing of server usage time.
-//
-// It models the two applications the paper's introduction describes — VM
-// placement on physical servers (provider view) and renting cloud servers
-// for workloads such as cloud gaming (user view). The MinUsageTime objective
-// is exactly the rental bill at per-second granularity; the Billing type also
-// models coarser "per started hour" billing, which the ablation experiments
-// compare against.
 package cloudsim
 
 import (

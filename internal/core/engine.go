@@ -4,17 +4,27 @@ import (
 	"fmt"
 	"math"
 
+	"dvbp/internal/binindex"
 	"dvbp/internal/eventq"
 	"dvbp/internal/item"
 )
+
+// binRef renders a bin choice for divergence diagnostics.
+func binRef(b *Bin) string {
+	if b == nil {
+		return "a new bin (nil)"
+	}
+	return fmt.Sprintf("bin %d", b.ID)
+}
 
 // Option configures a simulation run.
 type Option func(*config)
 
 type config struct {
-	clairvoyant bool
-	audit       *Audit
-	observer    Observer
+	clairvoyant  bool
+	audit        *Audit
+	observer     Observer
+	linearSelect bool
 
 	// Failure/recovery configuration (see failure.go).
 	injector      FailureInjector
@@ -32,9 +42,20 @@ func WithClairvoyance() Option {
 }
 
 // WithAudit records every packing decision into a (caller-owned) Audit for
-// invariant checking in tests.
+// invariant checking in tests. Audit mode also arms the index oracle: on the
+// indexed Select path every decision is re-derived through the policy's
+// linear scan and compared, and the index's structural invariants are
+// re-validated after every mutation.
 func WithAudit(a *Audit) Option {
 	return func(c *config) { c.audit = a }
+}
+
+// WithLinearSelect forces the original O(open) linear-scan Select path even
+// for policies that implement IndexedPolicy. The scan is the differential
+// oracle the indexed path is tested against (DESIGN.md §11); production runs
+// have no reason to use this option.
+func WithLinearSelect() Option {
+	return func(c *config) { c.linearSelect = true }
 }
 
 // Observer receives engine lifecycle callbacks; used by instrumentation such
@@ -65,10 +86,13 @@ func WithObserver(o Observer) Option {
 // decision — the per-decision accounting the metrics layer records.
 //
 // chosen is Select's return value: nil means the policy declined every open
-// bin and the engine opened a fresh one. fitChecks counts only the policy's
-// own Fits calls; the engine's feasibility re-check while packing is not
-// included. Runs whose observer does not implement SelectObserver pay no
-// counting overhead.
+// bin and the engine opened a fresh one. fitChecks counts the feasibility
+// evaluations the decision performed: on the linear path these are the
+// policy's own Bin.Fits calls, on the indexed path the bin store's per-entry
+// and subtree-prune evaluations (its O(1) bucket-mask rejections are not
+// counted — they evaluate no load vector). The engine's feasibility re-check
+// while packing is never included. Runs whose observer does not implement
+// SelectObserver pay no counting overhead.
 type SelectObserver interface {
 	// AfterSelect fires after Policy.Select returns, before the item is
 	// packed (and before any new bin is opened).
@@ -229,6 +253,16 @@ type Engine struct {
 	selObs SelectObserver
 	fObs   FailureObserver
 
+	// Indexed Select path (nil/unset when the policy is not an
+	// IndexedPolicy or WithLinearSelect forces the scan). The engine owns
+	// the index: it mirrors the open set on every open, pack, departure and
+	// close, and ip queries it in place of Policy.Select.
+	idx       *BinIndex
+	ip        IndexedPolicy
+	ixKey     func(*Bin) (float64, int64)
+	ixRecency bool
+	ixRekey   func(*BinIndex) error
+
 	evictIDs []int // scratch reused across crashes
 
 	err      error // sticky: the engine is poisoned after any Step error
@@ -284,7 +318,43 @@ func newEngineShell(l *item.List, p Policy, cfg config) *Engine {
 	if fo, ok := cfg.observer.(FailureObserver); ok {
 		e.fObs = fo
 	}
+	if ip, ok := p.(IndexedPolicy); ok && !cfg.linearSelect {
+		prof := ip.IndexProfile()
+		if prof.Recency == (prof.Key != nil) {
+			panic(fmt.Sprintf("core: policy %s declares an IndexProfile with exactly one of Key and Recency unset", p.Name()))
+		}
+		e.ip = ip
+		e.ixKey = prof.Key
+		e.ixRecency = prof.Recency
+		e.ixRekey = prof.Rekey
+		e.idx = binindex.New[*Bin](l.Dim)
+	}
 	return e
+}
+
+// idxInsert mirrors a freshly opened (and just-packed) bin into the index.
+func (e *Engine) idxInsert(b *Bin) {
+	if e.ixRecency {
+		e.idx.InsertFront(b.ID, b.load, b)
+		return
+	}
+	kf, ks := e.ixKey(b)
+	e.idx.Insert(kf, ks, b.ID, b.load, b)
+}
+
+// idxUpdate refreshes an existing bin's index entry after a load change.
+// promote marks a pack under the recency discipline (the bin becomes the
+// front); departures refresh the load without re-ordering.
+func (e *Engine) idxUpdate(b *Bin, promote bool) {
+	if e.ixRecency {
+		e.idx.UpdateLoad(b.ID, b.load)
+		if promote {
+			e.idx.PromoteFront(b.ID)
+		}
+		return
+	}
+	kf, ks := e.ixKey(b)
+	e.idx.Update(b.ID, kf, ks, b.load)
 }
 
 // Close releases the policy-reuse guard. It is idempotent and implied by
@@ -322,6 +392,9 @@ func (e *Engine) closeBinAt(b *Bin, t float64, crashed bool) {
 	e.open[b.openIdx] = nil
 	e.holes++
 	delete(e.binsByID, b.ID)
+	if e.idx != nil {
+		e.idx.Remove(b.ID)
+	}
 	e.p.OnClose(b)
 	if e.cfg.observer != nil {
 		e.cfg.observer.BinClosed(b, t)
@@ -360,10 +433,32 @@ func (e *Engine) dispatch(it item.Item, attempt int, now float64, fromQueue bool
 	if e.probe != nil {
 		e.probe.armed, e.probe.n = true, 0
 	}
-	b := e.p.Select(req, e.open)
+	var b *Bin
+	if e.idx != nil {
+		e.idx.ResetChecks()
+		b = e.ip.SelectIndexed(req, e.idx)
+	} else {
+		b = e.p.Select(req, e.open)
+	}
 	if e.probe != nil {
 		e.probe.armed = false
-		e.selObs.AfterSelect(req, b, e.probe.n)
+		n := e.probe.n
+		if e.idx != nil {
+			n += e.idx.Checks()
+		}
+		e.selObs.AfterSelect(req, b, n)
+	}
+	if e.idx != nil && e.cfg.audit != nil {
+		// Per-decision oracle: the linear scan must agree with the index.
+		// Random Fit is excluded (its Select consumes RNG draws); the
+		// whole-run WithLinearSelect differential covers it instead.
+		if _, draws := e.p.(selectDrawsRandomness); !draws {
+			if want := e.p.Select(req, e.open); want != b {
+				return false, -1, false, fmt.Errorf(
+					"core: policy %s: indexed select chose %s, linear scan chose %s (item %d)",
+					e.p.Name(), binRef(b), binRef(want), it.ID)
+			}
+		}
 	}
 	if b == nil {
 		if e.cfg.maxBins > 0 && len(e.open)-e.holes >= e.cfg.maxBins {
@@ -413,6 +508,18 @@ func (e *Engine) dispatch(it item.Item, attempt int, now float64, fromQueue bool
 		b.auditCrossCheckLoad()
 	}
 	e.p.OnPack(req, b, opened)
+	if e.idx != nil {
+		if opened {
+			e.idxInsert(b)
+		} else {
+			e.idxUpdate(b, true)
+		}
+		if e.cfg.audit != nil {
+			if err := e.idx.Validate(); err != nil {
+				return false, -1, false, err
+			}
+		}
+	}
 	if e.cfg.observer != nil {
 		e.cfg.observer.AfterPack(req, b, opened)
 	}
@@ -489,6 +596,8 @@ func (e *Engine) handleDeparture(t float64, ev departure) (binID int, err error)
 	e.res.Outcomes[ev.itemID] = OutcomeServed
 	if b.Empty() {
 		e.closeBinAt(b, t, false)
+	} else if e.idx != nil {
+		e.idxUpdate(b, false)
 	}
 	return ev.binID, e.drainQueue(t)
 }

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"dvbp/internal/item"
+	"dvbp/internal/vector"
+)
+
+// indexedDiffPolicies returns the policy set the scan-vs-index differentials
+// run over: all seven experiment policies (the six IndexedPolicy
+// implementations plus Next Fit, whose Select is already O(1) and must be
+// untouched by the option) and a Harmonic Fit baseline.
+func indexedDiffPolicies(seed int64) []Policy {
+	return append(StandardPolicies(seed), NewHarmonicFit(3))
+}
+
+// TestIndexedSelectMatchesLinearScan is the core bit-identity contract of
+// DESIGN.md §11: for every policy and instance, the default indexed Select
+// path and the WithLinearSelect scan produce byte-identical results —
+// identical placements, bins, cost, and counters.
+func TestIndexedSelectMatchesLinearScan(t *testing.T) {
+	for seed := int64(400); seed < 406; seed++ {
+		for _, d := range []int{1, 2, 3} {
+			l := randomList(seed, 300, d, 25)
+			for _, name := range policyNamesWith(t) {
+				want := resultJSON(t, mustSimulate(t, l, newPolicyT(t, name, seed), WithLinearSelect()))
+				got := resultJSON(t, mustSimulate(t, l, newPolicyT(t, name, seed)))
+				if got != want {
+					t.Errorf("%s seed=%d d=%d: indexed result diverges from linear scan", name, seed, d)
+				}
+			}
+		}
+	}
+}
+
+// TestIndexedSelectMatchesLinearScanUnderFaults extends the bit-identity
+// contract to the failure paths: crashes evict items mid-run, retries
+// re-dispatch them, admission is capped with a wait queue — and the indexed
+// engine must still follow the linear scan decision for decision.
+func TestIndexedSelectMatchesLinearScanUnderFaults(t *testing.T) {
+	for seed := int64(500); seed < 505; seed++ {
+		l := randomList(seed, 250, 2, 20)
+		for _, name := range policyNamesWith(t) {
+			want := resultJSON(t, mustSimulate(t, l, newPolicyT(t, name, seed),
+				append(snapshotOpts(), WithLinearSelect())...))
+			got := resultJSON(t, mustSimulate(t, l, newPolicyT(t, name, seed), snapshotOpts()...))
+			if got != want {
+				t.Errorf("%s seed=%d: indexed result diverges from linear scan under faults", name, seed)
+			}
+		}
+	}
+}
+
+// TestIndexedSelectMatchesLinearAcrossRestore closes the loop with the
+// persistence layer: an indexed engine snapshotted mid-run and restored into
+// a fresh engine (index rebuilt from the snapshot, never serialised) must
+// finish with the same result as an uninterrupted linear-scan run.
+func TestIndexedSelectMatchesLinearAcrossRestore(t *testing.T) {
+	l := randomList(600, 200, 2, 20)
+	for _, name := range policyNamesWith(t) {
+		want := resultJSON(t, mustSimulate(t, l, newPolicyT(t, name, 600),
+			append(snapshotOpts(), WithLinearSelect())...))
+
+		for _, cut := range []int{0, 1, 37, 150} {
+			e, err := NewEngine(l, newPolicyT(t, name, 600), snapshotOpts()...)
+			if err != nil {
+				t.Fatalf("NewEngine: %v", err)
+			}
+			for k := 0; k < cut; k++ {
+				if _, ok, err := e.Step(); err != nil {
+					t.Fatalf("%s: Step %d: %v", name, k, err)
+				} else if !ok {
+					break
+				}
+			}
+			s, err := e.Snapshot()
+			if err != nil {
+				t.Fatalf("%s: Snapshot at %d: %v", name, cut, err)
+			}
+			e.Close()
+			re, err := RestoreEngine(l, newPolicyT(t, name, 999), s, snapshotOpts()...)
+			if err != nil {
+				t.Fatalf("%s: RestoreEngine at %d: %v", name, cut, err)
+			}
+			_, res := stepAll(t, re)
+			if got := resultJSON(t, res); got != want {
+				t.Errorf("%s: restored-at-%d indexed run diverges from linear scan", name, cut)
+			}
+		}
+	}
+}
+
+// TestIndexedAuditOracle arms the per-decision oracle: under WithAudit the
+// engine re-derives every indexed decision with the linear scan and
+// re-validates the store's structural invariants after every mutation, so a
+// single run per policy sweeps thousands of equivalence checks. Random Fit
+// is skipped by the oracle (Select draws randomness) but still validated.
+func TestIndexedAuditOracle(t *testing.T) {
+	for seed := int64(700); seed < 703; seed++ {
+		l := randomList(seed, 300, 2, 25)
+		for _, p := range indexedDiffPolicies(seed) {
+			var a Audit
+			mustSimulate(t, l, p, WithAudit(&a), snapshotOpts()[0])
+		}
+	}
+}
+
+// TestIndexedCrashRetrySameEvent is the regression test for the
+// crash-eviction reorder case: a crashed bin's evicted items retry with zero
+// delay, so they re-dispatch inside the same event that removed the crashed
+// bin from the index — and the later retries land in the bin the earlier
+// retries just opened. The index must see the removal before the insert and
+// serve the re-packs from a consistent tree; audit mode cross-checks every
+// one of those decisions against the linear scan.
+func TestIndexedCrashRetrySameEvent(t *testing.T) {
+	// Three small items share bin 0; it crashes at t=4 while all are
+	// resident. With nil RetryPolicy the evictions retry immediately: the
+	// first retry opens bin 1 (indexed mid-event), the remaining two must
+	// be packed into that same just-opened bin.
+	l := item.NewList(1)
+	l.Add(0, 10, vector.Of(0.3))
+	l.Add(0, 10, vector.Of(0.3))
+	l.Add(0, 10, vector.Of(0.3))
+
+	for _, name := range policyNamesWith(t) {
+		var a Audit
+		res := mustSimulate(t, l, newPolicyT(t, name, 1), WithAudit(&a), WithFaults(traceInj{0: 4}, nil))
+		if res.Crashes != 1 || res.Evictions != 3 || res.Retries != 3 || res.ItemsLost != 0 {
+			t.Fatalf("%s: counters: crashes=%d evictions=%d retries=%d lost=%d",
+				name, res.Crashes, res.Evictions, res.Retries, res.ItemsLost)
+		}
+		want := resultJSON(t, mustSimulate(t, l, newPolicyT(t, name, 1),
+			WithLinearSelect(), WithFaults(traceInj{0: 4}, nil)))
+		if got := resultJSON(t, res); got != want {
+			t.Errorf("%s: same-event crash-retry result diverges from linear scan", name)
+		}
+	}
+}
+
+// TestLinearSelectOptionForcesScan pins WithLinearSelect's contract: the
+// engine must not build an index at all, so fit-check accounting reverts to
+// the policy's own probe counts.
+func TestLinearSelectOptionForcesScan(t *testing.T) {
+	l := item.NewList(1)
+	l.Add(0, 10, vector.Of(0.6))
+	l.Add(1, 10, vector.Of(0.6))
+	e, err := NewEngine(l, NewFirstFit(), WithLinearSelect())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if e.idx != nil || e.ip != nil {
+		t.Fatal("WithLinearSelect must suppress the bin index")
+	}
+}
+
+// policyNamesWith lists the canonical registry names the differentials run
+// over, including both Best/Worst Fit load measures (their keys exercise the
+// float word of the composite key, unlike the ID-keyed policies).
+func policyNamesWith(t *testing.T) []string {
+	t.Helper()
+	return append(PolicyNames(), "BestFit-L1", "WorstFit-L1", "HarmonicFit-3")
+}
+
+// newPolicyT constructs a registry policy or fails the test.
+func newPolicyT(t *testing.T, name string, seed int64) Policy {
+	t.Helper()
+	p, err := NewPolicy(name, seed)
+	if err != nil {
+		t.Fatalf("NewPolicy(%q): %v", name, err)
+	}
+	return p
+}
+
+// TestIndexProfileValidated pins the constructor guard: a policy declaring
+// both or neither of Key and Recency is a programming error the engine
+// refuses to run with.
+func TestIndexProfileValidated(t *testing.T) {
+	l := item.NewList(1)
+	l.Add(0, 1, vector.Of(0.1))
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("want panic for invalid IndexProfile")
+		}
+		if !strings.Contains(r.(string), "IndexProfile") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	_, _ = NewEngine(l, badProfilePolicy{NewFirstFit()})
+}
+
+// badProfilePolicy declares an IndexProfile with neither Key nor Recency.
+type badProfilePolicy struct{ *FirstFit }
+
+func (badProfilePolicy) IndexProfile() IndexProfile { return IndexProfile{} }

@@ -98,3 +98,29 @@ func SortedPolicyNames() []string {
 	sort.Strings(out)
 	return out
 }
+
+// PolicySpellings returns one line per canonical policy name, in sorted
+// order, listing the aliases and parameterised forms NewPolicy accepts
+// (case-insensitive). CLIs print it from -list so the help text and the
+// parser cannot drift apart: every spelling shown here is matched by a
+// registry round-trip test.
+func PolicySpellings() []string {
+	return []string{
+		"BestFit | bf | BestFit-Linf   (also BestFit-L1, BestFit-Lp<p> with p >= 1)",
+		"FirstFit | ff",
+		"LastFit | lf",
+		"MoveToFront | mtf | mf",
+		"NextFit | nf",
+		"RandomFit | rf                (seeded with -seed)",
+		"WorstFit | wf | WorstFit-Linf (also WorstFit-L1, WorstFit-Lp<p> with p >= 1)",
+		"HarmonicFit-<K>               (classical Harmonic baseline, K >= 1 classes)",
+	}
+}
+
+// PolicyFlagUsage is the shared help text for CLI -policy flags: the
+// canonical spellings in sorted order, with a pointer to the full alias
+// listing.
+func PolicyFlagUsage() string {
+	return "packing policy: " + strings.Join(SortedPolicyNames(), ", ") +
+		", or HarmonicFit-<K>; 'dvbpsim -list' shows aliases and measures"
+}

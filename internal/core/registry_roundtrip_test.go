@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"dvbp/internal/vector"
@@ -135,6 +136,44 @@ func TestSimulateSteadyStateEventAllocs(t *testing.T) {
 		if perEvent > 0.1 {
 			t.Errorf("%s: %.2f allocs per steady-state event (short=%v long=%v), want ~0",
 				name, perEvent, short, long)
+		}
+	}
+}
+
+// TestPolicySpellingsAllParse pins the -list help text to the parser: every
+// spelling advertised by PolicySpellings must be accepted by NewPolicy, and
+// the listing must be sorted by canonical name (the CLI contract since the
+// registry gained aliases). Parameter placeholders (<p>, <K>) are checked
+// with representative values.
+func TestPolicySpellingsAllParse(t *testing.T) {
+	lines := PolicySpellings()
+	var prev string
+	for i, line := range lines {
+		head := strings.TrimSpace(strings.SplitN(line, "(", 2)[0])
+		var names []string
+		for _, f := range strings.Split(head, "|") {
+			names = append(names, strings.TrimSpace(f))
+		}
+		// All lines except the parameterised HarmonicFit tail are sorted by
+		// canonical (first) spelling.
+		if i < len(lines)-1 {
+			if prev != "" && names[0] < prev {
+				t.Errorf("spellings out of order: %q after %q", names[0], prev)
+			}
+			prev = names[0]
+		}
+		for _, n := range names {
+			n = strings.ReplaceAll(n, "<p>", "2.5")
+			n = strings.ReplaceAll(n, "<K>", "4")
+			if _, err := NewPolicy(n, 1); err != nil {
+				t.Errorf("advertised spelling %q rejected: %v", n, err)
+			}
+		}
+	}
+	// And every parenthesised extra spelling parses too.
+	for _, extra := range []string{"BestFit-L1", "BestFit-Lp3", "WorstFit-L1", "WorstFit-Lp1.5", "HarmonicFit-1"} {
+		if _, err := NewPolicy(extra, 1); err != nil {
+			t.Errorf("documented form %q rejected: %v", extra, err)
 		}
 	}
 }

@@ -371,6 +371,24 @@ func RestoreEngine(l *item.List, p Policy, s *Snapshot, opts ...Option) (*Engine
 	if err := unmarshalPolicyState(p, s.PolicyState, resolve); err != nil {
 		return nil, err
 	}
+
+	// Rebuild the indexed bin store. Insertion order (ascending bin ID) does
+	// not affect answers — they are a pure function of the key order — and
+	// keyed profiles compute keys from the restored loads, which the limb
+	// check above proved bit-identical to the original run's. Recency
+	// profiles are then re-keyed from the restored policy state (which must
+	// cover the open set exactly), so the rebuilt order, and hence every
+	// later decision, matches the uninterrupted run.
+	if e.idx != nil {
+		for _, b := range e.open {
+			e.idxInsert(b)
+		}
+		if e.ixRekey != nil {
+			if err := e.ixRekey(e.idx); err != nil {
+				return nil, corruptf("rebuilding %s bin index: %v", p.Name(), err)
+			}
+		}
+	}
 	ok = true
 	return e, nil
 }

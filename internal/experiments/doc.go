@@ -1,0 +1,9 @@
+// Package experiments defines the runnable experiments that regenerate the
+// paper's evaluation: Figure 4 (average-case study of Any Fit algorithms),
+// the Table 1 bound checks (adversarial lower bounds and upper-bound
+// validation), and this reproduction's own ablations (Best Fit load
+// measures, clairvoyant extensions, billing granularity).
+//
+// Every experiment is deterministic in its configuration and seed, and runs
+// trials in parallel with per-trial derived seeds (see internal/parallel).
+package experiments

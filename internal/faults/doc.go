@@ -1,0 +1,23 @@
+// Package faults provides deterministic fault-injection schedules and retry
+// policies for the packing engine (core.WithFaults) and the cloud simulator.
+//
+// The paper's model assumes a perfectly reliable, unbounded fleet. This
+// package relaxes the reliability half: it decides when bins (servers) crash
+// and how evicted items are re-dispatched. Everything here is a pure
+// function of explicit configuration — no wall clock, no global RNG — so a
+// run with the same workload seed and the same fault schedule is bit-for-bit
+// reproducible.
+//
+// Two schedule families are provided:
+//
+//   - MTBF: every opened bin draws a time-to-failure from a seeded
+//     exponential distribution (memoryless, the classic mean-time-between-
+//     failures model). The draw depends only on (Seed, bin ID), so two
+//     engines replaying the same run see identical crash times.
+//   - Trace: an explicit list of crash events, absolute or relative to bin
+//     opening, for scripted chaos experiments and regression tests.
+//
+// Retry policies cover the standard ladder: Immediate, Fixed delay, and
+// capped exponential Backoff. ParseRetry and ParseTrace give the commands a
+// shared flag syntax.
+package faults

@@ -1,14 +1,3 @@
-// Package gantt renders packings as SVG timelines: one lane per bin, one
-// rectangle per item, with optional overlays. It regenerates the paper's
-// illustrative figures from *actual runs*:
-//
-//   - Figure 1: the usage periods of Move To Front bins decomposed into
-//     leading (thick) and non-leading (thin) intervals;
-//   - Figure 2: the First Fit P_i/Q_i decomposition;
-//   - Figure 3: the per-bin load evolution on the Theorem 5 instance.
-//
-// The renderer has no dependencies beyond the standard library and the
-// repository's own packages.
 package gantt
 
 import (

@@ -1,0 +1,14 @@
+// Package item defines the items (jobs/VM requests) of the MinUsageTime DVBP
+// problem and operations on item lists.
+//
+// Each item r is the tuple (a(r), e(r), s(r)) from Section 2.1: arrival time,
+// departure time, and a d-dimensional size vector in [0,1]^d (bins have unit
+// capacity after normalisation). The active interval I(r) = [a(r), e(r)) is
+// half-open: at time e(r) the item has departed.
+//
+// Algorithms in this system are non-clairvoyant — they must never read
+// Departure when deciding where to pack. The packing engine enforces this by
+// handing policies a view without departure information; this package merely
+// stores the ground truth the simulator needs to generate departure events
+// and meter cost.
+package item

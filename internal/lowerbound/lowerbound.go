@@ -1,17 +1,3 @@
-// Package lowerbound computes the Lemma 1 lower bounds on the optimal
-// offline cost OPT(R) of a MinUsageTime DVBP instance.
-//
-// Computing OPT exactly is NP-hard (it embeds classical bin packing), so the
-// paper — and this reproduction — normalise experimental costs by lower
-// bounds instead. Lemma 1 gives three:
-//
-//	(i)   OPT(R) ≥ ∫ ⌈‖s(R,t)‖∞⌉ dt        (the tightest; used in Figure 4)
-//	(ii)  OPT(R) ≥ (1/d) Σ_r ‖s(r)‖∞·ℓ(I(r))  (time–space utilisation)
-//	(iii) OPT(R) ≥ span(R)
-//
-// All three are computed exactly by a sweep over the O(n) event points where
-// the active set changes; between consecutive event points the load vector
-// s(R,t) is constant.
 package lowerbound
 
 import (

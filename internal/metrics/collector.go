@@ -17,8 +17,12 @@ const (
 	MetricBinsOpened = "dvbp_bins_opened_total"
 	// MetricBinsClosed counts bins whose last item departed.
 	MetricBinsClosed = "dvbp_bins_closed_total"
-	// MetricFitChecks counts Bin.Fits evaluations performed by the policy
-	// inside Select (engine-internal feasibility re-checks are excluded).
+	// MetricFitChecks counts feasibility evaluations performed inside
+	// policy Select: Bin.Fits calls on the linear-scan path, or the indexed
+	// bin store's per-entry fit checks plus subtree prune evaluations on
+	// the default sub-linear path (O(1) residual-bucket mask rejections
+	// evaluate no load vector and are not counted). Engine-internal
+	// feasibility re-checks are excluded. See DESIGN.md §11.
 	MetricFitChecks = "dvbp_fit_checks_total"
 	// MetricOpenBins gauges the currently open bin population.
 	MetricOpenBins = "dvbp_open_bins"
@@ -147,7 +151,7 @@ func NewCollector(opts ...CollectorOption) *Collector {
 	c.itemsPlaced = c.reg.Counter(MetricItemsPlaced, "items placed by the engine")
 	c.binsOpened = c.reg.Counter(MetricBinsOpened, "bins opened")
 	c.binsClosed = c.reg.Counter(MetricBinsClosed, "bins closed (last item departed)")
-	c.fitChecks = c.reg.Counter(MetricFitChecks, "Bin.Fits evaluations inside policy Select")
+	c.fitChecks = c.reg.Counter(MetricFitChecks, "feasibility evaluations inside policy Select")
 	c.openBins = c.reg.Gauge(MetricOpenBins, "currently open bins")
 	c.openBinsPeak = c.reg.Gauge(MetricOpenBinsPeak, "open-bin high-water mark")
 	c.usageTime = c.reg.Gauge(MetricUsageTime, "accrued bin usage time (simulated units)")

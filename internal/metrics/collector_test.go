@@ -68,8 +68,8 @@ func TestCollectorMatchesResult(t *testing.T) {
 
 func TestCollectorFitChecksHandComputed(t *testing.T) {
 	// First Fit on d=1: item sizes 0.6, 0.6, 0.3, 0.5 arriving in order,
-	// all departing at 10. Fit checks per Select: 0 (no open bins), 1
-	// (bin0 fails), 1 (bin0 fits), 2 (bin0 and bin1 fail).
+	// all departing at 10. Linear-scan fit checks per Select: 0 (no open
+	// bins), 1 (bin0 fails), 1 (bin0 fits), 2 (bin0 and bin1 fail).
 	l := item.NewList(1)
 	l.Add(0, 10, vector.Of(0.6))
 	l.Add(1, 10, vector.Of(0.6))
@@ -77,12 +77,24 @@ func TestCollectorFitChecksHandComputed(t *testing.T) {
 	l.Add(3, 10, vector.Of(0.5))
 
 	col := NewCollector()
-	if _, err := core.Simulate(l, core.NewFirstFit(), core.WithObserver(col)); err != nil {
+	if _, err := core.Simulate(l, core.NewFirstFit(), core.WithObserver(col), core.WithLinearSelect()); err != nil {
 		t.Fatal(err)
 	}
 	s := col.Snapshot()
 	if got := counterValue(t, s, MetricFitChecks); got != 4 {
-		t.Errorf("fit checks = %g, want 4", got)
+		t.Errorf("linear fit checks = %g, want 4", got)
+	}
+
+	// The indexed path counts the store's feasibility evaluations instead:
+	// 0 (empty index), 1 (single-node probe on bin0), 1 (bin0 at the root
+	// fits), 1 (bin0 at the root fails and the 0.5 item's residual bucket
+	// mask prunes bin1's subtree in O(1), which is not a load evaluation).
+	col = NewCollector()
+	if _, err := core.Simulate(l, core.NewFirstFit(), core.WithObserver(col)); err != nil {
+		t.Fatal(err)
+	}
+	if got := counterValue(t, col.Snapshot(), MetricFitChecks); got != 3 {
+		t.Errorf("indexed fit checks = %g, want 3", got)
 	}
 }
 

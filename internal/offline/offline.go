@@ -1,22 +1,3 @@
-// Package offline implements offline packing heuristics for MinUsageTime
-// DVBP. Exact OPT is NP-hard, so experiments bracket it:
-//
-//	lowerbound.Compute(l).Best()  ≤  OPT(l)  ≤  cost of any feasible packing,
-//
-// and this package supplies good feasible packings computed with full
-// knowledge of arrivals and departures. Together with the online costs this
-// lets EXPERIMENTS.md report how loose the Figure 4 normalisation can be.
-//
-// Heuristics:
-//
-//   - FirstFitDecreasing: items sorted by time–space utilisation
-//     ‖s(r)‖∞·ℓ(I(r)) descending, placed into the first temporally feasible
-//     bin (classical FFD adapted to interval loads).
-//   - DurationClasses: items bucketed by ⌈log₂(duration)⌉ and FFD-packed per
-//     class — the alignment idea behind clairvoyant algorithms: items that
-//     die together live together.
-//   - GreedyExtension: items in arrival order, each placed into the feasible
-//     bin whose usage-time extension is smallest (a clairvoyant greedy).
 package offline
 
 import (

@@ -1,14 +1,3 @@
-// Package parallel provides the deterministic fan-out machinery the
-// experiment harness uses to run thousands of independent simulation trials
-// across CPU cores.
-//
-// The execution engine is a work-stealing shard scheduler (see Run): bounded
-// workers own contiguous index blocks and steal from each other when they run
-// dry. Determinism contract: every shard derives its behaviour from its index
-// alone (seeded via SeedFor or Derive) and results are collected by index, so
-// the outcome is bit-identical regardless of GOMAXPROCS, steal pattern, or
-// completion order. Errors cancel the remaining work; the reported error is
-// the smallest-indexed failure observed before cancellation took effect.
 package parallel
 
 import (

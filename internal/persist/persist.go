@@ -1,19 +1,3 @@
-// Package persist is the crash-consistent checkpoint/restore layer for the
-// packing engine: a write-ahead log of committed engine events plus periodic
-// full-state snapshots, both stored in a versioned, CRC-checksummed,
-// length-prefixed record format.
-//
-// The design leans on the engine's determinism contract: the event stream is
-// a pure function of (instance, policy, options), so recovery does not need
-// to re-apply logged events as mutations. Instead it restores the newest
-// valid snapshot and re-steps the engine, verifying that every regenerated
-// event is bit-identical to the logged suffix — the WAL tells recovery how
-// far the run had progressed and doubles as an end-to-end determinism check.
-//
-// Corruption never panics. Torn or bit-flipped tails are truncated at the
-// first bad checksum, damaged snapshots are skipped in favour of older ones
-// (or a from-scratch replay), and every tolerated defect is surfaced as a
-// structured *CorruptionError in the recovery report.
 package persist
 
 import (

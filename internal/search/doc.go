@@ -1,0 +1,13 @@
+// Package search looks for empirically bad instances: a randomised
+// hill-climber over small DVBP instances that maximises a policy's
+// cost / exact-OPT ratio.
+//
+// The Section 6 constructions prove lower bounds analytically; this package
+// complements them by *searching* the instance space, which (a) provides
+// machine-found witnesses whose certified ratios can be compared with the
+// hand-crafted ones, and (b) probes the gap between the lower and upper
+// bounds that the paper's Section 8 leaves open. Ratios are exact: instances
+// are kept small enough for internal/exactopt.
+//
+// The search is deterministic in its configuration and seed.
+package search

@@ -1,0 +1,15 @@
+// Package vector implements the d-dimensional non-negative size vectors used
+// throughout the MinUsageTime Dynamic Vector Bin Packing (DVBP) system.
+//
+// Items and bins have sizes in R^d (Section 2 of the paper). Bins are
+// normalised to unit capacity 1^d, so a set of items fits in a bin exactly
+// when the component-wise sum of their sizes is at most 1 in every dimension.
+// The package provides the arithmetic the packing engine and the lower-bound
+// machinery need: component-wise add/subtract, capacity ("fits") checks, and
+// the L∞, L1 and Lp norms that define the Best Fit load measures and the
+// Lemma 1 bounds.
+//
+// All operations treat vectors as immutable unless the method name says
+// otherwise (AddInPlace, SubInPlace); in-place variants exist because the
+// packing engine updates bin loads on the hot path.
+package vector
