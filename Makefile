@@ -13,9 +13,9 @@ STRESSCOUNT ?= 5
 BENCHTIME ?= 10x
 BENCHCOUNT ?= 3
 
-.PHONY: ci fmt vet test race stress torture-smoke build bench bench-smoke bench-json fuzz-smoke docs-check
+.PHONY: ci fmt vet test race stress torture-smoke serve-smoke build bench bench-smoke bench-json fuzz-smoke docs-check
 
-ci: fmt vet docs-check race stress torture-smoke bench-smoke fuzz-smoke
+ci: fmt vet docs-check race stress torture-smoke serve-smoke bench-smoke fuzz-smoke
 
 # gofmt -l prints offending files; fail when the list is non-empty.
 fmt:
@@ -42,15 +42,24 @@ stress:
 	GOMAXPROCS=4 $(GO) test -race -count=$(STRESSCOUNT) \
 		-run='Concurrent|Stress|Steal|Sweep|Shard|Slice|ForRun|Progress|Cancellation|Panic|WorkerCounts' \
 		./internal/parallel ./internal/experiments ./internal/metrics \
-		./internal/core ./internal/faults ./internal/vector
+		./internal/core ./internal/faults ./internal/vector ./internal/server
 
 # Seeded kill-and-recover torture: random WAL truncations, snapshot
 # deletions, and bit flips at the package level, plus real process kills
 # (-kill-at hard exits and SIGKILL) at the CLI level — every recovery must be
 # byte-identical to an uninterrupted run. Runs under the race detector.
+# cmd/dvbpserver contributes the restart-under-load server torture: SIGKILL
+# mid-load, restart, every acknowledged placement still served identically.
 torture-smoke:
 	$(GO) test -race -run='Torture|KillAt|SIGKILL|Recover|Restore' \
-		./internal/persist ./cmd/dvbpchaos ./cmd/dvbpsim
+		./internal/persist ./internal/server ./cmd/dvbpchaos ./cmd/dvbpsim ./cmd/dvbpserver
+
+# End-to-end smoke for the placement service: boot dvbpserver, create a
+# tenant, place, drain on SIGTERM; plus the policy-spelling round-trip and
+# the dvbpbench -serve-load / -serve-verify audit loop.
+serve-smoke:
+	$(GO) test -run='ServeSmoke|ListPolicySpellings|ServeLoadVerify' \
+		./cmd/dvbpserver ./cmd/dvbpbench
 
 bench:
 	$(GO) test -bench=. -benchmem
@@ -62,10 +71,11 @@ bench:
 bench-smoke:
 	$(GO) test -short -run='^$$' -bench=. -benchtime=1x ./...
 
-# Machine-readable perf trajectory: run the core hot-path benchmarks plus the
-# sharded-sweep throughput benchmark (shards/sec at 1 and 8 workers) and
-# write BENCH_core.json (benchstat-comparable names, mean ns/op, B/op,
-# allocs/op). When artifacts/bench/BENCH_core_pre.txt exists (the pre-change
+# Machine-readable perf trajectory: run the core hot-path benchmarks, the
+# sharded-sweep throughput benchmark (shards/sec at 1 and 8 workers) and the
+# placement-server benchmark (req/sec with p50/p99 latency at 1 and 8
+# clients), then write BENCH_core.json (benchstat-comparable names, mean
+# ns/op, B/op, allocs/op). When artifacts/bench/BENCH_core_pre.txt exists (the pre-change
 # capture), it is embedded as the document's baseline section so the
 # before/after pair travels together.
 bench-json:
@@ -73,6 +83,8 @@ bench-json:
 	$(GO) test ./internal/core -run='^$$' -bench='ChurnHotPath|SimulateUniform|BinChurnClose|FleetSelect' \
 		-benchmem -benchtime=$(BENCHTIME) -count=$(BENCHCOUNT) | tee artifacts/bench/BENCH_core_cur.txt
 	$(GO) test . -run='^$$' -bench='Figure4SweepThroughput' \
+		-benchmem -benchtime=$(BENCHTIME) -count=$(BENCHCOUNT) | tee -a artifacts/bench/BENCH_core_cur.txt
+	$(GO) test ./internal/server -run='^$$' -bench='ServerPlaceThroughput' \
 		-benchmem -benchtime=$(BENCHTIME) -count=$(BENCHCOUNT) | tee -a artifacts/bench/BENCH_core_cur.txt
 	$(GO) run ./cmd/dvbpbench -benchjson artifacts/bench/BENCH_core_cur.txt \
 		$(if $(wildcard artifacts/bench/BENCH_core_pre.txt),-benchjson-baseline artifacts/bench/BENCH_core_pre.txt) \

@@ -95,9 +95,31 @@ func main() {
 		benchJSON     = flag.String("benchjson", "", "convert `go test -bench` output from this file (- = stdin) to JSON and exit; see make bench-json")
 		benchJSONBase = flag.String("benchjson-baseline", "", "optional second -bench output embedded as the baseline section")
 		benchJSONOut  = flag.String("benchjson-out", "", "destination for -benchjson output (default stdout)")
+
+		serveLoad    = flag.String("serve-load", "", "drive placement load against the dvbpserver at this base URL, recording acknowledgements to -serve-acks, then exit")
+		serveVerify  = flag.String("serve-verify", "", "verify every acknowledgement in -serve-acks against the dvbpserver at this base URL, then exit")
+		serveAcks    = flag.String("serve-acks", "", "JSON-lines acknowledgement file shared by -serve-load and -serve-verify")
+		serveTenants = flag.Int("serve-tenants", 4, "tenants -serve-load creates and drives")
+		serveItems   = flag.Int("serve-items", 400, "placements per tenant for -serve-load")
+		serveDim     = flag.Int("serve-d", 2, "item dimensions for -serve-load tenants")
 	)
 	flag.Parse()
 
+	if *serveLoad != "" || *serveVerify != "" {
+		if *serveLoad != "" && *serveVerify != "" {
+			fatal(fmt.Errorf("-serve-load and -serve-verify are separate passes; run them one at a time"))
+		}
+		var err error
+		if *serveLoad != "" {
+			err = runServeLoad(*serveLoad, *serveAcks, *serveTenants, *serveItems, *serveDim, *seed)
+		} else {
+			err = runServeVerify(*serveVerify, *serveAcks)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *benchJSON != "" {
 		if err := runBenchJSON(*benchJSON, *benchJSONBase, *benchJSONOut); err != nil {
 			fatal(err)

@@ -1,0 +1,282 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"dvbp/internal/server"
+)
+
+// The -serve-load / -serve-verify pair turns dvbpbench into the load driver
+// and auditor for cmd/dvbpserver, and doubles as the restart-under-load
+// torture harness: -serve-load records every acknowledgement the server
+// hands out into a JSON-lines file, keeps retrying through connection
+// failures (a SIGKILLed server mid-load) and backpressure (429/503), and
+// -serve-verify later replays that file against the (possibly restarted)
+// server, requiring every acknowledged placement to still be present and
+// identical. See DESIGN.md §12 for the durability contract this audits.
+
+// serveAck is one acknowledged placement as recorded in the acks file.
+type serveAck struct {
+	Tenant string  `json:"tenant"`
+	Item   int     `json:"item"`
+	Bin    int     `json:"bin"`
+	Time   float64 `json:"time"`
+}
+
+// servePolicies cycles tenant policies so the load covers deterministic and
+// seeded placement paths alike.
+var servePolicies = []string{"FirstFit", "BestFit", "MoveToFront", "RandomFit", "NextFit", "WorstFit"}
+
+// serveClient is the HTTP client for the serve modes: generous per-request
+// timeout, no keep-alive surprises across server restarts.
+var serveClient = &http.Client{Timeout: 15 * time.Second}
+
+// serveGiveUp bounds how long one logical request retries through connection
+// errors and backpressure before the driver declares the server gone.
+const serveGiveUp = 60 * time.Second
+
+// runServeLoad creates tenants tenants on the server at base (tolerating
+// ones that already exist, so a rerun after a restart continues the same
+// run), posts items placements per tenant with monotonically rising
+// arrivals, and appends every acknowledgement to acksPath as it lands.
+func runServeLoad(base, acksPath string, tenants, items, dim int, seed int64) error {
+	if acksPath == "" {
+		return fmt.Errorf("-serve-load needs -serve-acks to record acknowledgements")
+	}
+	base = strings.TrimRight(base, "/")
+	if err := waitReady(base, serveGiveUp); err != nil {
+		return err
+	}
+
+	acks, err := os.OpenFile(acksPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer acks.Close()
+	var ackMu sync.Mutex
+	record := func(a serveAck) error {
+		ackMu.Lock()
+		defer ackMu.Unlock()
+		line, err := json.Marshal(a)
+		if err != nil {
+			return err
+		}
+		_, err = acks.Write(append(line, '\n'))
+		return err
+	}
+
+	for i := 0; i < tenants; i++ {
+		cfg := server.TenantConfig{
+			Name:            fmt.Sprintf("load%d", i),
+			Dim:             dim,
+			Policy:          servePolicies[i%len(servePolicies)],
+			Seed:            seed + int64(i),
+			CheckpointEvery: 64,
+		}
+		code, body, err := serveRetry(http.MethodPost, base+"/v1/tenants", cfg)
+		if err != nil {
+			return fmt.Errorf("creating tenant %s: %w", cfg.Name, err)
+		}
+		if code != http.StatusCreated && code != http.StatusConflict {
+			return fmt.Errorf("creating tenant %s: status %d: %s", cfg.Name, code, body)
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, tenants)
+	var acked int64
+	var ackedMu sync.Mutex
+	for i := 0; i < tenants; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := fmt.Sprintf("load%d", i)
+			url := base + "/v1/tenants/" + name + "/place"
+			rng := rand.New(rand.NewSource(seed*1009 + int64(i)))
+			for j := 0; j < items; j++ {
+				arrival := float64(j) / 4
+				departure := arrival + 1 + float64(j%7)
+				size := make([]float64, dim)
+				for d := range size {
+					size[d] = 0.05 + 0.4*rng.Float64()
+				}
+				req := map[string]any{"arrival": arrival, "departure": departure, "size": size}
+				code, body, err := serveRetry(http.MethodPost, url, req)
+				if err != nil {
+					errs <- fmt.Errorf("%s item %d: %w", name, j, err)
+					return
+				}
+				if code != http.StatusOK {
+					errs <- fmt.Errorf("%s item %d: status %d: %s", name, j, code, body)
+					return
+				}
+				var pr server.PlaceResult
+				if err := json.Unmarshal(body, &pr); err != nil {
+					errs <- fmt.Errorf("%s item %d: decoding ack: %w", name, j, err)
+					return
+				}
+				if err := record(serveAck{Tenant: name, Item: pr.Item, Bin: pr.Bin, Time: pr.Time}); err != nil {
+					errs <- fmt.Errorf("recording ack: %w", err)
+					return
+				}
+				ackedMu.Lock()
+				acked++
+				ackedMu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return err
+	}
+	fmt.Printf("serve-load: %d acknowledgements across %d tenants recorded to %s\n", acked, tenants, acksPath)
+	return nil
+}
+
+// runServeVerify reads the acks file and audits the server at base: every
+// acknowledged placement must still exist, on the same bin at the same time.
+func runServeVerify(base, acksPath string) error {
+	if acksPath == "" {
+		return fmt.Errorf("-serve-verify needs the -serve-acks file written by -serve-load")
+	}
+	base = strings.TrimRight(base, "/")
+	if err := waitReady(base, serveGiveUp); err != nil {
+		return err
+	}
+
+	f, err := os.Open(acksPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	byTenant := make(map[string][]serveAck)
+	total := 0
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		var a serveAck
+		if err := json.Unmarshal(sc.Bytes(), &a); err != nil {
+			return fmt.Errorf("%s line %d: %w", acksPath, total+1, err)
+		}
+		byTenant[a.Tenant] = append(byTenant[a.Tenant], a)
+		total++
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if total == 0 {
+		return fmt.Errorf("%s holds no acknowledgements to verify", acksPath)
+	}
+
+	bad := 0
+	for tenant, list := range byTenant {
+		code, body, err := serveRetry(http.MethodGet, base+"/v1/tenants/"+tenant+"/placements", nil)
+		if err != nil {
+			return fmt.Errorf("fetching %s placements: %w", tenant, err)
+		}
+		if code != http.StatusOK {
+			return fmt.Errorf("fetching %s placements: status %d: %s", tenant, code, body)
+		}
+		var got server.PlacementsResult
+		if err := json.Unmarshal(body, &got); err != nil {
+			return fmt.Errorf("decoding %s placements: %w", tenant, err)
+		}
+		placed := make(map[int]server.PlacementRecord, len(got.Placements))
+		for _, p := range got.Placements {
+			placed[p.Item] = p
+		}
+		for _, a := range list {
+			p, ok := placed[a.Item]
+			switch {
+			case !ok:
+				fmt.Fprintf(os.Stderr, "serve-verify: %s item %d: acknowledged but MISSING after restart\n", tenant, a.Item)
+				bad++
+			case p.Bin != a.Bin || p.Time != a.Time:
+				fmt.Fprintf(os.Stderr, "serve-verify: %s item %d: acknowledged bin=%d time=%g, server now says bin=%d time=%g\n",
+					tenant, a.Item, a.Bin, a.Time, p.Bin, p.Time)
+				bad++
+			}
+		}
+	}
+	if bad > 0 {
+		return fmt.Errorf("%d of %d acknowledged placements lost or changed", bad, total)
+	}
+	fmt.Printf("serve-verify: all %d acknowledged placements across %d tenants intact\n", total, len(byTenant))
+	return nil
+}
+
+// waitReady polls /readyz until the server answers 200, tolerating the
+// connection errors a restarting server produces.
+func waitReady(base string, budget time.Duration) error {
+	deadline := time.Now().Add(budget)
+	for {
+		resp, err := serveClient.Get(base + "/readyz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				return fmt.Errorf("server at %s not ready: %w", base, err)
+			}
+			return fmt.Errorf("server at %s not ready", base)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// serveRetry performs one logical request, retrying through transport
+// errors (the server is down or mid-restart) and backpressure statuses
+// (429 queue_full, 503 draining/deadline) until serveGiveUp expires.
+// Any other status is returned to the caller to judge.
+func serveRetry(method, url string, body any) (int, []byte, error) {
+	var payload []byte
+	if body != nil {
+		var err error
+		if payload, err = json.Marshal(body); err != nil {
+			return 0, nil, err
+		}
+	}
+	deadline := time.Now().Add(serveGiveUp)
+	for {
+		req, err := http.NewRequest(method, url, bytes.NewReader(payload))
+		if err != nil {
+			return 0, nil, err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, rerr := serveClient.Do(req)
+		if rerr == nil {
+			data, derr := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if derr == nil && resp.StatusCode != http.StatusTooManyRequests &&
+				resp.StatusCode != http.StatusServiceUnavailable {
+				return resp.StatusCode, data, nil
+			}
+		}
+		if time.Now().After(deadline) {
+			if rerr != nil {
+				return 0, nil, fmt.Errorf("giving up after %s: %w", serveGiveUp, rerr)
+			}
+			return 0, nil, fmt.Errorf("giving up after %s of backpressure from %s", serveGiveUp, url)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dvbp/internal/metrics"
+	"dvbp/internal/server"
+)
+
+// TestServeLoadVerifyRoundTrip runs the load driver and the auditor against
+// an in-process server: every recorded acknowledgement must verify, a rerun
+// of the load continues the same tenants (409 tolerated), and a forged ack
+// must make the audit fail.
+func TestServeLoadVerifyRoundTrip(t *testing.T) {
+	reg := metrics.NewRegistry()
+	store, err := server.OpenStore(t.TempDir(), server.Limits{}, reg)
+	if err != nil {
+		t.Fatalf("OpenStore: %v", err)
+	}
+	t.Cleanup(store.Close)
+	ts := httptest.NewServer(server.New(store, reg))
+	t.Cleanup(ts.Close)
+
+	acks := filepath.Join(t.TempDir(), "acks.jsonl")
+	if err := runServeLoad(ts.URL, acks, 2, 40, 2, 3); err != nil {
+		t.Fatalf("serve-load: %v", err)
+	}
+	data, err := os.ReadFile(acks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(string(data), "\n")
+	if lines != 2*40 {
+		t.Fatalf("recorded %d acks, want %d", lines, 2*40)
+	}
+	if err := runServeVerify(ts.URL, acks); err != nil {
+		t.Fatalf("serve-verify: %v", err)
+	}
+
+	// The audit is idempotent: re-running it consumes nothing.
+	if err := runServeVerify(ts.URL, acks); err != nil {
+		t.Fatalf("serve-verify (second audit): %v", err)
+	}
+
+	// Forge an acknowledgement the server never issued: the audit must fail.
+	forged, err := json.Marshal(serveAck{Tenant: "load0", Item: 9999, Bin: 1, Time: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(acks, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(append(forged, '\n')); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := runServeVerify(ts.URL, acks); err == nil {
+		t.Fatalf("serve-verify accepted a forged acknowledgement")
+	} else if !strings.Contains(err.Error(), "lost or changed") {
+		t.Fatalf("unexpected verify error: %v", err)
+	}
+}

@@ -25,6 +25,7 @@ type config struct {
 	audit        *Audit
 	observer     Observer
 	linearSelect bool
+	dynamic      bool
 
 	// Failure/recovery configuration (see failure.go).
 	injector      FailureInjector
@@ -265,6 +266,13 @@ type Engine struct {
 
 	evictIDs []int // scratch reused across crashes
 
+	// lastTime is the time of the most recent committed event — the floor
+	// below which a dynamic run must not admit new arrivals (AppendArrival).
+	// It is not snapshotted: replay re-establishes it event by event, and the
+	// dynamic caller owns the authoritative admission watermark (DESIGN.md
+	// §12).
+	lastTime float64
+
 	err      error // sticky: the engine is poisoned after any Step error
 	finished bool  // Finish has sealed the result
 	released bool  // the policy guard has been released
@@ -274,12 +282,12 @@ type Engine struct {
 // owns p until Finish or Close; callers that abandon a run without finishing
 // it must Close it to release the policy-reuse guard.
 func NewEngine(l *item.List, p Policy, opts ...Option) (*Engine, error) {
-	if err := l.Validate(); err != nil {
-		return nil, fmt.Errorf("core: invalid input: %w", err)
-	}
 	var cfg config
 	for _, o := range opts {
 		o(&cfg)
+	}
+	if err := validateList(l, cfg.dynamic); err != nil {
+		return nil, err
 	}
 	if cfg.injector != nil && cfg.retry == nil {
 		cfg.retry = retryNow{}
@@ -704,6 +712,7 @@ func (e *Engine) Step() (rec EventRecord, ok bool, err error) {
 		e.err = err
 		return EventRecord{}, false, err
 	}
+	e.lastTime = t
 	return rec, true, nil
 }
 
@@ -747,6 +756,14 @@ func (e *Engine) Finish() (*Result, error) {
 			e.served, e.res.ItemsLost, e.res.Rejected, e.res.TimedOut, e.list.Len()))
 	}
 
+	if e.cfg.dynamic {
+		// A dynamic run's instance-shape summary is only known once the
+		// stream ends; recompute it so the sealed result is indistinguishable
+		// from a static run over the same final list.
+		e.res.Span = e.list.Span()
+		e.res.Mu = e.list.Mu()
+		e.res.Items = e.list.Len()
+	}
 	e.res.BinsOpened = e.nextBinID
 	e.res.sortBins()
 	e.finished = true

@@ -216,13 +216,20 @@ func corruptf(format string, args ...any) error {
 // corrupted checkpoint files degrade gracefully. Like NewEngine, the returned
 // engine owns p until Finish or Close.
 func RestoreEngine(l *item.List, p Policy, s *Snapshot, opts ...Option) (*Engine, error) {
-	if err := l.Validate(); err != nil {
-		return nil, fmt.Errorf("core: invalid input: %w", err)
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if err := validateList(l, cfg.dynamic); err != nil {
+		return nil, err
 	}
 	if s == nil {
 		return nil, fmt.Errorf("core: nil snapshot")
 	}
-	if s.Dim != l.Dim || s.Items != l.Len() {
+	// A dynamic run's list grows after any checkpoint, so the snapshot may
+	// cover a strict prefix of the supplied instance; a static run's list is
+	// immutable and must match exactly.
+	if s.Dim != l.Dim || s.Items > l.Len() || (!cfg.dynamic && s.Items != l.Len()) {
 		return nil, corruptf("instance shape mismatch: snapshot d=%d n=%d, instance d=%d n=%d", s.Dim, s.Items, l.Dim, l.Len())
 	}
 	if s.PolicyName != p.Name() {
@@ -230,10 +237,6 @@ func RestoreEngine(l *item.List, p Policy, s *Snapshot, opts ...Option) (*Engine
 	}
 	if s.Result == nil {
 		return nil, corruptf("missing partial result")
-	}
-	var cfg config
-	for _, o := range opts {
-		o(&cfg)
 	}
 	if cfg.injector != nil && cfg.retry == nil {
 		cfg.retry = retryNow{}

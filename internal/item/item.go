@@ -109,11 +109,19 @@ func (l *List) Normalize() error {
 
 // Validate checks every item (see Item.Validate) and the list as a whole.
 func (l *List) Validate() error {
-	if l.Dim <= 0 {
-		return errors.New("item list: dimension must be positive")
-	}
 	if len(l.Items) == 0 {
 		return errors.New("item list: empty")
+	}
+	return l.ValidateDynamic()
+}
+
+// ValidateDynamic is Validate for lists that grow while a run is in progress
+// (the engine's dynamic-arrival mode): the same per-item and uniqueness
+// checks, but an empty list is legal — a dynamic run begins before its first
+// item exists.
+func (l *List) ValidateDynamic() error {
+	if l.Dim <= 0 {
+		return errors.New("item list: dimension must be positive")
 	}
 	seen := make(map[int]bool, len(l.Items))
 	for _, it := range l.Items {

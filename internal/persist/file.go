@@ -186,6 +186,13 @@ func syncDir(dir string) error {
 	return nil
 }
 
+// WriteFileAtomic writes content to path via a temp file + rename + directory
+// sync, so a crash never leaves a half-written file under the final name. The
+// server layer uses it for its tenant manifest; snapshots go through it too.
+func WriteFileAtomic(path string, content []byte) error {
+	return writeFileAtomic(path, content)
+}
+
 // writeFileAtomic writes content to path via a temp file + rename + directory
 // sync, so a crash never leaves a half-written file under the final name.
 func writeFileAtomic(path string, content []byte) error {

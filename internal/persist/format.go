@@ -32,7 +32,7 @@ const (
 // magic identifies persist-layer files.
 var magic = [8]byte{'D', 'V', 'B', 'P', 'P', 'E', 'R', 'S'}
 
-// FileKind distinguishes the two persisted file types.
+// FileKind distinguishes the persisted file types.
 type FileKind uint32
 
 // The persisted file kinds.
@@ -43,6 +43,11 @@ const (
 	// KindSnapshot is a checkpoint: a meta record, the engine snapshot, and
 	// any auxiliary state records.
 	KindSnapshot FileKind = 2
+	// KindOpLog is a dynamic run's operation log: a meta record followed by
+	// one record per admitted client operation (item arrival or clock
+	// advance). It is the durable source of the run's item list — the WAL
+	// references items by ID, the op log holds their content.
+	KindOpLog FileKind = 3
 )
 
 // castagnoli is the CRC-32/Castagnoli table (iSCSI polynomial; hardware
@@ -69,7 +74,7 @@ func parseHeader(data []byte) (FileKind, *CorruptionError) {
 		return 0, &CorruptionError{Offset: 8, Record: -1, Reason: fmt.Sprintf("unsupported format version %d (supported: %d)", v, formatVersion)}
 	}
 	kind := FileKind(binary.LittleEndian.Uint32(data[12:16]))
-	if kind != KindWAL && kind != KindSnapshot {
+	if kind != KindWAL && kind != KindSnapshot && kind != KindOpLog {
 		return 0, &CorruptionError{Offset: 12, Record: -1, Reason: fmt.Sprintf("unknown file kind %d", uint32(kind))}
 	}
 	return kind, nil

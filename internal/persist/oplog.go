@@ -1,0 +1,219 @@
+package persist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"dvbp/internal/item"
+	"dvbp/internal/vector"
+)
+
+// The operation log (KindOpLog) is a dynamic run's durable input stream: one
+// record per admitted client operation, appended and fsynced BEFORE the
+// operation's engine events may reach the WAL. That ordering is the
+// multi-tenant recovery invariant — every event a durable WAL can hold
+// references an item a durable op log already carries, so rebuilding the item
+// list from the op log and replaying the WAL against it always lines up.
+//
+// Record payload layouts (after the shared meta record):
+//
+//	item    : 'i' | arrival float64 LE | departure float64 LE | size d×float64 LE
+//	advance : 'a' | to float64 LE
+//
+// Item IDs are implicit: the k-th item record is item k, matching the IDs
+// core.Engine.AppendArrival assigns.
+
+// OpKind labels one op-log record.
+type OpKind byte
+
+// The op-log record kinds.
+const (
+	// OpItem admits one item: it arrives at Arrival, departs at Departure,
+	// and its ID is its zero-based position among the log's item records.
+	OpItem OpKind = 'i'
+	// OpAdvance moves the run's logical clock forward to To, committing
+	// every pending engine event at or before it (departures included).
+	OpAdvance OpKind = 'a'
+)
+
+// Op is one decoded op-log record.
+type Op struct {
+	Kind               OpKind
+	Arrival, Departure float64       // OpItem
+	Size               vector.Vector // OpItem
+	To                 float64       // OpAdvance
+}
+
+// AppendItemOp serialises an item-admission record onto dst.
+func AppendItemOp(dst []byte, arrival, departure float64, size vector.Vector) []byte {
+	dst = append(dst, byte(OpItem))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(arrival))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(departure))
+	for _, s := range size {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(s))
+	}
+	return dst
+}
+
+// AppendAdvanceOp serialises a clock-advance record onto dst.
+func AppendAdvanceOp(dst []byte, to float64) []byte {
+	dst = append(dst, byte(OpAdvance))
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(to))
+}
+
+// DecodeOp is the inverse of the Append*Op encoders for a d-dimensional run.
+// Malformed payloads of any shape return a *CorruptionError, never panic.
+func DecodeOp(payload []byte, d int) (Op, error) {
+	var op Op
+	if len(payload) < 1 {
+		return op, corrupt("empty op record")
+	}
+	op.Kind = OpKind(payload[0])
+	p := payload[1:]
+	switch op.Kind {
+	case OpItem:
+		if len(p) != (2+d)*8 {
+			return op, corrupt("item op has %d payload bytes, want %d for d=%d", len(p), (2+d)*8, d)
+		}
+		op.Arrival = math.Float64frombits(binary.LittleEndian.Uint64(p))
+		op.Departure = math.Float64frombits(binary.LittleEndian.Uint64(p[8:]))
+		op.Size = vector.New(d)
+		for i := 0; i < d; i++ {
+			op.Size[i] = math.Float64frombits(binary.LittleEndian.Uint64(p[16+8*i:]))
+		}
+	case OpAdvance:
+		if len(p) != 8 {
+			return op, corrupt("advance op has %d payload bytes, want 8", len(p))
+		}
+		op.To = math.Float64frombits(binary.LittleEndian.Uint64(p))
+		if math.IsNaN(op.To) {
+			return op, corrupt("advance op to NaN")
+		}
+	default:
+		return op, corrupt("unknown op kind %#x", payload[0])
+	}
+	return op, nil
+}
+
+// OpLogData is a recovered operation log: the run identity, the rebuilt item
+// list, and the admission watermark the run must resume at.
+type OpLogData struct {
+	// Meta is the run's identity (the log's first record).
+	Meta RunMeta
+	// List is the item list rebuilt from the item records, in log order —
+	// exactly the list the run's WAL replays against.
+	List *item.List
+	// Ops is the full decoded operation stream.
+	Ops []Op
+	// Watermark is the run's admission floor: the largest arrival or advance
+	// target in the log. New arrivals below it would rewrite history.
+	Watermark float64
+	// MaxAdvance is the largest advance target (0 when none was logged);
+	// recovery re-runs the clock to it so acknowledged departures stay
+	// committed.
+	MaxAdvance float64
+	// ValidSize is the byte prefix covered by intact records; Torn describes
+	// the discarded tail, nil when the file is clean.
+	ValidSize int64
+	Torn      *CorruptionError
+}
+
+// ReadOpLog reads and validates an operation log. Like WAL recovery, a torn
+// or checksum-damaged tail only truncates — the intact prefix is returned and
+// the defect reported in Torn — while a damaged header or meta record is
+// fatal. label names the run in every reported corruption.
+func ReadOpLog(path, label string) (*OpLogData, error) {
+	fd, err := ReadFile(path)
+	if err != nil {
+		if ce, ok := err.(*CorruptionError); ok {
+			ce.Run = label
+		}
+		return nil, err
+	}
+	if fd.Kind != KindOpLog {
+		return nil, &CorruptionError{Run: label, Path: path, Offset: -1, Record: -1, Reason: fmt.Sprintf("expected an op log, found kind %d", fd.Kind)}
+	}
+	if fd.Torn != nil {
+		fd.Torn.Run = label
+	}
+	if len(fd.Records) == 0 {
+		return nil, &CorruptionError{Run: label, Path: path, Offset: headerSize, Record: 0, Reason: "no run meta record survived"}
+	}
+	meta, err := decodeMeta(fd.Records[0])
+	if err != nil {
+		ce := err.(*CorruptionError)
+		ce.Run, ce.Path, ce.Offset, ce.Record = label, path, fd.Offsets[0], 0
+		return nil, ce
+	}
+	if !meta.Dynamic {
+		return nil, &CorruptionError{Run: label, Path: path, Offset: fd.Offsets[0], Record: 0, Reason: "op log belongs to a non-dynamic run"}
+	}
+	out := &OpLogData{Meta: meta, List: item.NewList(meta.Dim), ValidSize: fd.ValidSize, Torn: fd.Torn}
+	for i, payload := range fd.Records[1:] {
+		op, err := DecodeOp(payload, meta.Dim)
+		if err != nil {
+			// An undecodable record truncates the log there, like a torn WAL
+			// tail: everything after it is unordered against the lost op.
+			ce := err.(*CorruptionError)
+			ce.Run, ce.Path, ce.Offset, ce.Record = label, path, fd.Offsets[i+1], i+1
+			out.Torn = ce
+			out.ValidSize = fd.Offsets[i+1]
+			break
+		}
+		switch op.Kind {
+		case OpItem:
+			id := out.List.Add(op.Arrival, op.Departure, op.Size)
+			if err := out.List.Items[id].Validate(meta.Dim); err != nil {
+				ce := corrupt("invalid item op: %v", err)
+				ce.Run, ce.Path, ce.Offset, ce.Record = label, path, fd.Offsets[i+1], i+1
+				return nil, ce
+			}
+			if op.Arrival < out.Watermark {
+				ce := corrupt("item op at arrival %g regresses below watermark %g", op.Arrival, out.Watermark)
+				ce.Run, ce.Path, ce.Offset, ce.Record = label, path, fd.Offsets[i+1], i+1
+				return nil, ce
+			}
+			out.Watermark = op.Arrival
+		case OpAdvance:
+			if op.To < out.Watermark {
+				ce := corrupt("advance op to %g regresses below watermark %g", op.To, out.Watermark)
+				ce.Run, ce.Path, ce.Offset, ce.Record = label, path, fd.Offsets[i+1], i+1
+				return nil, ce
+			}
+			out.Watermark = op.To
+			if op.To > out.MaxAdvance {
+				out.MaxAdvance = op.To
+			}
+		}
+		out.Ops = append(out.Ops, op)
+	}
+	return out, nil
+}
+
+// CreateOpLog creates (truncating) an op log for the given dynamic run and
+// durably writes its meta record.
+func CreateOpLog(path string, meta RunMeta, syncEvery int) (*Writer, error) {
+	if !meta.Dynamic {
+		return nil, fmt.Errorf("persist: op logs record dynamic runs; meta is static")
+	}
+	w, err := Create(path, KindOpLog, syncEvery)
+	if err != nil {
+		return nil, err
+	}
+	if err := w.Append(encodeMeta(meta)); err != nil {
+		w.Close()
+		return nil, err
+	}
+	if err := w.Sync(); err != nil {
+		w.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+// ReopenOpLog reopens a recovered op log for appending, truncating the torn
+// tail ReadOpLog reported (validSize is OpLogData.ValidSize).
+func ReopenOpLog(path string, validSize int64, syncEvery int) (*Writer, error) {
+	return openAppend(path, validSize, syncEvery)
+}

@@ -10,6 +10,10 @@ import (
 // instance). Recovery returns the defects it tolerated in its report and
 // wraps the ones it cannot get past.
 type CorruptionError struct {
+	// Run identifies whose data was damaged — the tenant/run label supplied
+	// in Config.Label ("" when the caller runs a single anonymous run).
+	// Multi-tenant recovery logs read it to say which tenant was truncated.
+	Run string
 	// Path is the offending file ("" for in-memory decodes).
 	Path string
 	// Offset is the byte offset of the defect within the file, -1 if unknown.
@@ -25,6 +29,9 @@ type CorruptionError struct {
 // Error implements error.
 func (e *CorruptionError) Error() string {
 	s := "persist: corrupt"
+	if e.Run != "" {
+		s = fmt.Sprintf("persist: run %q: corrupt", e.Run)
+	}
 	if e.Path != "" {
 		s += " " + e.Path
 	}

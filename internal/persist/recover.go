@@ -1,6 +1,7 @@
 package persist
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -53,29 +54,44 @@ func Recover(l *item.List, cfg Config, opts ...core.Option) (*Recovery, error) {
 		return nil, err
 	}
 	rec := &Recovery{}
+	// Every corruption detected below carries the run's identity, so
+	// multi-tenant recovery logs name the damaged tenant, not just a path.
+	brand := func(ce *CorruptionError) *CorruptionError {
+		if ce.Run == "" {
+			ce.Run = cfg.Label
+		}
+		return ce
+	}
 
 	// 1. The write-ahead log: meta record + one record per event.
 	walPath := filepath.Join(cfg.Dir, walFile)
 	fd, err := ReadFile(walPath)
 	if err != nil {
+		var ce *CorruptionError
+		if errors.As(err, &ce) {
+			brand(ce)
+		}
 		return nil, fmt.Errorf("recovering %s: %w", cfg.Dir, err)
 	}
 	if fd.Kind != KindWAL {
-		return nil, &CorruptionError{Path: walPath, Offset: -1, Record: -1, Reason: fmt.Sprintf("expected a WAL file, found kind %d", fd.Kind)}
+		return nil, brand(&CorruptionError{Path: walPath, Offset: -1, Record: -1, Reason: fmt.Sprintf("expected a WAL file, found kind %d", fd.Kind)})
 	}
 	if fd.Torn != nil {
-		rec.Corruptions = append(rec.Corruptions, fd.Torn)
+		rec.Corruptions = append(rec.Corruptions, brand(fd.Torn))
 	}
 	if len(fd.Records) == 0 {
-		return nil, &CorruptionError{Path: walPath, Offset: headerSize, Record: 0, Reason: "no run meta record survived"}
+		return nil, brand(&CorruptionError{Path: walPath, Offset: headerSize, Record: 0, Reason: "no run meta record survived"})
 	}
 	meta, err := decodeMeta(fd.Records[0])
 	if err != nil {
 		ce := err.(*CorruptionError)
 		ce.Path, ce.Offset, ce.Record = walPath, fd.Offsets[0], 0
-		return nil, ce
+		return nil, brand(ce)
 	}
 	if err := meta.check(l); err != nil {
+		if cfg.Label != "" {
+			return nil, fmt.Errorf("run %q: %w", cfg.Label, err)
+		}
 		return nil, err
 	}
 	rec.Meta = meta
@@ -93,7 +109,7 @@ func Recover(l *item.List, cfg Config, opts ...core.Option) (*Recovery, error) {
 		if err != nil {
 			ce := err.(*CorruptionError)
 			ce.Path, ce.Offset, ce.Record = walPath, fd.Offsets[i+1], i+1
-			rec.Corruptions = append(rec.Corruptions, ce)
+			rec.Corruptions = append(rec.Corruptions, brand(ce))
 			validSize = fd.Offsets[i+1]
 			break
 		}
@@ -119,13 +135,13 @@ func Recover(l *item.List, cfg Config, opts ...core.Option) (*Recovery, error) {
 		}
 		if !ok {
 			engine.Close()
-			return nil, &CorruptionError{Path: walPath, Offset: -1, Record: -1,
-				Reason: fmt.Sprintf("log has %d events but the run ends after %d — wrong instance or options", len(events), engine.EventSeq())}
+			return nil, brand(&CorruptionError{Path: walPath, Offset: -1, Record: -1,
+				Reason: fmt.Sprintf("log has %d events but the run ends after %d — wrong instance or options", len(events), engine.EventSeq())})
 		}
 		if got != want {
 			engine.Close()
-			return nil, &CorruptionError{Path: walPath, Offset: -1, Record: -1,
-				Reason: fmt.Sprintf("replay divergence at event %d: engine regenerated %+v, log holds %+v — corrupt log or mismatched run options", want.Seq, got, want)}
+			return nil, brand(&CorruptionError{Path: walPath, Offset: -1, Record: -1,
+				Reason: fmt.Sprintf("replay divergence at event %d: engine regenerated %+v, log holds %+v — corrupt log or mismatched run options", want.Seq, got, want)})
 		}
 		rec.Replayed++
 	}
@@ -180,7 +196,7 @@ func restoreNewest(l *item.List, meta RunMeta, cfg Config, opts []core.Option, w
 		sf := snaps[i]
 		path := filepath.Join(cfg.Dir, sf.name)
 		skip := func(why string, cause error) {
-			ce := &CorruptionError{Path: path, Offset: -1, Record: -1, Reason: why, Err: cause}
+			ce := &CorruptionError{Run: cfg.Label, Path: path, Offset: -1, Record: -1, Reason: why, Err: cause}
 			rec.Corruptions = append(rec.Corruptions, ce)
 		}
 		if sf.seq > walEvents {

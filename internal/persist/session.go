@@ -38,6 +38,11 @@ type AuxCodec interface {
 type Config struct {
 	// Dir is the checkpoint directory (created if missing).
 	Dir string
+	// Label names the run for error reporting — the tenant name in a
+	// multi-tenant directory layout. Every *CorruptionError that recovery
+	// detects or tolerates carries it, so logs say whose WAL was truncated
+	// rather than just which file.
+	Label string
 	// Every takes an automatic checkpoint after this many events; 0 disables
 	// automatic checkpoints (the WAL alone still recovers via full replay).
 	Every int64
@@ -138,6 +143,13 @@ func (s *Session) Step() (rec core.EventRecord, ok bool, err error) {
 		}
 	}
 	return rec, true, nil
+}
+
+// Sync forces every appended WAL record down to the device — the group-commit
+// barrier a server runs between stepping a batch and acknowledging it, so no
+// client ever holds an acknowledgement for an event a crash can undo.
+func (s *Session) Sync() error {
+	return s.wal.Sync()
 }
 
 // Checkpoint captures the engine and aux state at the current event boundary

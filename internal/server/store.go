@@ -1,0 +1,338 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"sync"
+
+	"dvbp/internal/core"
+	"dvbp/internal/item"
+	"dvbp/internal/metrics"
+	"dvbp/internal/persist"
+)
+
+// Store directory layout:
+//
+//	root/tenants.json       manifest: []TenantConfig, atomically replaced
+//	root/<tenant>/ops.dvbp  the tenant's op log (persist.KindOpLog)
+//	root/<tenant>/wal.dvbp  the tenant's write-ahead log
+//	root/<tenant>/snap-*    the tenant's checkpoints
+const (
+	manifestFile = "tenants.json"
+	opsFile      = "ops.dvbp"
+)
+
+// tenantName pins the tenant-name grammar: path-safe, no dots, no
+// separators, bounded length.
+var tenantName = regexp.MustCompile(`^[a-zA-Z0-9_-]{1,64}$`)
+
+// storeMetrics is the instrument set a Store maintains in the server's
+// metrics registry.
+type storeMetrics struct {
+	tenants        *metrics.Gauge
+	queueDepth     *metrics.Gauge
+	batchSize      *metrics.Histogram
+	backpressure   *metrics.Counter
+	deadlines      *metrics.Counter
+	items          *metrics.Counter
+	events         *metrics.Counter
+	tenantFailures *metrics.Counter
+	recoveries     *metrics.Counter
+	corruptions    *metrics.Counter
+}
+
+func newStoreMetrics(reg *metrics.Registry) *storeMetrics {
+	return &storeMetrics{
+		tenants:        reg.Gauge("dvbp_server_tenants", "live tenants"),
+		queueDepth:     reg.Gauge("dvbp_server_queue_depth", "requests currently queued across tenants"),
+		batchSize:      reg.Histogram("dvbp_server_batch_size", "requests per group commit", 1, 2, 4, 8, 16, 32, 64, 128),
+		backpressure:   reg.Counter("dvbp_server_backpressure_total", "requests refused with 429 because a tenant queue was full"),
+		deadlines:      reg.Counter("dvbp_server_deadline_total", "requests expired in queue and refused with 503"),
+		items:          reg.Counter("dvbp_server_items_total", "items placed across tenants"),
+		events:         reg.Counter("dvbp_server_events_total", "engine events committed across tenants"),
+		tenantFailures: reg.Counter("dvbp_server_tenant_failures_total", "tenants poisoned by a persistence failure"),
+		recoveries:     reg.Counter("dvbp_server_recovered_tenants_total", "tenants recovered from disk at startup"),
+		corruptions:    reg.Counter("dvbp_server_recovery_corruptions_total", "corruptions tolerated during tenant recovery (torn tails, skipped snapshots)"),
+	}
+}
+
+// Store owns the multi-tenant data directory: the manifest, one subdirectory
+// per tenant, and the live Tenant workers. All methods are safe for
+// concurrent use.
+type Store struct {
+	root   string
+	limits Limits
+	m      *storeMetrics
+
+	mu      sync.RWMutex
+	tenants map[string]*Tenant
+	closed  bool
+}
+
+// OpenStore opens (creating if needed) the data directory at root and
+// recovers every tenant in the manifest. Recovery is all-or-nothing per
+// store: a tenant whose data is damaged beyond the persist layer's tolerance
+// fails the open, because silently dropping a tenant would break the
+// acknowledged-placements contract.
+func OpenStore(root string, limits Limits, reg *metrics.Registry) (*Store, error) {
+	if root == "" {
+		return nil, fmt.Errorf("server: no data directory configured")
+	}
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	s := &Store{
+		root:    root,
+		limits:  limits.withDefaults(),
+		m:       newStoreMetrics(reg),
+		tenants: make(map[string]*Tenant),
+	}
+	cfgs, err := s.readManifest()
+	if err != nil {
+		return nil, err
+	}
+	for _, cfg := range cfgs {
+		t, err := s.recoverTenant(cfg)
+		if err != nil {
+			for _, live := range s.tenants {
+				live.close()
+			}
+			return nil, fmt.Errorf("server: recovering tenant %q: %w", cfg.Name, err)
+		}
+		s.tenants[cfg.Name] = t
+		s.m.recoveries.Inc()
+	}
+	s.m.tenants.Set(float64(len(s.tenants)))
+	return s, nil
+}
+
+// readManifest loads the tenant list; a missing manifest is an empty store.
+func (s *Store) readManifest() ([]TenantConfig, error) {
+	data, err := os.ReadFile(filepath.Join(s.root, manifestFile))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	var cfgs []TenantConfig
+	if err := json.Unmarshal(data, &cfgs); err != nil {
+		return nil, fmt.Errorf("server: corrupt manifest %s: %w", manifestFile, err)
+	}
+	return cfgs, nil
+}
+
+// writeManifest atomically replaces the manifest with the current tenant
+// set. Caller holds s.mu.
+func (s *Store) writeManifest() error {
+	cfgs := make([]TenantConfig, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		cfgs = append(cfgs, t.cfg)
+	}
+	sort.Slice(cfgs, func(i, j int) bool { return cfgs[i].Name < cfgs[j].Name })
+	data, err := json.MarshalIndent(cfgs, "", "  ")
+	if err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	return persist.WriteFileAtomic(filepath.Join(s.root, manifestFile), append(data, '\n'))
+}
+
+// checkConfig validates a tenant config at admission time.
+func checkConfig(cfg TenantConfig) *apiError {
+	if !tenantName.MatchString(cfg.Name) {
+		return errf(http.StatusBadRequest, "bad_name",
+			"tenant name %q must match %s", cfg.Name, tenantName.String())
+	}
+	if cfg.Dim < 1 || cfg.Dim > 64 {
+		return errf(http.StatusBadRequest, "bad_dim", "dim %d outside [1, 64]", cfg.Dim)
+	}
+	if cfg.CheckpointEvery < 0 {
+		return errf(http.StatusBadRequest, "bad_checkpoint", "checkpoint_every %d is negative", cfg.CheckpointEvery)
+	}
+	if _, err := core.NewPolicy(cfg.Policy, cfg.Seed); err != nil {
+		return errf(http.StatusBadRequest, "bad_policy", "%v", err)
+	}
+	return nil
+}
+
+// Create provisions a fresh tenant: directory, op log, WAL, worker. The
+// manifest is updated only after the tenant's files are durably in place.
+func (s *Store) Create(cfg TenantConfig) (*Tenant, *apiError) {
+	if aerr := checkConfig(cfg); aerr != nil {
+		return nil, aerr
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, errDraining
+	}
+	if _, dup := s.tenants[cfg.Name]; dup {
+		return nil, errf(http.StatusConflict, "tenant_exists", "tenant %q already exists", cfg.Name)
+	}
+	dir := filepath.Join(s.root, cfg.Name)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, errf(http.StatusInternalServerError, "io", "creating tenant directory: %v", err)
+	}
+	meta := persist.NewDynamicRunMeta(cfg.Dim, cfg.Policy, cfg.Seed, "")
+	ops, err := persist.CreateOpLog(filepath.Join(dir, opsFile), meta, s.limits.SyncEvery)
+	if err != nil {
+		return nil, errf(http.StatusInternalServerError, "io", "creating op log: %v", err)
+	}
+	p, err := core.NewPolicy(cfg.Policy, cfg.Seed)
+	if err != nil {
+		ops.Close()
+		return nil, errf(http.StatusBadRequest, "bad_policy", "%v", err)
+	}
+	engine, err := core.NewEngine(item.NewList(cfg.Dim), p, core.WithDynamicArrivals())
+	if err != nil {
+		ops.Close()
+		return nil, errf(http.StatusInternalServerError, "engine", "%v", err)
+	}
+	session, err := persist.Begin(engine, meta, persist.Config{
+		Dir: dir, Label: cfg.Name, Every: cfg.CheckpointEvery, SyncEvery: s.limits.SyncEvery,
+	})
+	if err != nil {
+		engine.Close()
+		ops.Close()
+		return nil, errf(http.StatusInternalServerError, "io", "starting session: %v", err)
+	}
+	t := newTenant(cfg, dir, s.limits, s.m)
+	t.start(session, ops, 0)
+	s.tenants[cfg.Name] = t
+	if err := s.writeManifest(); err != nil {
+		delete(s.tenants, cfg.Name)
+		t.close()
+		return nil, errf(http.StatusInternalServerError, "io", "writing manifest: %v", err)
+	}
+	s.m.tenants.Set(float64(len(s.tenants)))
+	return t, nil
+}
+
+// recoverTenant rebuilds one tenant from its directory: item list and
+// watermark from the op log, engine state from snapshot + verified WAL
+// replay, then the clock re-run to the last durable advance target so
+// acknowledged departures stay committed.
+func (s *Store) recoverTenant(cfg TenantConfig) (*Tenant, error) {
+	if aerr := checkConfig(cfg); aerr != nil {
+		return nil, aerr
+	}
+	dir := filepath.Join(s.root, cfg.Name)
+	logged, err := persist.ReadOpLog(filepath.Join(dir, opsFile), cfg.Name)
+	if err != nil {
+		return nil, err
+	}
+	if logged.Torn != nil {
+		s.m.corruptions.Inc()
+	}
+	if want := persist.NewDynamicRunMeta(cfg.Dim, cfg.Policy, cfg.Seed, ""); logged.Meta != want {
+		return nil, fmt.Errorf("op log identity %+v disagrees with manifest %+v", logged.Meta, want)
+	}
+	rec, err := persist.Recover(logged.List, persist.Config{
+		Dir: dir, Label: cfg.Name, Every: cfg.CheckpointEvery, SyncEvery: s.limits.SyncEvery,
+	}, core.WithDynamicArrivals())
+	if err != nil {
+		return nil, err
+	}
+	s.m.corruptions.Add(uint64(len(rec.Corruptions)))
+
+	// An advance op can be durable while the events it committed are not
+	// (crash between the two barriers). Re-run the clock to the last logged
+	// advance; determinism makes this produce the lost events verbatim.
+	for {
+		tt, ok := rec.Session.Engine().PeekTime()
+		if !ok || tt > logged.MaxAdvance {
+			break
+		}
+		if _, ok, err := rec.Session.Step(); err != nil {
+			rec.Session.Close()
+			return nil, fmt.Errorf("re-advancing to %g: %w", logged.MaxAdvance, err)
+		} else if !ok {
+			break
+		}
+	}
+	if err := rec.Session.Sync(); err != nil {
+		rec.Session.Close()
+		return nil, err
+	}
+	ops, err := persist.ReopenOpLog(filepath.Join(dir, opsFile), logged.ValidSize, s.limits.SyncEvery)
+	if err != nil {
+		rec.Session.Close()
+		return nil, err
+	}
+	t := newTenant(cfg, dir, s.limits, s.m)
+	t.start(rec.Session, ops, logged.Watermark)
+	return t, nil
+}
+
+// Get returns the named live tenant.
+func (s *Store) Get(name string) (*Tenant, *apiError) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if t, ok := s.tenants[name]; ok {
+		return t, nil
+	}
+	return nil, errf(http.StatusNotFound, "no_such_tenant", "no tenant %q", name)
+}
+
+// List returns the tenant configs, sorted by name.
+func (s *Store) List() []TenantConfig {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]TenantConfig, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		out = append(out, t.cfg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Delete drains and removes a tenant: worker stopped, manifest updated,
+// directory deleted.
+func (s *Store) Delete(name string) *apiError {
+	s.mu.Lock()
+	t, ok := s.tenants[name]
+	if !ok {
+		s.mu.Unlock()
+		return errf(http.StatusNotFound, "no_such_tenant", "no tenant %q", name)
+	}
+	delete(s.tenants, name)
+	merr := s.writeManifest()
+	s.m.tenants.Set(float64(len(s.tenants)))
+	s.mu.Unlock()
+
+	t.close()
+	if err := os.RemoveAll(t.dir); err != nil {
+		return errf(http.StatusInternalServerError, "io", "removing tenant data: %v", err)
+	}
+	if merr != nil {
+		return errf(http.StatusInternalServerError, "io", "writing manifest: %v", merr)
+	}
+	return nil
+}
+
+// Close drains every tenant: intake stops, queued batches finish and are
+// acknowledged, WALs and op logs sync and close. The store refuses new
+// tenants afterwards.
+func (s *Store) Close() {
+	s.mu.Lock()
+	s.closed = true
+	live := make([]*Tenant, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		live = append(live, t)
+	}
+	s.mu.Unlock()
+	var wg sync.WaitGroup
+	for _, t := range live {
+		wg.Add(1)
+		go func(t *Tenant) {
+			defer wg.Done()
+			t.close()
+		}(t)
+	}
+	wg.Wait()
+}
