@@ -13,9 +13,9 @@ STRESSCOUNT ?= 5
 BENCHTIME ?= 10x
 BENCHCOUNT ?= 3
 
-.PHONY: ci fmt vet test race stress torture-smoke serve-smoke build bench bench-smoke bench-json fuzz-smoke docs-check
+.PHONY: ci fmt vet test race stress torture-smoke serve-smoke frag-smoke build bench bench-smoke bench-json fuzz-smoke docs-check
 
-ci: fmt vet docs-check race stress torture-smoke serve-smoke bench-smoke fuzz-smoke
+ci: fmt vet docs-check race stress torture-smoke serve-smoke frag-smoke bench-smoke fuzz-smoke
 
 # gofmt -l prints offending files; fail when the list is non-empty.
 fmt:
@@ -61,6 +61,16 @@ serve-smoke:
 	$(GO) test -run='ServeSmoke|ListPolicySpellings|ServeLoadVerify' \
 		./cmd/dvbpserver ./cmd/dvbpbench
 
+# Fragmentation gate (DESIGN.md §13): the metric's recompute and reorder
+# invariants, the scored policies' hand-worked decisions and registry
+# round-trips, the datacenter trace generators' degenerate-draw audit, the
+# head-to-head experiment, the server's per-dimension stranded accounting,
+# and the ranking-flip figure.
+frag-smoke:
+	$(GO) test -run='Frag|Datacenter|Stranded|CheckItem' \
+		./internal/metrics ./internal/core ./internal/workload \
+		./internal/experiments ./internal/server ./cmd/dvbpfigs
+
 bench:
 	$(GO) test -bench=. -benchmem
 
@@ -80,7 +90,7 @@ bench-smoke:
 # before/after pair travels together.
 bench-json:
 	@mkdir -p artifacts/bench
-	$(GO) test ./internal/core -run='^$$' -bench='ChurnHotPath|SimulateUniform|BinChurnClose|FleetSelect' \
+	$(GO) test ./internal/core -run='^$$' -bench='ChurnHotPath|SimulateUniform|BinChurnClose|FleetSelect|FragmentationSweep' \
 		-benchmem -benchtime=$(BENCHTIME) -count=$(BENCHCOUNT) | tee artifacts/bench/BENCH_core_cur.txt
 	$(GO) test . -run='^$$' -bench='Figure4SweepThroughput' \
 		-benchmem -benchtime=$(BENCHTIME) -count=$(BENCHCOUNT) | tee -a artifacts/bench/BENCH_core_cur.txt

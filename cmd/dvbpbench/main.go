@@ -8,6 +8,7 @@
 //	-experiment ablation-bestfit     Best Fit load-measure ablation
 //	-experiment ablation-clairvoyant clairvoyant-vs-online ablation
 //	-experiment ablation-billing     billing-granularity ablation
+//	-experiment frag                 fragmentation head-to-head across trace models
 //	-experiment all                  everything above
 //
 // The full paper grid (-instances 1000) reproduces Table 2 exactly; smaller
@@ -76,7 +77,7 @@ var outDirGlobal string
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "fig4", "fig4 | table1 | ubcheck | trueratio | quality | ablation-bestfit | ablation-clairvoyant | ablation-billing | all")
+		experiment = flag.String("experiment", "fig4", "fig4 | table1 | ubcheck | trueratio | quality | ablation-bestfit | ablation-clairvoyant | ablation-billing | frag | all")
 		dFlag      = flag.Int("d", 0, "restrict fig4 to one dimension panel (0 = all of 1,2,5)")
 		instances  = flag.Int("instances", 1000, "instances per cell (paper: 1000)")
 		mus        = flag.String("mus", "1,2,5,10,100,200", "comma-separated mu sweep")
@@ -179,12 +180,14 @@ func main() {
 			runTrueRatio(*instances, *seed, *workers, *outDir)
 		case "quality":
 			runQuality(*instances, *seed, *workers, *outDir)
+		case "frag":
+			runFrag(*instances, *seed, *workers, *outDir)
 		default:
 			fatal(fmt.Errorf("unknown experiment %q", name))
 		}
 	}
 	if *experiment == "all" {
-		for _, e := range []string{"fig4", "table1", "ubcheck", "trueratio", "quality", "ablation-bestfit", "ablation-clairvoyant", "ablation-billing"} {
+		for _, e := range []string{"fig4", "table1", "ubcheck", "trueratio", "quality", "frag", "ablation-bestfit", "ablation-clairvoyant", "ablation-billing"} {
 			if err := benchCtx.Err(); err != nil {
 				fatal(err)
 			}
@@ -440,6 +443,41 @@ func runTrueRatio(instances int, seed int64, workers int, outDir string) {
 	fmt.Println()
 	if outDir != "" {
 		writeCSV(outDir, "trueratio.csv", tbl)
+	}
+}
+
+func runFrag(instances int, seed int64, workers int, outDir string) {
+	cfg := experiments.DefaultFrag()
+	if instances < cfg.Instances {
+		cfg.Instances = instances
+	}
+	cfg.Seed = seed
+	cfg.Workers = workers
+	cfg.Observer = observer()
+	cfg.Ctx = benchCtx
+	fmt.Printf("== Fragmentation head-to-head (d=%d horizon=%g, %d instances per trace model) ==\n",
+		cfg.D, cfg.Horizon, cfg.Instances)
+	study, err := experiments.RunFrag(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	for _, trace := range study.Traces {
+		tbl := study.Table(trace)
+		fmt.Print(tbl.Render())
+		fmt.Printf("ranking on %s: %s\n\n", trace, strings.Join(study.Ranking(trace), " < "))
+		if outDir != "" {
+			writeCSV(outDir, fmt.Sprintf("frag_%s.csv", trace), tbl)
+		}
+	}
+	flips := study.Flips("uniform", "azure", 0.01)
+	fmt.Printf("ranking flips uniform vs azure (gap > 0.01): %d\n", len(flips))
+	for _, f := range flips {
+		fmt.Printf("  %s beats %s on %s (by %.4f) but loses on %s (by %.4f)\n",
+			f.A, f.B, f.TraceA, f.GapA, f.TraceB, f.GapB)
+	}
+	fmt.Println()
+	if outDir != "" {
+		writeFile(outDir, "frag_ranking.svg", study.Chart().SVG())
 	}
 }
 

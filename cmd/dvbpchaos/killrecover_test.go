@@ -10,6 +10,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"dvbp/internal/core"
 )
 
 // buildChaos compiles the command once per test into a temp binary.
@@ -133,5 +135,39 @@ func TestSIGKILLAndRestore(t *testing.T) {
 	}
 	if out != wantOut {
 		t.Fatalf("restore after SIGKILL diverged:\n--- want ---\n%s\n--- got ---\n%s", wantOut, out)
+	}
+}
+
+// TestKillAtAndRestoreFragPolicies extends the process-level crash torture to
+// the fragmentation-aware family: each policy is killed mid-run (hard
+// os.Exit, no flush) and restored, and the restored output must be
+// byte-identical to its uninterrupted run.
+func TestKillAtAndRestoreFragPolicies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the go tool")
+	}
+	bin := buildChaos(t)
+	for _, policy := range core.FragmentationAwareNames() {
+		base := append([]string{"-policy", policy, "-json", "-metrics"}, chaosArgs...)
+		wantOut, _, code := runChaos(t, bin, base...)
+		if code != 0 {
+			t.Fatalf("%s: reference run exited %d", policy, code)
+		}
+		for _, killAt := range []int64{1, 97} {
+			dir := t.TempDir()
+			args := append(append([]string{}, base...),
+				"-checkpoint-dir", dir, "-checkpoint-every", "32", "-kill-at", strconv.FormatInt(killAt, 10))
+			if _, stderr, code := runChaos(t, bin, args...); code != 3 {
+				t.Fatalf("%s kill-at %d: exit %d, want 3\nstderr: %s", policy, killAt, code, stderr)
+			}
+			restore := append(append([]string{}, base...), "-checkpoint-dir", dir, "-restore")
+			out, stderr, code := runChaos(t, bin, restore...)
+			if code != 0 {
+				t.Fatalf("%s restore after kill-at %d: exit %d\nstderr: %s", policy, killAt, code, stderr)
+			}
+			if out != wantOut {
+				t.Fatalf("%s restore after kill-at %d diverged:\n--- want ---\n%s\n--- got ---\n%s", policy, killAt, wantOut, out)
+			}
+		}
 	}
 }

@@ -74,7 +74,7 @@ func main() {
 		binSize   = flag.Int("B", 100, "bin capacity granularity (generator)")
 		seed      = flag.Int64("seed", 1, "generator / RandomFit seed")
 		policy    = flag.String("policy", "MoveToFront", core.PolicyFlagUsage())
-		all       = flag.Bool("all", false, "run all seven standard policies")
+		all       = flag.Bool("all", false, "run the seven standard policies plus the fragmentation-aware family")
 		jsonOut   = flag.Bool("json", false, "emit the comparison as JSON instead of a table")
 		metricsF  = flag.Bool("metrics", false, "dump JSON + Prometheus metric snapshots per policy")
 		timeout   = flag.Duration("timeout", 0, "wall-clock budget for the whole sweep (0 = none); partial results are flushed on expiry")
@@ -115,7 +115,7 @@ func main() {
 
 	var policies []core.Policy
 	if *all {
-		policies = core.StandardPolicies(*seed)
+		policies = append(core.StandardPolicies(*seed), core.FragmentationAwarePolicies(*seed)...)
 	} else {
 		p, err := core.NewPolicy(*policy, *seed)
 		if err != nil {

@@ -7,7 +7,9 @@
 //	           (Section 4's decomposition);
 //	Figure 3 — per-bin loads over time on the Theorem 5 adversarial
 //	           instance (Section 6's illustration);
-//	plus a packing Gantt chart of any instance.
+//	plus a packing Gantt chart of any instance, and the fragmentation
+//	head-to-head (DESIGN.md §13): a cost/LB chart across trace models and a
+//	markdown table whose ranking flips show the FARB-style trace dependence.
 //
 // Each figure is an independent shard: -workers renders them in parallel and
 // -shard k/m restricts one invocation to a slice of them (shard index =
@@ -24,6 +26,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"dvbp/internal/adversary"
 	"dvbp/internal/analysis"
@@ -40,7 +43,7 @@ func main() {
 		seed    = flag.Int64("seed", 11, "workload seed for figures 1/2")
 		n       = flag.Int("n", 24, "items in the random instance for figures 1/2")
 		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
-		shardF  = flag.String("shard", "", "render only figure slice k/m (0=figure1 1=figure2 2=figure3 3=gantt)")
+		shardF  = flag.String("shard", "", "render only figure slice k/m (0=figure1 1=figure2 2=figure3 3=gantt 4=frag-chart 5=frag-table)")
 	)
 	flag.Parse()
 	shard, err := experiments.ParseShardSlice(*shardF)
@@ -114,7 +117,58 @@ func figures(seed int64, n int) ([]figure, error) {
 			}
 			return gantt.Packing(l, res, gantt.Options{Title: "Move To Front packing", ShowItemIDs: true}), nil
 		}},
+		{"fragmentation_ranking.svg", func() (string, error) {
+			study, err := runFragStudy(seed)
+			if err != nil {
+				return "", err
+			}
+			return study.Chart().SVG(), nil
+		}},
+		{"fragmentation_headtohead.md", func() (string, error) {
+			study, err := runFragStudy(seed)
+			if err != nil {
+				return "", err
+			}
+			return fragMarkdown(study), nil
+		}},
 	}, nil
+}
+
+// runFragStudy runs the fragmentation head-to-head at figure scale. Each
+// figure shard re-runs it independently (the figures contract: no shared
+// mutable state), with Workers=1 so output bytes do not depend on the outer
+// scheduler.
+func runFragStudy(seed int64) (*experiments.FragStudy, error) {
+	cfg := experiments.DefaultFrag()
+	cfg.Instances = 20
+	cfg.Seed = seed
+	cfg.Workers = 1
+	return experiments.RunFrag(cfg)
+}
+
+// fragMarkdown renders the head-to-head as a markdown document: one table
+// per trace model plus the uniform-vs-azure ranking flips — the FARB-style
+// evidence that policy rankings do not transfer between trace models.
+func fragMarkdown(study *experiments.FragStudy) string {
+	var b strings.Builder
+	b.WriteString("# Fragmentation head-to-head\n\n")
+	b.WriteString("Mean cost/LB and waste/fragmentation account per policy and trace model\n")
+	b.WriteString("(see DESIGN.md §13 for the metric definitions).\n")
+	for _, trace := range study.Traces {
+		fmt.Fprintf(&b, "\n## %s\n\n%s", trace, study.Table(trace).Markdown())
+		fmt.Fprintf(&b, "\nranking: %s\n", strings.Join(study.Ranking(trace), " < "))
+	}
+	b.WriteString("\n## Ranking flips: uniform vs azure\n\n")
+	flips := study.Flips("uniform", "azure", 0.01)
+	if len(flips) == 0 {
+		b.WriteString("none above the noise gap\n")
+		return b.String()
+	}
+	for _, f := range flips {
+		fmt.Fprintf(&b, "- %s beats %s on %s (by %.4f) but loses on %s (by %.4f)\n",
+			f.A, f.B, f.TraceA, f.GapA, f.TraceB, f.GapB)
+	}
+	return b.String()
 }
 
 // renderFigures renders the selected figure shards into outDir through the

@@ -3,8 +3,10 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
+	"dvbp/internal/core"
 	"dvbp/internal/experiments"
 )
 
@@ -27,16 +29,16 @@ func readAll(t *testing.T, dir string) map[string]string {
 }
 
 // TestRenderFiguresDeterministic pins the -workers/-shard contract: the same
-// four SVGs, byte for byte, whether rendered sequentially, in parallel, or as
+// six files, byte for byte, whether rendered sequentially, in parallel, or as
 // two merged shard slices into separate invocations.
 func TestRenderFiguresDeterministic(t *testing.T) {
 	seq := t.TempDir()
-	if wrote, err := renderFigures(seq, 11, 24, 1, experiments.ShardSlice{}); err != nil || wrote != 4 {
+	if wrote, err := renderFigures(seq, 11, 24, 1, experiments.ShardSlice{}); err != nil || wrote != 6 {
 		t.Fatalf("sequential render: wrote=%d err=%v", wrote, err)
 	}
 	want := readAll(t, seq)
-	if len(want) != 4 {
-		t.Fatalf("expected 4 figures, got %d", len(want))
+	if len(want) != 6 {
+		t.Fatalf("expected 6 figures, got %d", len(want))
 	}
 
 	par := t.TempDir()
@@ -62,8 +64,8 @@ func TestRenderFiguresDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if w0+w1 != 4 {
-		t.Fatalf("slices wrote %d+%d figures, want 4 total", w0, w1)
+	if w0+w1 != 6 {
+		t.Fatalf("slices wrote %d+%d figures, want 6 total", w0, w1)
 	}
 	got := readAll(t, sliced)
 	if len(got) != len(want) {
@@ -72,6 +74,45 @@ func TestRenderFiguresDeterministic(t *testing.T) {
 	for name, content := range want {
 		if got[name] != content {
 			t.Errorf("sliced render of %s differs from sequential", name)
+		}
+	}
+}
+
+// TestFragFigureShowsRankingFlip is the head-to-head acceptance check: the
+// markdown output must report at least one uniform-vs-azure ranking flip, and
+// at least one flip must involve a fragmentation-aware policy — the FARB-style
+// evidence that policy rankings do not transfer between trace models.
+func TestFragFigureShowsRankingFlip(t *testing.T) {
+	study, err := runFragStudy(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flips := study.Flips("uniform", "azure", 0.01)
+	if len(flips) == 0 {
+		t.Fatal("no uniform-vs-azure ranking flips above the noise gap")
+	}
+	fragAware := make(map[string]bool)
+	for _, n := range core.FragmentationAwareNames() {
+		fragAware[n] = true
+	}
+	found := false
+	for _, f := range flips {
+		if fragAware[f.A] || fragAware[f.B] {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Errorf("no flip involves a fragmentation-aware policy: %+v", flips)
+	}
+	md := fragMarkdown(study)
+	if !strings.Contains(md, "## Ranking flips: uniform vs azure") ||
+		!strings.Contains(md, "but loses on") {
+		t.Errorf("markdown does not surface the flips:\n%s", md)
+	}
+	for _, trace := range []string{"uniform", "azure", "google"} {
+		if !strings.Contains(md, "## "+trace) {
+			t.Errorf("markdown missing %s table", trace)
 		}
 	}
 }

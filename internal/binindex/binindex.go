@@ -80,6 +80,13 @@ type Store[P any] struct {
 	// subtree prune checks) since the last ResetChecks — the quantity the
 	// engine reports through the SelectObserver seam.
 	checks int
+
+	// totals holds the exact per-dimension sum of all indexed loads, on the
+	// same order-independent superaccumulator the bins themselves use, so
+	// TotalLoad is bit-identical to a fresh summation over the indexed
+	// multiset no matter what mutation history produced it (the property
+	// AdaptiveHybrid's regime switch relies on).
+	totals []vector.Acc
 }
 
 // New returns an empty store for d-dimensional loads.
@@ -87,7 +94,7 @@ func New[P any](d int) *Store[P] {
 	if d < 0 {
 		panic("binindex: negative dimension")
 	}
-	return &Store[P]{d: d, root: nilNode, byID: make(map[int]int32)}
+	return &Store[P]{d: d, root: nilNode, byID: make(map[int]int32), totals: make([]vector.Acc, d)}
 }
 
 // prioOf is the deterministic priority hash (the splitmix64 finaliser). It
@@ -112,6 +119,32 @@ func (s *Store[P]) Len() int {
 // ResetChecks.
 func (s *Store[P]) Checks() int { return s.checks }
 
+// TotalLoad writes the exact per-dimension sum of every indexed bin's load
+// into dst (len(dst) must equal the store dimension). The sum is maintained
+// on vector.Acc, so it is a pure function of the indexed load multiset —
+// independent of insertion, update and removal order.
+func (s *Store[P]) TotalLoad(dst vector.Vector) {
+	if len(dst) != s.d {
+		panic(fmt.Sprintf("binindex: TotalLoad dst dimension %d, store dimension %d", len(dst), s.d))
+	}
+	for j := range s.totals {
+		dst[j] = s.totals[j].Round()
+	}
+}
+
+// totalsAdd folds a load vector into the running totals with the given sign.
+func (s *Store[P]) totalsAdd(load []float64, sign int) {
+	if sign > 0 {
+		for j, x := range load {
+			s.totals[j].Add(x)
+		}
+	} else {
+		for j, x := range load {
+			s.totals[j].Sub(x)
+		}
+	}
+}
+
 // ResetChecks zeroes the feasibility-evaluation counter.
 func (s *Store[P]) ResetChecks() { s.checks = 0 }
 
@@ -132,6 +165,7 @@ func (s *Store[P]) Insert(kf float64, ks int64, id int, load vector.Vector, payl
 	}
 	n := s.alloc(kf, ks, id, load, payload)
 	s.byID[id] = n
+	s.totalsAdd(s.nodes[n].load, +1)
 	s.root = s.insertRec(s.root, n)
 }
 
@@ -174,7 +208,9 @@ func (s *Store[P]) Update(id int, kf float64, ks int64, load vector.Vector) {
 	}
 	s.root = s.removeRec(s.root, nd.kf, nd.ks)
 	nd.kf, nd.ks = kf, ks
+	s.totalsAdd(nd.load, -1)
 	copy(nd.load, load)
+	s.totalsAdd(nd.load, +1)
 	nd.selfMask = residMask(nd.load)
 	s.root = s.insertRec(s.root, n)
 }
@@ -187,7 +223,9 @@ func (s *Store[P]) UpdateLoad(id int, load vector.Vector) {
 		panic(fmt.Sprintf("binindex: update of unindexed bin %d", id))
 	}
 	nd := &s.nodes[n]
+	s.totalsAdd(nd.load, -1)
 	copy(nd.load, load)
+	s.totalsAdd(nd.load, +1)
 	nd.selfMask = residMask(nd.load)
 	s.refreshPath(s.root, nd.kf, nd.ks)
 }
@@ -199,6 +237,7 @@ func (s *Store[P]) Remove(id int) {
 		panic(fmt.Sprintf("binindex: remove of unindexed bin %d", id))
 	}
 	nd := &s.nodes[n]
+	s.totalsAdd(nd.load, -1)
 	s.root = s.removeRec(s.root, nd.kf, nd.ks)
 	delete(s.byID, id)
 	var zero P
@@ -217,6 +256,9 @@ func (s *Store[P]) Clear() {
 	s.root = nilNode
 	clear(s.byID)
 	s.nextFront = 0
+	for j := range s.totals {
+		s.totals[j].Reset()
+	}
 }
 
 // FirstFeasible returns the first entry in key order whose bin fits an item
@@ -596,6 +638,17 @@ func (s *Store[P]) Validate() error {
 	}
 	if seen != len(s.byID) {
 		return fmt.Errorf("binindex: tree has %d nodes, byID has %d", seen, len(s.byID))
+	}
+	fresh := make([]vector.Acc, s.d)
+	for _, n := range s.byID {
+		for j, x := range s.nodes[n].load {
+			fresh[j].Add(x)
+		}
+	}
+	for j := range fresh {
+		if got, want := s.totals[j].Round(), fresh[j].Round(); got != want {
+			return fmt.Errorf("binindex: total load stale in dim %d: %v != %v", j, got, want)
+		}
 	}
 	return nil
 }

@@ -442,3 +442,81 @@ func TestStoreShapeHistoryIndependent(t *testing.T) {
 		}
 	}
 }
+
+// TestTotalLoadTracksMutations drives a random mutation sequence (insert,
+// update, re-key, remove, clear) against an exact-summation oracle: after
+// every operation TotalLoad must equal a fresh superaccumulator sum over the
+// surviving loads — the order-independence AdaptiveHybrid's regime switch
+// depends on. Validate cross-checks the same invariant internally.
+func TestTotalLoadTracksMutations(t *testing.T) {
+	const d = 3
+	r := rand.New(rand.NewSource(11))
+	s := binindex.New[int](d)
+	live := map[int]vector.Vector{}
+	nextID := 0
+	randLoad := func() vector.Vector {
+		v := vector.New(d)
+		for j := range v {
+			v[j] = float64(r.Intn(1000)) / 1000
+		}
+		return v
+	}
+	check := func(op string) {
+		t.Helper()
+		var fresh [d]vector.Acc
+		for _, l := range live {
+			for j, x := range l {
+				fresh[j].Add(x)
+			}
+		}
+		got := vector.New(d)
+		s.TotalLoad(got)
+		for j := range got {
+			if want := fresh[j].Round(); got[j] != want {
+				t.Fatalf("after %s: TotalLoad[%d] = %v, want %v", op, j, got[j], want)
+			}
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("after %s: %v", op, err)
+		}
+	}
+	ids := func() []int {
+		out := make([]int, 0, len(live))
+		for id := range live {
+			out = append(out, id)
+		}
+		sort.Ints(out)
+		return out
+	}
+	for step := 0; step < 2000; step++ {
+		switch op := r.Intn(10); {
+		case op < 4 || len(live) == 0: // insert
+			l := randLoad()
+			s.Insert(r.Float64(), int64(nextID), nextID, l, nextID)
+			live[nextID] = l
+			nextID++
+			check("insert")
+		case op < 6: // in-place load update
+			id := ids()[r.Intn(len(live))]
+			l := randLoad()
+			s.UpdateLoad(id, l)
+			live[id] = l
+			check("update-load")
+		case op < 8: // re-keying update
+			id := ids()[r.Intn(len(live))]
+			l := randLoad()
+			s.Update(id, r.Float64(), int64(id), l)
+			live[id] = l
+			check("update")
+		case op < 9: // remove
+			id := ids()[r.Intn(len(live))]
+			s.Remove(id)
+			delete(live, id)
+			check("remove")
+		default:
+			s.Clear()
+			live = map[int]vector.Vector{}
+			check("clear")
+		}
+	}
+}

@@ -63,6 +63,13 @@ func newBin(id int, d int, openedAt float64) *Bin {
 // returned vector is a copy; policies may keep it.
 func (b *Bin) Load() vector.Vector { return b.load.Clone() }
 
+// LoadAt returns the bin's load in dimension j without copying — the
+// accessor the per-event fragmentation tracker reads through.
+func (b *Bin) LoadAt(j int) float64 { return b.load[j] }
+
+// Dim returns the bin's dimension.
+func (b *Bin) Dim() int { return len(b.load) }
+
 // LoadNorm returns ‖load‖∞ without allocating.
 func (b *Bin) LoadNorm() float64 { return b.load.MaxNorm() }
 

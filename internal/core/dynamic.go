@@ -123,10 +123,16 @@ type EngineStats struct {
 	// is CostAt(t) = CostClosed + OpenBins·t − OpenedAtSum.
 	CostClosed  float64
 	OpenedAtSum float64
-	// OpenLoad is the per-dimension total load across open bins. Together
-	// with OpenBins it measures fragmentation: OpenBins − max_d OpenLoad[d]
-	// bins' worth of capacity is stranded in the dominant dimension.
+	// OpenLoad is the per-dimension total load across open bins.
 	OpenLoad []float64
+	// Stranded is the per-dimension stranded open capacity (DESIGN.md §13):
+	// for each open bin, headroom beyond its binding dimension's usable
+	// headroom — residual_d − min_j residual_j, summed over open bins. It is
+	// capacity that exists in dimension d but cannot host any item shaped
+	// like the bin's scarcest dimension. The deprecated dominant-dimension
+	// heuristic (OpenBins − max_d OpenLoad[d]) undercounts mixed-imbalance
+	// bins; Stranded is per-bin and per-dimension exact.
+	Stranded []float64
 	// Failure/admission accounting (zero on a fault-free, uncapped run).
 	Rejected  int
 	TimedOut  int
@@ -155,6 +161,7 @@ func (e *Engine) Stats() EngineStats {
 		BinsOpened:      e.nextBinID,
 		CostClosed:      e.res.Cost,
 		OpenLoad:        make([]float64, e.list.Dim),
+		Stranded:        make([]float64, e.list.Dim),
 		Rejected:        e.res.Rejected,
 		TimedOut:        e.res.TimedOut,
 		ItemsLost:       e.res.ItemsLost,
@@ -165,8 +172,20 @@ func (e *Engine) Stats() EngineStats {
 			continue
 		}
 		s.OpenedAtSum += b.OpenedAt
+		usable := math.Inf(1)
 		for d, v := range b.load {
 			s.OpenLoad[d] += v
+			if r := 1 - v; r < usable {
+				usable = r
+			}
+		}
+		if usable < 0 {
+			usable = 0
+		}
+		for d, v := range b.load {
+			if r := 1 - v; r > usable {
+				s.Stranded[d] += r - usable
+			}
 		}
 	}
 	return s

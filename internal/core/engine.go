@@ -100,6 +100,19 @@ type SelectObserver interface {
 	AfterSelect(req Request, chosen *Bin, fitChecks int)
 }
 
+// DepartureObserver is an optional extension of Observer for instrumentation
+// that tracks live per-bin state (the fragmentation integrals in
+// internal/metrics). ItemDeparted fires after a normal departure is removed
+// from its bin when the bin stays open; a departure that empties the bin
+// fires BinClosed instead, and crash evictions fire BinCrashed
+// (FailureObserver) after BinClosed. Together the three callbacks cover
+// every mutation of the open set at its event time.
+type DepartureObserver interface {
+	// ItemDeparted fires at time t after the item has been removed from b
+	// (b's load already reflects the removal); b remains open.
+	ItemDeparted(itemID int, b *Bin, t float64)
+}
+
 // BaseObserver is an Observer with no-op methods, for embedding.
 type BaseObserver struct{}
 
@@ -253,6 +266,7 @@ type Engine struct {
 	probe  *fitProbe
 	selObs SelectObserver
 	fObs   FailureObserver
+	dObs   DepartureObserver
 
 	// Indexed Select path (nil/unset when the policy is not an
 	// IndexedPolicy or WithLinearSelect forces the scan). The engine owns
@@ -325,6 +339,9 @@ func newEngineShell(l *item.List, p Policy, cfg config) *Engine {
 	}
 	if fo, ok := cfg.observer.(FailureObserver); ok {
 		e.fObs = fo
+	}
+	if do, ok := cfg.observer.(DepartureObserver); ok {
+		e.dObs = do
 	}
 	if ip, ok := p.(IndexedPolicy); ok && !cfg.linearSelect {
 		prof := ip.IndexProfile()
@@ -604,8 +621,13 @@ func (e *Engine) handleDeparture(t float64, ev departure) (binID int, err error)
 	e.res.Outcomes[ev.itemID] = OutcomeServed
 	if b.Empty() {
 		e.closeBinAt(b, t, false)
-	} else if e.idx != nil {
-		e.idxUpdate(b, false)
+	} else {
+		if e.idx != nil {
+			e.idxUpdate(b, false)
+		}
+		if e.dObs != nil {
+			e.dObs.ItemDeparted(ev.itemID, b, t)
+		}
 	}
 	return ev.binID, e.drainQueue(t)
 }

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"testing"
+
+	"dvbp/internal/workload"
+)
+
+// BenchmarkFragmentationSweep tracks the fragmentation-aware policies'
+// end-to-end throughput on the paper's workload model, indexed (the
+// AscendFeasible feasibility-pruned path) against the linear oracle. Results
+// feed BENCH_core.json (make bench-json).
+func BenchmarkFragmentationSweep(b *testing.B) {
+	l, err := workload.Uniform(workload.UniformConfig{D: 2, N: 2000, Mu: 100, T: 1000, B: 100}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, name := range FragmentationAwareNames() {
+		for _, mode := range []struct {
+			label string
+			opts  []Option
+		}{
+			{"indexed", nil},
+			{"linear", []Option{WithLinearSelect()}},
+		} {
+			b.Run(name+"/"+mode.label, func(b *testing.B) {
+				p, err := NewPolicy(name, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				var cost float64
+				for i := 0; i < b.N; i++ {
+					res, err := Simulate(l, p, mode.opts...)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if i == 0 {
+						cost = res.Cost
+					} else if res.Cost != cost {
+						b.Fatalf("cost drifted across runs: %g vs %g", res.Cost, cost)
+					}
+				}
+				events := float64(2 * l.Len())
+				b.ReportMetric(events*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+			})
+		}
+	}
+}

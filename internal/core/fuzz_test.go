@@ -19,7 +19,7 @@ func FuzzSimulate(f *testing.F) {
 		if l == nil {
 			return
 		}
-		for _, p := range StandardPolicies(1) {
+		for _, p := range append(StandardPolicies(1), FragmentationAwarePolicies(1)...) {
 			res, err := Simulate(l, p)
 			if err != nil {
 				t.Fatalf("%s: %v on %v", p.Name(), err, l.Items)
@@ -66,7 +66,7 @@ func FuzzSimulateFaulty(f *testing.F) {
 				opts = append(opts, WithAdmissionQueue(float64(data[1]%10)))
 			}
 		}
-		for _, p := range StandardPolicies(seed) {
+		for _, p := range append(StandardPolicies(seed), FragmentationAwarePolicies(seed)...) {
 			res, err := Simulate(l, p, opts...)
 			if err != nil {
 				t.Fatalf("%s: %v on %v", p.Name(), err, l.Items)

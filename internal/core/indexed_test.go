@@ -158,10 +158,12 @@ func TestLinearSelectOptionForcesScan(t *testing.T) {
 
 // policyNamesWith lists the canonical registry names the differentials run
 // over, including both Best/Worst Fit load measures (their keys exercise the
-// float word of the composite key, unlike the ID-keyed policies).
+// float word of the composite key, unlike the ID-keyed policies) and the
+// fragmentation-aware family (item-dependent scores over AscendFeasible).
 func policyNamesWith(t *testing.T) []string {
 	t.Helper()
-	return append(PolicyNames(), "BestFit-L1", "WorstFit-L1", "HarmonicFit-3")
+	return append(append(PolicyNames(), "BestFit-L1", "WorstFit-L1", "HarmonicFit-3"),
+		FragmentationAwareNames()...)
 }
 
 // newPolicyT constructs a registry policy or fails the test.

@@ -7,59 +7,138 @@ import (
 	"strings"
 )
 
-// NewPolicy constructs a policy from its canonical name. Recognised names
-// (case-insensitive):
-//
-//	FirstFit | ff
-//	NextFit | nf
-//	BestFit | bf            (L∞ load, as in the paper's experiments)
-//	BestFit-L1 | BestFit-Lp<p>
-//	WorstFit | wf           (L∞ load)
-//	WorstFit-L1 | WorstFit-Lp<p>
-//	LastFit | lf
-//	RandomFit | rf          (seeded with the given seed)
-//	MoveToFront | mtf | mf
-//	HarmonicFit-<K>         (classical Harmonic baseline, K >= 1 classes)
-//
-// seed only affects RandomFit.
+// policySpec is one registry row: a canonical policy name, the extra
+// spellings NewPolicy accepts for it, an optional note shown by
+// PolicySpellings, and the constructor.
+type policySpec struct {
+	canonical string
+	aliases   []string
+	note      string
+	make      func(seed int64) Policy
+}
+
+// familySpec is a parameterised policy family: a listing row (placeholder
+// canonical name plus note) and a prefix parser NewPolicy falls back to when
+// no concrete spelling matches.
+type familySpec struct {
+	display string
+	note    string
+	parse   func(lower string) (Policy, bool)
+}
+
+// policyTable is the policy registry. Rows are appended here once; every
+// derived surface — NewPolicy's parser, PolicySpellings, SortedPolicyNames,
+// PolicyFlagUsage — is generated from it, so a new policy registers in
+// exactly one place and the CLIs cannot drift from the engine's vocabulary.
+var policyTable = []policySpec{
+	{canonical: "FirstFit", aliases: []string{"ff"},
+		make: func(int64) Policy { return NewFirstFit() }},
+	{canonical: "NextFit", aliases: []string{"nf"},
+		make: func(int64) Policy { return NewNextFit() }},
+	{canonical: "BestFit", aliases: []string{"bf", "BestFit-Linf"},
+		note: "(also BestFit-L1, BestFit-Lp<p> with p >= 1)",
+		make: func(int64) Policy { return NewBestFit(MaxLoad()) }},
+	{canonical: "WorstFit", aliases: []string{"wf", "WorstFit-Linf"},
+		note: "(also WorstFit-L1, WorstFit-Lp<p> with p >= 1)",
+		make: func(int64) Policy { return NewWorstFit(MaxLoad()) }},
+	{canonical: "LastFit", aliases: []string{"lf"},
+		make: func(int64) Policy { return NewLastFit() }},
+	{canonical: "RandomFit", aliases: []string{"rf"},
+		note: "(seeded with -seed)",
+		make: func(seed int64) Policy { return NewRandomFit(seed) }},
+	{canonical: "MoveToFront", aliases: []string{"mtf", "mf"},
+		make: func(int64) Policy { return NewMoveToFront() }},
+	{canonical: "BestFit-L1",
+		make: func(int64) Policy { return NewBestFit(SumLoad()) }},
+	{canonical: "WorstFit-L1",
+		make: func(int64) Policy { return NewWorstFit(SumLoad()) }},
+	{canonical: "DotProduct", aliases: []string{"dot", "dp"},
+		note: "(max residual-size alignment, DESIGN.md §13)",
+		make: func(int64) Policy { return NewDotProduct() }},
+	{canonical: "L2Residual", aliases: []string{"l2"},
+		note: "(min post-placement residual norm)",
+		make: func(int64) Policy { return NewL2Residual() }},
+	{canonical: "FARB", aliases: []string{"balancefit"},
+		note: "(balance/fullness/L2 composite score)",
+		make: func(int64) Policy { return NewFARB() }},
+	{canonical: "AdaptiveHybrid", aliases: []string{"hybrid", "ah"},
+		note: "(switches DotProduct/FARB/BestFit on live cluster imbalance)",
+		make: func(int64) Policy { return NewAdaptiveHybrid() }},
+}
+
+// policyFamilies are the parameterised forms, tried after the spelling index.
+var policyFamilies = []familySpec{
+	{display: "BestFit-Lp<p>", note: "(Best Fit under the Lp load measure, p >= 1)",
+		parse: func(n string) (Policy, bool) {
+			if p, ok := strings.CutPrefix(n, "bestfit-lp"); ok {
+				if x, err := strconv.ParseFloat(p, 64); err == nil && x >= 1 {
+					return NewBestFit(PNormLoad(x)), true
+				}
+			}
+			return nil, false
+		}},
+	{display: "WorstFit-Lp<p>", note: "(Worst Fit under the Lp load measure, p >= 1)",
+		parse: func(n string) (Policy, bool) {
+			if p, ok := strings.CutPrefix(n, "worstfit-lp"); ok {
+				if x, err := strconv.ParseFloat(p, 64); err == nil && x >= 1 {
+					return NewWorstFit(PNormLoad(x)), true
+				}
+			}
+			return nil, false
+		}},
+	{display: "HarmonicFit-<K>", note: "(classical Harmonic baseline, K >= 1 classes)",
+		parse: func(n string) (Policy, bool) {
+			if p, ok := strings.CutPrefix(n, "harmonicfit-"); ok {
+				if k, err := strconv.Atoi(p); err == nil && k >= 1 {
+					return NewHarmonicFit(k), true
+				}
+			}
+			return nil, false
+		}},
+}
+
+// buildSpellingIndex maps every accepted spelling (lower-cased canonical
+// names and aliases) to its registry row, rejecting duplicates: two rows
+// claiming one spelling would make NewPolicy's answer depend on table order,
+// which is exactly the silent drift the registry exists to prevent.
+func buildSpellingIndex(specs []policySpec) (map[string]*policySpec, error) {
+	idx := make(map[string]*policySpec, 2*len(specs))
+	for i := range specs {
+		sp := &specs[i]
+		for _, spelling := range append([]string{sp.canonical}, sp.aliases...) {
+			key := strings.ToLower(spelling)
+			if prev, dup := idx[key]; dup && prev != sp {
+				return nil, fmt.Errorf("core: duplicate policy spelling %q claimed by %s and %s",
+					spelling, prev.canonical, sp.canonical)
+			}
+			idx[key] = sp
+		}
+	}
+	return idx, nil
+}
+
+var policyBySpelling = func() map[string]*policySpec {
+	idx, err := buildSpellingIndex(policyTable)
+	if err != nil {
+		panic(err)
+	}
+	return idx
+}()
+
+// NewPolicy constructs a policy from any registered spelling
+// (case-insensitive; see PolicySpellings for the full vocabulary) or
+// parameterised family form. seed only affects RandomFit.
 func NewPolicy(name string, seed int64) (Policy, error) {
 	n := strings.ToLower(strings.TrimSpace(name))
-	switch n {
-	case "firstfit", "ff":
-		return NewFirstFit(), nil
-	case "nextfit", "nf":
-		return NewNextFit(), nil
-	case "bestfit", "bf", "bestfit-linf":
-		return NewBestFit(MaxLoad()), nil
-	case "bestfit-l1":
-		return NewBestFit(SumLoad()), nil
-	case "worstfit", "wf", "worstfit-linf":
-		return NewWorstFit(MaxLoad()), nil
-	case "worstfit-l1":
-		return NewWorstFit(SumLoad()), nil
-	case "lastfit", "lf":
-		return NewLastFit(), nil
-	case "randomfit", "rf":
-		return NewRandomFit(seed), nil
-	case "movetofront", "mtf", "mf":
-		return NewMoveToFront(), nil
+	if sp, ok := policyBySpelling[n]; ok {
+		return sp.make(seed), nil
 	}
-	if p, ok := strings.CutPrefix(n, "bestfit-lp"); ok {
-		if x, err := strconv.ParseFloat(p, 64); err == nil && x >= 1 {
-			return NewBestFit(PNormLoad(x)), nil
+	for _, fam := range policyFamilies {
+		if p, ok := fam.parse(n); ok {
+			return p, nil
 		}
 	}
-	if p, ok := strings.CutPrefix(n, "worstfit-lp"); ok {
-		if x, err := strconv.ParseFloat(p, 64); err == nil && x >= 1 {
-			return NewWorstFit(PNormLoad(x)), nil
-		}
-	}
-	if p, ok := strings.CutPrefix(n, "harmonicfit-"); ok {
-		if k, err := strconv.Atoi(p); err == nil && k >= 1 {
-			return NewHarmonicFit(k), nil
-		}
-	}
-	return nil, fmt.Errorf("core: unknown policy %q (known: %s)", name, strings.Join(PolicyNames(), ", "))
+	return nil, fmt.Errorf("core: unknown policy %q (known: %s)", name, strings.Join(SortedPolicyNames(), ", "))
 }
 
 // PolicyNames returns the canonical names of the seven policies studied in
@@ -90,31 +169,59 @@ func StandardPolicies(seed int64) []Policy {
 	return ps
 }
 
-// SortedPolicyNames returns all canonical names in lexicographic order.
+// SortedPolicyNames returns every registered canonical name in lexicographic
+// order (case-insensitive), deduplicated.
 func SortedPolicyNames() []string {
-	ns := PolicyNames()
-	out := make([]string, len(ns))
-	copy(out, ns)
-	sort.Strings(out)
+	out := make([]string, 0, len(policyTable))
+	for i := range policyTable {
+		out = append(out, policyTable[i].canonical)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return strings.ToLower(out[i]) < strings.ToLower(out[j])
+	})
 	return out
 }
 
-// PolicySpellings returns one line per canonical policy name, in sorted
-// order, listing the aliases and parameterised forms NewPolicy accepts
-// (case-insensitive). CLIs print it from -list so the help text and the
-// parser cannot drift apart: every spelling shown here is matched by a
-// registry round-trip test.
+// PolicySpellings returns one line per registered canonical policy name and
+// parameterised family, sorted case-insensitively, listing the aliases and
+// notes. Aliases that restate the canonical spelling are deduplicated. CLIs
+// print it from -list so the help text and the parser cannot drift apart:
+// every spelling shown here is matched by a registry round-trip test.
 func PolicySpellings() []string {
-	return []string{
-		"BestFit | bf | BestFit-Linf   (also BestFit-L1, BestFit-Lp<p> with p >= 1)",
-		"FirstFit | ff",
-		"LastFit | lf",
-		"MoveToFront | mtf | mf",
-		"NextFit | nf",
-		"RandomFit | rf                (seeded with -seed)",
-		"WorstFit | wf | WorstFit-Linf (also WorstFit-L1, WorstFit-Lp<p> with p >= 1)",
-		"HarmonicFit-<K>               (classical Harmonic baseline, K >= 1 classes)",
+	type line struct{ spellings, note string }
+	lines := make([]line, 0, len(policyTable)+len(policyFamilies))
+	for _, r := range policyTable {
+		parts := []string{r.canonical}
+		seen := map[string]bool{strings.ToLower(r.canonical): true}
+		for _, a := range r.aliases {
+			if k := strings.ToLower(a); !seen[k] {
+				seen[k] = true
+				parts = append(parts, a)
+			}
+		}
+		lines = append(lines, line{spellings: strings.Join(parts, " | "), note: r.note})
 	}
+	for _, fam := range policyFamilies {
+		lines = append(lines, line{spellings: fam.display, note: fam.note})
+	}
+	sort.Slice(lines, func(i, j int) bool {
+		return strings.ToLower(lines[i].spellings) < strings.ToLower(lines[j].spellings)
+	})
+	width := 0
+	for _, l := range lines {
+		if l.note != "" && len(l.spellings) > width {
+			width = len(l.spellings)
+		}
+	}
+	out := make([]string, 0, len(lines))
+	for _, l := range lines {
+		if l.note == "" {
+			out = append(out, l.spellings)
+			continue
+		}
+		out = append(out, fmt.Sprintf("%-*s %s", width, l.spellings, l.note))
+	}
+	return out
 }
 
 // PolicyFlagUsage is the shared help text for CLI -policy flags: the

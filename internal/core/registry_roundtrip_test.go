@@ -23,6 +23,7 @@ func roundTripPolicies(seed int64) []Policy {
 	for _, k := range []int{1, 3, 8} {
 		ps = append(ps, NewHarmonicFit(k))
 	}
+	ps = append(ps, FragmentationAwarePolicies(seed)...)
 	return ps
 }
 
@@ -174,6 +175,54 @@ func TestPolicySpellingsAllParse(t *testing.T) {
 	for _, extra := range []string{"BestFit-L1", "BestFit-Lp3", "WorstFit-L1", "WorstFit-Lp1.5", "HarmonicFit-1"} {
 		if _, err := NewPolicy(extra, 1); err != nil {
 			t.Errorf("documented form %q rejected: %v", extra, err)
+		}
+	}
+}
+
+// TestRegistryRejectsDuplicateSpellings checks the registration-time guard:
+// two rows claiming one spelling (any case) must fail index construction
+// instead of silently shadowing each other.
+func TestRegistryRejectsDuplicateSpellings(t *testing.T) {
+	dup := []policySpec{
+		{canonical: "AlphaFit", aliases: []string{"af"}, make: func(int64) Policy { return NewFirstFit() }},
+		{canonical: "BetaFit", aliases: []string{"AF"}, make: func(int64) Policy { return NewLastFit() }},
+	}
+	if _, err := buildSpellingIndex(dup); err == nil {
+		t.Fatal("duplicate alias spelling accepted")
+	}
+	dup[1].aliases = nil
+	dup[1].canonical = "alphafit"
+	if _, err := buildSpellingIndex(dup); err == nil {
+		t.Fatal("duplicate canonical spelling accepted")
+	}
+	if _, err := buildSpellingIndex(policyTable); err != nil {
+		t.Fatalf("real table rejected: %v", err)
+	}
+	// A row may repeat its own spelling (self-alias); that is deduplicated,
+	// not an error.
+	self := []policySpec{{canonical: "GammaFit", aliases: []string{"gammafit"}, make: func(int64) Policy { return NewFirstFit() }}}
+	if _, err := buildSpellingIndex(self); err != nil {
+		t.Fatalf("self-alias rejected: %v", err)
+	}
+}
+
+// TestPolicySpellingsDeduplicated checks the -list contract the CLIs print:
+// no spelling appears twice anywhere in the listing (aliases that restate a
+// canonical name are dropped), and no two lines share a canonical name.
+func TestPolicySpellingsDeduplicated(t *testing.T) {
+	seen := map[string]string{}
+	for _, line := range PolicySpellings() {
+		head := strings.TrimSpace(strings.SplitN(line, "(", 2)[0])
+		for _, f := range strings.Split(head, "|") {
+			sp := strings.ToLower(strings.TrimSpace(f))
+			if sp == "" {
+				t.Errorf("empty spelling in line %q", line)
+				continue
+			}
+			if prev, dup := seen[sp]; dup {
+				t.Errorf("spelling %q appears in %q and %q", sp, prev, line)
+			}
+			seen[sp] = line
 		}
 	}
 }

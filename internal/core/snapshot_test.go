@@ -53,7 +53,7 @@ func resultJSON(t *testing.T, res *Result) string {
 // bit and finish with a byte-identical Result.
 func TestSnapshotRestoreEveryEventIndex(t *testing.T) {
 	l := randomList(42, 40, 2, 20)
-	policies := append(StandardPolicies(7), NewHarmonicFit(3))
+	policies := append(append(StandardPolicies(7), NewHarmonicFit(3)), FragmentationAwarePolicies(7)...)
 	for _, p := range policies {
 		p := p
 		t.Run(p.Name(), func(t *testing.T) {

@@ -41,3 +41,29 @@ func WriteMetrics(w io.Writer, label string, s metrics.Snapshot) error {
 		MetricsTable("== metrics"+suffix+" ==", s).Render(), suffix, s.JSON(), suffix, s.Prometheus())
 	return err
 }
+
+// FragRow is one policy's entry in a fragmentation head-to-head table.
+type FragRow struct {
+	Label string
+	// Ratio is the usage-time cost over the instance lower bound.
+	Ratio   float64
+	Summary metrics.FragSummary
+}
+
+// FragTable renders a waste/fragmentation comparison in the FARB evaluation's
+// terms: per policy, the cost ratio, the share of rented capacity·time no
+// item used (waste%), the share of free capacity·time locked behind a
+// binding dimension (frag%), the time-weighted mean residual imbalance, and
+// the total stranded capacity·time.
+func FragTable(title string, rows []FragRow) *Table {
+	t := &Table{Title: title, Headers: []string{"policy", "cost/LB", "waste%", "frag%", "imbalance", "stranded·time"}}
+	for _, r := range rows {
+		stranded := 0.0
+		for _, x := range r.Summary.StrandedTime {
+			stranded += x
+		}
+		t.AddRow(r.Label, F(r.Ratio), F(r.Summary.WastePct), F(r.Summary.FragPct),
+			F(r.Summary.MeanImbalance), F(stranded))
+	}
+	return t
+}

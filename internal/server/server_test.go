@@ -181,6 +181,46 @@ func TestServerTenantLifecycle(t *testing.T) {
 
 func f(v float64) *float64 { return &v }
 
+// TestServerStrandedAccounting pins the corrected per-dimension stranded
+// metric on a mixed-imbalance fleet — the case the legacy dominant-dimension
+// heuristic undercounts. Two bins with mirrored loads (0.875, 0.25) and
+// (0.25, 0.875) strand 0.625 capacity in EACH dimension (each bin's free
+// capacity is locked behind its own binding dimension), while the old
+// StrandedBins = OpenBins − max_d OpenLoad[d] formula sees only 0.875 total.
+// All sizes are dyadic, so every comparison is exact.
+func TestServerStrandedAccounting(t *testing.T) {
+	ts, _ := newTestServer(t, t.TempDir(), Limits{})
+	cfg := TenantConfig{Name: "frag", Dim: 2, Policy: "FirstFit", Seed: 1}
+	mustStatus(t, http.StatusCreated, call(t, "POST", ts.URL+"/v1/tenants", cfg, nil), "create")
+
+	var p1, p2 PlaceResult
+	mustStatus(t, http.StatusOK, call(t, "POST", ts.URL+"/v1/tenants/frag/place",
+		placeBody{Arrival: f(0), Departure: f(10), Size: []float64{0.875, 0.25}}, &p1), "place 1")
+	mustStatus(t, http.StatusOK, call(t, "POST", ts.URL+"/v1/tenants/frag/place",
+		placeBody{Arrival: f(0), Departure: f(10), Size: []float64{0.25, 0.875}}, &p2), "place 2")
+	if p1.Bin == p2.Bin {
+		t.Fatalf("items share bin %d; the scenario needs mirrored bins", p1.Bin)
+	}
+
+	var st TenantStatus
+	mustStatus(t, http.StatusOK, call(t, "GET", ts.URL+"/v1/tenants/frag", nil, &st), "status")
+	if st.OpenBins != 2 {
+		t.Fatalf("open bins %d, want 2", st.OpenBins)
+	}
+	want := []float64{0.625, 0.625}
+	if len(st.StrandedPerDim) != 2 || st.StrandedPerDim[0] != want[0] || st.StrandedPerDim[1] != want[1] {
+		t.Errorf("stranded per dim %v, want %v", st.StrandedPerDim, want)
+	}
+	if st.StrandedCapacity != 1.25 {
+		t.Errorf("stranded capacity %v, want 1.25", st.StrandedCapacity)
+	}
+	// The deprecated heuristic keeps its old (undercounting) value for JSON
+	// compatibility: 2 − max(1.125, 1.125).
+	if st.StrandedBins != 0.875 {
+		t.Errorf("legacy stranded bins %v, want 0.875", st.StrandedBins)
+	}
+}
+
 func TestServerValidationErrors(t *testing.T) {
 	ts, _ := newTestServer(t, t.TempDir(), Limits{})
 	mustStatus(t, http.StatusCreated, call(t, "POST", ts.URL+"/v1/tenants",

@@ -150,11 +150,22 @@ type TenantStatus struct {
 	BinsOpened int     `json:"bins_opened"`
 	// Cost is the usage-time objective accrued through the watermark.
 	Cost float64 `json:"cost"`
-	// OpenLoad is the per-dimension total load across open bins;
-	// StrandedBins = OpenBins − max_d OpenLoad[d] is the capacity (in bins)
-	// fragmentation has stranded in the dominant dimension.
-	OpenLoad     []float64 `json:"open_load"`
-	StrandedBins float64   `json:"stranded_bins"`
+	// OpenLoad is the per-dimension total load across open bins.
+	OpenLoad []float64 `json:"open_load"`
+	// StrandedPerDim is the per-dimension stranded open capacity: free
+	// capacity in dimension d that cannot be used because some other
+	// dimension has less headroom, summed over open bins (core.EngineStats
+	// Stranded; DESIGN.md §13). StrandedCapacity is its dimension sum.
+	StrandedPerDim   []float64 `json:"stranded_per_dim"`
+	StrandedCapacity float64   `json:"stranded_capacity"`
+	// StrandedBins is the legacy dominant-dimension heuristic
+	// OpenBins − max_d OpenLoad[d].
+	//
+	// Deprecated: it undercounts mixed-imbalance fleets — a bin free in
+	// dimension 0 next to a bin free in dimension 1 strands capacity in
+	// both, but the fleet-level max sees neither. Kept for JSON
+	// compatibility; read StrandedPerDim / StrandedCapacity instead.
+	StrandedBins float64 `json:"stranded_bins"`
 }
 
 // PlacementRecord is one acknowledged placement in a placements listing.
@@ -496,6 +507,10 @@ func (t *Tenant) status() *TenantStatus {
 		BinsOpened:   st.BinsOpened,
 		Cost:         st.CostAt(t.watermark),
 		OpenLoad:     st.OpenLoad,
+	}
+	out.StrandedPerDim = st.Stranded
+	for _, v := range st.Stranded {
+		out.StrandedCapacity += v
 	}
 	maxLoad := 0.0
 	for _, v := range st.OpenLoad {

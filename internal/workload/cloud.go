@@ -65,8 +65,17 @@ func DefaultTypes(d int) []InstanceType {
 	}
 }
 
-// Validate checks the configuration.
+// Validate checks the configuration, rejecting non-finite parameters so a
+// NaN/Inf cannot propagate into sampler draws.
 func (c SessionConfig) Validate() error {
+	for name, x := range map[string]float64{
+		"Horizon": c.Horizon, "Rate": c.Rate, "MeanDuration": c.MeanDuration,
+		"Alpha": c.Alpha, "MinDuration": c.MinDuration, "MaxDuration": c.MaxDuration,
+	} {
+		if !finite(x) {
+			return fmt.Errorf("workload: %s = %g is not finite", name, x)
+		}
+	}
 	switch {
 	case c.D < 1:
 		return fmt.Errorf("workload: D = %d, want >= 1", c.D)
@@ -87,6 +96,14 @@ func (c SessionConfig) Validate() error {
 		}
 		if tp.Weight <= 0 {
 			return fmt.Errorf("workload: type %d non-positive weight", i)
+		}
+		if !finite(tp.Jitter) || tp.Jitter < 0 || tp.Jitter > 1 {
+			return fmt.Errorf("workload: type %d jitter %g, want [0,1]", i, tp.Jitter)
+		}
+		for j, s := range tp.Demand {
+			if !finite(s) || s <= 0 || s > 1 {
+				return fmt.Errorf("workload: type %d demand[%d] = %g, want (0,1]", i, j, s)
+			}
 		}
 	}
 	return nil
@@ -122,6 +139,9 @@ func Sessions(cfg SessionConfig, seed int64) (*item.List, error) {
 		for j := range size {
 			jit := 1 + tp.Jitter*(2*r.Float64()-1)
 			size[j] = clamp01(tp.Demand[j] * jit)
+		}
+		if err := checkItem(l.Len(), t, dur, size); err != nil {
+			return nil, err
 		}
 		l.Add(t, t+dur, size)
 	}
@@ -188,7 +208,7 @@ type DiurnalConfig struct {
 // Diurnal generates a session trace whose arrival intensity follows
 // rate·(1 + (PeakFactor-1)·sin²(πt/Period)) via thinning.
 func Diurnal(cfg DiurnalConfig, seed int64) (*item.List, error) {
-	if cfg.Period <= 0 || cfg.PeakFactor < 1 {
+	if !finite(cfg.Period) || !finite(cfg.PeakFactor) || cfg.Period <= 0 || cfg.PeakFactor < 1 {
 		return nil, fmt.Errorf("workload: diurnal Period %g / PeakFactor %g invalid", cfg.Period, cfg.PeakFactor)
 	}
 	if cfg.Session.D < 1 {
@@ -224,6 +244,9 @@ func Diurnal(cfg DiurnalConfig, seed int64) (*item.List, error) {
 		for j := range size {
 			jit := 1 + tp.Jitter*(2*r.Float64()-1)
 			size[j] = clamp01(tp.Demand[j] * jit)
+		}
+		if err := checkItem(l.Len(), t, dur, size); err != nil {
+			return nil, err
 		}
 		l.Add(t, t+dur, size)
 	}

@@ -1,0 +1,282 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dvbp/internal/item"
+	"dvbp/internal/vector"
+)
+
+// This file adds datacenter-realistic trace families beside the paper's
+// uniform model: heavy-tailed sizes, correlated per-dimension demands (VM
+// shapes come in fixed CPU:RAM ratios), and Markov-modulated arrival bursts.
+// AzureLike parameterises the VM-serving regime of the Azure traces (few
+// shapes, strong correlation, long sessions); GoogleLike the Borg-task
+// regime (many tiny tasks, weak correlation, strong bursts).
+
+// InstanceFamily is a demand shape class: per-dimension ratios that a drawn
+// size scale multiplies into a demand vector.
+type InstanceFamily struct {
+	Name string
+	// Shape holds per-dimension multipliers in (0, 1]; the family's demand
+	// in dimension j is scale·Shape[j].
+	Shape vector.Vector
+	// Weight is the sampling weight among families.
+	Weight float64
+}
+
+// DatacenterConfig drives the Datacenter generator. All fields must be
+// finite; Validate rejects NaN/Inf up front so degenerate draws cannot leak
+// into instances.
+type DatacenterConfig struct {
+	// D is the number of resource dimensions.
+	D int
+	// Horizon is the arrival window length; Rate the base Poisson arrival
+	// rate outside bursts.
+	Horizon float64
+	Rate    float64
+	// BurstFactor multiplies the rate during bursts (>= 1; 1 disables
+	// bursts). BurstOn and BurstOff are the mean burst and gap lengths of
+	// the two-state Markov modulation (both > 0 when BurstFactor > 1).
+	BurstFactor       float64
+	BurstOn, BurstOff float64
+	// Durations are bounded-Pareto: mean MeanDuration, tail DurationAlpha
+	// (> 1), truncated to [MinDuration, MaxDuration].
+	MeanDuration             float64
+	DurationAlpha            float64
+	MinDuration, MaxDuration float64
+	// Size scales are bounded-Pareto with tail SizeAlpha (> 1), mean
+	// SizeMean, truncated to [SizeMin, SizeMax].
+	SizeAlpha        float64
+	SizeMean         float64
+	SizeMin, SizeMax float64
+	// Corr in [0, 1] blends a shared size scale (perfect cross-dimension
+	// correlation) with independent per-dimension scales: 1 reproduces
+	// fixed-ratio VM shapes, 0 makes dimensions independent.
+	Corr float64
+	// Families is the shape catalogue; DefaultFamilies(D) when empty.
+	Families []InstanceFamily
+}
+
+// DefaultFamilies returns a VM-like shape catalogue over d dimensions:
+// compute-optimised, memory-optimised (when d >= 2) and general-purpose,
+// rotating the dominant axis like DefaultTypes.
+func DefaultFamilies(d int) []InstanceFamily {
+	if d < 1 {
+		panic("workload: DefaultFamilies needs d >= 1")
+	}
+	mk := func(name string, dom int, high, low, w float64) InstanceFamily {
+		v := vector.Uniform(d, low)
+		v[dom%d] = high
+		return InstanceFamily{Name: name, Shape: v, Weight: w}
+	}
+	fams := []InstanceFamily{
+		mk("compute-opt", 0, 1.0, 0.35, 3),
+		{Name: "general", Shape: vector.Uniform(d, 0.65), Weight: 4},
+	}
+	if d >= 2 {
+		fams = append(fams, mk("memory-opt", 1, 1.0, 0.3, 2))
+	}
+	return fams
+}
+
+// AzureLike returns the VM-serving regime: few fixed shapes with strongly
+// correlated dimensions, heavy-tailed sizes up to over half a host, long
+// Pareto sessions, and mild arrival bursts. Dimensional imbalance here comes
+// from the shape mix — compute-optimised next to memory-optimised VMs strand
+// whichever resource the co-located shapes do not stress.
+func AzureLike(d int) DatacenterConfig {
+	return DatacenterConfig{
+		D:           d,
+		Horizon:     200,
+		Rate:        3,
+		BurstFactor: 3, BurstOn: 8, BurstOff: 25,
+		MeanDuration: 40, DurationAlpha: 1.8, MinDuration: 2, MaxDuration: 400,
+		SizeAlpha: 1.5, SizeMean: 0.16, SizeMin: 0.04, SizeMax: 0.62,
+		Corr:     0.85,
+		Families: DefaultFamilies(d),
+	}
+}
+
+// GoogleLike returns the Borg-task regime: swarms of tiny short tasks with
+// weakly correlated dimensions and strong arrival bursts, plus a thin heavy
+// tail of large tasks.
+func GoogleLike(d int) DatacenterConfig {
+	return DatacenterConfig{
+		D:           d,
+		Horizon:     200,
+		Rate:        6,
+		BurstFactor: 6, BurstOn: 3, BurstOff: 12,
+		MeanDuration: 15, DurationAlpha: 1.6, MinDuration: 0.5, MaxDuration: 200,
+		SizeAlpha: 2.2, SizeMean: 0.06, SizeMin: 0.01, SizeMax: 0.5,
+		Corr:     0.35,
+		Families: DefaultFamilies(d),
+	}
+}
+
+// finite reports x being an ordinary float (not NaN, not ±Inf).
+func finite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }
+
+// Validate checks the configuration, rejecting non-finite parameters.
+func (c DatacenterConfig) Validate() error {
+	for name, x := range map[string]float64{
+		"Horizon": c.Horizon, "Rate": c.Rate, "BurstFactor": c.BurstFactor,
+		"BurstOn": c.BurstOn, "BurstOff": c.BurstOff,
+		"MeanDuration": c.MeanDuration, "DurationAlpha": c.DurationAlpha,
+		"MinDuration": c.MinDuration, "MaxDuration": c.MaxDuration,
+		"SizeAlpha": c.SizeAlpha, "SizeMean": c.SizeMean,
+		"SizeMin": c.SizeMin, "SizeMax": c.SizeMax, "Corr": c.Corr,
+	} {
+		if !finite(x) {
+			return fmt.Errorf("workload: %s = %g is not finite", name, x)
+		}
+	}
+	switch {
+	case c.D < 1:
+		return fmt.Errorf("workload: D = %d, want >= 1", c.D)
+	case c.Horizon <= 0:
+		return fmt.Errorf("workload: Horizon = %g, want > 0", c.Horizon)
+	case c.Rate <= 0:
+		return fmt.Errorf("workload: Rate = %g, want > 0", c.Rate)
+	case c.BurstFactor < 1:
+		return fmt.Errorf("workload: BurstFactor = %g, want >= 1", c.BurstFactor)
+	case c.BurstFactor > 1 && (c.BurstOn <= 0 || c.BurstOff <= 0):
+		return fmt.Errorf("workload: burst lengths [%g,%g] invalid with BurstFactor %g", c.BurstOn, c.BurstOff, c.BurstFactor)
+	case c.DurationAlpha <= 1 || c.SizeAlpha <= 1:
+		return fmt.Errorf("workload: Pareto tails (%g, %g) must exceed 1", c.DurationAlpha, c.SizeAlpha)
+	case c.MinDuration <= 0 || c.MaxDuration < c.MinDuration:
+		return fmt.Errorf("workload: duration range [%g,%g] invalid", c.MinDuration, c.MaxDuration)
+	case c.MeanDuration < c.MinDuration || c.MeanDuration > c.MaxDuration:
+		return fmt.Errorf("workload: MeanDuration %g outside [%g,%g]", c.MeanDuration, c.MinDuration, c.MaxDuration)
+	case c.SizeMin <= 0 || c.SizeMax < c.SizeMin || c.SizeMax > 1:
+		return fmt.Errorf("workload: size range [%g,%g] invalid", c.SizeMin, c.SizeMax)
+	case c.SizeMean < c.SizeMin || c.SizeMean > c.SizeMax:
+		return fmt.Errorf("workload: SizeMean %g outside [%g,%g]", c.SizeMean, c.SizeMin, c.SizeMax)
+	case c.Corr < 0 || c.Corr > 1:
+		return fmt.Errorf("workload: Corr = %g, want [0,1]", c.Corr)
+	}
+	for i, f := range c.Families {
+		if f.Shape.Dim() != c.D {
+			return fmt.Errorf("workload: family %d dimension %d, want %d", i, f.Shape.Dim(), c.D)
+		}
+		if f.Weight <= 0 {
+			return fmt.Errorf("workload: family %d non-positive weight", i)
+		}
+		for j, s := range f.Shape {
+			if !finite(s) || s <= 0 || s > 1 {
+				return fmt.Errorf("workload: family %d shape[%d] = %g, want (0,1]", i, j, s)
+			}
+		}
+	}
+	return nil
+}
+
+// Datacenter generates a datacenter-style trace: Markov-modulated Poisson
+// arrivals, bounded-Pareto durations, and per-family correlated heavy-tailed
+// sizes. It is deterministic in (cfg, seed), and every emitted item passes
+// the degenerate-draw audit (checkItem) — a sampler producing NaN/Inf or a
+// zero-length lifetime aborts with an explicit error instead of emitting a
+// silently broken event.
+func Datacenter(cfg DatacenterConfig, seed int64) (*item.List, error) {
+	if cfg.D >= 1 && cfg.Families == nil {
+		cfg.Families = DefaultFamilies(cfg.D)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(seed))
+	totalW := 0.0
+	for _, f := range cfg.Families {
+		totalW += f.Weight
+	}
+
+	l := item.NewList(cfg.D)
+	t := 0.0
+	bursting := false
+	stateEnd := 0.0
+	if cfg.BurstFactor > 1 {
+		stateEnd = r.ExpFloat64() * cfg.BurstOff
+	} else {
+		stateEnd = math.Inf(1)
+	}
+	for {
+		rate := cfg.Rate
+		if bursting {
+			rate *= cfg.BurstFactor
+		}
+		next := t + r.ExpFloat64()/rate
+		if next >= stateEnd {
+			// State flip before the next arrival: re-draw from the flip time.
+			t = stateEnd
+			bursting = !bursting
+			mean := cfg.BurstOff
+			if bursting {
+				mean = cfg.BurstOn
+			}
+			stateEnd = t + r.ExpFloat64()*mean
+			if t >= cfg.Horizon {
+				break
+			}
+			continue
+		}
+		t = next
+		if t >= cfg.Horizon {
+			break
+		}
+		dur := boundedPareto(r, cfg.DurationAlpha, cfg.MinDuration, cfg.MaxDuration, cfg.MeanDuration)
+		f := pickFamily(r, cfg.Families, totalW)
+		shared := boundedPareto(r, cfg.SizeAlpha, cfg.SizeMin, cfg.SizeMax, cfg.SizeMean)
+		size := vector.New(cfg.D)
+		for j := range size {
+			own := boundedPareto(r, cfg.SizeAlpha, cfg.SizeMin, cfg.SizeMax, cfg.SizeMean)
+			size[j] = clamp01(f.Shape[j] * (cfg.Corr*shared + (1-cfg.Corr)*own))
+		}
+		if err := checkItem(l.Len(), t, dur, size); err != nil {
+			return nil, err
+		}
+		l.Add(t, t+dur, size)
+	}
+	if l.Len() == 0 {
+		// Degenerate draw (tiny horizon·rate); keep downstream code away
+		// from empty instances, as Sessions does.
+		f := cfg.Families[0]
+		size := vector.New(cfg.D)
+		for j := range size {
+			size[j] = clamp01(f.Shape[j] * cfg.SizeMean)
+		}
+		l.Add(0, cfg.MinDuration, size)
+	}
+	return l, nil
+}
+
+func pickFamily(r *rand.Rand, fams []InstanceFamily, totalW float64) InstanceFamily {
+	x := r.Float64() * totalW
+	for _, f := range fams {
+		if x < f.Weight {
+			return f
+		}
+		x -= f.Weight
+	}
+	return fams[len(fams)-1]
+}
+
+// checkItem is the degenerate-draw audit every generator runs before
+// emitting an item: non-finite arrivals or sizes and zero-or-negative
+// durations abort generation with an explicit error naming the item, rather
+// than letting a silently bad event poison a simulation.
+func checkItem(idx int, arrival, dur float64, size vector.Vector) error {
+	if !finite(arrival) || arrival < 0 {
+		return fmt.Errorf("workload: item %d has degenerate arrival %g", idx, arrival)
+	}
+	if !finite(dur) || dur <= 0 {
+		return fmt.Errorf("workload: item %d has degenerate duration %g", idx, dur)
+	}
+	for j, s := range size {
+		if !finite(s) || s <= 0 || s > 1 {
+			return fmt.Errorf("workload: item %d has degenerate size[%d] = %g", idx, j, s)
+		}
+	}
+	return nil
+}

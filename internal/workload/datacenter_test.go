@@ -1,0 +1,219 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"dvbp/internal/vector"
+)
+
+func TestDatacenterGeneratesValidTrace(t *testing.T) {
+	for name, cfg := range map[string]DatacenterConfig{
+		"azure":  AzureLike(2),
+		"google": GoogleLike(2),
+	} {
+		l, err := Datacenter(cfg, 11)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := l.Validate(); err != nil {
+			t.Fatalf("%s: invalid trace: %v", name, err)
+		}
+		if l.Len() < 100 {
+			t.Errorf("%s: only %d items over horizon %g·rate %g", name, l.Len(), cfg.Horizon, cfg.Rate)
+		}
+		for _, it := range l.Items {
+			if d := it.Duration(); d < cfg.MinDuration-1e-9 || d > cfg.MaxDuration+1e-9 {
+				t.Fatalf("%s: duration %v outside [%v,%v]", name, d, cfg.MinDuration, cfg.MaxDuration)
+			}
+		}
+	}
+}
+
+func TestDatacenterDeterminism(t *testing.T) {
+	cfg := AzureLike(3)
+	a, _ := Datacenter(cfg, 5)
+	b, _ := Datacenter(cfg, 5)
+	if a.Len() != b.Len() {
+		t.Fatal("same seed, different lengths")
+	}
+	for i := range a.Items {
+		if a.Items[i].Arrival != b.Items[i].Arrival || !a.Items[i].Size.Equal(b.Items[i].Size, 0) {
+			t.Fatalf("same seed, item %d differs", i)
+		}
+	}
+	c, _ := Datacenter(cfg, 6)
+	if c.Len() == a.Len() && c.Items[0].Arrival == a.Items[0].Arrival {
+		t.Error("different seeds produced identical traces (suspicious)")
+	}
+}
+
+// TestDatacenterCorrelation checks the Corr knob does what it claims: the
+// Azure-like preset (Corr 0.85) must produce a markedly higher cross-dimension
+// sample correlation than the Google-like one (Corr 0.35).
+func TestDatacenterCorrelation(t *testing.T) {
+	corr := func(cfg DatacenterConfig) float64 {
+		cfg.Horizon = 2000
+		l, err := Datacenter(cfg, 17)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sx, sy, sxx, syy, sxy float64
+		n := float64(l.Len())
+		for _, it := range l.Items {
+			x, y := it.Size[0], it.Size[1]
+			sx += x
+			sy += y
+			sxx += x * x
+			syy += y * y
+			sxy += x * y
+		}
+		cov := sxy/n - sx/n*sy/n
+		return cov / math.Sqrt((sxx/n-sx/n*sx/n)*(syy/n-sy/n*sy/n))
+	}
+	// The family mix itself is anti-correlated (compute-heavy vs
+	// memory-heavy shapes), so the marginal correlation sits well below the
+	// within-family Corr knob; the presets must still be far apart.
+	az, gg := corr(AzureLike(2)), corr(GoogleLike(2))
+	if az <= gg+0.3 {
+		t.Errorf("Azure-like correlation %.3f not clearly above Google-like %.3f", az, gg)
+	}
+	if az < 0.3 {
+		t.Errorf("Azure-like correlation %.3f too weak for Corr=0.85", az)
+	}
+}
+
+// TestDatacenterBursts checks the Markov modulation actually clusters
+// arrivals: with bursts on, the variance of per-window arrival counts must
+// exceed the Poisson-like variance of the same config with bursts disabled.
+func TestDatacenterBursts(t *testing.T) {
+	dispersion := func(factor float64) float64 {
+		cfg := GoogleLike(2)
+		cfg.Horizon = 2000
+		cfg.BurstFactor = factor
+		l, err := Datacenter(cfg, 23)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const win = 5.0
+		counts := make([]float64, int(cfg.Horizon/win))
+		for _, it := range l.Items {
+			counts[int(it.Arrival/win)]++
+		}
+		var mean, m2 float64
+		for _, c := range counts {
+			mean += c
+		}
+		mean /= float64(len(counts))
+		for _, c := range counts {
+			m2 += (c - mean) * (c - mean)
+		}
+		return m2 / float64(len(counts)) / mean // index of dispersion
+	}
+	bursty, flat := dispersion(6), dispersion(1)
+	if bursty < 2*flat {
+		t.Errorf("burst dispersion %.2f not clearly above non-burst %.2f", bursty, flat)
+	}
+}
+
+func TestDatacenterValidation(t *testing.T) {
+	base := AzureLike(2)
+	mutate := func(f func(*DatacenterConfig)) DatacenterConfig {
+		c := base
+		c.Families = append([]InstanceFamily(nil), base.Families...)
+		f(&c)
+		return c
+	}
+	bad := map[string]DatacenterConfig{
+		"nan horizon":    mutate(func(c *DatacenterConfig) { c.Horizon = math.NaN() }),
+		"inf rate":       mutate(func(c *DatacenterConfig) { c.Rate = math.Inf(1) }),
+		"alpha<=1":       mutate(func(c *DatacenterConfig) { c.SizeAlpha = 1 }),
+		"zero burst on":  mutate(func(c *DatacenterConfig) { c.BurstOn = 0 }),
+		"corr>1":         mutate(func(c *DatacenterConfig) { c.Corr = 1.5 }),
+		"size mean low":  mutate(func(c *DatacenterConfig) { c.SizeMean = c.SizeMin / 2 }),
+		"bad family dim": mutate(func(c *DatacenterConfig) { c.Families[0].Shape = vector.Of(0.5) }),
+		"nan shape": mutate(func(c *DatacenterConfig) {
+			c.Families[0].Shape = vector.Of(math.NaN(), 0.5)
+		}),
+		"zero duration": mutate(func(c *DatacenterConfig) { c.MinDuration = 0 }),
+	}
+	for name, c := range bad {
+		if _, err := Datacenter(c, 1); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestDatacenterNeverEmpty(t *testing.T) {
+	cfg := AzureLike(2)
+	cfg.Horizon = 1e-6
+	l, err := Datacenter(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() == 0 {
+		t.Error("degenerate config produced empty list")
+	}
+	if err := l.Validate(); err != nil {
+		t.Errorf("fallback item invalid: %v", err)
+	}
+}
+
+// TestCheckItemRejectsDegenerateDraws pins the degenerate-draw audit itself:
+// NaN/Inf sizes, non-positive durations and negative arrivals must all error.
+func TestCheckItemRejectsDegenerateDraws(t *testing.T) {
+	ok := vector.Of(0.5, 0.5)
+	cases := map[string]error{
+		"good":         checkItem(0, 1, 2, ok),
+		"nan arrival":  checkItem(0, math.NaN(), 2, ok),
+		"neg arrival":  checkItem(0, -1, 2, ok),
+		"zero dur":     checkItem(0, 1, 0, ok),
+		"neg dur":      checkItem(0, 1, -3, ok),
+		"inf dur":      checkItem(0, 1, math.Inf(1), ok),
+		"nan size":     checkItem(0, 1, 2, vector.Of(math.NaN(), 0.5)),
+		"inf size":     checkItem(0, 1, 2, vector.Of(math.Inf(1), 0.5)),
+		"zero size":    checkItem(0, 1, 2, vector.Of(0, 0.5)),
+		"oversize dim": checkItem(0, 1, 2, vector.Of(1.5, 0.5)),
+	}
+	for name, err := range cases {
+		if name == "good" {
+			if err != nil {
+				t.Errorf("good item rejected: %v", err)
+			}
+		} else if err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+// TestSessionConfigRejectsNonFinite covers the sampler audit on the existing
+// generators: non-finite parameters and demands must be rejected up front.
+func TestSessionConfigRejectsNonFinite(t *testing.T) {
+	good := SessionConfig{D: 2, Horizon: 10, Rate: 1, MeanDuration: 2, Alpha: 2, MinDuration: 1, MaxDuration: 5}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good config rejected: %v", err)
+	}
+	nanRate := good
+	nanRate.Rate = math.NaN()
+	if err := nanRate.Validate(); err == nil {
+		t.Error("NaN rate accepted")
+	}
+	infMean := good
+	infMean.MeanDuration = math.Inf(1)
+	if err := infMean.Validate(); err == nil {
+		t.Error("Inf mean duration accepted")
+	}
+	badDemand := good
+	badDemand.Types = []InstanceType{{Name: "x", Demand: vector.Of(math.NaN(), 0.5), Jitter: 0.1, Weight: 1}}
+	if err := badDemand.Validate(); err == nil {
+		t.Error("NaN demand accepted")
+	}
+	badJitter := good
+	badJitter.Types = []InstanceType{{Name: "x", Demand: vector.Of(0.5, 0.5), Jitter: math.Inf(1), Weight: 1}}
+	if err := badJitter.Validate(); err == nil {
+		t.Error("Inf jitter accepted")
+	}
+	if _, err := Diurnal(DiurnalConfig{Session: good, Period: math.NaN(), PeakFactor: 2}, 1); err == nil {
+		t.Error("NaN diurnal period accepted")
+	}
+}
