@@ -13,9 +13,9 @@ STRESSCOUNT ?= 5
 BENCHTIME ?= 10x
 BENCHCOUNT ?= 3
 
-.PHONY: ci fmt vet test race stress torture-smoke serve-smoke frag-smoke build bench bench-smoke bench-json fuzz-smoke docs-check
+.PHONY: ci fmt vet test race stress torture-smoke serve-smoke frag-smoke defrag-smoke build bench bench-smoke bench-json fuzz-smoke docs-check
 
-ci: fmt vet docs-check race stress torture-smoke serve-smoke frag-smoke bench-smoke fuzz-smoke
+ci: fmt vet docs-check race stress torture-smoke serve-smoke frag-smoke defrag-smoke bench-smoke fuzz-smoke
 
 # gofmt -l prints offending files; fail when the list is non-empty.
 fmt:
@@ -40,9 +40,10 @@ race:
 # count so goroutines interleave even on small machines.
 stress:
 	GOMAXPROCS=4 $(GO) test -race -count=$(STRESSCOUNT) \
-		-run='Concurrent|Stress|Steal|Sweep|Shard|Slice|ForRun|Progress|Cancellation|Panic|WorkerCounts' \
+		-run='Concurrent|Stress|Steal|Sweep|Shard|Slice|ForRun|Progress|Cancellation|Panic|WorkerCounts|Migration|Planners' \
 		./internal/parallel ./internal/experiments ./internal/metrics \
-		./internal/core ./internal/faults ./internal/vector ./internal/server
+		./internal/core ./internal/faults ./internal/vector ./internal/server \
+		./internal/migrate
 
 # Seeded kill-and-recover torture: random WAL truncations, snapshot
 # deletions, and bit flips at the package level, plus real process kills
@@ -50,6 +51,8 @@ stress:
 # byte-identical to an uninterrupted run. Runs under the race detector.
 # cmd/dvbpserver contributes the restart-under-load server torture: SIGKILL
 # mid-load, restart, every acknowledged placement still served identically.
+# internal/persist contributes the mid-migration tortures (TestTortureMigration*):
+# kills landing between a drain's moves must recover byte-identically.
 torture-smoke:
 	$(GO) test -race -run='Torture|KillAt|SIGKILL|Recover|Restore' \
 		./internal/persist ./internal/server ./cmd/dvbpchaos ./cmd/dvbpsim ./cmd/dvbpserver
@@ -70,6 +73,16 @@ frag-smoke:
 	$(GO) test -run='Frag|Datacenter|Stranded|CheckItem' \
 		./internal/metrics ./internal/core ./internal/workload \
 		./internal/experiments ./internal/server ./cmd/dvbpfigs
+
+# Defragmentation gate (DESIGN.md §14): planner/budget/plan-validation
+# invariants, the budget-0 differential identity (disabled migration is
+# byte-identical to no migration), engine migration invariants and hostile-plan
+# rejection, mid-migration kill-and-recover, and the budgeted-defragmentation
+# study with its azure acceptance property. Runs under the race detector
+# because the differential and kill-and-recover checks must hold there too.
+defrag-smoke:
+	$(GO) test -race -run='Migration|Planner|ValidatePlan|Defrag' \
+		./internal/migrate ./internal/core ./internal/persist ./internal/experiments
 
 bench:
 	$(GO) test -bench=. -benchmem
@@ -124,5 +137,6 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzSimulate$$' -fuzztime=$(FUZZTIME) ./internal/core
 	$(GO) test -run='^$$' -fuzz='^FuzzSimulateFaulty$$' -fuzztime=$(FUZZTIME) ./internal/core
 	$(GO) test -run='^$$' -fuzz='^FuzzParse$$' -fuzztime=$(FUZZTIME) ./internal/faults
+	$(GO) test -run='^$$' -fuzz='^FuzzMigrationPlan$$' -fuzztime=$(FUZZTIME) ./internal/migrate
 	$(GO) test -run='^$$' -fuzz='^FuzzWALDecode$$' -fuzztime=$(FUZZTIME) ./internal/persist
 	$(GO) test -run='^$$' -fuzz='^FuzzSnapshotDecode$$' -fuzztime=$(FUZZTIME) ./internal/persist

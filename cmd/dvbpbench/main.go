@@ -9,6 +9,7 @@
 //	-experiment ablation-clairvoyant clairvoyant-vs-online ablation
 //	-experiment ablation-billing     billing-granularity ablation
 //	-experiment frag                 fragmentation head-to-head across trace models
+//	-experiment defrag               budgeted defragmentation vs irrevocable baseline
 //	-experiment all                  everything above
 //
 // The full paper grid (-instances 1000) reproduces Table 2 exactly; smaller
@@ -49,6 +50,7 @@ import (
 	"dvbp/internal/core"
 	"dvbp/internal/experiments"
 	"dvbp/internal/metrics"
+	"dvbp/internal/migrate"
 	"dvbp/internal/report"
 )
 
@@ -77,7 +79,7 @@ var outDirGlobal string
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "fig4", "fig4 | table1 | ubcheck | trueratio | quality | ablation-bestfit | ablation-clairvoyant | ablation-billing | frag | all")
+		experiment = flag.String("experiment", "fig4", "fig4 | table1 | ubcheck | trueratio | quality | ablation-bestfit | ablation-clairvoyant | ablation-billing | frag | defrag | all")
 		dFlag      = flag.Int("d", 0, "restrict fig4 to one dimension panel (0 = all of 1,2,5)")
 		instances  = flag.Int("instances", 1000, "instances per cell (paper: 1000)")
 		mus        = flag.String("mus", "1,2,5,10,100,200", "comma-separated mu sweep")
@@ -104,6 +106,10 @@ func main() {
 		serveItems   = flag.Int("serve-items", 400, "placements per tenant for -serve-load")
 		serveDim     = flag.Int("serve-d", 2, "item dimensions for -serve-load tenants")
 	)
+	// -migrate/-migrate-period/-migrate-moves/-migrate-cost override the
+	// defrag experiment's default budgeted configuration.
+	var mig migrate.Config
+	mig.Register(flag.CommandLine, "")
 	flag.Parse()
 
 	if *serveLoad != "" || *serveVerify != "" {
@@ -182,12 +188,14 @@ func main() {
 			runQuality(*instances, *seed, *workers, *outDir)
 		case "frag":
 			runFrag(*instances, *seed, *workers, *outDir)
+		case "defrag":
+			runDefrag(*instances, *seed, *workers, *outDir, mig)
 		default:
 			fatal(fmt.Errorf("unknown experiment %q", name))
 		}
 	}
 	if *experiment == "all" {
-		for _, e := range []string{"fig4", "table1", "ubcheck", "trueratio", "quality", "frag", "ablation-bestfit", "ablation-clairvoyant", "ablation-billing"} {
+		for _, e := range []string{"fig4", "table1", "ubcheck", "trueratio", "quality", "frag", "defrag", "ablation-bestfit", "ablation-clairvoyant", "ablation-billing"} {
 			if err := benchCtx.Err(); err != nil {
 				fatal(err)
 			}
@@ -478,6 +486,41 @@ func runFrag(instances int, seed int64, workers int, outDir string) {
 	fmt.Println()
 	if outDir != "" {
 		writeFile(outDir, "frag_ranking.svg", study.Chart().SVG())
+	}
+}
+
+func runDefrag(instances int, seed int64, workers int, outDir string, mig migrate.Config) {
+	cfg := experiments.DefaultDefrag()
+	if instances < cfg.Instances {
+		cfg.Instances = instances
+	}
+	cfg.Seed = seed
+	cfg.Workers = workers
+	cfg.Observer = observer()
+	cfg.Ctx = benchCtx
+	if mig.Enabled() {
+		cfg.Migration = mig
+	}
+	fmt.Printf("== Budgeted defragmentation (d=%d horizon=%g, %d instances per trace model, %s) ==\n",
+		cfg.D, cfg.Horizon, cfg.Instances, cfg.Migration)
+	study, err := experiments.RunDefrag(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	for _, trace := range study.Traces {
+		tbl := study.Table(trace)
+		fmt.Print(tbl.Render())
+		improved, net := study.Improved(trace), study.NetWins(trace)
+		fmt.Printf("improved usage-time or stranded·time on %s: %d/%d policies (%s)\n",
+			trace, len(improved), len(study.Policies), strings.Join(improved, ", "))
+		fmt.Printf("net wins after paying migration cost on %s: %d/%d policies (%s)\n\n",
+			trace, len(net), len(study.Policies), strings.Join(net, ", "))
+		if outDir != "" {
+			writeCSV(outDir, fmt.Sprintf("defrag_%s.csv", trace), tbl)
+		}
+	}
+	if outDir != "" {
+		writeFile(outDir, "defrag_gain.svg", study.Chart().SVG())
 	}
 }
 

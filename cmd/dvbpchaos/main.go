@@ -14,6 +14,7 @@
 //	dvbpchaos -trace trace.csv -crash-trace '0@5,2+1.5' -policy ff
 //	dvbpchaos -n 500 -mtbf 20 -max-servers 10 -queue-deadline 5 -json
 //	dvbpchaos -all -mtbf 30 -metrics -timeout 30s
+//	dvbpchaos -mtbf 40 -migrate drain-emptiest -migrate-period 5 -migrate-moves 4
 package main
 
 import (
@@ -29,6 +30,7 @@ import (
 	"dvbp/internal/faults"
 	"dvbp/internal/item"
 	"dvbp/internal/metrics"
+	"dvbp/internal/migrate"
 	"dvbp/internal/persist"
 	"dvbp/internal/report"
 	"dvbp/internal/workload"
@@ -44,6 +46,9 @@ type run struct {
 	Evictions     int     `json:"evictions"`
 	Retries       int     `json:"retries"`
 	ItemsLost     int     `json:"items_lost"`
+	Migrations    int     `json:"migrations,omitempty"`
+	MigrationCost float64 `json:"migration_cost,omitempty"`
+	BinsDrained   int     `json:"bins_drained,omitempty"`
 	Rejected      int     `json:"rejected"`
 	TimedOut      int     `json:"timed_out"`
 	QueuedPlaced  int     `json:"queued_placed"`
@@ -53,12 +58,13 @@ type run struct {
 }
 
 type output struct {
-	Dim    int     `json:"d"`
-	Items  int     `json:"items"`
-	Span   float64 `json:"span"`
-	Mu     float64 `json:"mu"`
-	Faults string  `json:"faults"`
-	Runs   []run   `json:"runs"`
+	Dim       int     `json:"d"`
+	Items     int     `json:"items"`
+	Span      float64 `json:"span"`
+	Mu        float64 `json:"mu"`
+	Faults    string  `json:"faults"`
+	Migration string  `json:"migration,omitempty"`
+	Runs      []run   `json:"runs"`
 	// Partial is set when a -timeout cancelled the sweep before every
 	// policy finished; Runs holds the completed prefix.
 	Partial bool `json:"partial,omitempty"`
@@ -85,9 +91,15 @@ func main() {
 	)
 	var spec faults.Spec
 	spec.Register(flag.CommandLine, "")
+	var mig migrate.Config
+	mig.Register(flag.CommandLine, "")
 	flag.Parse()
 
 	plan, err := spec.Plan()
+	if err != nil {
+		fatal(err)
+	}
+	migOpt, err := mig.Option()
 	if err != nil {
 		fatal(err)
 	}
@@ -124,19 +136,22 @@ func main() {
 		policies = []core.Policy{p}
 	}
 
-	out := output{Dim: l.Dim, Items: l.Len(), Span: l.Span(), Mu: l.Mu(), Faults: plan.String()}
+	out := output{Dim: l.Dim, Items: l.Len(), Span: l.Span(), Mu: l.Mu(),
+		Faults: plan.String(), Migration: mig.String()}
 	collectors := make(map[string]*metrics.Collector)
 	for _, p := range policies {
 		if ctx.Err() != nil {
 			out.Partial = true
 			break
 		}
-		clean, err := core.Simulate(l, p)
+		// Migration, unlike the fault plan, applies to both legs: the
+		// overhead column then isolates the cost of failures alone.
+		clean, err := core.Simulate(l, p, migOpt)
 		if err != nil {
 			fatal(err)
 		}
 		p.Reset()
-		opts := plan.Options()
+		opts := append(plan.Options(), migOpt)
 		if *metricsF {
 			// A manual clock keeps the snapshot free of wall-time noise:
 			// chaos runs care about simulated time, and the output stays
@@ -151,7 +166,7 @@ func main() {
 		}
 		faulty, err := faultyRun(ctx, l, p, opts, chaosRun{
 			dir: *ckptDir, every: *ckptEvery, restore: *restoreF, killAt: *killAt,
-			seed: *seed, faults: plan.String(), col: col,
+			seed: *seed, faults: plan.String(), migration: mig.String(), col: col,
 		})
 		if err != nil {
 			fatal(err)
@@ -171,6 +186,9 @@ func main() {
 			Evictions:     faulty.Evictions,
 			Retries:       faulty.Retries,
 			ItemsLost:     faulty.ItemsLost,
+			Migrations:    faulty.Migrations,
+			MigrationCost: faulty.MigrationCost,
+			BinsDrained:   faulty.BinsDrained,
 			Rejected:      faulty.Rejected,
 			TimedOut:      faulty.TimedOut,
 			QueuedPlaced:  faulty.QueuedPlaced,
@@ -209,13 +227,14 @@ func main() {
 // simulation, or one persisted through internal/persist — which is what
 // -kill-at crashes mid-flight and -restore brings back.
 type chaosRun struct {
-	dir     string
-	every   int64
-	restore bool
-	killAt  int64
-	seed    int64
-	faults  string
-	col     *metrics.Collector
+	dir       string
+	every     int64
+	restore   bool
+	killAt    int64
+	seed      int64
+	faults    string
+	migration string
+	col       *metrics.Collector
 }
 
 // faultyRun executes the faulty leg. In checkpoint mode every committed event
@@ -250,7 +269,9 @@ func faultyRun(ctx context.Context, l *item.List, p core.Policy, opts []core.Opt
 		if err != nil {
 			return nil, err
 		}
-		s, err = persist.Begin(e, persist.NewRunMeta(l, p.Name(), rc.seed, rc.faults), pcfg)
+		meta := persist.NewRunMeta(l, p.Name(), rc.seed, rc.faults)
+		meta.Migration = rc.migration
+		s, err = persist.Begin(e, meta, pcfg)
 		if err != nil {
 			e.Close()
 			return nil, err
@@ -285,18 +306,32 @@ func flush(out output, asJSON bool) error {
 	}
 	fmt.Printf("instance: d=%d items=%d span=%.4g mu=%.4g\n", out.Dim, out.Items, out.Span, out.Mu)
 	fmt.Printf("faults: %s\n", out.Faults)
-	t := &report.Table{Headers: []string{
+	if out.Migration != "" {
+		fmt.Printf("migration: %s\n", out.Migration)
+	}
+	headers := []string{
 		"policy", "clean cost", "faulty cost", "overhead",
-		"crashes", "evict", "retry", "lost", "reject", "timeout", "served",
-	}}
+		"crashes", "evict", "retry", "lost",
+	}
+	if out.Migration != "" {
+		headers = append(headers, "migr", "drained", "migr cost")
+	}
+	headers = append(headers, "reject", "timeout", "served")
+	t := &report.Table{Headers: headers}
 	for _, r := range out.Runs {
-		t.AddRow(r.Policy,
+		row := []string{r.Policy,
 			fmt.Sprintf("%.4f", r.CleanCost), fmt.Sprintf("%.4f", r.FaultyCost),
 			fmt.Sprintf("%.4fx", r.Overhead),
 			fmt.Sprintf("%d", r.Crashes), fmt.Sprintf("%d", r.Evictions),
 			fmt.Sprintf("%d", r.Retries), fmt.Sprintf("%d", r.ItemsLost),
-			fmt.Sprintf("%d", r.Rejected), fmt.Sprintf("%d", r.TimedOut),
+		}
+		if out.Migration != "" {
+			row = append(row, fmt.Sprintf("%d", r.Migrations),
+				fmt.Sprintf("%d", r.BinsDrained), fmt.Sprintf("%.4f", r.MigrationCost))
+		}
+		row = append(row, fmt.Sprintf("%d", r.Rejected), fmt.Sprintf("%d", r.TimedOut),
 			fmt.Sprintf("%d/%d", r.Served, out.Items))
+		t.AddRow(row...)
 	}
 	fmt.Print(t.Render())
 	return nil

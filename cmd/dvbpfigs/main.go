@@ -7,9 +7,12 @@
 //	           (Section 4's decomposition);
 //	Figure 3 — per-bin loads over time on the Theorem 5 adversarial
 //	           instance (Section 6's illustration);
-//	plus a packing Gantt chart of any instance, and the fragmentation
+//	plus a packing Gantt chart of any instance, the fragmentation
 //	head-to-head (DESIGN.md §13): a cost/LB chart across trace models and a
-//	markdown table whose ranking flips show the FARB-style trace dependence.
+//	markdown table whose ranking flips show the FARB-style trace dependence,
+//	and the budgeted-defragmentation study (DESIGN.md §14): a net-of-cost
+//	gain chart plus a markdown report of every policy's migrating leg against
+//	its irrevocable baseline.
 //
 // Each figure is an independent shard: -workers renders them in parallel and
 // -shard k/m restricts one invocation to a slice of them (shard index =
@@ -43,7 +46,7 @@ func main() {
 		seed    = flag.Int64("seed", 11, "workload seed for figures 1/2")
 		n       = flag.Int("n", 24, "items in the random instance for figures 1/2")
 		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
-		shardF  = flag.String("shard", "", "render only figure slice k/m (0=figure1 1=figure2 2=figure3 3=gantt 4=frag-chart 5=frag-table)")
+		shardF  = flag.String("shard", "", "render only figure slice k/m (0=figure1 1=figure2 2=figure3 3=gantt 4=frag-chart 5=frag-table 6=defrag-chart 7=defrag-table)")
 	)
 	flag.Parse()
 	shard, err := experiments.ParseShardSlice(*shardF)
@@ -131,6 +134,20 @@ func figures(seed int64, n int) ([]figure, error) {
 			}
 			return fragMarkdown(study), nil
 		}},
+		{"defrag_gain.svg", func() (string, error) {
+			study, err := runDefragStudy(seed)
+			if err != nil {
+				return "", err
+			}
+			return study.Chart().SVG(), nil
+		}},
+		{"defrag_study.md", func() (string, error) {
+			study, err := runDefragStudy(seed)
+			if err != nil {
+				return "", err
+			}
+			return defragMarkdown(study), nil
+		}},
 	}, nil
 }
 
@@ -169,6 +186,41 @@ func fragMarkdown(study *experiments.FragStudy) string {
 			f.A, f.B, f.TraceA, f.GapA, f.TraceB, f.GapB)
 	}
 	return b.String()
+}
+
+// runDefragStudy runs the budgeted-defragmentation study at figure scale,
+// with the same Workers=1 byte-determinism contract as runFragStudy.
+func runDefragStudy(seed int64) (*experiments.DefragStudy, error) {
+	cfg := experiments.DefaultDefrag()
+	cfg.Instances = 8
+	cfg.Seed = seed
+	cfg.Workers = 1
+	return experiments.RunDefrag(cfg)
+}
+
+// defragMarkdown renders the defragmentation study as a markdown document:
+// one table per trace model plus the improved / net-win policy lists that
+// summarise whether the budgeted moves paid for themselves.
+func defragMarkdown(study *experiments.DefragStudy) string {
+	var b strings.Builder
+	b.WriteString("# Budgeted defragmentation\n\n")
+	fmt.Fprintf(&b, "Migration: %s. Every policy runs each trace twice — irrevocable\n", study.Migration)
+	b.WriteString("baseline vs budgeted consolidation — and the migration cost is reported\n")
+	b.WriteString("next to the gains (see DESIGN.md §14 for the model).\n")
+	for _, trace := range study.Traces {
+		fmt.Fprintf(&b, "\n## %s\n\n%s", trace, study.Table(trace).Markdown())
+		fmt.Fprintf(&b, "\nimproved usage-time or stranded·time: %s\n", policyList(study.Improved(trace)))
+		fmt.Fprintf(&b, "net wins after paying migration cost: %s\n", policyList(study.NetWins(trace)))
+	}
+	return b.String()
+}
+
+// policyList joins a policy list for prose, spelling out the empty case.
+func policyList(names []string) string {
+	if len(names) == 0 {
+		return "none"
+	}
+	return strings.Join(names, ", ")
 }
 
 // renderFigures renders the selected figure shards into outDir through the

@@ -29,16 +29,16 @@ func readAll(t *testing.T, dir string) map[string]string {
 }
 
 // TestRenderFiguresDeterministic pins the -workers/-shard contract: the same
-// six files, byte for byte, whether rendered sequentially, in parallel, or as
-// two merged shard slices into separate invocations.
+// eight files, byte for byte, whether rendered sequentially, in parallel, or
+// as two merged shard slices into separate invocations.
 func TestRenderFiguresDeterministic(t *testing.T) {
 	seq := t.TempDir()
-	if wrote, err := renderFigures(seq, 11, 24, 1, experiments.ShardSlice{}); err != nil || wrote != 6 {
+	if wrote, err := renderFigures(seq, 11, 24, 1, experiments.ShardSlice{}); err != nil || wrote != 8 {
 		t.Fatalf("sequential render: wrote=%d err=%v", wrote, err)
 	}
 	want := readAll(t, seq)
-	if len(want) != 6 {
-		t.Fatalf("expected 6 figures, got %d", len(want))
+	if len(want) != 8 {
+		t.Fatalf("expected 8 figures, got %d", len(want))
 	}
 
 	par := t.TempDir()
@@ -64,8 +64,8 @@ func TestRenderFiguresDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if w0+w1 != 6 {
-		t.Fatalf("slices wrote %d+%d figures, want 6 total", w0, w1)
+	if w0+w1 != 8 {
+		t.Fatalf("slices wrote %d+%d figures, want 8 total", w0, w1)
 	}
 	got := readAll(t, sliced)
 	if len(got) != len(want) {
@@ -114,5 +114,39 @@ func TestFragFigureShowsRankingFlip(t *testing.T) {
 		if !strings.Contains(md, "## "+trace) {
 			t.Errorf("markdown missing %s table", trace)
 		}
+	}
+}
+
+// TestDefragFigureShowsAzureNetWin is the defragmentation study's figure-level
+// acceptance check (DESIGN.md §14): the markdown report must show at least one
+// policy on the Azure-like traces whose budgeted-migration leg beats its
+// irrevocable baseline even after paying the migration cost, with the cost
+// columns present.
+func TestDefragFigureShowsAzureNetWin(t *testing.T) {
+	study, err := runDefragStudy(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(study.NetWins("azure")) == 0 {
+		t.Fatal("no policy is a net win on the azure traces under the default budget")
+	}
+	md := defragMarkdown(study)
+	for _, trace := range []string{"uniform", "azure", "google"} {
+		if !strings.Contains(md, "## "+trace) {
+			t.Errorf("markdown missing %s table", trace)
+		}
+	}
+	if !strings.Contains(md, "move cost") {
+		t.Error("markdown does not report the migration cost column")
+	}
+	ti := strings.Index(md, "## azure")
+	gi := strings.Index(md, "## google")
+	if ti < 0 || gi < 0 || ti > gi {
+		t.Fatalf("markdown trace sections out of order: azure@%d google@%d", ti, gi)
+	}
+	azure := md[ti:gi]
+	if !strings.Contains(azure, "net wins after paying migration cost: ") ||
+		strings.Contains(azure, "net wins after paying migration cost: none") {
+		t.Errorf("azure section does not list net-win policies:\n%s", azure)
 	}
 }

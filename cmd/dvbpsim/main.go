@@ -10,6 +10,7 @@
 //	dvbpsim -d 2 -n 1000 -mu 100 -policy MoveToFront
 //	dvbpsim -trace trace.csv -policy ff -bins
 //	dvbpsim -d 1 -n 200 -mu 10 -all
+//	dvbpsim -policy ff -migrate stranded -migrate-period 10 -migrate-moves 8
 package main
 
 import (
@@ -27,6 +28,7 @@ import (
 	"dvbp/internal/item"
 	"dvbp/internal/lowerbound"
 	"dvbp/internal/metrics"
+	"dvbp/internal/migrate"
 	"dvbp/internal/offline"
 	"dvbp/internal/persist"
 	"dvbp/internal/report"
@@ -57,9 +59,15 @@ func main() {
 	)
 	var spec faults.Spec
 	spec.Register(flag.CommandLine, "")
+	var mig migrate.Config
+	mig.Register(flag.CommandLine, "")
 	flag.Parse()
 
 	plan, err := spec.Plan()
+	if err != nil {
+		fatal(err)
+	}
+	migOpt, err := mig.Option()
 	if err != nil {
 		fatal(err)
 	}
@@ -71,6 +79,9 @@ func main() {
 
 	if plan.Active() && *checkFlag {
 		fatal(fmt.Errorf("-check validates the fault-free model; it cannot be combined with fault/admission flags"))
+	}
+	if mig.Enabled() && *checkFlag {
+		fatal(fmt.Errorf("-check validates the irrevocable model; it cannot be combined with -migrate"))
 	}
 	if *ckptDir != "" && *all {
 		fatal(fmt.Errorf("-checkpoint-dir persists a single run; it cannot be combined with -all"))
@@ -95,6 +106,9 @@ func main() {
 	fmt.Printf("instance: d=%d items=%d span=%.4g mu=%.4g\n", l.Dim, l.Len(), l.Span(), l.Mu())
 	if plan.Active() {
 		fmt.Printf("faults: %s\n", plan)
+	}
+	if mig.Enabled() {
+		fmt.Printf("migration: %s\n", mig)
 	}
 	fmt.Printf("lower bounds on OPT: integral=%.4f utilization=%.4f span=%.4f\n",
 		lb.Integral, lb.Utilization, lb.Span)
@@ -138,6 +152,9 @@ func main() {
 		ratioHeader = "cost/OPT"
 	}
 	headers := []string{"policy", "cost", ratioHeader, "bins", "peak bins"}
+	if mig.Enabled() {
+		headers = append(headers, "migr", "drained", "migr cost")
+	}
 	if plan.Active() {
 		headers = append(headers, "crashes", "evict", "retry", "lost", "reject", "timeout")
 	}
@@ -148,14 +165,14 @@ func main() {
 	t := &report.Table{Headers: headers}
 	collectors := make(map[string]*metrics.Collector)
 	for _, p := range policies {
-		opts := plan.Options()
+		opts := append(plan.Options(), migOpt)
 		if *metricsF {
 			col := metrics.NewCollector()
 			collectors[p.Name()] = col
 			opts = append(opts, core.WithObserver(col))
 		}
 		rc := runConfig{dir: *ckptDir, every: *ckptEvery, restore: *restoreF,
-			seed: *seed, faults: faultStr, col: collectors[p.Name()]}
+			seed: *seed, faults: faultStr, migration: mig.String(), col: collectors[p.Name()]}
 		res, err := runPolicy(ctx, l, p, opts, rc)
 		if err != nil {
 			fatal(err)
@@ -167,6 +184,10 @@ func main() {
 		}
 		row := []string{res.Algorithm, fmt.Sprintf("%.4f", res.Cost), fmt.Sprintf("%.4f", res.Cost/denom),
 			fmt.Sprintf("%d", res.BinsOpened), fmt.Sprintf("%d", res.MaxConcurrentBins)}
+		if mig.Enabled() {
+			row = append(row, fmt.Sprintf("%d", res.Migrations),
+				fmt.Sprintf("%d", res.BinsDrained), fmt.Sprintf("%.4f", res.MigrationCost))
+		}
 		if plan.Active() {
 			row = append(row, fmt.Sprintf("%d", res.Crashes), fmt.Sprintf("%d", res.Evictions),
 				fmt.Sprintf("%d", res.Retries), fmt.Sprintf("%d", res.ItemsLost),
@@ -205,12 +226,13 @@ func main() {
 // runConfig shapes one policy's run: plain in-memory simulation, or a
 // persisted (and possibly resumed) one.
 type runConfig struct {
-	dir     string
-	every   int64
-	restore bool
-	seed    int64
-	faults  string
-	col     *metrics.Collector
+	dir       string
+	every     int64
+	restore   bool
+	seed      int64
+	faults    string
+	migration string
+	col       *metrics.Collector
 }
 
 // runPolicy executes one policy over l, persisting and/or resuming through
@@ -247,7 +269,9 @@ func runPolicy(ctx context.Context, l *item.List, p core.Policy, opts []core.Opt
 		if err != nil {
 			return nil, err
 		}
-		s, err = persist.Begin(e, persist.NewRunMeta(l, p.Name(), rc.seed, rc.faults), pcfg)
+		meta := persist.NewRunMeta(l, p.Name(), rc.seed, rc.faults)
+		meta.Migration = rc.migration
+		s, err = persist.Begin(e, meta, pcfg)
 		if err != nil {
 			e.Close()
 			return nil, err

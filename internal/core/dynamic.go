@@ -81,6 +81,10 @@ func (e *Engine) PeekTime() (float64, bool) {
 	if e.err != nil || e.finished {
 		return 0, false
 	}
+	if len(e.pendingMoves) > 0 {
+		// A staged migration pass commits ahead of every other event.
+		return e.passTime, true
+	}
 	t, any := math.Inf(1), false
 	if ev, ok := e.departures.Peek(); ok {
 		t, any = ev.Time, true

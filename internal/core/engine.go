@@ -33,6 +33,9 @@ type config struct {
 	maxBins       int
 	queueWhenFull bool
 	queueDeadline float64
+
+	// Live-migration configuration (see migrate.go); nil when disabled.
+	migrate *migrateConfig
 }
 
 // WithClairvoyance exposes item departure times to the policy (Request.
@@ -168,6 +171,7 @@ const (
 	evCrash
 	evRetry
 	evArrival
+	evMigration
 	evNone
 )
 
@@ -177,12 +181,15 @@ const (
 // (internal/persist) stores them on disk.
 type EventClass uint8
 
-// The four event classes a Step can commit.
+// The five event classes a Step can commit. EventMigration is last in the
+// same-instant order: a consolidation pass at time t observes the state after
+// all of t's departures, crashes, retries and arrivals have settled.
 const (
 	EventDeparture EventClass = evDeparture
 	EventCrash     EventClass = evCrash
 	EventRetry     EventClass = evRetry
 	EventArrival   EventClass = evArrival
+	EventMigration EventClass = evMigration
 )
 
 // String renders the class name.
@@ -196,6 +203,8 @@ func (c EventClass) String() string {
 		return "retry"
 	case EventArrival:
 		return "arrival"
+	case EventMigration:
+		return "migration"
 	}
 	return fmt.Sprintf("EventClass(%d)", uint8(c))
 }
@@ -212,13 +221,14 @@ type EventRecord struct {
 	Class EventClass
 	// Time is the simulated instant the event was processed at.
 	Time float64
-	// ItemID identifies the item for departures, arrivals and retries;
-	// -1 for crashes.
+	// ItemID identifies the item for departures, arrivals, retries and
+	// migration moves; -1 for crashes.
 	ItemID int
-	// BinID is the affected bin: the departed-from or crashed bin, or the
-	// bin the dispatch placed into (-1 when the dispatch was queued,
-	// rejected, or — for departures under faults — the bin was already
-	// gone).
+	// BinID is the affected bin: the departed-from or crashed bin, the bin
+	// the dispatch placed into (-1 when the dispatch was queued, rejected,
+	// or — for departures under faults — the bin was already gone), or the
+	// migration move's target bin (the source follows deterministically
+	// from the plan).
 	BinID int
 	// Placed reports that an arrival/retry dispatch packed its item.
 	Placed bool
@@ -267,6 +277,19 @@ type Engine struct {
 	selObs SelectObserver
 	fObs   FailureObserver
 	dObs   DepartureObserver
+	mObs   MigrationObserver
+
+	// Migration pass state (see migrate.go; all zero/nil when cfg.migrate
+	// is nil).
+	// migPass is the 1-based number of the next consolidation pass to
+	// attempt (pass n fires at period·n); pendingMoves are the staged moves
+	// of the in-progress pass at passTime, committed one per Step; redirects
+	// maps a moved item's live departure-queue key (depSeq) to its current
+	// bin.
+	migPass      int64
+	pendingMoves []MigrationMove
+	passTime     float64
+	redirects    map[int64]int
 
 	// Indexed Select path (nil/unset when the policy is not an
 	// IndexedPolicy or WithLinearSelect forces the scan). The engine owns
@@ -343,6 +366,12 @@ func newEngineShell(l *item.List, p Policy, cfg config) *Engine {
 	if do, ok := cfg.observer.(DepartureObserver); ok {
 		e.dObs = do
 	}
+	if mo, ok := cfg.observer.(MigrationObserver); ok {
+		e.mObs = mo
+	}
+	if cfg.migrate != nil {
+		e.migPass = 1
+	}
 	if ip, ok := p.(IndexedPolicy); ok && !cfg.linearSelect {
 		prof := ip.IndexProfile()
 		if prof.Recency == (prof.Key != nil) {
@@ -393,6 +422,20 @@ func (e *Engine) Close() {
 
 // EventSeq returns the number of events committed so far.
 func (e *Engine) EventSeq() int64 { return e.eventSeq }
+
+// AppendOpenBins appends the currently open bins to dst in ascending ID
+// order and returns the extended slice. The bins are the engine's own — the
+// caller must treat them as read-only, the same contract policies and
+// planners operate under. Status endpoints and the fragmentation recompute
+// (metrics.FragOf) read the open set through this accessor.
+func (e *Engine) AppendOpenBins(dst []*Bin) []*Bin {
+	for _, b := range e.open {
+		if b != nil {
+			dst = append(dst, b)
+		}
+	}
+	return dst
+}
 
 // Policy returns the policy driving the run.
 func (e *Engine) Policy() Policy { return e.p }
@@ -693,6 +736,9 @@ func (e *Engine) Step() (rec EventRecord, ok bool, err error) {
 	if e.finished {
 		return EventRecord{}, false, nil
 	}
+	if len(e.pendingMoves) > 0 {
+		return e.stepMove()
+	}
 	t, class := math.Inf(1), evNone
 	if ev, ok := e.departures.Peek(); ok {
 		t, class = ev.Time, evDeparture
@@ -709,11 +755,34 @@ func (e *Engine) Step() (rec EventRecord, ok bool, err error) {
 	if class == evNone {
 		return EventRecord{}, false, nil
 	}
+	// Consolidation passes due strictly before the next real event run now;
+	// a pass scheduled exactly at t waits its turn behind t's events (the
+	// same-instant class order — migration is last). Passes only fire while
+	// real events remain, so migration never extends the run.
+	if e.cfg.migrate != nil && e.migPassTime(e.migPass) < t {
+		if err := e.maybePlanMigration(t); err != nil {
+			e.err = err
+			return EventRecord{}, false, err
+		}
+		if len(e.pendingMoves) > 0 {
+			return e.stepMove()
+		}
+	}
 	e.eventSeq++
 	rec = EventRecord{Seq: e.eventSeq, Class: EventClass(class), Time: t, ItemID: -1, BinID: -1}
 	switch class {
 	case evDeparture:
 		ev, _ := e.departures.Pop()
+		if len(e.redirects) > 0 {
+			// A migrated item's live entry still names its old bin; rewrite
+			// and consume the redirect (stale entries from earlier
+			// placements carry different attempt bits, so only the live
+			// entry matches).
+			if nb, hit := e.redirects[ev.Seq]; hit {
+				delete(e.redirects, ev.Seq)
+				ev.Payload.binID = nb
+			}
+		}
 		rec.ItemID = ev.Payload.itemID
 		rec.BinID, err = e.handleDeparture(ev.Time, ev.Payload)
 	case evCrash:

@@ -88,6 +88,19 @@ type Result struct {
 	// eviction, the gap between the crash and the item's re-dispatch (or its
 	// departure, when the item is lost).
 	LostUsageTime float64
+
+	// Migration accounting (DESIGN.md §14). All fields are zero unless the
+	// run was configured with WithMigration and a positive budget.
+
+	// Migrations counts applied migration moves.
+	Migrations int
+	// MigrationCost is the total move cost Σ MigrationMoveCost (moved L1
+	// size × remaining duration at the pass instant). It is reported beside
+	// Cost, not folded into it: Cost stays the paper's usage-time objective.
+	MigrationCost float64
+	// BinsDrained counts bins closed because a migration move emptied them.
+	BinsDrained int
+
 	// Outcomes maps every input item ID to its terminal state.
 	Outcomes map[int]Outcome
 }
@@ -165,6 +178,10 @@ func (r *Result) String() string {
 	if r.Crashes > 0 || r.Rejected > 0 || r.TimedOut > 0 {
 		fmt.Fprintf(&b, " crashes=%d evict=%d retry=%d lost=%d reject=%d timeout=%d",
 			r.Crashes, r.Evictions, r.Retries, r.ItemsLost, r.Rejected, r.TimedOut)
+	}
+	if r.Migrations > 0 {
+		fmt.Fprintf(&b, " migrations=%d migcost=%.4f drained=%d",
+			r.Migrations, r.MigrationCost, r.BinsDrained)
 	}
 	return b.String()
 }

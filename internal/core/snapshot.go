@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"fmt"
+	"sort"
 
 	"dvbp/internal/item"
 )
@@ -59,6 +60,35 @@ type Snapshot struct {
 	// usage-time cost of already-closed bins, placements, outcomes, and all
 	// failure counters.
 	Result *Result
+
+	// Migration is the consolidation-pass state (nil iff the run was built
+	// without WithMigration). Capturing the staged moves is what makes a
+	// SIGKILL between two moves of one pass recoverable: the restored engine
+	// resumes the pass mid-plan instead of replanning against a half-applied
+	// state.
+	Migration *MigrationSnapshot
+}
+
+// MigrationSnapshot captures the engine's migration state (DESIGN.md §14).
+type MigrationSnapshot struct {
+	// NextPass is the 1-based number of the next consolidation pass to
+	// attempt (pass n fires at period·n).
+	NextPass int64
+	// PassTime is the staged pass's instant (meaningful only when Pending is
+	// non-empty).
+	PassTime float64
+	// Pending are the staged moves not yet committed, in application order.
+	Pending []MigrationMove
+	// Redirects are the live departure-queue redirections of migrated items,
+	// ascending by Seq.
+	Redirects []RedirectSnapshot
+}
+
+// RedirectSnapshot maps one departure-queue key (depSeq: item-ID major,
+// attempt minor) to the bin the item currently occupies.
+type RedirectSnapshot struct {
+	Seq   int64
+	BinID int
 }
 
 // BinSnapshot captures one open bin.
@@ -193,6 +223,21 @@ func (e *Engine) Snapshot() (*Snapshot, error) {
 		for k, v := range e.attempts {
 			s.Attempts[k] = v
 		}
+	}
+	if e.cfg.migrate != nil {
+		m := &MigrationSnapshot{
+			NextPass: e.migPass,
+			Pending:  append([]MigrationMove(nil), e.pendingMoves...),
+		}
+		if len(e.pendingMoves) > 0 {
+			m.PassTime = e.passTime
+		}
+		m.Redirects = make([]RedirectSnapshot, 0, len(e.redirects))
+		for seq, binID := range e.redirects {
+			m.Redirects = append(m.Redirects, RedirectSnapshot{Seq: seq, BinID: binID})
+		}
+		sort.Slice(m.Redirects, func(i, j int) bool { return m.Redirects[i].Seq < m.Redirects[j].Seq })
+		s.Migration = m
 	}
 	return s, nil
 }
@@ -365,6 +410,71 @@ func RestoreEngine(l *item.List, p Policy, s *Snapshot, opts ...Option) (*Engine
 				return nil, corruptf("item %d has attempt count %d < 1", id, n)
 			}
 			e.attempts[id] = n
+		}
+	}
+
+	// Migration state travels with the snapshot exactly when the run is
+	// configured for it, mirroring the crash-event/injector pairing above.
+	if cfg.migrate == nil && s.Migration != nil {
+		return nil, corruptf("migration state in a snapshot restored without WithMigration")
+	}
+	if cfg.migrate != nil {
+		m := s.Migration
+		if m == nil {
+			return nil, corruptf("snapshot of a migrating run carries no migration state")
+		}
+		if m.NextPass < 1 {
+			return nil, corruptf("migration pass counter %d < 1", m.NextPass)
+		}
+		if len(m.Pending) > cfg.migrate.budget.MaxMoves {
+			return nil, corruptf("%d staged moves exceed the per-pass budget %d", len(m.Pending), cfg.migrate.budget.MaxMoves)
+		}
+		for i, mv := range m.Pending {
+			if mv.From == mv.To {
+				return nil, corruptf("staged move %d relocates item %d from bin %d to itself", i, mv.ItemID, mv.From)
+			}
+			from, known := e.binsByID[mv.From]
+			if !known {
+				return nil, corruptf("staged move %d names unknown source bin %d", i, mv.From)
+			}
+			if _, known := e.binsByID[mv.To]; !known {
+				return nil, corruptf("staged move %d names unknown target bin %d", i, mv.To)
+			}
+			if _, active := from.active[mv.ItemID]; !active {
+				return nil, corruptf("staged move %d: item %d is not active in bin %d", i, mv.ItemID, mv.From)
+			}
+		}
+		e.migPass = m.NextPass
+		if len(m.Pending) > 0 {
+			e.pendingMoves = append([]MigrationMove(nil), m.Pending...)
+			e.passTime = m.PassTime
+		}
+		prevSeq := int64(-1)
+		for i, r := range m.Redirects {
+			if r.Seq <= prevSeq {
+				return nil, corruptf("redirect %d out of sequence order", i)
+			}
+			prevSeq = r.Seq
+			itemID := int(r.Seq >> 32)
+			if _, known := e.itemsByID[itemID]; !known {
+				return nil, corruptf("redirect %d references unknown item %d", i, itemID)
+			}
+			if cfg.injector == nil {
+				// Without crashes a redirected item is always active in its
+				// redirect target; with them the target may legitimately be a
+				// bin that has since crashed (the stale-skip path).
+				b, known := e.binsByID[r.BinID]
+				if !known {
+					return nil, corruptf("redirect %d references unknown bin %d", i, r.BinID)
+				}
+				if _, active := b.active[itemID]; !active {
+					return nil, corruptf("redirect %d: item %d is not active in bin %d", i, itemID, r.BinID)
+				}
+			}
+			if e.redirects == nil {
+				e.redirects = make(map[int64]int, len(m.Redirects))
+			}
+			e.redirects[r.Seq] = r.BinID
 		}
 	}
 

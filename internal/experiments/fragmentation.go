@@ -157,6 +157,13 @@ func (t fragTee) ItemDeparted(itemID int, b *core.Bin, at float64) {
 	}
 }
 
+func (t fragTee) ItemMigrated(itemID int, from, to *core.Bin, at, cost float64, drained bool) {
+	t.tr.ItemMigrated(itemID, from, to, at, cost, drained)
+	if o, ok := t.obs.(core.MigrationObserver); ok {
+		o.ItemMigrated(itemID, from, to, at, cost, drained)
+	}
+}
+
 // RunFrag executes the head-to-head. Results are deterministic in (cfg.Seed,
 // cfg.Instances) for any Workers value.
 func RunFrag(cfg FragConfig) (*FragStudy, error) {

@@ -67,6 +67,15 @@ const (
 	// MetricQueueDelay gauges total simulated time placed items spent
 	// queued (Result.QueueDelay).
 	MetricQueueDelay = "dvbp_queue_delay_total"
+	// MetricItemsMigrated counts items relocated by consolidation passes
+	// (DESIGN.md §14); on a single run it equals Result.Migrations.
+	MetricItemsMigrated = "dvbp_items_migrated_total"
+	// MetricMigrationCost gauges the accrued migration cost (moved L1 size ×
+	// remaining duration); on a single run it equals Result.MigrationCost.
+	MetricMigrationCost = "dvbp_migration_cost_total"
+	// MetricBinsDrained counts bins closed because a migration move emptied
+	// them; on a single run it equals Result.BinsDrained.
+	MetricBinsDrained = "dvbp_bins_drained_total"
 	// MetricLostUsage gauges total usage time lost to crashes
 	// (Result.LostUsageTime).
 	MetricLostUsage = "dvbp_lost_usage_time_total"
@@ -124,6 +133,10 @@ type Collector struct {
 	queueDelay    *Gauge
 	lostUsage     *Gauge
 
+	itemsMigrated *Counter
+	binsDrained   *Counter
+	migrationCost *Gauge
+
 	mu     sync.Mutex
 	starts map[placeKey]time.Duration
 }
@@ -133,9 +146,10 @@ type Collector struct {
 type placeKey struct{ id, seq int }
 
 var (
-	_ core.Observer        = (*Collector)(nil)
-	_ core.SelectObserver  = (*Collector)(nil)
-	_ core.FailureObserver = (*Collector)(nil)
+	_ core.Observer          = (*Collector)(nil)
+	_ core.SelectObserver    = (*Collector)(nil)
+	_ core.FailureObserver   = (*Collector)(nil)
+	_ core.MigrationObserver = (*Collector)(nil)
 )
 
 // NewCollector returns a Collector with a fresh Registry and wall clock.
@@ -169,7 +183,21 @@ func NewCollector(opts ...CollectorOption) *Collector {
 	c.itemsDequeued = c.reg.Counter(MetricItemsDequeued, "queued dispatches eventually placed")
 	c.queueDelay = c.reg.Gauge(MetricQueueDelay, "total simulated queue wait of placed items")
 	c.lostUsage = c.reg.Gauge(MetricLostUsage, "total usage time lost to crashes (simulated units)")
+	c.itemsMigrated = c.reg.Counter(MetricItemsMigrated, "items relocated by consolidation passes")
+	c.binsDrained = c.reg.Counter(MetricBinsDrained, "bins closed by a draining migration move")
+	c.migrationCost = c.reg.Gauge(MetricMigrationCost, "accrued migration cost (moved size × remaining duration)")
 	return c
+}
+
+// ItemMigrated implements core.MigrationObserver: it counts the move and
+// accrues its cost. The drained bin's close itself arrives through BinClosed
+// like any other close, so usage time needs no special handling here.
+func (c *Collector) ItemMigrated(itemID int, from, to *core.Bin, t, cost float64, drained bool) {
+	c.itemsMigrated.Inc()
+	c.migrationCost.Add(cost)
+	if drained {
+		c.binsDrained.Inc()
+	}
 }
 
 // Registry returns the collector's registry, so callers can register

@@ -143,6 +143,7 @@ type FragTracker struct {
 var (
 	_ core.Observer          = (*FragTracker)(nil)
 	_ core.DepartureObserver = (*FragTracker)(nil)
+	_ core.MigrationObserver = (*FragTracker)(nil)
 )
 
 // NewFragTracker returns a tracker for d-dimensional runs. reg may be nil;
@@ -260,6 +261,18 @@ func (tr *FragTracker) AfterPack(req core.Request, b *core.Bin, opened bool) {
 func (tr *FragTracker) ItemDeparted(itemID int, b *core.Bin, t float64) {
 	tr.advance(t)
 	tr.upsert(b)
+}
+
+// ItemMigrated implements core.MigrationObserver: a consolidation move
+// reshapes both bins at the pass instant. A move that drained its source has
+// already dropped it through BinClosed (the engine fires the close first), so
+// only a source that stayed open is refreshed.
+func (tr *FragTracker) ItemMigrated(itemID int, from, to *core.Bin, t, cost float64, drained bool) {
+	tr.advance(t)
+	tr.upsert(to)
+	if !drained {
+		tr.upsert(from)
+	}
 }
 
 // BinClosed implements core.Observer. Crash closes arrive here too, so the

@@ -1,0 +1,98 @@
+package migrate
+
+import (
+	"flag"
+	"fmt"
+	"sort"
+	"strings"
+
+	"dvbp/internal/core"
+)
+
+// planners is the registry of standard consolidation planners.
+var planners = map[string]func() core.MigrationPlanner{
+	"drain-emptiest": func() core.MigrationPlanner { return DrainEmptiest{} },
+	"farb-score":     func() core.MigrationPlanner { return FARBScore{} },
+	"stranded":       func() core.MigrationPlanner { return Stranded{} },
+}
+
+// PlannerNames lists the registered planner names, sorted.
+func PlannerNames() []string {
+	out := make([]string, 0, len(planners))
+	for name := range planners {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NewPlanner resolves a registered planner by name.
+func NewPlanner(name string) (core.MigrationPlanner, error) {
+	mk, ok := planners[name]
+	if !ok {
+		return nil, fmt.Errorf("migrate: unknown planner %q (have %v)", name, PlannerNames())
+	}
+	return mk(), nil
+}
+
+// Config is the CLI/experiment-facing migration configuration: a planner name
+// plus the pass cadence and per-pass budget. The zero value means migration
+// disabled (the paper's irrevocable model).
+type Config struct {
+	// Planner is a registered planner name ("" disables migration).
+	Planner string
+	// Period is the consolidation cadence in trace time units.
+	Period float64
+	// MaxMoves caps moves per pass.
+	MaxMoves int
+	// MaxCost caps the summed size·remaining-duration cost per pass
+	// (0 = unlimited cost, count-capped only).
+	MaxCost float64
+}
+
+// Register installs the CLI flags that populate the configuration, in the
+// faults.Spec.Register style. prefix prefixes every flag name.
+func (c *Config) Register(fs *flag.FlagSet, prefix string) {
+	fs.StringVar(&c.Planner, prefix+"migrate", "",
+		"consolidation planner: "+strings.Join(PlannerNames(), " | ")+" (empty = irrevocable placements, the paper's model)")
+	fs.Float64Var(&c.Period, prefix+"migrate-period", 10, "time units between consolidation passes")
+	fs.IntVar(&c.MaxMoves, prefix+"migrate-moves", 8, "max moves per consolidation pass")
+	fs.Float64Var(&c.MaxCost, prefix+"migrate-cost", 0, "max size·remaining-duration migration cost per pass (0 = unlimited)")
+}
+
+// Enabled reports whether the configuration turns migration on.
+func (c Config) Enabled() bool { return c.Planner != "" && c.Period > 0 && c.MaxMoves > 0 }
+
+// Option resolves the configuration into a core engine option. A disabled
+// configuration (empty planner) yields a no-op option, so callers can apply
+// it unconditionally; a named planner with an unusable period or budget is an
+// error rather than a silent no-op.
+func (c Config) Option() (core.Option, error) {
+	if c.Planner == "" {
+		// WithMigration with a nil planner configures nothing by contract.
+		return core.WithMigration(nil, 0, core.MigrationBudget{}), nil
+	}
+	if c.Period <= 0 {
+		return nil, fmt.Errorf("migrate: period %g must be positive", c.Period)
+	}
+	if c.MaxMoves <= 0 {
+		return nil, fmt.Errorf("migrate: max moves %d must be positive", c.MaxMoves)
+	}
+	p, err := NewPlanner(c.Planner)
+	if err != nil {
+		return nil, err
+	}
+	return core.WithMigration(p, c.Period, core.MigrationBudget{MaxMoves: c.MaxMoves, MaxCost: c.MaxCost}), nil
+}
+
+// String is the canonical display form, used as persist.RunMeta.Migration.
+// Disabled configurations render as "".
+func (c Config) String() string {
+	if !c.Enabled() {
+		return ""
+	}
+	if c.MaxCost > 0 {
+		return fmt.Sprintf("%s period=%g moves=%d cost=%g", c.Planner, c.Period, c.MaxMoves, c.MaxCost)
+	}
+	return fmt.Sprintf("%s period=%g moves=%d", c.Planner, c.Period, c.MaxMoves)
+}

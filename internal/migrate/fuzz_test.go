@@ -1,0 +1,152 @@
+package migrate
+
+import (
+	"errors"
+	"testing"
+
+	"dvbp/internal/core"
+)
+
+// fuzzReader decodes a ClusterState, plan and budget from arbitrary bytes.
+// It is total: any input, including empty, yields some (possibly malformed)
+// value — the fuzz target's job is proving ValidatePlan handles all of them
+// without panicking.
+type fuzzReader struct {
+	data []byte
+	pos  int
+}
+
+func (r *fuzzReader) byte() byte {
+	if r.pos >= len(r.data) {
+		return 0
+	}
+	b := r.data[r.pos]
+	r.pos++
+	return b
+}
+
+// f64 decodes a float in roughly [-0.5, 1.5]: mostly in-range loads with a
+// tail of out-of-range values so the validator's range checks get exercised.
+func (r *fuzzReader) f64() float64 {
+	return float64(r.byte())/128.0 - 0.5
+}
+
+func (r *fuzzReader) vec(d int) []float64 {
+	v := make([]float64, d)
+	for j := range v {
+		v[j] = r.f64()
+	}
+	return v
+}
+
+func decodeFuzzInput(data []byte) (ClusterState, []core.MigrationMove, core.MigrationBudget, func(int) float64) {
+	r := &fuzzReader{data: data}
+	st := ClusterState{
+		Dim:   int(r.byte()%5) - 1, // -1..3: invalid dims included
+		Load:  map[int][]float64{},
+		Size:  map[int][]float64{},
+		BinOf: map[int]int{},
+	}
+	d := st.Dim
+	if d < 1 {
+		d = 1
+	}
+	nBins := int(r.byte() % 8)
+	for i := 0; i < nBins; i++ {
+		st.Load[int(r.byte()%8)] = r.vec(d + int(r.byte()%2)) // occasional dim mismatch
+	}
+	nItems := int(r.byte() % 8)
+	for i := 0; i < nItems; i++ {
+		id := int(r.byte() % 8)
+		st.Size[id] = r.vec(d)
+		if r.byte()%4 != 0 { // sometimes orphaned
+			st.BinOf[id] = int(r.byte() % 8)
+		}
+	}
+	nMoves := int(r.byte() % 8)
+	plan := make([]core.MigrationMove, nMoves)
+	for i := range plan {
+		plan[i] = core.MigrationMove{
+			ItemID: int(r.byte() % 8),
+			From:   int(r.byte() % 8),
+			To:     int(r.byte() % 8),
+		}
+	}
+	budget := core.MigrationBudget{
+		MaxMoves: int(r.byte()%10) - 1,
+		MaxCost:  r.f64() * 10,
+	}
+	var costOf func(int) float64
+	switch r.byte() % 3 {
+	case 0:
+		costOf = nil
+	case 1:
+		costOf = func(itemID int) float64 { return float64(itemID) }
+	default:
+		costOf = func(int) float64 { return -1 } // invalid costs must be rejected
+	}
+	return st, plan, budget, costOf
+}
+
+// FuzzMigrationPlan feeds adversarial cluster states and plans to
+// ValidatePlan. Properties: it never panics, rejections are structured
+// *PlanError values, and an accepted plan really is safe — independently
+// re-simulating it from the original state never overflows a bin, never
+// moves an unknown or twice-moved item, and respects the move budget.
+func FuzzMigrationPlan(f *testing.F) {
+	// A valid two-bin state with a one-move plan, byte-for-byte:
+	// dim=2 → byte 3 (3%5-1=2); 2 bins; 2 items; 1 move; budget 5.
+	f.Add([]byte{3, 2, 0, 192, 192, 0, 1, 224, 224, 0, 2, 0, 32, 32, 1, 0, 1, 96, 96, 1, 1, 1, 0, 0, 1, 6, 128, 0})
+	f.Add([]byte{})
+	f.Add([]byte{0})
+	f.Add([]byte{255, 255, 255, 255, 255, 255, 255, 255})
+	f.Add([]byte{3, 1, 1, 128, 128, 1, 1, 128, 128, 3, 1, 1, 1, 1, 1, 2, 200})
+	f.Add([]byte{4, 7, 0, 1, 2, 3, 4, 5, 6, 7, 7, 0, 1, 2, 3, 4, 5, 6, 7, 7, 0, 0, 1, 1, 0, 2, 2, 0, 3, 3, 0, 4, 4, 0, 5, 5, 0, 6, 6, 0, 7, 10, 64, 1})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, plan, budget, costOf := decodeFuzzInput(data)
+		err := ValidatePlan(st, plan, budget, costOf)
+		if err != nil {
+			var pe *PlanError
+			if !errors.As(err, &pe) {
+				t.Fatalf("rejection is a %T (%v), want *PlanError", err, err)
+			}
+			if pe.Move < -1 || pe.Move >= len(plan) {
+				t.Fatalf("PlanError.Move = %d out of range for a %d-move plan", pe.Move, len(plan))
+			}
+			return
+		}
+		// Accepted: re-simulate independently and hold the validator to it.
+		if len(plan) > 0 && len(plan) > budget.MaxMoves {
+			t.Fatalf("accepted %d moves over budget %d", len(plan), budget.MaxMoves)
+		}
+		load := map[int][]float64{}
+		for id, l := range st.Load {
+			load[id] = append([]float64(nil), l...)
+		}
+		binOf := map[int]int{}
+		for id, b := range st.BinOf {
+			binOf[id] = b
+		}
+		moved := map[int]bool{}
+		for i, mv := range plan {
+			size, ok := st.Size[mv.ItemID]
+			if !ok || moved[mv.ItemID] || mv.From == mv.To || binOf[mv.ItemID] != mv.From {
+				t.Fatalf("accepted structurally invalid move %d: %+v", i, mv)
+			}
+			to, ok := load[mv.To]
+			if !ok {
+				t.Fatalf("accepted move %d into unknown bin %d", i, mv.To)
+			}
+			for j, s := range size {
+				load[mv.From][j] -= s
+				to[j] += s
+				if to[j] > 1 {
+					t.Fatalf("accepted plan overflows bin %d dim %d at move %d (%v)", mv.To, j, i, to[j])
+				}
+			}
+			binOf[mv.ItemID] = mv.To
+			moved[mv.ItemID] = true
+		}
+	})
+}

@@ -1,0 +1,167 @@
+package migrate
+
+import (
+	"fmt"
+	"math"
+
+	"dvbp/internal/core"
+)
+
+// ClusterState is the plain-data form of a cluster a migration plan is
+// validated against: per-bin loads and per-item sizes plus each item's bin.
+// It mirrors what core.MigrationView exposes, but holds no live engine state,
+// so adversarial inputs (fuzzing, external plan files) can be checked safely.
+type ClusterState struct {
+	// Dim is the resource dimension; every load and size must have length Dim.
+	Dim int
+	// Load maps open bin IDs to their current load vectors.
+	Load map[int][]float64
+	// Size maps active item IDs to their size vectors.
+	Size map[int][]float64
+	// BinOf maps each active item to the open bin holding it.
+	BinOf map[int]int
+}
+
+// PlanError reports why a migration plan was rejected. Move is the offending
+// index into the plan (-1 for plan-level violations such as a blown budget or
+// a malformed state).
+type PlanError struct {
+	Move   int
+	Reason string
+}
+
+func (e *PlanError) Error() string {
+	if e.Move < 0 {
+		return "migrate: invalid plan: " + e.Reason
+	}
+	return fmt.Sprintf("migrate: invalid plan: move %d: %s", e.Move, e.Reason)
+}
+
+func planErrf(move int, format string, args ...interface{}) *PlanError {
+	return &PlanError{Move: move, Reason: fmt.Sprintf(format, args...)}
+}
+
+// finite reports whether every component of v is a finite float in [0, 1].
+func finite(v []float64) bool {
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) || x < 0 || x > 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// checkState validates the cluster state itself; a malformed state is a
+// plan-level error (Move = -1).
+func checkState(st ClusterState) *PlanError {
+	if st.Dim <= 0 {
+		return planErrf(-1, "state: dimension %d is not positive", st.Dim)
+	}
+	for id, l := range st.Load {
+		if len(l) != st.Dim {
+			return planErrf(-1, "state: bin %d load has %d dims, want %d", id, len(l), st.Dim)
+		}
+		if !finite(l) {
+			return planErrf(-1, "state: bin %d load is not a finite vector in [0,1]", id)
+		}
+	}
+	for id, s := range st.Size {
+		if len(s) != st.Dim {
+			return planErrf(-1, "state: item %d size has %d dims, want %d", id, len(s), st.Dim)
+		}
+		if !finite(s) {
+			return planErrf(-1, "state: item %d size is not a finite vector in [0,1]", id)
+		}
+		b, ok := st.BinOf[id]
+		if !ok {
+			return planErrf(-1, "state: item %d has a size but no bin", id)
+		}
+		if _, ok := st.Load[b]; !ok {
+			return planErrf(-1, "state: item %d sits in unknown bin %d", id, b)
+		}
+	}
+	for id := range st.BinOf {
+		if _, ok := st.Size[id]; !ok {
+			return planErrf(-1, "state: item %d has a bin but no size", id)
+		}
+	}
+	return nil
+}
+
+// ValidatePlan checks a migration plan against a cluster state and budget:
+// structural soundness (known bins and items, no self-moves, each move's From
+// matching where the item actually is once earlier moves applied, no item
+// moved twice), budget compliance (count, and cost when costOf is non-nil),
+// and capacity safety (simulating the moves in order never pushes any bin
+// above 1 in any dimension). It returns nil for a valid plan and a structured
+// *PlanError otherwise — never a panic, whatever the input.
+//
+// costOf gives each move's migration cost (size·remaining-duration); pass nil
+// to skip cost accounting (count-only budgets).
+func ValidatePlan(st ClusterState, plan []core.MigrationMove, budget core.MigrationBudget, costOf func(itemID int) float64) error {
+	if err := checkState(st); err != nil {
+		return err
+	}
+	if len(plan) == 0 {
+		return nil
+	}
+	if budget.MaxMoves <= 0 {
+		return planErrf(-1, "non-empty plan with MaxMoves %d", budget.MaxMoves)
+	}
+	if len(plan) > budget.MaxMoves {
+		return planErrf(-1, "%d moves exceed budget MaxMoves %d", len(plan), budget.MaxMoves)
+	}
+
+	// Simulate on copies; the caller's state must stay untouched.
+	load := make(map[int][]float64, len(st.Load))
+	for id, l := range st.Load {
+		load[id] = append([]float64(nil), l...)
+	}
+	binOf := make(map[int]int, len(st.BinOf))
+	for id, b := range st.BinOf {
+		binOf[id] = b
+	}
+
+	moved := make(map[int]bool, len(plan))
+	cost := 0.0
+	for i, mv := range plan {
+		size, ok := st.Size[mv.ItemID]
+		if !ok {
+			return planErrf(i, "unknown item %d", mv.ItemID)
+		}
+		if moved[mv.ItemID] {
+			return planErrf(i, "item %d moved twice in one pass", mv.ItemID)
+		}
+		if mv.From == mv.To {
+			return planErrf(i, "item %d: self-move within bin %d", mv.ItemID, mv.From)
+		}
+		if at := binOf[mv.ItemID]; at != mv.From {
+			return planErrf(i, "item %d is in bin %d, not %d", mv.ItemID, at, mv.From)
+		}
+		to, ok := load[mv.To]
+		if !ok {
+			return planErrf(i, "unknown target bin %d", mv.To)
+		}
+		if costOf != nil {
+			c := costOf(mv.ItemID)
+			if math.IsNaN(c) || c < 0 {
+				return planErrf(i, "item %d has invalid migration cost %v", mv.ItemID, c)
+			}
+			cost += c
+			if budget.MaxCost > 0 && cost > budget.MaxCost {
+				return planErrf(i, "cumulative cost %v exceeds budget MaxCost %v", cost, budget.MaxCost)
+			}
+		}
+		from := load[mv.From]
+		for j, s := range size {
+			from[j] -= s
+			to[j] += s
+			if to[j] > 1 {
+				return planErrf(i, "item %d overflows bin %d in dimension %d (%v > 1)", mv.ItemID, mv.To, j, to[j])
+			}
+		}
+		binOf[mv.ItemID] = mv.To
+		moved[mv.ItemID] = true
+	}
+	return nil
+}

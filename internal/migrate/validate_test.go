@@ -1,0 +1,265 @@
+package migrate
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"dvbp/internal/core"
+)
+
+// twoBinState is a well-formed d=2 state: bin 0 holds items 0 (0.25) and
+// 1 (0.25), bin 1 holds item 2 (0.5), bin 2 is empty.
+func twoBinState() ClusterState {
+	return ClusterState{
+		Dim: 2,
+		Load: map[int][]float64{
+			0: {0.5, 0.5},
+			1: {0.5, 0.5},
+			2: {0, 0},
+		},
+		Size: map[int][]float64{
+			0: {0.25, 0.25},
+			1: {0.25, 0.25},
+			2: {0.5, 0.5},
+		},
+		BinOf: map[int]int{0: 0, 1: 0, 2: 1},
+	}
+}
+
+func TestValidatePlanAccepts(t *testing.T) {
+	st := twoBinState()
+	budget := core.MigrationBudget{MaxMoves: 4}
+	plans := [][]core.MigrationMove{
+		nil,
+		{},
+		{{ItemID: 0, From: 0, To: 1}},
+		// Landing exactly at capacity 1 is legal.
+		{{ItemID: 2, From: 1, To: 0}},
+		{{ItemID: 0, From: 0, To: 2}, {ItemID: 1, From: 0, To: 2}},
+		// Chained feasibility: item 2 vacates bin 1, then item 0 and 1 use
+		// the space item 2 freed plus bin 1's own headroom.
+		{{ItemID: 2, From: 1, To: 2}, {ItemID: 0, From: 0, To: 1}, {ItemID: 1, From: 0, To: 1}},
+	}
+	for i, plan := range plans {
+		if err := ValidatePlan(st, plan, budget, nil); err != nil {
+			t.Errorf("plan %d: unexpected rejection: %v", i, err)
+		}
+	}
+}
+
+func TestValidatePlanRejects(t *testing.T) {
+	budget := core.MigrationBudget{MaxMoves: 4}
+	costOne := func(int) float64 { return 1 }
+	cases := []struct {
+		name   string
+		state  func() ClusterState
+		plan   []core.MigrationMove
+		budget core.MigrationBudget
+		costOf func(int) float64
+		move   int // expected PlanError.Move
+		want   string
+	}{
+		{
+			name:  "bad dimension",
+			state: func() ClusterState { return ClusterState{Dim: 0} },
+			move:  -1, want: "dimension",
+		},
+		{
+			name: "load dim mismatch",
+			state: func() ClusterState {
+				st := twoBinState()
+				st.Load[0] = []float64{0.5}
+				return st
+			},
+			move: -1, want: "load has 1 dims",
+		},
+		{
+			name: "non-finite load",
+			state: func() ClusterState {
+				st := twoBinState()
+				st.Load[0] = []float64{0.5, -0.1}
+				return st
+			},
+			move: -1, want: "finite vector",
+		},
+		{
+			name: "orphan item",
+			state: func() ClusterState {
+				st := twoBinState()
+				delete(st.BinOf, 2)
+				return st
+			},
+			move: -1, want: "no bin",
+		},
+		{
+			name: "item in unknown bin",
+			state: func() ClusterState {
+				st := twoBinState()
+				st.BinOf[2] = 99
+				return st
+			},
+			move: -1, want: "unknown bin",
+		},
+		{
+			name: "bin membership without size",
+			state: func() ClusterState {
+				st := twoBinState()
+				delete(st.Size, 2)
+				return st
+			},
+			move: -1, want: "no size",
+		},
+		{
+			name:  "non-empty plan with zero budget",
+			state: twoBinState,
+			plan:  []core.MigrationMove{{ItemID: 0, From: 0, To: 1}},
+			move:  -1, want: "MaxMoves 0",
+		},
+		{
+			name:   "too many moves",
+			state:  twoBinState,
+			plan:   []core.MigrationMove{{ItemID: 0, From: 0, To: 1}, {ItemID: 1, From: 0, To: 2}},
+			budget: core.MigrationBudget{MaxMoves: 1},
+			move:   -1, want: "exceed budget",
+		},
+		{
+			name:  "unknown item",
+			state: twoBinState,
+			plan:  []core.MigrationMove{{ItemID: 42, From: 0, To: 1}},
+			move:  0, want: "unknown item",
+		},
+		{
+			name:  "item moved twice",
+			state: twoBinState,
+			plan:  []core.MigrationMove{{ItemID: 0, From: 0, To: 2}, {ItemID: 0, From: 2, To: 1}},
+			move:  1, want: "moved twice",
+		},
+		{
+			name:  "self move",
+			state: twoBinState,
+			plan:  []core.MigrationMove{{ItemID: 0, From: 0, To: 0}},
+			move:  0, want: "self-move",
+		},
+		{
+			name:  "wrong source bin",
+			state: twoBinState,
+			plan:  []core.MigrationMove{{ItemID: 2, From: 0, To: 2}},
+			move:  0, want: "is in bin 1",
+		},
+		{
+			name:  "unknown target",
+			state: twoBinState,
+			plan:  []core.MigrationMove{{ItemID: 0, From: 0, To: 7}},
+			move:  0, want: "unknown target",
+		},
+		{
+			name: "overflow",
+			state: func() ClusterState {
+				st := twoBinState()
+				st.Load[0] = []float64{0.6, 0.6}
+				return st
+			},
+			plan: []core.MigrationMove{{ItemID: 2, From: 1, To: 0}},
+			move: 0, want: "overflows",
+		},
+		{
+			name:   "cost over budget",
+			state:  twoBinState,
+			plan:   []core.MigrationMove{{ItemID: 0, From: 0, To: 2}, {ItemID: 1, From: 0, To: 2}},
+			budget: core.MigrationBudget{MaxMoves: 4, MaxCost: 1.5},
+			costOf: costOne,
+			move:   1, want: "exceeds budget MaxCost",
+		},
+		{
+			name:   "invalid cost",
+			state:  twoBinState,
+			plan:   []core.MigrationMove{{ItemID: 0, From: 0, To: 2}},
+			costOf: func(int) float64 { return -1 },
+			move:   0, want: "invalid migration cost",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := tc.budget
+			if b.MaxMoves == 0 && tc.name != "non-empty plan with zero budget" {
+				b = budget
+			}
+			err := ValidatePlan(tc.state(), tc.plan, b, tc.costOf)
+			var pe *PlanError
+			if !errors.As(err, &pe) {
+				t.Fatalf("ValidatePlan = %v, want *PlanError", err)
+			}
+			if pe.Move != tc.move {
+				t.Errorf("PlanError.Move = %d, want %d (%v)", pe.Move, tc.move, pe)
+			}
+			if !strings.Contains(pe.Error(), tc.want) {
+				t.Errorf("PlanError %q does not mention %q", pe.Error(), tc.want)
+			}
+		})
+	}
+}
+
+// ValidatePlan must leave the caller's state untouched even when it accepts.
+func TestValidatePlanPure(t *testing.T) {
+	st := twoBinState()
+	plan := []core.MigrationMove{{ItemID: 0, From: 0, To: 2}}
+	if err := ValidatePlan(st, plan, core.MigrationBudget{MaxMoves: 4}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if st.Load[0][0] != 0.5 || st.Load[2][0] != 0 || st.BinOf[0] != 0 {
+		t.Fatalf("ValidatePlan mutated the caller's state: %+v", st)
+	}
+}
+
+func TestConfig(t *testing.T) {
+	var zero Config
+	if zero.Enabled() {
+		t.Error("zero Config reports enabled")
+	}
+	if got := zero.String(); got != "" {
+		t.Errorf("zero Config.String() = %q, want empty", got)
+	}
+	if _, err := zero.Option(); err != nil {
+		t.Errorf("zero Config.Option() = %v, want nil error", err)
+	}
+
+	c := Config{Planner: "drain-emptiest", Period: 2, MaxMoves: 8}
+	if !c.Enabled() {
+		t.Error("configured Config reports disabled")
+	}
+	if got, want := c.String(), "drain-emptiest period=2 moves=8"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	c.MaxCost = 1.5
+	if got, want := c.String(), "drain-emptiest period=2 moves=8 cost=1.5"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	if _, err := c.Option(); err != nil {
+		t.Errorf("Option() = %v", err)
+	}
+
+	c.Planner = "no-such-planner"
+	if _, err := c.Option(); err == nil {
+		t.Error("Option() accepted an unknown planner")
+	}
+}
+
+func TestNewPlannerRegistry(t *testing.T) {
+	names := PlannerNames()
+	if len(names) != 3 {
+		t.Fatalf("PlannerNames() = %v, want 3 planners", names)
+	}
+	for _, name := range names {
+		p, err := NewPlanner(name)
+		if err != nil {
+			t.Fatalf("NewPlanner(%q): %v", name, err)
+		}
+		if p.Name() != name {
+			t.Errorf("NewPlanner(%q).Name() = %q: registry key and planner name drifted", name, p.Name())
+		}
+	}
+	if _, err := NewPlanner("bogus"); err == nil {
+		t.Error("NewPlanner accepted an unknown name")
+	}
+}

@@ -27,6 +27,11 @@ type RunMeta struct {
 	// FaultPlan is the fault configuration's display string ("" when the run
 	// is fault-free). Informational: options are re-supplied on recovery.
 	FaultPlan string `json:"fault_plan,omitempty"`
+	// Migration is the migration configuration's display string ("" when
+	// placements are irrevocable, the paper's model). Informational, like
+	// FaultPlan: the WithMigration option is re-supplied on recovery, and
+	// replay verification catches a mismatched planner immediately.
+	Migration string `json:"migration,omitempty"`
 	// Dynamic marks a dynamic-arrival run (core.WithDynamicArrivals): the
 	// item list grows while the run is live, so Items and WorkloadHash cannot
 	// be pinned up front. Content integrity comes from the caller's op log

@@ -17,8 +17,9 @@ import (
 // cross-references, accumulator integrity) happens in core.RestoreEngine.
 
 // snapCodecVersion versions the snapshot payload independently of the file
-// framing.
-const snapCodecVersion = 1
+// framing. Version 2 added the migration section and the Result migration
+// counters (DESIGN.md §14).
+const snapCodecVersion = 2
 
 // EncodeSnapshot serialises an engine snapshot.
 func EncodeSnapshot(s *core.Snapshot) []byte {
@@ -89,6 +90,25 @@ func EncodeSnapshot(s *core.Snapshot) []byte {
 	}
 
 	encodeResult(b, s.Result)
+
+	// Migration section, guarded by a presence flag so nil (migration
+	// disabled) round-trips distinguishably from the empty state.
+	b.bool(s.Migration != nil)
+	if m := s.Migration; m != nil {
+		b.varint(m.NextPass)
+		b.f64(m.PassTime)
+		b.uvarint(uint64(len(m.Pending)))
+		for _, mv := range m.Pending {
+			b.varint(int64(mv.ItemID))
+			b.varint(int64(mv.From))
+			b.varint(int64(mv.To))
+		}
+		b.uvarint(uint64(len(m.Redirects)))
+		for _, r := range m.Redirects {
+			b.varint(r.Seq)
+			b.varint(int64(r.BinID))
+		}
+	}
 	return b.buf
 }
 
@@ -110,6 +130,9 @@ func encodeResult(b *benc, r *core.Result) {
 	b.varint(int64(r.QueuedPlaced))
 	b.f64(r.QueueDelay)
 	b.f64(r.LostUsageTime)
+	b.varint(int64(r.Migrations))
+	b.f64(r.MigrationCost)
+	b.varint(int64(r.BinsDrained))
 
 	b.uvarint(uint64(len(r.Placements)))
 	for _, p := range r.Placements {
@@ -212,6 +235,30 @@ func DecodeSnapshot(payload []byte) (*core.Snapshot, error) {
 	}
 
 	s.Result = decodeResult(d)
+
+	if d.bool() {
+		m := &core.MigrationSnapshot{}
+		m.NextPass = d.varint()
+		m.PassTime = d.f64()
+		nMv := d.count(3)
+		for i := 0; i < nMv && d.fail == nil; i++ {
+			m.Pending = append(m.Pending, core.MigrationMove{ItemID: d.int(), From: d.int(), To: d.int()})
+		}
+		nRd := d.count(2)
+		prev := int64(-1)
+		for i := 0; i < nRd && d.fail == nil; i++ {
+			r := core.RedirectSnapshot{Seq: d.varint(), BinID: d.int()}
+			// Strictly ascending Seq — the order the encoder emits — so the
+			// codec stays a bijection.
+			if r.Seq <= prev {
+				d.fatal("migration redirects out of sequence order at %d", r.Seq)
+				break
+			}
+			prev = r.Seq
+			m.Redirects = append(m.Redirects, r)
+		}
+		s.Migration = m
+	}
 	if d.fail != nil {
 		return nil, d.fail
 	}
@@ -240,6 +287,9 @@ func decodeResult(d *bdec) *core.Result {
 	r.QueuedPlaced = d.int()
 	r.QueueDelay = d.f64()
 	r.LostUsageTime = d.f64()
+	r.Migrations = d.int()
+	r.MigrationCost = d.f64()
+	r.BinsDrained = d.int()
 
 	nPl := d.count(6)
 	for i := 0; i < nPl && d.fail == nil; i++ {

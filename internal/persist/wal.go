@@ -55,7 +55,7 @@ func DecodeEventRecord(payload []byte) (core.EventRecord, error) {
 		return rec, corrupt("empty event record")
 	}
 	rec.Class = core.EventClass(payload[0])
-	if rec.Class > core.EventArrival {
+	if rec.Class > core.EventMigration {
 		return rec, corrupt("unknown event class %d", payload[0])
 	}
 	p := payload[1:]

@@ -7,6 +7,8 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -218,6 +220,122 @@ func TestServerStrandedAccounting(t *testing.T) {
 	// compatibility: 2 − max(1.125, 1.125).
 	if st.StrandedBins != 0.875 {
 		t.Errorf("legacy stranded bins %v, want 0.875", st.StrandedBins)
+	}
+}
+
+// TestServerStrandedChurnConsistent drives a tenant through bin open/close
+// churn and a torn-tail crash recovery, then pins every /status fragmentation
+// field — open_load, stranded_per_dim, stranded_capacity, and the deprecated
+// stranded_bins — against an independent metrics.FragOf recompute on a
+// replica engine fed the same items. The two derived fields must also agree
+// with each other's definition off the same snapshot, so they cannot drift
+// apart under churn. All sizes are dyadic, so every comparison is exact.
+func TestServerStrandedChurnConsistent(t *testing.T) {
+	root := t.TempDir()
+	reg := metrics.NewRegistry()
+	store, err := OpenStore(root, Limits{SyncEvery: 1}, reg)
+	if err != nil {
+		t.Fatalf("OpenStore: %v", err)
+	}
+	url := newLocalServer(t, New(store, reg)) // store "crashes" below; no Cleanup-close
+	cfg := TenantConfig{Name: "churn", Dim: 2, Policy: "FirstFit", Seed: 1, CheckpointEvery: 4}
+	mustStatus(t, http.StatusCreated, call(t, "POST", url+"/v1/tenants", cfg, nil), "create")
+
+	// Two long-lived mirror-imbalanced items anchor two bins; two short-lived
+	// ones open and churn a third bin that closes again at the advance.
+	pre := []streamItem{
+		{arrival: 0, departure: 100, size: []float64{0.875, 0.25}},
+		{arrival: 1, departure: 100, size: []float64{0.25, 0.875}},
+		{arrival: 2, departure: 5, size: []float64{0.125, 0.0625}},
+		{arrival: 3, departure: 6, size: []float64{0.5, 0.5}},
+	}
+	for i, it := range pre {
+		mustStatus(t, http.StatusOK, call(t, "POST", url+"/v1/tenants/churn/place",
+			placeBody{Arrival: f(it.arrival), Departure: f(it.departure), Size: it.size}, nil),
+			fmt.Sprintf("place %d", i))
+	}
+	mustStatus(t, http.StatusOK, call(t, "POST", url+"/v1/tenants/churn/advance",
+		advanceBody{To: 10}, nil), "advance past the departures")
+
+	// Crash without a drain, tear the persist tails, and recover.
+	for _, name := range []string{"wal.dvbp", "ops.dvbp"} {
+		fh, err := os.OpenFile(filepath.Join(root, "churn", name), os.O_WRONLY|os.O_APPEND, 0)
+		if err != nil {
+			t.Fatalf("open %s: %v", name, err)
+		}
+		if _, err := fh.Write([]byte{0x13, 0x37, 0x00}); err != nil {
+			t.Fatalf("tear %s: %v", name, err)
+		}
+		fh.Close()
+	}
+	reg2 := metrics.NewRegistry()
+	store2, err := OpenStore(root, Limits{SyncEvery: 1}, reg2)
+	if err != nil {
+		t.Fatalf("reopening store: %v", err)
+	}
+	t.Cleanup(store2.Close)
+	url2 := newLocalServer(t, New(store2, reg2))
+
+	post := streamItem{arrival: 12, departure: 50, size: []float64{0.0625, 0.0625}}
+	mustStatus(t, http.StatusOK, call(t, "POST", url2+"/v1/tenants/churn/place",
+		placeBody{Arrival: f(post.arrival), Departure: f(post.departure), Size: post.size}, nil),
+		"place after recovery")
+	mustStatus(t, http.StatusOK, call(t, "POST", url2+"/v1/tenants/churn/advance",
+		advanceBody{To: 20}, nil), "final advance")
+
+	var st TenantStatus
+	mustStatus(t, http.StatusOK, call(t, "GET", url2+"/v1/tenants/churn", nil, &st), "status")
+
+	// Independent recompute: the same items through a fresh engine stepped to
+	// the watermark, fragmentation read through metrics.FragOf.
+	l := item.NewList(cfg.Dim)
+	for _, it := range append(append([]streamItem(nil), pre...), post) {
+		l.Add(it.arrival, it.departure, vector.Vector(it.size))
+	}
+	p, err := core.NewPolicy(cfg.Policy, cfg.Seed)
+	if err != nil {
+		t.Fatalf("NewPolicy: %v", err)
+	}
+	e, err := core.NewEngine(l, p)
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	defer e.Close()
+	for {
+		tt, ok := e.PeekTime()
+		if !ok || tt > st.Watermark {
+			break
+		}
+		if _, ok, err := e.Step(); err != nil || !ok {
+			t.Fatalf("replica step: ok=%v err=%v", ok, err)
+		}
+	}
+	fs := metrics.FragOf(cfg.Dim, e.AppendOpenBins(nil))
+
+	if fs.OpenBins != 2 || fs.Stranded[0] != 0.625 || fs.Stranded[1] != 0.625 {
+		t.Fatalf("replica recompute off-script: %+v (want 2 bins stranding 0.625 each dim)", fs)
+	}
+	if st.OpenBins != fs.OpenBins {
+		t.Errorf("open bins %d, FragOf recompute says %d", st.OpenBins, fs.OpenBins)
+	}
+	var cap_, maxLoad float64
+	for d := 0; d < cfg.Dim; d++ {
+		if st.OpenLoad[d] != fs.Load[d] {
+			t.Errorf("open load dim %d = %v, FragOf recompute says %v", d, st.OpenLoad[d], fs.Load[d])
+		}
+		if st.StrandedPerDim[d] != fs.Stranded[d] {
+			t.Errorf("stranded dim %d = %v, FragOf recompute says %v", d, st.StrandedPerDim[d], fs.Stranded[d])
+		}
+		cap_ += fs.Stranded[d]
+		if fs.Load[d] > maxLoad {
+			maxLoad = fs.Load[d]
+		}
+	}
+	if st.StrandedCapacity != cap_ {
+		t.Errorf("stranded capacity %v, FragOf recompute says %v", st.StrandedCapacity, cap_)
+	}
+	if want := float64(fs.OpenBins) - maxLoad; st.StrandedBins != want {
+		t.Errorf("legacy stranded bins %v, FragOf recompute says %v", st.StrandedBins, want)
 	}
 }
 

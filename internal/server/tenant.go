@@ -8,6 +8,7 @@ import (
 
 	"dvbp/internal/core"
 	"dvbp/internal/item"
+	"dvbp/internal/metrics"
 	"dvbp/internal/persist"
 	"dvbp/internal/vector"
 )
@@ -492,9 +493,15 @@ func (t *Tenant) applyAdvance(req *request) *AdvanceResult {
 	return &AdvanceResult{Tenant: t.cfg.Name, To: req.to, Events: n, Served: e.Stats().Served}
 }
 
-// status builds the stats view (worker goroutine only).
+// status builds the stats view (worker goroutine only). The fragmentation
+// fields — stranded_per_dim, stranded_capacity and the deprecated
+// stranded_bins — are all derived from one metrics.FragOf recompute over the
+// engine's open bins, so the three can never drift apart (or away from the
+// fragmentation tracker's definition) under bin close/crash churn.
 func (t *Tenant) status() *TenantStatus {
-	st := t.session.Engine().Stats()
+	e := t.session.Engine()
+	st := e.Stats()
+	fs := metrics.FragOf(t.cfg.Dim, e.AppendOpenBins(nil))
 	out := &TenantStatus{
 		TenantConfig: t.cfg,
 		Watermark:    t.watermark,
@@ -503,22 +510,22 @@ func (t *Tenant) status() *TenantStatus {
 		Items:        st.Items,
 		Served:       st.Served,
 		Placements:   st.Placements,
-		OpenBins:     st.OpenBins,
+		OpenBins:     fs.OpenBins,
 		BinsOpened:   st.BinsOpened,
 		Cost:         st.CostAt(t.watermark),
-		OpenLoad:     st.OpenLoad,
+		OpenLoad:     fs.Load,
 	}
-	out.StrandedPerDim = st.Stranded
-	for _, v := range st.Stranded {
+	out.StrandedPerDim = fs.Stranded
+	for _, v := range fs.Stranded {
 		out.StrandedCapacity += v
 	}
 	maxLoad := 0.0
-	for _, v := range st.OpenLoad {
+	for _, v := range fs.Load {
 		if v > maxLoad {
 			maxLoad = v
 		}
 	}
-	out.StrandedBins = float64(st.OpenBins) - maxLoad
+	out.StrandedBins = float64(fs.OpenBins) - maxLoad
 	return out
 }
 
