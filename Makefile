@@ -13,9 +13,9 @@ STRESSCOUNT ?= 5
 BENCHTIME ?= 10x
 BENCHCOUNT ?= 3
 
-.PHONY: ci fmt vet test race stress torture-smoke serve-smoke frag-smoke defrag-smoke build bench bench-smoke bench-json fuzz-smoke docs-check
+.PHONY: ci fmt vet test race stress torture-smoke serve-smoke frag-smoke defrag-smoke disk-smoke build bench bench-smoke bench-json fuzz-smoke docs-check
 
-ci: fmt vet docs-check race stress torture-smoke serve-smoke frag-smoke defrag-smoke bench-smoke fuzz-smoke
+ci: fmt vet docs-check race stress torture-smoke serve-smoke frag-smoke defrag-smoke disk-smoke bench-smoke fuzz-smoke
 
 # gofmt -l prints offending files; fail when the list is non-empty.
 fmt:
@@ -84,6 +84,16 @@ defrag-smoke:
 	$(GO) test -race -run='Migration|Planner|ValidatePlan|Defrag' \
 		./internal/migrate ./internal/core ./internal/persist ./internal/experiments
 
+# Disk-fault gate (DESIGN.md §15): the vfs crash/fault model itself, the
+# exhaustive crash-point sweeps (power loss at EVERY filesystem operation of
+# a static and a dynamic run, recovery byte-identical), the compaction
+# invariants (bounded WAL, no from-scratch fallback past the compaction
+# base), the writer rollback/retry paths, the error taxonomy, the server's
+# degraded read-only mode, and the CLI-level -disk-faults/-compact runs.
+disk-smoke:
+	$(GO) test -race -run='Vfs|Mem|Injector|Crash|DiskTorture|Compact|Rollback|SyncsParent|SweepsOrphan|Classification|Degraded|SickDisk|DiskFault' \
+		./internal/vfs ./internal/persist ./internal/server ./cmd/dvbpchaos ./cmd/dvbpbench
+
 bench:
 	$(GO) test -bench=. -benchmem
 
@@ -139,4 +149,5 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzParse$$' -fuzztime=$(FUZZTIME) ./internal/faults
 	$(GO) test -run='^$$' -fuzz='^FuzzMigrationPlan$$' -fuzztime=$(FUZZTIME) ./internal/migrate
 	$(GO) test -run='^$$' -fuzz='^FuzzWALDecode$$' -fuzztime=$(FUZZTIME) ./internal/persist
+	$(GO) test -run='^$$' -fuzz='^FuzzOpLogDecode$$' -fuzztime=$(FUZZTIME) ./internal/persist
 	$(GO) test -run='^$$' -fuzz='^FuzzSnapshotDecode$$' -fuzztime=$(FUZZTIME) ./internal/persist

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestDiskFaultsAbsorbedByteIdentical is the -disk-faults acceptance check:
+// a run whose WAL syncs, snapshot writes, and directory fsyncs fail on
+// schedule must absorb every planned fault (ride-out, skip, retry-later) and
+// still print stdout byte-identical to a clean run — the disk weather is
+// reported on stderr, never in the results.
+func TestDiskFaultsAbsorbedByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the go tool")
+	}
+	bin := buildChaos(t)
+	base := append([]string{"-policy", "FirstFit", "-json", "-checkpoint-every", "32"}, chaosArgs...)
+
+	clean, _, code := runChaos(t, bin, append(append([]string{}, base...), "-checkpoint-dir", t.TempDir())...)
+	if code != 0 {
+		t.Fatalf("clean run exited %d", code)
+	}
+
+	// Begin consumes the first few operations of each kind (WAL header, the
+	// meta barrier, snapshot 0) and is rightly fatal there — a run that can't
+	// establish durability must not start. These indices all land at runtime,
+	// where the absorb machinery has to ride them out: WAL batch syncs,
+	// checkpoint temp writes, snapshot renames' directory syncs.
+	plan := "sync:5:eio,sync:6:enospc,syncdir:4:eio,write:8:enospc,sync:10:eio"
+	faulty, stderr, code := runChaos(t, bin, append(append([]string{}, base...),
+		"-checkpoint-dir", t.TempDir(), "-disk-faults", plan)...)
+	if code != 0 {
+		t.Fatalf("disk-fault run exited %d\nstderr: %s", code, stderr)
+	}
+	if faulty != clean {
+		t.Fatalf("disk faults changed the results\n--- clean ---\n%s\n--- faulty ---\n%s", clean, faulty)
+	}
+	if !strings.Contains(stderr, "disk weather:") {
+		t.Fatalf("no disk weather report on stderr:\n%s", stderr)
+	}
+
+	// A malformed plan is a usage error, not a crash.
+	_, stderr, code = runChaos(t, bin, append(append([]string{}, base...),
+		"-checkpoint-dir", t.TempDir(), "-disk-faults", "sync:0:eio")...)
+	if code == 0 || !strings.Contains(stderr, "occurrence must be a positive integer") {
+		t.Fatalf("bad plan: exit %d, stderr: %s", code, stderr)
+	}
+
+	// -disk-faults without -checkpoint-dir has nothing to inject into.
+	_, stderr, code = runChaos(t, bin, append(append([]string{}, base...), "-disk-faults", "sync:2:eio")...)
+	if code == 0 || !strings.Contains(stderr, "-checkpoint-dir") {
+		t.Fatalf("disk faults without dir: exit %d, stderr: %s", code, stderr)
+	}
+}
+
+// TestCompactKeepsResultShrinksWAL: -compact must leave stdout byte-identical
+// to an uncompacted persisted run while the on-disk WAL ends up strictly
+// smaller (the pre-snapshot prefix is truncated away).
+func TestCompactKeepsResultShrinksWAL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the go tool")
+	}
+	bin := buildChaos(t)
+	base := append([]string{"-policy", "FirstFit", "-json", "-checkpoint-every", "32"}, chaosArgs...)
+
+	plainDir, compactDir := t.TempDir(), t.TempDir()
+	plain, _, code := runChaos(t, bin, append(append([]string{}, base...), "-checkpoint-dir", plainDir)...)
+	if code != 0 {
+		t.Fatalf("plain run exited %d", code)
+	}
+	compacted, stderr, code := runChaos(t, bin, append(append([]string{}, base...),
+		"-checkpoint-dir", compactDir, "-compact")...)
+	if code != 0 {
+		t.Fatalf("compacting run exited %d\nstderr: %s", code, stderr)
+	}
+	if compacted != plain {
+		t.Fatalf("compaction changed the results\n--- plain ---\n%s\n--- compacted ---\n%s", plain, compacted)
+	}
+	if !strings.Contains(stderr, "compactions") {
+		t.Fatalf("no compaction summary on stderr:\n%s", stderr)
+	}
+	pi, err := os.Stat(filepath.Join(plainDir, "wal.dvbp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci, err := os.Stat(filepath.Join(compactDir, "wal.dvbp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci.Size() >= pi.Size() {
+		t.Fatalf("compacted WAL is %d bytes, plain %d — nothing was reclaimed", ci.Size(), pi.Size())
+	}
+
+	// The compacted directory must still restore to the same results.
+	restored, stderr, code := runChaos(t, bin, append(append([]string{}, base...),
+		"-checkpoint-dir", compactDir, "-restore")...)
+	if code != 0 {
+		t.Fatalf("restore from compacted dir exited %d\nstderr: %s", code, stderr)
+	}
+	if restored != plain {
+		t.Fatalf("restore from a compacted WAL diverged\n--- plain ---\n%s\n--- restored ---\n%s", plain, restored)
+	}
+}

@@ -15,6 +15,7 @@
 //	dvbpchaos -n 500 -mtbf 20 -max-servers 10 -queue-deadline 5 -json
 //	dvbpchaos -all -mtbf 30 -metrics -timeout 30s
 //	dvbpchaos -mtbf 40 -migrate drain-emptiest -migrate-period 5 -migrate-moves 4
+//	dvbpchaos -mtbf 50 -checkpoint-dir /tmp/ck -disk-faults 'sync:2:eio,write:5:enospc'
 package main
 
 import (
@@ -33,6 +34,7 @@ import (
 	"dvbp/internal/migrate"
 	"dvbp/internal/persist"
 	"dvbp/internal/report"
+	"dvbp/internal/vfs"
 	"dvbp/internal/workload"
 )
 
@@ -88,6 +90,8 @@ func main() {
 		ckptEvery = flag.Int64("checkpoint-every", 64, "events between automatic snapshots when -checkpoint-dir is set (0 = WAL only)")
 		restoreF  = flag.Bool("restore", false, "resume the faulty run persisted in -checkpoint-dir instead of starting fresh")
 		killAt    = flag.Int64("kill-at", -1, "crash on purpose (exit 3, no cleanup) once this many events are persisted; requires -checkpoint-dir")
+		compactF  = flag.Bool("compact", false, "compact the WAL after each automatic snapshot; requires -checkpoint-dir")
+		diskF     = flag.String("disk-faults", "", "inject disk faults into the persisted run: comma-separated kind:n:errno triples (kinds "+strings.Join(vfs.SortedKinds(), "/")+", errnos eio/enospc), e.g. 'sync:2:eio,write:5:enospc'; requires -checkpoint-dir")
 	)
 	var spec faults.Spec
 	spec.Register(flag.CommandLine, "")
@@ -106,8 +110,12 @@ func main() {
 	if !plan.Active() {
 		fatal(fmt.Errorf("no fault plan configured: set -mtbf, -crash-trace or -max-servers (this command exists to run chaos; for fault-free runs use dvbpsim)"))
 	}
-	if (*killAt >= 0 || *restoreF) && *ckptDir == "" {
-		fatal(fmt.Errorf("-kill-at and -restore act on a persisted run: set -checkpoint-dir"))
+	if (*killAt >= 0 || *restoreF || *diskF != "" || *compactF) && *ckptDir == "" {
+		fatal(fmt.Errorf("-kill-at, -restore, -disk-faults and -compact act on a persisted run: set -checkpoint-dir"))
+	}
+	diskPlan, err := vfs.ParsePlan(*diskF)
+	if err != nil {
+		fatal(err)
 	}
 	if *ckptDir != "" && *all {
 		fatal(fmt.Errorf("-checkpoint-dir persists a single run; it cannot be combined with -all"))
@@ -165,8 +173,8 @@ func main() {
 			col = collectors[p.Name()]
 		}
 		faulty, err := faultyRun(ctx, l, p, opts, chaosRun{
-			dir: *ckptDir, every: *ckptEvery, restore: *restoreF, killAt: *killAt,
-			seed: *seed, faults: plan.String(), migration: mig.String(), col: col,
+			dir: *ckptDir, every: *ckptEvery, compact: *compactF, restore: *restoreF, killAt: *killAt,
+			seed: *seed, faults: plan.String(), migration: mig.String(), col: col, diskPlan: diskPlan,
 		})
 		if err != nil {
 			fatal(err)
@@ -229,12 +237,14 @@ func main() {
 type chaosRun struct {
 	dir       string
 	every     int64
+	compact   bool
 	restore   bool
 	killAt    int64
 	seed      int64
 	faults    string
 	migration string
 	col       *metrics.Collector
+	diskPlan  []vfs.Fault
 }
 
 // faultyRun executes the faulty leg. In checkpoint mode every committed event
@@ -248,9 +258,19 @@ func faultyRun(ctx context.Context, l *item.List, p core.Policy, opts []core.Opt
 		}
 		return core.Simulate(l, p, opts...)
 	}
-	pcfg := persist.Config{Dir: rc.dir, Every: rc.every}
+	pcfg := persist.Config{Dir: rc.dir, Every: rc.every, Compact: rc.compact}
 	if rc.col != nil {
 		pcfg.Aux = []persist.AuxCodec{rc.col.Registry()}
+	}
+	var inj *vfs.Injector
+	if len(rc.diskPlan) > 0 {
+		// Disk chaos rides the same seam the tests use: an injector over the
+		// real filesystem fails the planned operations, and the persist
+		// layer's absorb-and-retry machinery has to ride them out. The final
+		// result must be byte-identical to a clean run — the plan summary on
+		// stderr shows what was survived.
+		inj = vfs.NewInjector(vfs.OS{}, rc.diskPlan...)
+		pcfg.FS = inj
 	}
 	var s *persist.Session
 	if rc.restore {
@@ -292,6 +312,11 @@ func faultyRun(ctx context.Context, l *item.List, p core.Policy, opts []core.Opt
 			return nil, err
 		}
 		if !ok {
+			if inj != nil || rc.compact {
+				st := s.TakeIOStats()
+				fmt.Fprintf(os.Stderr, "dvbpchaos: disk weather: %d absorbed sync failures, %d skipped checkpoints, %d compactions, %d bytes reclaimed\n",
+					st.SyncFailures, st.CheckpointsSkipped, st.Compactions, st.ReclaimedBytes)
+			}
 			return s.Finish()
 		}
 	}

@@ -58,6 +58,8 @@ func main() {
 		deadline   = flag.Duration("deadline", 0, "per-request budget from enqueue; expired requests answer 503 (0 = none)")
 		syncEvery  = flag.Int("sync-every", 0, "persist-layer fsync batching between the durability barriers (0 = default 64)")
 		drainWait  = flag.Duration("drain-timeout", 30*time.Second, "budget for the graceful drain on SIGTERM/SIGINT")
+		ioRetries  = flag.Int("io-retries", 0, "transient I/O failure retries at each durability barrier before the tenant degrades to read-only (0 = default 3, negative = none)")
+		ioBackoff  = flag.Duration("io-backoff", 0, "sleep before the first I/O retry, doubling per attempt up to 100ms (0 = default 2ms)")
 		list       = flag.Bool("list", false, "list accepted tenant policy spellings and exit")
 	)
 	flag.Parse()
@@ -72,10 +74,12 @@ func main() {
 
 	reg := metrics.NewRegistry()
 	store, err := server.OpenStore(*dataDir, server.Limits{
-		QueueDepth: *queueDepth,
-		BatchMax:   *batchMax,
-		Deadline:   *deadline,
-		SyncEvery:  *syncEvery,
+		QueueDepth:    *queueDepth,
+		BatchMax:      *batchMax,
+		Deadline:      *deadline,
+		SyncEvery:     *syncEvery,
+		RetryAttempts: *ioRetries,
+		RetryBackoff:  *ioBackoff,
 	}, reg)
 	if err != nil {
 		fatal(err)

@@ -56,6 +56,7 @@ func main() {
 		ckptDir   = flag.String("checkpoint-dir", "", "persist the run (WAL + snapshots) into this directory; single policy only")
 		ckptEvery = flag.Int64("checkpoint-every", 256, "events between automatic snapshots when -checkpoint-dir is set (0 = WAL only)")
 		restoreF  = flag.Bool("restore", false, "resume the run persisted in -checkpoint-dir instead of starting fresh")
+		compactF  = flag.Bool("compact", false, "compact the WAL after each automatic snapshot, bounding on-disk size by -checkpoint-every")
 	)
 	var spec faults.Spec
 	spec.Register(flag.CommandLine, "")
@@ -171,7 +172,7 @@ func main() {
 			collectors[p.Name()] = col
 			opts = append(opts, core.WithObserver(col))
 		}
-		rc := runConfig{dir: *ckptDir, every: *ckptEvery, restore: *restoreF,
+		rc := runConfig{dir: *ckptDir, every: *ckptEvery, compact: *compactF, restore: *restoreF,
 			seed: *seed, faults: faultStr, migration: mig.String(), col: collectors[p.Name()]}
 		res, err := runPolicy(ctx, l, p, opts, rc)
 		if err != nil {
@@ -228,6 +229,7 @@ func main() {
 type runConfig struct {
 	dir       string
 	every     int64
+	compact   bool
 	restore   bool
 	seed      int64
 	faults    string
@@ -246,7 +248,7 @@ func runPolicy(ctx context.Context, l *item.List, p core.Policy, opts []core.Opt
 		}
 		return core.Simulate(l, p, opts...)
 	}
-	pcfg := persist.Config{Dir: rc.dir, Every: rc.every}
+	pcfg := persist.Config{Dir: rc.dir, Every: rc.every, Compact: rc.compact}
 	if rc.col != nil {
 		pcfg.Aux = []persist.AuxCodec{rc.col.Registry()}
 	}

@@ -1,0 +1,216 @@
+package persist
+
+import (
+	"encoding/binary"
+	"path/filepath"
+
+	"dvbp/internal/vfs"
+)
+
+// WAL compaction (DESIGN.md §15). Once a snapshot at event k is durable, the
+// WAL's prefix 1..k is dead weight: recovery restores the snapshot and
+// replays only k+1..n. Compact rewrites the WAL as
+//
+//	header | meta | marker(k) | events k+1..n
+//
+// via the usual write-temp + rename + dir-sync dance, so a power loss at any
+// point leaves either the old WAL or the new one — both consistent with the
+// durable snapshot. The marker record carries the truncation base so replay
+// numbering stays verifiable: the j-th surviving event must claim sequence
+// k+j. Its first byte sits outside the event-class range, so no event record
+// can be mistaken for it (and vice versa — DecodeEventRecord rejects it).
+//
+// Ordering rules, in the order they matter:
+//
+//  1. snapshot at k durable (Checkpoint: WAL synced first, snapshot renamed
+//     + dir-synced) BEFORE the WAL prefix may go;
+//  2. the new WAL durable under the final name BEFORE the old snapshots
+//     below k may go;
+//  3. pruning old snapshots is garbage collection, safe to lose — a crash
+//     between 2 and 3 leaves harmless extra files the next compaction sweeps.
+
+// compactMarkerByte tags the compaction marker record. Event records start
+// with an EventClass (small integers well below this); DecodeEventRecord
+// rejects the byte, and decodeCompactMarker rejects event records.
+const compactMarkerByte = 0xC7
+
+// encodeCompactMarker serialises a marker claiming the WAL was truncated at
+// base (events 1..base removed; a snapshot at base or later must exist).
+func encodeCompactMarker(base int64) []byte {
+	dst := []byte{compactMarkerByte}
+	return binary.AppendVarint(dst, base)
+}
+
+// isCompactMarker reports whether payload is a marker record.
+func isCompactMarker(payload []byte) bool {
+	return len(payload) > 0 && payload[0] == compactMarkerByte
+}
+
+// decodeCompactMarker is the inverse of encodeCompactMarker; malformed input
+// returns a *CorruptionError.
+func decodeCompactMarker(payload []byte) (int64, error) {
+	if !isCompactMarker(payload) {
+		return 0, corrupt("not a compaction marker")
+	}
+	base, n, ok := canonVarint(payload[1:])
+	if !ok || n != len(payload)-1 {
+		return 0, corrupt("malformed compaction marker")
+	}
+	if base < 1 {
+		return 0, corrupt("compaction marker claims base %d < 1", base)
+	}
+	return base, nil
+}
+
+// Compact truncates the WAL prefix covered by the session's newest durable
+// snapshot and prunes snapshots below the new base. A no-op (nil) when no
+// snapshot is ahead of the current base. On-disk WAL size afterwards is
+// O(events since that snapshot), so a run that checkpoints every E events
+// keeps its directory at O(E) regardless of run length.
+//
+// Failure atomicity: every error return leaves the old WAL intact and the
+// session writing to it — except a failed reopen after the atomic swap,
+// which discards the writer and returns a fatal error (the session cannot
+// continue on a file it cannot open; recovery handles it like any crash).
+func (s *Session) Compact() error {
+	if s.lastSnap <= s.walBase {
+		return nil // nothing durable to drop
+	}
+	// Everything must be durable before the only copy of the suffix moves.
+	if err := s.wal.Sync(); err != nil {
+		return err
+	}
+	path := filepath.Join(s.cfg.Dir, walFile)
+	fd, err := ReadFile(s.fsys, path)
+	if err != nil {
+		return err
+	}
+	if fd.Torn != nil {
+		return fd.Torn // a just-synced WAL must read back clean
+	}
+	if len(fd.Records) == 0 {
+		return corrupt("compacting %s: no records", path)
+	}
+	content := appendHeader(nil, KindWAL)
+	content = appendRecord(content, fd.Records[0]) // meta, verbatim
+	content = appendRecord(content, encodeCompactMarker(s.lastSnap))
+	evs := fd.Records[1:]
+	if len(evs) > 0 && isCompactMarker(evs[0]) {
+		evs = evs[1:]
+	}
+	skip := s.lastSnap - s.walBase
+	if skip > int64(len(evs)) {
+		return corrupt("compacting %s: snapshot at %d but only %d events past base %d", path, s.lastSnap, len(evs), s.walBase)
+	}
+	for _, r := range evs[skip:] {
+		content = appendRecord(content, r)
+	}
+	oldSize := fd.Size
+	if err := writeFileAtomic(s.fsys, path, content); err != nil {
+		return err
+	}
+	// The old descriptor now points at an unlinked inode; swap writers.
+	s.wal.Discard()
+	w, err := openAppend(s.fsys, path, int64(len(content)), s.cfg.SyncEvery)
+	if err != nil {
+		// The new WAL is durable and consistent but this session lost its
+		// handle; only recovery can continue. Poison the session.
+		s.wal = &Writer{discarded: true}
+		return &CorruptionError{Run: s.cfg.Label, Path: path, Offset: -1, Record: -1,
+			Reason: "compaction swapped the WAL but could not reopen it", Err: err}
+	}
+	s.wal = w
+	s.walBase = s.lastSnap
+	s.stats.Compactions++
+	s.stats.ReclaimedBytes += oldSize - int64(len(content))
+
+	// Garbage-collect snapshots that predate the base: recovery can no
+	// longer use them (the events to replay past them are gone). Failures
+	// here are cosmetic; the next compaction retries.
+	snaps, err := listSnapshots(s.fsys, s.cfg.Dir)
+	if err != nil {
+		return nil
+	}
+	for _, sf := range snaps {
+		if sf.seq >= s.walBase {
+			continue
+		}
+		p := filepath.Join(s.cfg.Dir, sf.name)
+		if info, err := s.fsys.Stat(p); err == nil {
+			if s.fsys.Remove(p) == nil {
+				s.stats.ReclaimedBytes += info.Size()
+			}
+		}
+	}
+	return nil
+}
+
+// CompactOpLog rewrites a dynamic run's operation log in place, collapsing
+// every clock-advance record into a single advance to the log's largest
+// target, positioned after exactly the items that were admitted before it.
+// Item records — the durable source of the item list, whose IDs are
+// positional — are preserved bit-for-bit, so the rebuilt list, the final
+// watermark, and MaxAdvance are unchanged; only redundant advance spam goes.
+// The rewrite is atomic (temp + rename + dir-sync) and only runs on a clean,
+// fully-synced log.
+//
+// Returns a fresh append writer positioned at the new tail and the bytes
+// reclaimed. When nothing would shrink (fewer than two advances), it returns
+// (nil, 0, nil) and the caller keeps its current writer.
+func CompactOpLog(fsys vfs.FS, path, label string, syncEvery int) (*Writer, int64, error) {
+	fsys = vfs.OrOS(fsys)
+	logged, err := ReadOpLog(fsys, path, label)
+	if err != nil {
+		return nil, 0, err
+	}
+	if logged.Torn != nil {
+		return nil, 0, logged.Torn // only compact logs with no torn tail
+	}
+	advances := 0
+	itemsBeforeLast := 0
+	items := 0
+	for _, op := range logged.Ops {
+		switch op.Kind {
+		case OpItem:
+			items++
+		case OpAdvance:
+			advances++
+			itemsBeforeLast = items
+		}
+	}
+	if advances <= 1 {
+		return nil, 0, nil
+	}
+	content := appendHeader(nil, KindOpLog)
+	content = appendRecord(content, encodeMeta(logged.Meta))
+	var scratch []byte
+	n := 0
+	for _, op := range logged.Ops {
+		if op.Kind != OpItem {
+			continue
+		}
+		if n == itemsBeforeLast {
+			scratch = AppendAdvanceOp(scratch[:0], logged.MaxAdvance)
+			content = appendRecord(content, scratch)
+		}
+		scratch = AppendItemOp(scratch[:0], op.Arrival, op.Departure, op.Size)
+		content = appendRecord(content, scratch)
+		n++
+	}
+	if n == itemsBeforeLast { // the advance came after every item
+		scratch = AppendAdvanceOp(scratch[:0], logged.MaxAdvance)
+		content = appendRecord(content, scratch)
+	}
+	if int64(len(content)) >= logged.ValidSize {
+		return nil, 0, nil
+	}
+	if err := writeFileAtomic(fsys, path, content); err != nil {
+		return nil, 0, err
+	}
+	w, err := openAppend(fsys, path, int64(len(content)), syncEvery)
+	if err != nil {
+		return nil, 0, &CorruptionError{Run: label, Path: path, Offset: -1, Record: -1,
+			Reason: "compaction swapped the op log but could not reopen it", Err: err}
+	}
+	return w, logged.ValidSize - int64(len(content)), nil
+}

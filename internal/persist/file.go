@@ -1,10 +1,11 @@
 package persist
 
 import (
-	"bufio"
-	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+
+	"dvbp/internal/vfs"
 )
 
 // defaultSyncEvery is the fsync batch size: the writer fsyncs after this many
@@ -13,33 +14,53 @@ import (
 // which recovery treats as an ordinary torn tail.
 const defaultSyncEvery = 64
 
-// Writer appends checksummed records to a persist-format file. It buffers
-// in-process and fsyncs in batches; Sync forces both down to the device.
-// A Writer is single-goroutine, like the engine it records.
+// SyncManual disables automatic fsyncs entirely: records accumulate in the
+// writer's buffer until an explicit Sync (or Rollback). The server's op-log
+// writers use it so a group commit is all-or-nothing — no auto-sync can make
+// half a batch durable behind the barrier's back.
+const SyncManual = -1
+
+// Writer appends checksummed records to a persist-format file. Appends land
+// in an owned in-process buffer and reach the filesystem only on Sync, which
+// is retryable: a failed write or fsync leaves the buffer intact, so the next
+// Sync resumes where the device gave up (tracking any partial write), and
+// Rollback abandons the buffered suffix by truncating back to the last
+// durable size. A Writer is single-goroutine, like the engine it records.
 type Writer struct {
-	f         *os.File
-	bw        *bufio.Writer
+	fsys      vfs.FS
+	f         vfs.File
+	path      string
+	buf       []byte // bytes appended since the last successful Sync
+	flushed   int    // prefix of buf already written to the file (not yet fsynced)
 	scratch   []byte
 	syncEvery int
 	pending   int
-	size      int64
-	err       error
+	size      int64 // logical size including buffered bytes
+	synced    int64 // size the device has durably acknowledged
+	discarded bool
 }
 
-// Create creates (truncating) a persist file of the given kind and writes its
-// header. syncEvery <= 0 selects the default batch size.
-func Create(path string, kind FileKind, syncEvery int) (*Writer, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+// Create creates (truncating) a persist file of the given kind, writes its
+// header durably, and fsyncs the parent directory so the file's entry — not
+// just its contents — survives a crash. syncEvery: 0 selects the default
+// batch size, SyncManual disables auto-sync. fsys nil means the real
+// filesystem.
+func Create(fsys vfs.FS, path string, kind FileKind, syncEvery int) (*Writer, error) {
+	fsys = vfs.OrOS(fsys)
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
-		return nil, fmt.Errorf("persist: %w", err)
+		return nil, ioErr("create", path, err)
 	}
-	w := newWriter(f, syncEvery)
-	if _, err := w.bw.Write(appendHeader(w.scratch[:0], kind)); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("persist: %w", err)
-	}
+	w := newWriter(fsys, f, path, syncEvery)
+	w.buf = appendHeader(w.buf, kind)
 	w.size = headerSize
 	if err := w.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	// A crash here must not lose the directory entry of a file whose header
+	// is already durable: sync the parent like the rename path does.
+	if err := syncDir(fsys, filepath.Dir(path)); err != nil {
 		f.Close()
 		return nil, err
 	}
@@ -49,20 +70,21 @@ func Create(path string, kind FileKind, syncEvery int) (*Writer, error) {
 // openAppend reopens an existing persist file for appending after truncating
 // it to validSize — the recovery path that discards a torn tail and continues
 // the log in place.
-func openAppend(path string, validSize int64, syncEvery int) (*Writer, error) {
-	f, err := os.OpenFile(path, os.O_RDWR, 0)
+func openAppend(fsys vfs.FS, path string, validSize int64, syncEvery int) (*Writer, error) {
+	fsys = vfs.OrOS(fsys)
+	f, err := fsys.OpenFile(path, os.O_RDWR, 0)
 	if err != nil {
-		return nil, fmt.Errorf("persist: %w", err)
+		return nil, ioErr("open", path, err)
 	}
 	if err := f.Truncate(validSize); err != nil {
 		f.Close()
-		return nil, fmt.Errorf("persist: %w", err)
+		return nil, ioErr("truncate", path, err)
 	}
-	if _, err := f.Seek(validSize, 0); err != nil {
+	if _, err := f.Seek(validSize, io.SeekStart); err != nil {
 		f.Close()
-		return nil, fmt.Errorf("persist: %w", err)
+		return nil, ioErr("seek", path, err)
 	}
-	w := newWriter(f, syncEvery)
+	w := newWriter(fsys, f, path, syncEvery)
 	w.size = validSize
 	if err := w.Sync(); err != nil { // persist the truncation itself
 		f.Close()
@@ -71,64 +93,117 @@ func openAppend(path string, validSize int64, syncEvery int) (*Writer, error) {
 	return w, nil
 }
 
-func newWriter(f *os.File, syncEvery int) *Writer {
-	if syncEvery <= 0 {
+func newWriter(fsys vfs.FS, f vfs.File, path string, syncEvery int) *Writer {
+	if syncEvery == 0 {
 		syncEvery = defaultSyncEvery
 	}
-	return &Writer{f: f, bw: bufio.NewWriter(f), syncEvery: syncEvery}
+	return &Writer{fsys: fsys, f: f, path: path, syncEvery: syncEvery}
 }
 
-// Append frames and writes one record. The payload is copied before Append
-// returns; the caller may reuse its buffer.
+// Append frames one record into the writer's buffer; the payload is copied
+// before Append returns. The buffered record cannot be lost to an I/O error —
+// only a Sync moves bytes to the device. When the auto-sync batch fills,
+// Append attempts that Sync and reports its error; the record itself remains
+// buffered either way, so a recoverable error here may be tolerated and the
+// sync retried later.
 func (w *Writer) Append(payload []byte) error {
-	if w.err != nil {
-		return w.err
+	if w.discarded {
+		return errDiscarded
 	}
 	w.scratch = appendRecord(w.scratch[:0], payload)
-	if _, err := w.bw.Write(w.scratch); err != nil {
-		w.err = fmt.Errorf("persist: %w", err)
-		return w.err
-	}
+	w.buf = append(w.buf, w.scratch...)
 	w.size += int64(len(w.scratch))
 	w.pending++
-	if w.pending >= w.syncEvery {
+	if w.syncEvery > 0 && w.pending >= w.syncEvery {
 		return w.Sync()
 	}
 	return nil
 }
 
-// Sync flushes the buffer and fsyncs the file.
+// Sync writes the buffered bytes to the file and fsyncs it. On failure the
+// buffer is kept (minus the prefix the device already took, which the next
+// attempt skips) and the error is retryable; nothing is acknowledged until a
+// Sync returns nil.
 func (w *Writer) Sync() error {
-	if w.err != nil {
-		return w.err
+	if w.discarded {
+		return errDiscarded
 	}
-	if err := w.bw.Flush(); err != nil {
-		w.err = fmt.Errorf("persist: %w", err)
-		return w.err
+	for w.flushed < len(w.buf) {
+		n, err := w.f.Write(w.buf[w.flushed:])
+		w.flushed += n
+		if err != nil {
+			return ioErr("write", w.path, err)
+		}
 	}
 	if err := w.f.Sync(); err != nil {
-		w.err = fmt.Errorf("persist: %w", err)
-		return w.err
+		return ioErr("sync", w.path, err)
 	}
+	w.synced = w.size
+	w.buf = w.buf[:0]
+	w.flushed = 0
 	w.pending = 0
+	return nil
+}
+
+// Rollback abandons every record appended since the last successful Sync:
+// the buffer is dropped and — when a failed Sync already pushed a partial
+// prefix to the file — the file is truncated back to its durable size. After
+// a nil return the writer is exactly at its last durable state; an error here
+// means even the truncation failed and the on-disk tail is unknown, which the
+// caller must treat as fatal.
+func (w *Writer) Rollback() error {
+	if w.discarded {
+		return errDiscarded
+	}
+	if w.flushed > 0 {
+		if err := w.f.Truncate(w.synced); err != nil {
+			return ioErr("truncate", w.path, err)
+		}
+		if _, err := w.f.Seek(w.synced, io.SeekStart); err != nil {
+			return ioErr("seek", w.path, err)
+		}
+	}
+	w.buf = w.buf[:0]
+	w.flushed = 0
+	w.pending = 0
+	w.size = w.synced
 	return nil
 }
 
 // Size returns the file size including any still-buffered bytes.
 func (w *Writer) Size() int64 { return w.size }
 
-// Close syncs and closes the file. Closing an already-failed writer closes
-// the descriptor and reports the first error.
+// Synced returns the durably acknowledged size.
+func (w *Writer) Synced() int64 { return w.synced }
+
+// Buffered reports whether records are waiting for a Sync.
+func (w *Writer) Buffered() bool { return len(w.buf) > 0 }
+
+// Close syncs and closes the file.
 func (w *Writer) Close() error {
+	if w.discarded {
+		return nil
+	}
 	syncErr := w.Sync()
 	closeErr := w.f.Close()
 	if syncErr != nil {
 		return syncErr
 	}
 	if closeErr != nil {
-		return fmt.Errorf("persist: %w", closeErr)
+		return ioErr("close", w.path, closeErr)
 	}
 	return nil
+}
+
+// Discard closes the descriptor without syncing — for a writer whose file was
+// just atomically replaced (compaction): its inode is unlinked, so syncing it
+// would be wasted and confusing. Any further use of the writer fails.
+func (w *Writer) Discard() {
+	if w.discarded {
+		return
+	}
+	w.discarded = true
+	w.f.Close()
 }
 
 // FileData is the decoded content of one persist file.
@@ -150,11 +225,12 @@ type FileData struct {
 // ReadFile reads and validates a persist file. A damaged header (or an
 // unreadable file) is fatal and returned as the error; damaged records only
 // truncate: the intact prefix comes back in FileData with Torn describing
-// the defect. The returned payloads are private copies.
-func ReadFile(path string) (*FileData, error) {
-	data, err := os.ReadFile(path)
+// the defect. The returned payloads are private copies. fsys nil means the
+// real filesystem.
+func ReadFile(fsys vfs.FS, path string) (*FileData, error) {
+	data, err := vfs.OrOS(fsys).ReadFile(path)
 	if err != nil {
-		return nil, fmt.Errorf("persist: %w", err)
+		return nil, ioErr("read", path, err)
 	}
 	kind, herr := parseHeader(data)
 	if herr != nil {
@@ -174,14 +250,9 @@ func ReadFile(path string) (*FileData, error) {
 
 // syncDir fsyncs a directory so renames and creations within it survive a
 // crash (the standard create-temp / rename / fsync-dir dance).
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return fmt.Errorf("persist: %w", err)
-	}
-	defer d.Close()
-	if err := d.Sync(); err != nil {
-		return fmt.Errorf("persist: %w", err)
+func syncDir(fsys vfs.FS, dir string) error {
+	if err := vfs.OrOS(fsys).SyncDir(dir); err != nil {
+		return ioErr("syncdir", dir, err)
 	}
 	return nil
 }
@@ -189,35 +260,36 @@ func syncDir(dir string) error {
 // WriteFileAtomic writes content to path via a temp file + rename + directory
 // sync, so a crash never leaves a half-written file under the final name. The
 // server layer uses it for its tenant manifest; snapshots go through it too.
-func WriteFileAtomic(path string, content []byte) error {
-	return writeFileAtomic(path, content)
+// fsys nil means the real filesystem.
+func WriteFileAtomic(fsys vfs.FS, path string, content []byte) error {
+	return writeFileAtomic(vfs.OrOS(fsys), path, content)
 }
 
 // writeFileAtomic writes content to path via a temp file + rename + directory
 // sync, so a crash never leaves a half-written file under the final name.
-func writeFileAtomic(path string, content []byte) error {
+func writeFileAtomic(fsys vfs.FS, path string, content []byte) error {
 	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	tmp, err := fsys.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
-		return fmt.Errorf("persist: %w", err)
+		return ioErr("createtemp", dir, err)
 	}
 	tmpName := tmp.Name()
-	cleanup := func() { tmp.Close(); os.Remove(tmpName) }
+	cleanup := func() { tmp.Close(); fsys.Remove(tmpName) }
 	if _, err := tmp.Write(content); err != nil {
 		cleanup()
-		return fmt.Errorf("persist: %w", err)
+		return ioErr("write", tmpName, err)
 	}
 	if err := tmp.Sync(); err != nil {
 		cleanup()
-		return fmt.Errorf("persist: %w", err)
+		return ioErr("sync", tmpName, err)
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmpName)
-		return fmt.Errorf("persist: %w", err)
+		fsys.Remove(tmpName)
+		return ioErr("close", tmpName, err)
 	}
-	if err := os.Rename(tmpName, path); err != nil {
-		os.Remove(tmpName)
-		return fmt.Errorf("persist: %w", err)
+	if err := fsys.Rename(tmpName, path); err != nil {
+		fsys.Remove(tmpName)
+		return ioErr("rename", path, err)
 	}
-	return syncDir(dir)
+	return syncDir(fsys, dir)
 }

@@ -3,6 +3,7 @@ package persist
 import (
 	"errors"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"testing"
@@ -68,6 +69,68 @@ func snapshotCorpusSeeds() [][]byte {
 		{0x01},            // bare version byte
 		{},                // empty
 	}
+}
+
+func opLogCorpusSeeds() [][]byte {
+	itemOp := AppendItemOp(nil, 2.5, 7.75, vector.Vector{0.5, 0.125})
+	advance := AppendAdvanceOp(nil, 9.5)
+	marker := encodeCompactMarker(40)
+	return [][]byte{
+		itemOp,
+		advance,
+		marker,
+		itemOp[:len(itemOp)-3],           // truncated item
+		append(advance, 0xEE),            // trailing byte
+		AppendAdvanceOp(nil, math.NaN()), // NaN advance must be rejected
+		{byte(OpItem)},                   // kind byte only
+		{0x7A, 0x01, 0x02},               // unknown kind
+		{},                               // empty
+		append([]byte{compactMarkerByte}, 0x80, 2), // non-canonical varint
+	}
+}
+
+// FuzzOpLogDecode: the op-log record codec and the compaction marker parser
+// must survive arbitrary bytes — no panic, only *CorruptionError — and any
+// accepted payload must re-encode bit-identically (the bijection CompactOpLog
+// relies on when it rewrites item records positionally).
+func FuzzOpLogDecode(f *testing.F) {
+	for _, seed := range opLogCorpusSeeds() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, d := range []int{1, 2, 4} {
+			op, err := DecodeOp(data, d)
+			if err != nil {
+				var ce *CorruptionError
+				if !errors.As(err, &ce) {
+					t.Fatalf("DecodeOp(d=%d): non-corruption error %T: %v", d, err, err)
+				}
+				continue
+			}
+			var got []byte
+			switch op.Kind {
+			case OpItem:
+				got = AppendItemOp(nil, op.Arrival, op.Departure, op.Size)
+			case OpAdvance:
+				got = AppendAdvanceOp(nil, op.To)
+			default:
+				t.Fatalf("DecodeOp(d=%d) accepted unknown kind %#x", d, op.Kind)
+			}
+			if string(got) != string(data) {
+				t.Fatalf("re-encode mismatch (d=%d): % x -> %+v -> % x", d, data, op, got)
+			}
+		}
+		if base, err := decodeCompactMarker(data); err == nil {
+			if got := encodeCompactMarker(base); string(got) != string(data) {
+				t.Fatalf("marker re-encode mismatch: % x -> %d -> % x", data, base, got)
+			}
+		} else {
+			var ce *CorruptionError
+			if !errors.As(err, &ce) {
+				t.Fatalf("decodeCompactMarker: non-corruption error %T: %v", err, err)
+			}
+		}
+	})
 }
 
 // FuzzWALDecode: every decoder that consumes WAL record payloads must survive
@@ -150,6 +213,7 @@ func TestFuzzCorpusCommitted(t *testing.T) {
 			t.Errorf("%s: corpus file rewritten; commit the update", path)
 		}
 	}
+	write("FuzzOpLogDecode", opLogCorpusSeeds())
 	write("FuzzWALDecode", walCorpusSeeds())
 	write("FuzzSnapshotDecode", snapshotCorpusSeeds())
 }

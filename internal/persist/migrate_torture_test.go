@@ -182,7 +182,7 @@ func TestTortureMigrationTornWAL(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fd, err := ReadFile(filepath.Join(refDir, walFile))
+	fd, err := ReadFile(nil, filepath.Join(refDir, walFile))
 	if err != nil {
 		t.Fatal(err)
 	}

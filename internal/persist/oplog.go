@@ -7,6 +7,7 @@ import (
 
 	"dvbp/internal/item"
 	"dvbp/internal/vector"
+	"dvbp/internal/vfs"
 )
 
 // The operation log (KindOpLog) is a dynamic run's durable input stream: one
@@ -122,9 +123,10 @@ type OpLogData struct {
 // ReadOpLog reads and validates an operation log. Like WAL recovery, a torn
 // or checksum-damaged tail only truncates — the intact prefix is returned and
 // the defect reported in Torn — while a damaged header or meta record is
-// fatal. label names the run in every reported corruption.
-func ReadOpLog(path, label string) (*OpLogData, error) {
-	fd, err := ReadFile(path)
+// fatal. label names the run in every reported corruption. fsys nil means the
+// real filesystem.
+func ReadOpLog(fsys vfs.FS, path, label string) (*OpLogData, error) {
+	fd, err := ReadFile(fsys, path)
 	if err != nil {
 		if ce, ok := err.(*CorruptionError); ok {
 			ce.Run = label
@@ -192,12 +194,12 @@ func ReadOpLog(path, label string) (*OpLogData, error) {
 }
 
 // CreateOpLog creates (truncating) an op log for the given dynamic run and
-// durably writes its meta record.
-func CreateOpLog(path string, meta RunMeta, syncEvery int) (*Writer, error) {
+// durably writes its meta record. fsys nil means the real filesystem.
+func CreateOpLog(fsys vfs.FS, path string, meta RunMeta, syncEvery int) (*Writer, error) {
 	if !meta.Dynamic {
 		return nil, fmt.Errorf("persist: op logs record dynamic runs; meta is static")
 	}
-	w, err := Create(path, KindOpLog, syncEvery)
+	w, err := Create(fsys, path, KindOpLog, syncEvery)
 	if err != nil {
 		return nil, err
 	}
@@ -213,7 +215,8 @@ func CreateOpLog(path string, meta RunMeta, syncEvery int) (*Writer, error) {
 }
 
 // ReopenOpLog reopens a recovered op log for appending, truncating the torn
-// tail ReadOpLog reported (validSize is OpLogData.ValidSize).
-func ReopenOpLog(path string, validSize int64, syncEvery int) (*Writer, error) {
-	return openAppend(path, validSize, syncEvery)
+// tail ReadOpLog reported (validSize is OpLogData.ValidSize). fsys nil means
+// the real filesystem.
+func ReopenOpLog(fsys vfs.FS, path string, validSize int64, syncEvery int) (*Writer, error) {
+	return openAppend(vfs.OrOS(fsys), path, validSize, syncEvery)
 }

@@ -76,7 +76,7 @@ func TestOpLogFileRoundTrip(t *testing.T) {
 	path := filepath.Join(dir, "ops.dvbp")
 	meta := NewDynamicRunMeta(2, "firstfit", 7, "")
 
-	w, err := CreateOpLog(path, meta, 1)
+	w, err := CreateOpLog(nil, path, meta, 1)
 	if err != nil {
 		t.Fatalf("CreateOpLog: %v", err)
 	}
@@ -93,7 +93,7 @@ func TestOpLogFileRoundTrip(t *testing.T) {
 		t.Fatalf("close: %v", err)
 	}
 
-	data, err := ReadOpLog(path, "tenant-a")
+	data, err := ReadOpLog(nil, path, "tenant-a")
 	if err != nil {
 		t.Fatalf("ReadOpLog: %v", err)
 	}
@@ -114,7 +114,7 @@ func TestOpLogFileRoundTrip(t *testing.T) {
 	}
 
 	// Static meta must be refused at create time and read time.
-	if _, err := CreateOpLog(filepath.Join(dir, "bad.dvbp"), NewRunMeta(testList(t, 5), "firstfit", 1, ""), 1); err == nil {
+	if _, err := CreateOpLog(nil, filepath.Join(dir, "bad.dvbp"), NewRunMeta(testList(t, 5), "firstfit", 1, ""), 1); err == nil {
 		t.Fatalf("CreateOpLog accepted a static run meta")
 	}
 }
@@ -123,7 +123,7 @@ func TestOpLogTornTailTruncatesAndReopens(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "ops.dvbp")
 	meta := NewDynamicRunMeta(1, "nextfit", 1, "")
-	w, err := CreateOpLog(path, meta, 1)
+	w, err := CreateOpLog(nil, path, meta, 1)
 	if err != nil {
 		t.Fatalf("CreateOpLog: %v", err)
 	}
@@ -145,7 +145,7 @@ func TestOpLogTornTailTruncatesAndReopens(t *testing.T) {
 		t.Fatalf("write: %v", err)
 	}
 
-	data, err := ReadOpLog(path, "tenant-b")
+	data, err := ReadOpLog(nil, path, "tenant-b")
 	if err != nil {
 		t.Fatalf("ReadOpLog after tear: %v", err)
 	}
@@ -160,7 +160,7 @@ func TestOpLogTornTailTruncatesAndReopens(t *testing.T) {
 	}
 
 	// Reopen at the valid prefix and continue; the log must read back whole.
-	w2, err := ReopenOpLog(path, data.ValidSize, 1)
+	w2, err := ReopenOpLog(nil, path, data.ValidSize, 1)
 	if err != nil {
 		t.Fatalf("ReopenOpLog: %v", err)
 	}
@@ -170,7 +170,7 @@ func TestOpLogTornTailTruncatesAndReopens(t *testing.T) {
 	if err := w2.Close(); err != nil {
 		t.Fatalf("close: %v", err)
 	}
-	data2, err := ReadOpLog(path, "tenant-b")
+	data2, err := ReadOpLog(nil, path, "tenant-b")
 	if err != nil {
 		t.Fatalf("ReadOpLog after reopen: %v", err)
 	}
@@ -183,7 +183,7 @@ func TestOpLogRejectsSemanticCorruption(t *testing.T) {
 	dir := t.TempDir()
 	build := func(name string, ops ...[]byte) string {
 		path := filepath.Join(dir, name)
-		w, err := CreateOpLog(path, NewDynamicRunMeta(1, "firstfit", 1, ""), 1)
+		w, err := CreateOpLog(nil, path, NewDynamicRunMeta(1, "firstfit", 1, ""), 1)
 		if err != nil {
 			t.Fatalf("CreateOpLog: %v", err)
 		}
@@ -209,7 +209,7 @@ func TestOpLogRejectsSemanticCorruption(t *testing.T) {
 			AppendItemOp(nil, 2, 1, vector.Vector{0.5})),
 	}
 	for name, path := range cases {
-		_, err := ReadOpLog(path, "tenant-c")
+		_, err := ReadOpLog(nil, path, "tenant-c")
 		if err == nil {
 			t.Errorf("%s: accepted", name)
 			continue
@@ -222,12 +222,12 @@ func TestOpLogRejectsSemanticCorruption(t *testing.T) {
 
 	// A WAL is not an op log.
 	wal := filepath.Join(dir, "wal.dvbp")
-	w, err := Create(wal, KindWAL, 1)
+	w, err := Create(nil, wal, KindWAL, 1)
 	if err != nil {
 		t.Fatalf("Create: %v", err)
 	}
 	w.Close()
-	if _, err := ReadOpLog(wal, "tenant-c"); err == nil {
+	if _, err := ReadOpLog(nil, wal, "tenant-c"); err == nil {
 		t.Fatalf("ReadOpLog accepted a WAL file")
 	}
 }
@@ -377,7 +377,7 @@ func TestDynamicSessionKillRecoverResume(t *testing.T) {
 	dir := t.TempDir()
 	cfg := Config{Dir: dir, Label: "tenant-dyn", Every: 25, SyncEvery: 1}
 	opsPath := filepath.Join(dir, "ops.dvbp")
-	ops, err := CreateOpLog(opsPath, meta, 1)
+	ops, err := CreateOpLog(nil, opsPath, meta, 1)
 	if err != nil {
 		t.Fatalf("CreateOpLog: %v", err)
 	}
@@ -402,7 +402,7 @@ func TestDynamicSessionKillRecoverResume(t *testing.T) {
 	// Recover: rebuild the list from the op log, then replay the WAL against
 	// it. The snapshot taken mid-stream covers a strict prefix of the op-log
 	// list; recovery must accept it and replay the rest.
-	logged, err := ReadOpLog(opsPath, "tenant-dyn")
+	logged, err := ReadOpLog(nil, opsPath, "tenant-dyn")
 	if err != nil {
 		t.Fatalf("ReadOpLog: %v", err)
 	}
@@ -416,7 +416,7 @@ func TestDynamicSessionKillRecoverResume(t *testing.T) {
 	if rec.SnapshotSeq == 0 {
 		t.Fatalf("recovery used no snapshot despite checkpoints every 25 events")
 	}
-	ops2, err := ReopenOpLog(opsPath, logged.ValidSize, 1)
+	ops2, err := ReopenOpLog(nil, opsPath, logged.ValidSize, 1)
 	if err != nil {
 		t.Fatalf("ReopenOpLog: %v", err)
 	}
@@ -435,7 +435,7 @@ func TestDynamicSessionKillRecoverResume(t *testing.T) {
 	}
 
 	// The whole stream must also have made it into the op log.
-	final, err := ReadOpLog(opsPath, "tenant-dyn")
+	final, err := ReadOpLog(nil, opsPath, "tenant-dyn")
 	if err != nil {
 		t.Fatalf("final ReadOpLog: %v", err)
 	}

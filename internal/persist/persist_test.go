@@ -62,7 +62,7 @@ func resultJSON(t *testing.T, r *core.Result) string {
 
 func TestWriterReadFileRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "rt.dvbp")
-	w, err := Create(path, KindWAL, 2)
+	w, err := Create(nil, path, KindWAL, 2)
 	if err != nil {
 		t.Fatalf("Create: %v", err)
 	}
@@ -75,7 +75,7 @@ func TestWriterReadFileRoundTrip(t *testing.T) {
 	if err := w.Close(); err != nil {
 		t.Fatalf("Close: %v", err)
 	}
-	fd, err := ReadFile(path)
+	fd, err := ReadFile(nil, path)
 	if err != nil {
 		t.Fatalf("ReadFile: %v", err)
 	}
@@ -98,7 +98,7 @@ func TestWriterReadFileRoundTrip(t *testing.T) {
 func TestReadFileTruncatesDamagedTail(t *testing.T) {
 	write := func(t *testing.T) (string, *FileData) {
 		path := filepath.Join(t.TempDir(), "dmg.dvbp")
-		w, err := Create(path, KindSnapshot, 0)
+		w, err := Create(nil, path, KindSnapshot, 0)
 		if err != nil {
 			t.Fatalf("Create: %v", err)
 		}
@@ -110,7 +110,7 @@ func TestReadFileTruncatesDamagedTail(t *testing.T) {
 		if err := w.Close(); err != nil {
 			t.Fatalf("Close: %v", err)
 		}
-		fd, err := ReadFile(path)
+		fd, err := ReadFile(nil, path)
 		if err != nil {
 			t.Fatalf("ReadFile: %v", err)
 		}
@@ -156,7 +156,7 @@ func TestReadFileTruncatesDamagedTail(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			path, clean := write(t)
 			tc.damage(t, path, clean)
-			fd, err := ReadFile(path)
+			fd, err := ReadFile(nil, path)
 			if err != nil {
 				t.Fatalf("damaged records must not be fatal: %v", err)
 			}
@@ -202,7 +202,7 @@ func TestReadFileRejectsDamagedHeader(t *testing.T) {
 			if err := os.WriteFile(path, tc.data, 0o644); err != nil {
 				t.Fatal(err)
 			}
-			_, err := ReadFile(path)
+			_, err := ReadFile(nil, path)
 			var ce *CorruptionError
 			if !errors.As(err, &ce) {
 				t.Fatalf("want *CorruptionError, got %v", err)

@@ -3,7 +3,6 @@ package persist
 import (
 	"errors"
 	"fmt"
-	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
@@ -11,6 +10,7 @@ import (
 
 	"dvbp/internal/core"
 	"dvbp/internal/item"
+	"dvbp/internal/vfs"
 )
 
 // Recovery reports how a run was brought back: which snapshot seeded the
@@ -29,6 +29,13 @@ type Recovery struct {
 	SnapshotPath string
 	// Replayed is the number of WAL events re-stepped and verified.
 	Replayed int64
+	// CompactBase is the event sequence the WAL was compacted to (0 when the
+	// log was never compacted): events 1..CompactBase exist only inside a
+	// snapshot, and the WAL's first event record claims seq CompactBase+1.
+	CompactBase int64
+	// SweptTemp counts orphaned atomic-write temp files (".tmp-" leftovers
+	// from a crash mid-rename) deleted before recovery began.
+	SweptTemp int
 	// Corruptions lists every defect recovery tolerated: torn WAL tails,
 	// out-of-sequence log records, and snapshots it had to skip. Recovery
 	// only fails outright when nothing consistent remains.
@@ -40,12 +47,14 @@ type Recovery struct {
 // admission control, observers) — the engine is deterministic in them, and
 // replay verification catches a mismatch as a divergence.
 //
-// Recovery: read the WAL, truncating at the first torn or out-of-sequence
-// record; restore the newest snapshot that decodes cleanly, matches the run,
-// and is not ahead of the durable log (older snapshots, then a fresh engine,
-// are the fallbacks); re-step the engine through the logged suffix, checking
-// every regenerated event against the log bit for bit; then reopen the WAL
-// for appending, with any torn tail truncated away.
+// Recovery: sweep temp-file orphans; read the WAL, honouring a compaction
+// marker and truncating at the first torn or out-of-sequence record; restore
+// the newest snapshot that decodes cleanly, matches the run, and fits between
+// the compaction base and the durable log (older snapshots, then a fresh
+// engine when the log was never compacted, are the fallbacks); re-step the
+// engine through the logged suffix, checking every regenerated event against
+// the log bit for bit; then reopen the WAL for appending, with any torn tail
+// truncated away.
 func Recover(l *item.List, cfg Config, opts ...core.Option) (*Recovery, error) {
 	if cfg.Dir == "" {
 		return nil, fmt.Errorf("persist: no checkpoint directory configured")
@@ -53,6 +62,7 @@ func Recover(l *item.List, cfg Config, opts ...core.Option) (*Recovery, error) {
 	if err := checkAuxKeys(cfg.Aux); err != nil {
 		return nil, err
 	}
+	fsys := vfs.OrOS(cfg.FS)
 	rec := &Recovery{}
 	// Every corruption detected below carries the run's identity, so
 	// multi-tenant recovery logs name the damaged tenant, not just a path.
@@ -63,9 +73,16 @@ func Recover(l *item.List, cfg Config, opts ...core.Option) (*Recovery, error) {
 		return ce
 	}
 
-	// 1. The write-ahead log: meta record + one record per event.
+	// 0. Sweep orphaned atomic-write temp files: a crash between CreateTemp
+	// and Rename leaves a ".tmp-" file that no future rename will claim.
+	// They are garbage by construction — the atomic-write protocol only
+	// renames a temp it just wrote — so deleting them is always safe.
+	rec.SweptTemp = sweepTempFiles(fsys, cfg.Dir)
+
+	// 1. The write-ahead log: meta record, an optional compaction marker,
+	// then one record per event past the compaction base.
 	walPath := filepath.Join(cfg.Dir, walFile)
-	fd, err := ReadFile(walPath)
+	fd, err := ReadFile(fsys, walPath)
 	if err != nil {
 		var ce *CorruptionError
 		if errors.As(err, &ce) {
@@ -96,38 +113,58 @@ func Recover(l *item.List, cfg Config, opts ...core.Option) (*Recovery, error) {
 	}
 	rec.Meta = meta
 
+	// A compacted WAL declares its base in the record right after the meta.
+	// The marker is load-bearing — without it the event numbering cannot be
+	// verified — so an undecodable one is fatal, not a tolerated truncation.
+	var base int64
+	firstEvRec := 1 // file record index of the first event record
+	evRecords, evOffsets := fd.Records[1:], fd.Offsets[1:]
+	if len(evRecords) > 0 && isCompactMarker(evRecords[0]) {
+		base, err = decodeCompactMarker(evRecords[0])
+		if err != nil {
+			ce := err.(*CorruptionError)
+			ce.Path, ce.Offset, ce.Record = walPath, evOffsets[0], 1
+			return nil, brand(ce)
+		}
+		evRecords, evOffsets = evRecords[1:], evOffsets[1:]
+		firstEvRec = 2
+	}
+	rec.CompactBase = base
+
 	// Decode the event suffix, truncating at the first undecodable or
 	// out-of-sequence record (a valid checksum does not guarantee the run
 	// that wrote it agreed with this one about numbering).
-	events := make([]core.EventRecord, 0, len(fd.Records)-1)
+	events := make([]core.EventRecord, 0, len(evRecords))
 	validSize := fd.ValidSize
-	for i, payload := range fd.Records[1:] {
+	for i, payload := range evRecords {
 		ev, err := DecodeEventRecord(payload)
-		if err == nil && ev.Seq != int64(len(events)+1) {
-			err = corrupt("event out of sequence: record claims seq %d, expected %d", ev.Seq, len(events)+1)
+		if err == nil && ev.Seq != base+int64(len(events))+1 {
+			err = corrupt("event out of sequence: record claims seq %d, expected %d", ev.Seq, base+int64(len(events))+1)
 		}
 		if err != nil {
 			ce := err.(*CorruptionError)
-			ce.Path, ce.Offset, ce.Record = walPath, fd.Offsets[i+1], i+1
+			ce.Path, ce.Offset, ce.Record = walPath, evOffsets[i], i+firstEvRec
 			rec.Corruptions = append(rec.Corruptions, brand(ce))
-			validSize = fd.Offsets[i+1]
+			validSize = evOffsets[i]
 			break
 		}
 		events = append(events, ev)
 	}
+	walEvents := base + int64(len(events))
 
 	// 2. The newest usable snapshot. Damaged or over-eager candidates (a
 	// snapshot ahead of the durable log after a tail truncation) are skipped,
-	// not fatal: an older snapshot or a from-scratch replay always remains.
-	engine, err := restoreNewest(l, meta, cfg, opts, int64(len(events)), rec)
+	// not fatal — unless the WAL was compacted, in which case a snapshot at
+	// or past the base is the only way back: the events below it are gone.
+	engine, err := restoreNewest(fsys, l, meta, cfg, opts, base, walEvents, rec)
 	if err != nil {
 		return nil, err
 	}
 
 	// 3. Replay with verification: the deterministic engine must regenerate
 	// the logged suffix exactly.
-	for int64(len(events)) > engine.EventSeq() {
-		want := events[engine.EventSeq()]
+	for walEvents > engine.EventSeq() {
+		want := events[engine.EventSeq()-base]
 		got, ok, err := engine.Step()
 		if err != nil {
 			engine.Close()
@@ -136,7 +173,7 @@ func Recover(l *item.List, cfg Config, opts ...core.Option) (*Recovery, error) {
 		if !ok {
 			engine.Close()
 			return nil, brand(&CorruptionError{Path: walPath, Offset: -1, Record: -1,
-				Reason: fmt.Sprintf("log has %d events but the run ends after %d — wrong instance or options", len(events), engine.EventSeq())})
+				Reason: fmt.Sprintf("log holds events up to %d but the run ends after %d — wrong instance or options", walEvents, engine.EventSeq())})
 		}
 		if got != want {
 			engine.Close()
@@ -147,13 +184,35 @@ func Recover(l *item.List, cfg Config, opts ...core.Option) (*Recovery, error) {
 	}
 
 	// 4. Reopen the log for appending, truncated to its verified prefix.
-	wal, err := openAppend(walPath, validSize, cfg.SyncEvery)
+	wal, err := openAppend(fsys, walPath, validSize, cfg.SyncEvery)
 	if err != nil {
 		engine.Close()
 		return nil, err
 	}
-	rec.Session = &Session{cfg: cfg, meta: meta, engine: engine, wal: wal, logged: int64(len(events))}
+	rec.Session = &Session{cfg: cfg, fsys: fsys, meta: meta, engine: engine, wal: wal,
+		logged: walEvents, walBase: base, lastSnap: rec.SnapshotSeq}
 	return rec, nil
+}
+
+// sweepTempFiles deletes atomic-write leftovers (names containing ".tmp-")
+// from dir, returning how many went. Errors are deliberately ignored: a
+// missing directory just means there is nothing to sweep, and a temp file
+// that will not delete is rediscovered next recovery.
+func sweepTempFiles(fsys vfs.FS, dir string) int {
+	entries, err := fsys.ReadDir(dir)
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, e := range entries {
+		if e.IsDir() || !strings.Contains(e.Name(), ".tmp-") {
+			continue
+		}
+		if fsys.Remove(filepath.Join(dir, e.Name())) == nil {
+			n++
+		}
+	}
+	return n
 }
 
 // snapFile is one discovered snapshot file.
@@ -163,10 +222,10 @@ type snapFile struct {
 }
 
 // listSnapshots finds snapshot files in dir, ascending by event sequence.
-func listSnapshots(dir string) ([]snapFile, error) {
-	entries, err := os.ReadDir(dir)
+func listSnapshots(fsys vfs.FS, dir string) ([]snapFile, error) {
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
-		return nil, fmt.Errorf("persist: %w", err)
+		return nil, ioErr("readdir", dir, err)
 	}
 	var out []snapFile
 	for _, e := range entries {
@@ -184,11 +243,12 @@ func listSnapshots(dir string) ([]snapFile, error) {
 	return out, nil
 }
 
-// restoreNewest restores the engine from the newest usable snapshot at or
-// below walEvents, falling back through older snapshots to a fresh engine.
-// Skipped snapshots are recorded in rec.Corruptions.
-func restoreNewest(l *item.List, meta RunMeta, cfg Config, opts []core.Option, walEvents int64, rec *Recovery) (*core.Engine, error) {
-	snaps, err := listSnapshots(cfg.Dir)
+// restoreNewest restores the engine from the newest usable snapshot between
+// base and walEvents, falling back through older snapshots and — only when
+// the WAL was never compacted — to a fresh engine. Skipped snapshots are
+// recorded in rec.Corruptions.
+func restoreNewest(fsys vfs.FS, l *item.List, meta RunMeta, cfg Config, opts []core.Option, base, walEvents int64, rec *Recovery) (*core.Engine, error) {
+	snaps, err := listSnapshots(fsys, cfg.Dir)
 	if err != nil {
 		return nil, err
 	}
@@ -203,7 +263,13 @@ func restoreNewest(l *item.List, meta RunMeta, cfg Config, opts []core.Option, w
 			skip(fmt.Sprintf("snapshot at event %d is ahead of the %d-event durable log", sf.seq, walEvents), nil)
 			continue
 		}
-		engine, err := restoreSnapshotFile(path, l, meta, cfg, opts)
+		if sf.seq < base {
+			// The events between this snapshot and the base were compacted
+			// away; restoring it would leave an unreplayable gap.
+			skip(fmt.Sprintf("snapshot at event %d predates the compacted log base %d", sf.seq, base), nil)
+			continue
+		}
+		engine, err := restoreSnapshotFile(fsys, path, l, meta, cfg, opts)
 		if err != nil {
 			skip("unusable snapshot", err)
 			continue
@@ -216,6 +282,13 @@ func restoreNewest(l *item.List, meta RunMeta, cfg Config, opts []core.Option, w
 		rec.SnapshotSeq = sf.seq
 		rec.SnapshotPath = path
 		return engine, nil
+	}
+	if base > 0 {
+		// Compaction only ever truncates below a durable snapshot and prunes
+		// strictly below the base, so losing every snapshot >= base means the
+		// directory was damaged beyond what the log can reconstruct.
+		return nil, &CorruptionError{Run: cfg.Label, Path: cfg.Dir, Offset: -1, Record: -1,
+			Reason: fmt.Sprintf("WAL is compacted to event %d but no usable snapshot at or past it remains", base)}
 	}
 	// From scratch: a fresh engine replays the whole log.
 	p, err := core.NewPolicy(meta.Policy, meta.Seed)
@@ -231,8 +304,8 @@ func restoreNewest(l *item.List, meta RunMeta, cfg Config, opts []core.Option, w
 
 // restoreSnapshotFile loads one snapshot file into a restored engine and
 // applies its aux blobs.
-func restoreSnapshotFile(path string, l *item.List, meta RunMeta, cfg Config, opts []core.Option) (*core.Engine, error) {
-	fd, err := ReadFile(path)
+func restoreSnapshotFile(fsys vfs.FS, path string, l *item.List, meta RunMeta, cfg Config, opts []core.Option) (*core.Engine, error) {
+	fd, err := ReadFile(fsys, path)
 	if err != nil {
 		return nil, err
 	}

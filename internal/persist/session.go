@@ -3,10 +3,10 @@ package persist
 import (
 	"encoding/binary"
 	"fmt"
-	"os"
 	"path/filepath"
 
 	"dvbp/internal/core"
+	"dvbp/internal/vfs"
 )
 
 // File names inside a checkpoint directory.
@@ -46,10 +46,37 @@ type Config struct {
 	// Every takes an automatic checkpoint after this many events; 0 disables
 	// automatic checkpoints (the WAL alone still recovers via full replay).
 	Every int64
-	// SyncEvery batches WAL fsyncs (default 64 records).
+	// SyncEvery batches WAL fsyncs (default 64 records; SyncManual disables
+	// auto-sync so only explicit barriers reach the device).
 	SyncEvery int
 	// Aux subsystems checkpointed alongside the engine.
 	Aux []AuxCodec
+	// FS is the filesystem seam every file operation goes through; nil means
+	// the real filesystem. Tests inject vfs.Mem or a vfs.Injector here.
+	FS vfs.FS
+	// Compact truncates the WAL prefix after each successful automatic
+	// checkpoint (and prunes snapshots below the new base), bounding on-disk
+	// size by the snapshot interval instead of the run length. See
+	// Session.Compact and DESIGN.md §15.
+	Compact bool
+}
+
+// IOStats counts the I/O weather a session rode through: transient failures
+// it absorbed (to be retried by later barriers), checkpoints it skipped, and
+// the compactions it completed. TakeIOStats drains them; the server exports
+// them as metrics.
+type IOStats struct {
+	// SyncFailures counts recoverable WAL auto-sync failures that were
+	// absorbed: the records stayed buffered and a later Sync retried them.
+	SyncFailures int64
+	// CheckpointsSkipped counts automatic checkpoints skipped on recoverable
+	// I/O errors; the next interval tries again.
+	CheckpointsSkipped int64
+	// Compactions counts completed WAL compactions.
+	Compactions int64
+	// ReclaimedBytes sums the on-disk bytes compaction reclaimed (WAL prefix
+	// plus pruned snapshots).
+	ReclaimedBytes int64
 }
 
 // Session couples a stepping engine to its write-ahead log: every committed
@@ -58,11 +85,16 @@ type Config struct {
 // lifecycle through the session (Step/Finish/Close), never directly.
 type Session struct {
 	cfg    Config
+	fsys   vfs.FS
 	meta   RunMeta
 	engine *core.Engine
 	wal    *Writer
 	buf    []byte
-	logged int64 // events in the WAL
+	logged int64 // events in the WAL (lifetime count, compaction included)
+
+	walBase  int64 // events truncated away by compaction (WAL holds base+1..logged)
+	lastSnap int64 // event seq of the newest durable snapshot this session took
+	stats    IOStats
 }
 
 // Begin starts persisting a fresh run: it creates the directory, the WAL
@@ -78,25 +110,26 @@ func Begin(e *core.Engine, meta RunMeta, cfg Config) (*Session, error) {
 	if err := checkAuxKeys(cfg.Aux); err != nil {
 		return nil, err
 	}
-	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
-		return nil, fmt.Errorf("persist: %w", err)
+	fsys := vfs.OrOS(cfg.FS)
+	if err := fsys.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, ioErr("mkdir", cfg.Dir, err)
 	}
 	// Remove checkpoints from any earlier run in the directory: they would
 	// otherwise be mistaken for this run's on recovery.
-	old, err := listSnapshots(cfg.Dir)
+	old, err := listSnapshots(fsys, cfg.Dir)
 	if err != nil {
 		return nil, err
 	}
 	for _, f := range old {
-		if err := os.Remove(filepath.Join(cfg.Dir, f.name)); err != nil {
-			return nil, fmt.Errorf("persist: %w", err)
+		if err := fsys.Remove(filepath.Join(cfg.Dir, f.name)); err != nil {
+			return nil, ioErr("remove", f.name, err)
 		}
 	}
-	wal, err := Create(filepath.Join(cfg.Dir, walFile), KindWAL, cfg.SyncEvery)
+	wal, err := Create(fsys, filepath.Join(cfg.Dir, walFile), KindWAL, cfg.SyncEvery)
 	if err != nil {
 		return nil, err
 	}
-	s := &Session{cfg: cfg, meta: meta, engine: e, wal: wal}
+	s := &Session{cfg: cfg, fsys: fsys, meta: meta, engine: e, wal: wal}
 	if err := wal.Append(encodeMeta(meta)); err != nil {
 		wal.Close()
 		return nil, err
@@ -105,7 +138,7 @@ func Begin(e *core.Engine, meta RunMeta, cfg Config) (*Session, error) {
 		wal.Close()
 		return nil, err
 	}
-	if err := syncDir(cfg.Dir); err != nil {
+	if err := syncDir(fsys, cfg.Dir); err != nil {
 		wal.Close()
 		return nil, err
 	}
@@ -121,12 +154,31 @@ func Begin(e *core.Engine, meta RunMeta, cfg Config) (*Session, error) {
 // Engine exposes the engine the session is persisting.
 func (s *Session) Engine() *core.Engine { return s.engine }
 
-// Logged returns the number of events appended to the WAL.
+// Logged returns the number of events appended to the WAL over the session's
+// lifetime (compaction does not reduce it).
 func (s *Session) Logged() int64 { return s.logged }
 
+// WALSize returns the WAL's current size, buffered bytes included — the
+// quantity compaction bounds.
+func (s *Session) WALSize() int64 { return s.wal.Size() }
+
+// TakeIOStats returns and resets the session's I/O counters.
+func (s *Session) TakeIOStats() IOStats {
+	st := s.stats
+	s.stats = IOStats{}
+	return st
+}
+
 // Step commits one engine event and appends it to the WAL, then takes an
-// automatic checkpoint when the configured interval elapses. ok=false means
-// the run is complete (call Finish).
+// automatic checkpoint (and, with cfg.Compact, a WAL compaction) when the
+// configured interval elapses. ok=false means the run is complete (call
+// Finish).
+//
+// Recoverable I/O errors (transient EIO, a full disk) on the auto-sync,
+// checkpoint, and compaction paths are absorbed and counted in IOStats, not
+// returned: the appended records stay buffered and the next barrier retries
+// them, a skipped checkpoint just means the next interval tries again. An
+// error from Step is therefore always corruption or fatal.
 func (s *Session) Step() (rec core.EventRecord, ok bool, err error) {
 	rec, ok, err = s.engine.Step()
 	if err != nil || !ok {
@@ -134,12 +186,22 @@ func (s *Session) Step() (rec core.EventRecord, ok bool, err error) {
 	}
 	s.buf = AppendEventRecord(s.buf[:0], rec)
 	if err := s.wal.Append(s.buf); err != nil {
-		return rec, false, err
+		if !Recoverable(err) {
+			return rec, false, err
+		}
+		s.stats.SyncFailures++ // records stay buffered; a later Sync retries
 	}
 	s.logged++
 	if s.cfg.Every > 0 && s.logged%s.cfg.Every == 0 {
 		if err := s.Checkpoint(); err != nil {
-			return rec, false, err
+			if !Recoverable(err) {
+				return rec, false, err
+			}
+			s.stats.CheckpointsSkipped++
+		} else if s.cfg.Compact {
+			if err := s.Compact(); err != nil && !Recoverable(err) {
+				return rec, false, err
+			}
 		}
 	}
 	return rec, true, nil
@@ -147,7 +209,9 @@ func (s *Session) Step() (rec core.EventRecord, ok bool, err error) {
 
 // Sync forces every appended WAL record down to the device — the group-commit
 // barrier a server runs between stepping a batch and acknowledging it, so no
-// client ever holds an acknowledgement for an event a crash can undo.
+// client ever holds an acknowledgement for an event a crash can undo. Unlike
+// Step's automatic paths, Sync reports recoverable errors to the caller: the
+// barrier is exactly where honesty about durability is due.
 func (s *Session) Sync() error {
 	return s.wal.Sync()
 }
@@ -173,7 +237,11 @@ func (s *Session) Checkpoint() error {
 		}
 		content = appendRecord(content, encodeAux(aux.AuxKey(), blob))
 	}
-	return writeFileAtomic(filepath.Join(s.cfg.Dir, snapName(snap.EventSeq)), content)
+	if err := writeFileAtomic(s.fsys, filepath.Join(s.cfg.Dir, snapName(snap.EventSeq)), content); err != nil {
+		return err
+	}
+	s.lastSnap = snap.EventSeq
+	return nil
 }
 
 // Finish syncs and closes the WAL and seals the engine into its Result.

@@ -11,6 +11,7 @@ import (
 
 	"dvbp/internal/core"
 	"dvbp/internal/metrics"
+	"dvbp/internal/vfs"
 )
 
 // TestTortureKillAndRecover is the crash-consistency torture loop: a run is
@@ -33,7 +34,7 @@ func TestTortureKillAndRecover(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	refFD, err := ReadFile(filepath.Join(refDir, walFile))
+	refFD, err := ReadFile(nil, filepath.Join(refDir, walFile))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,7 +183,7 @@ func copyRun(t *testing.T, src, dst string) {
 // deleteRandomSnapshots removes a random non-empty subset of snapshot files.
 func deleteRandomSnapshots(t *testing.T, rng *rand.Rand, dir string) {
 	t.Helper()
-	snaps, err := listSnapshots(dir)
+	snaps, err := listSnapshots(vfs.OS{}, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,7 +202,7 @@ func deleteRandomSnapshots(t *testing.T, rng *rand.Rand, dir string) {
 // flipRandomSnapshot flips one random byte in one random snapshot file.
 func flipRandomSnapshot(t *testing.T, rng *rand.Rand, dir string) {
 	t.Helper()
-	snaps, err := listSnapshots(dir)
+	snaps, err := listSnapshots(vfs.OS{}, dir)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -111,7 +111,16 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// The store recovered before New was reachable, so reaching this
-	// handler at all means every manifest tenant is live again.
+	// handler at all means every manifest tenant is live again — but a
+	// tenant riding out a sick disk in read-only degraded mode makes the
+	// server not-ready for writes, and orchestrators should know.
+	if degraded := s.store.Degraded(); len(degraded) > 0 {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status": "degraded", "tenants": len(s.store.List()), "degraded": degraded,
+		})
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{"status": "ready", "tenants": len(s.store.List())})
 }
 

@@ -2,9 +2,10 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io/fs"
 	"net/http"
-	"os"
 	"path/filepath"
 	"regexp"
 	"sort"
@@ -14,6 +15,7 @@ import (
 	"dvbp/internal/item"
 	"dvbp/internal/metrics"
 	"dvbp/internal/persist"
+	"dvbp/internal/vfs"
 )
 
 // Store directory layout:
@@ -44,6 +46,10 @@ type storeMetrics struct {
 	tenantFailures *metrics.Counter
 	recoveries     *metrics.Counter
 	corruptions    *metrics.Counter
+	ioRetries      *metrics.Counter
+	degraded       *metrics.Gauge
+	compactions    *metrics.Counter
+	reclaimed      *metrics.Counter
 }
 
 func newStoreMetrics(reg *metrics.Registry) *storeMetrics {
@@ -58,6 +64,10 @@ func newStoreMetrics(reg *metrics.Registry) *storeMetrics {
 		tenantFailures: reg.Counter("dvbp_server_tenant_failures_total", "tenants poisoned by a persistence failure"),
 		recoveries:     reg.Counter("dvbp_server_recovered_tenants_total", "tenants recovered from disk at startup"),
 		corruptions:    reg.Counter("dvbp_server_recovery_corruptions_total", "corruptions tolerated during tenant recovery (torn tails, skipped snapshots)"),
+		ioRetries:      reg.Counter("dvbp_server_io_retries_total", "transient I/O failures retried or absorbed instead of poisoning a tenant"),
+		degraded:       reg.Gauge("dvbp_server_degraded_tenants", "tenants currently in read-only degraded mode"),
+		compactions:    reg.Counter("dvbp_server_compactions_total", "WAL and op-log compactions completed across tenants"),
+		reclaimed:      reg.Counter("dvbp_server_compaction_reclaimed_bytes_total", "on-disk bytes reclaimed by compaction"),
 	}
 }
 
@@ -67,6 +77,7 @@ func newStoreMetrics(reg *metrics.Registry) *storeMetrics {
 type Store struct {
 	root   string
 	limits Limits
+	fs     vfs.FS
 	m      *storeMetrics
 
 	mu      sync.RWMutex
@@ -83,12 +94,14 @@ func OpenStore(root string, limits Limits, reg *metrics.Registry) (*Store, error
 	if root == "" {
 		return nil, fmt.Errorf("server: no data directory configured")
 	}
-	if err := os.MkdirAll(root, 0o755); err != nil {
+	fsys := vfs.OrOS(limits.FS)
+	if err := fsys.MkdirAll(root, 0o755); err != nil {
 		return nil, fmt.Errorf("server: %w", err)
 	}
 	s := &Store{
 		root:    root,
 		limits:  limits.withDefaults(),
+		fs:      fsys,
 		m:       newStoreMetrics(reg),
 		tenants: make(map[string]*Tenant),
 	}
@@ -113,8 +126,8 @@ func OpenStore(root string, limits Limits, reg *metrics.Registry) (*Store, error
 
 // readManifest loads the tenant list; a missing manifest is an empty store.
 func (s *Store) readManifest() ([]TenantConfig, error) {
-	data, err := os.ReadFile(filepath.Join(s.root, manifestFile))
-	if os.IsNotExist(err) {
+	data, err := s.fs.ReadFile(filepath.Join(s.root, manifestFile))
+	if errors.Is(err, fs.ErrNotExist) {
 		return nil, nil
 	}
 	if err != nil {
@@ -139,7 +152,7 @@ func (s *Store) writeManifest() error {
 	if err != nil {
 		return fmt.Errorf("server: %w", err)
 	}
-	return persist.WriteFileAtomic(filepath.Join(s.root, manifestFile), append(data, '\n'))
+	return persist.WriteFileAtomic(s.fs, filepath.Join(s.root, manifestFile), append(data, '\n'))
 }
 
 // checkConfig validates a tenant config at admission time.
@@ -175,11 +188,14 @@ func (s *Store) Create(cfg TenantConfig) (*Tenant, *apiError) {
 		return nil, errf(http.StatusConflict, "tenant_exists", "tenant %q already exists", cfg.Name)
 	}
 	dir := filepath.Join(s.root, cfg.Name)
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := s.fs.MkdirAll(dir, 0o755); err != nil {
 		return nil, errf(http.StatusInternalServerError, "io", "creating tenant directory: %v", err)
 	}
 	meta := persist.NewDynamicRunMeta(cfg.Dim, cfg.Policy, cfg.Seed, "")
-	ops, err := persist.CreateOpLog(filepath.Join(dir, opsFile), meta, s.limits.SyncEvery)
+	// The op log writer syncs only at the group-commit barrier (SyncManual):
+	// a failed barrier can then roll the whole batch back, all-or-nothing,
+	// with no auto-sync having leaked half of it to the device.
+	ops, err := persist.CreateOpLog(s.fs, filepath.Join(dir, opsFile), meta, persist.SyncManual)
 	if err != nil {
 		return nil, errf(http.StatusInternalServerError, "io", "creating op log: %v", err)
 	}
@@ -195,6 +211,7 @@ func (s *Store) Create(cfg TenantConfig) (*Tenant, *apiError) {
 	}
 	session, err := persist.Begin(engine, meta, persist.Config{
 		Dir: dir, Label: cfg.Name, Every: cfg.CheckpointEvery, SyncEvery: s.limits.SyncEvery,
+		FS: s.fs, Compact: cfg.CheckpointEvery > 0,
 	})
 	if err != nil {
 		engine.Close()
@@ -222,7 +239,7 @@ func (s *Store) recoverTenant(cfg TenantConfig) (*Tenant, error) {
 		return nil, aerr
 	}
 	dir := filepath.Join(s.root, cfg.Name)
-	logged, err := persist.ReadOpLog(filepath.Join(dir, opsFile), cfg.Name)
+	logged, err := persist.ReadOpLog(s.fs, filepath.Join(dir, opsFile), cfg.Name)
 	if err != nil {
 		return nil, err
 	}
@@ -234,6 +251,7 @@ func (s *Store) recoverTenant(cfg TenantConfig) (*Tenant, error) {
 	}
 	rec, err := persist.Recover(logged.List, persist.Config{
 		Dir: dir, Label: cfg.Name, Every: cfg.CheckpointEvery, SyncEvery: s.limits.SyncEvery,
+		FS: s.fs, Compact: cfg.CheckpointEvery > 0,
 	}, core.WithDynamicArrivals())
 	if err != nil {
 		return nil, err
@@ -259,7 +277,7 @@ func (s *Store) recoverTenant(cfg TenantConfig) (*Tenant, error) {
 		rec.Session.Close()
 		return nil, err
 	}
-	ops, err := persist.ReopenOpLog(filepath.Join(dir, opsFile), logged.ValidSize, s.limits.SyncEvery)
+	ops, err := persist.ReopenOpLog(s.fs, filepath.Join(dir, opsFile), logged.ValidSize, persist.SyncManual)
 	if err != nil {
 		rec.Session.Close()
 		return nil, err
@@ -306,13 +324,28 @@ func (s *Store) Delete(name string) *apiError {
 	s.mu.Unlock()
 
 	t.close()
-	if err := os.RemoveAll(t.dir); err != nil {
+	if err := s.fs.RemoveAll(t.dir); err != nil {
 		return errf(http.StatusInternalServerError, "io", "removing tenant data: %v", err)
 	}
 	if merr != nil {
 		return errf(http.StatusInternalServerError, "io", "writing manifest: %v", merr)
 	}
 	return nil
+}
+
+// Degraded lists the names of tenants currently in read-only degraded mode,
+// sorted; /readyz reports them.
+func (s *Store) Degraded() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []string
+	for name, t := range s.tenants {
+		if t.degradedFlag.Load() {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Close drains every tenant: intake stops, queued batches finish and are

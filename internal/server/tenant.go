@@ -3,7 +3,9 @@ package server
 import (
 	"fmt"
 	"net/http"
+	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dvbp/internal/core"
@@ -11,6 +13,7 @@ import (
 	"dvbp/internal/metrics"
 	"dvbp/internal/persist"
 	"dvbp/internal/vector"
+	"dvbp/internal/vfs"
 )
 
 // TenantConfig is one tenant's identity: the part that goes into the
@@ -42,6 +45,18 @@ type Limits struct {
 	Deadline time.Duration
 	// SyncEvery batches persist-layer fsyncs between the explicit barriers.
 	SyncEvery int
+	// RetryAttempts is how many times a transient I/O failure (EIO) is
+	// retried at a commit barrier before the tenant degrades; disk-full
+	// errors skip the retries (waiting microseconds for space is pointless).
+	// Negative disables retrying.
+	RetryAttempts int
+	// RetryBackoff is the sleep before the first retry; it doubles per
+	// attempt, capped at 100ms.
+	RetryBackoff time.Duration
+	// FS is the filesystem seam the store and every tenant run their file
+	// operations through; nil means the real filesystem. Tests inject
+	// vfs.Mem or a vfs.Injector here.
+	FS vfs.FS
 }
 
 func (l Limits) withDefaults() Limits {
@@ -54,8 +69,17 @@ func (l Limits) withDefaults() Limits {
 	if l.SyncEvery <= 0 {
 		l.SyncEvery = 64
 	}
+	if l.RetryAttempts == 0 {
+		l.RetryAttempts = 3
+	}
+	if l.RetryBackoff <= 0 {
+		l.RetryBackoff = 2 * time.Millisecond
+	}
 	return l
 }
+
+// maxRetryBackoff caps the exponential retry sleep.
+const maxRetryBackoff = 100 * time.Millisecond
 
 // apiError is an error with an HTTP status, rendered as the structured JSON
 // error body.
@@ -141,6 +165,10 @@ type AdvanceResult struct {
 type TenantStatus struct {
 	TenantConfig
 	Watermark float64 `json:"watermark"`
+	// Degraded is true while the tenant is read-only because its disk is
+	// refusing writes (ENOSPC or persistent EIO); mutations answer 503 and
+	// the worker probes for recovery at every batch.
+	Degraded bool `json:"degraded,omitempty"`
 	// Engine counters (see core.EngineStats).
 	EventSeq   int64   `json:"event_seq"`
 	Clock      float64 `json:"clock"`
@@ -192,7 +220,12 @@ type Tenant struct {
 	cfg    TenantConfig
 	limits Limits
 	dir    string
+	fs     vfs.FS
 	m      *storeMetrics
+
+	// degradedFlag mirrors the worker-owned degraded state for readers on
+	// other goroutines (/readyz); the worker is the only writer.
+	degradedFlag atomic.Bool
 
 	mu     sync.Mutex
 	closed bool
@@ -204,6 +237,7 @@ type Tenant struct {
 	ops       *persist.Writer
 	watermark float64
 	failed    *apiError
+	degraded  *apiError // non-nil while the tenant is read-only on a sick disk
 
 	done chan struct{}
 }
@@ -213,6 +247,7 @@ func newTenant(cfg TenantConfig, dir string, limits Limits, m *storeMetrics) *Te
 		cfg:    cfg,
 		limits: limits,
 		dir:    dir,
+		fs:     vfs.OrOS(limits.FS),
 		m:      m,
 		ch:     make(chan *request, limits.QueueDepth),
 		done:   make(chan struct{}),
@@ -302,15 +337,22 @@ func (t *Tenant) run() {
 // process runs one batch as a group commit, honouring the two-barrier
 // durability order: validate and append every mutation's op, fsync the op
 // log, apply the mutations to the engine (appending WAL records), fsync the
-// WAL, then acknowledge.
+// WAL, then acknowledge. Transient barrier failures retry with capped
+// backoff; a disk that stays sick degrades the tenant to read-only (503 for
+// mutations, queries still served) instead of poisoning it — the worker
+// probes the disk at every batch and resumes when writes go through again.
 func (t *Tenant) process(batch []*request) {
+	if t.degraded != nil {
+		t.probe()
+	}
 	now := time.Now()
 	type staged struct {
 		req  *request
 		resp response
 	}
 	out := make([]staged, 0, len(batch))
-	var mutations []*request
+	var mutations []int // indices in out, in batch order
+	wm0 := t.watermark  // admission rolls back here if barrier 1 fails
 
 	// Phase 1: admission. Validate each mutation against the running
 	// watermark and append its op-log record (buffered, not yet synced).
@@ -325,37 +367,69 @@ func (t *Tenant) process(batch []*request) {
 			continue
 		}
 		switch req.kind {
-		case reqPlace:
-			if !req.arrivalSet {
-				req.arrival = t.watermark
-			}
-			if err := t.admitPlace(req); err != nil {
-				out = append(out, staged{req, response{err: err}})
+		case reqPlace, reqAdvance:
+			if t.degraded != nil {
+				out = append(out, staged{req, response{err: t.degraded}})
 				continue
 			}
-			mutations = append(mutations, req)
-			out = append(out, staged{req, response{}})
-		case reqAdvance:
-			if err := t.admitAdvance(req); err != nil {
-				out = append(out, staged{req, response{err: err}})
+			var aerr *apiError
+			if req.kind == reqPlace {
+				if !req.arrivalSet {
+					req.arrival = t.watermark
+				}
+				aerr = t.admitPlace(req)
+			} else {
+				aerr = t.admitAdvance(req)
+			}
+			if aerr != nil {
+				out = append(out, staged{req, response{err: aerr}})
 				continue
 			}
-			mutations = append(mutations, req)
+			mutations = append(mutations, len(out))
 			out = append(out, staged{req, response{}})
 		default:
 			out = append(out, staged{req, response{}})
 		}
 	}
 
-	// Phase 2: first barrier — ops durable before the engine may step.
+	// refuse answers every still-pending mutation with the tenant's current
+	// terminal error (failed beats degraded).
+	refuse := func() {
+		for _, i := range mutations {
+			if out[i].resp.err == nil {
+				if t.failed != nil {
+					out[i].resp.err = t.failed
+				} else {
+					out[i].resp.err = t.degraded
+				}
+			}
+		}
+		mutations = nil
+	}
+
+	// Phase 2: first barrier — ops durable before the engine may step. On a
+	// recoverable failure the whole batch rolls back (the op-log writer is
+	// manual-sync, so nothing leaked) and the tenant degrades; only
+	// corruption, or a rollback that itself fails, poisons it.
 	if len(mutations) > 0 && t.failed == nil {
-		if err := t.ops.Sync(); err != nil {
-			t.fail("op log sync: %v", err)
+		if err := t.retryIO(t.ops.Sync); err != nil {
+			if persist.Recoverable(err) {
+				if rberr := t.ops.Rollback(); rberr != nil {
+					t.fail("op log rollback after failed sync: %v", rberr)
+				} else {
+					t.watermark = wm0
+					t.degrade(err)
+				}
+			} else {
+				t.fail("op log sync: %v", err)
+			}
+			refuse()
 		}
 	}
 
-	// Phase 3: apply, in batch order. Queries run here too, so each sees
-	// exactly the batch mutations that preceded it.
+	// Phase 3: apply, in batch order. Queries run here too — degraded mode
+	// keeps serving them — and each sees exactly the batch mutations that
+	// preceded it.
 	for i := range out {
 		s := &out[i]
 		if s.resp.err != nil {
@@ -380,15 +454,21 @@ func (t *Tenant) process(batch []*request) {
 		}
 	}
 
-	// Phase 4: second barrier — the WAL durable before anyone is told.
+	// Phase 4: second barrier — the WAL durable before anyone is told. The
+	// engine already stepped these events, so on a recoverable failure they
+	// stay applied (item IDs are positional; un-stepping would skew them
+	// against the durable op log) but unacknowledged: the records sit in the
+	// writer's buffer, the probe re-syncs them, and recovery after a crash
+	// regenerates them from the op log. The clients got 503, not an ack, so
+	// nothing acknowledged can be lost either way.
 	if len(mutations) > 0 && t.failed == nil {
-		if err := t.session.Sync(); err != nil {
-			t.fail("wal sync: %v", err)
-			for i := range out {
-				if out[i].resp.err == nil && out[i].req.kind != reqStats && out[i].req.kind != reqPlacements {
-					out[i].resp.err = t.failed
-				}
+		if err := t.retryIO(t.session.Sync); err != nil {
+			if persist.Recoverable(err) {
+				t.degrade(err)
+			} else {
+				t.fail("wal sync: %v", err)
 			}
+			refuse()
 		}
 	}
 
@@ -396,6 +476,108 @@ func (t *Tenant) process(batch []*request) {
 	for _, s := range out {
 		s.req.reply <- s.resp
 	}
+
+	t.harvest()
+}
+
+// retryIO runs op, retrying transient failures with exponential backoff
+// (capped) up to Limits.RetryAttempts times. Disk-full, corruption, and
+// fatal errors return immediately: waiting will not create space or truth.
+func (t *Tenant) retryIO(op func() error) error {
+	backoff := t.limits.RetryBackoff
+	for attempt := 0; ; attempt++ {
+		err := op()
+		if err == nil || persist.Classify(err) != persist.ClassTransient || attempt >= t.limits.RetryAttempts {
+			return err
+		}
+		t.m.ioRetries.Inc()
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > maxRetryBackoff {
+			backoff = maxRetryBackoff
+		}
+	}
+}
+
+// degrade flips the tenant into read-only mode: mutations answer 503 until a
+// probe sees the disk take writes again. Unlike fail, nothing is poisoned —
+// on-disk state is honest (behind, never wrong).
+func (t *Tenant) degrade(cause error) {
+	if t.degraded != nil {
+		return
+	}
+	t.degraded = errf(http.StatusServiceUnavailable, "degraded",
+		"tenant %q is read-only, disk unwell (%s): %v", t.cfg.Name, persist.Classify(cause), cause)
+	t.degradedFlag.Store(true)
+	t.m.degraded.Add(1)
+}
+
+// resume lifts degraded mode after a successful probe.
+func (t *Tenant) resume() {
+	if t.degraded == nil {
+		return
+	}
+	t.degraded = nil
+	t.degradedFlag.Store(false)
+	t.m.degraded.Add(-1)
+}
+
+// probe re-runs both durability barriers against whatever is buffered (after
+// a barrier-2 failure that includes the unacknowledged WAL suffix). Both
+// clean means the disk recovered; a recoverable failure keeps degraded mode;
+// corruption or fatal errors poison.
+func (t *Tenant) probe() {
+	if err := t.ops.Sync(); err != nil {
+		if !persist.Recoverable(err) {
+			t.fail("op log sync: %v", err)
+		}
+		return
+	}
+	if err := t.session.Sync(); err != nil {
+		if !persist.Recoverable(err) {
+			t.fail("wal sync: %v", err)
+		}
+		return
+	}
+	t.resume()
+}
+
+// harvest drains the session's I/O counters into the server metrics after a
+// batch, and piggybacks op-log compaction on a just-finished WAL compaction:
+// the session compacts its own WAL and snapshots, but only the tenant knows
+// the op log, so the two shrink in tandem here.
+func (t *Tenant) harvest() {
+	st := t.session.TakeIOStats()
+	if n := st.SyncFailures + st.CheckpointsSkipped; n > 0 {
+		t.m.ioRetries.Add(uint64(n))
+	}
+	if st.Compactions > 0 {
+		t.m.compactions.Add(uint64(st.Compactions))
+		t.m.reclaimed.Add(uint64(st.ReclaimedBytes))
+		if t.failed == nil && t.degraded == nil && !t.ops.Buffered() {
+			t.compactOps()
+		}
+	}
+}
+
+// compactOps rewrites the op log with its advance spam collapsed, swapping
+// the worker's writer for one on the rewritten file. Recoverable failures
+// skip (the next compaction window retries); only corruption or a lost
+// handle poisons.
+func (t *Tenant) compactOps() {
+	w, reclaimed, err := persist.CompactOpLog(t.fs, filepath.Join(t.dir, opsFile), t.cfg.Name, persist.SyncManual)
+	if err != nil {
+		if !persist.Recoverable(err) {
+			t.fail("op log compaction: %v", err)
+		}
+		return
+	}
+	if w == nil {
+		return
+	}
+	t.ops.Discard()
+	t.ops = w
+	t.m.compactions.Inc()
+	t.m.reclaimed.Add(uint64(reclaimed))
 }
 
 // fail poisons the tenant: a persistence write failed, so no further
@@ -505,6 +687,7 @@ func (t *Tenant) status() *TenantStatus {
 	out := &TenantStatus{
 		TenantConfig: t.cfg,
 		Watermark:    t.watermark,
+		Degraded:     t.degraded != nil,
 		EventSeq:     st.EventSeq,
 		Clock:        st.Clock,
 		Items:        st.Items,

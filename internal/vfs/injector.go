@@ -1,0 +1,289 @@
+package vfs
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+)
+
+// createFlag marks an OpenFile call as a creation for fault-kind counting.
+const createFlag = os.O_CREATE
+
+// FaultKind names one class of filesystem operation the Injector can fail.
+type FaultKind string
+
+// The injectable operation classes. "create" covers OpenFile-with-O_CREATE
+// and CreateTemp; "open" covers plain reopens.
+const (
+	FaultOpen     FaultKind = "open"
+	FaultCreate   FaultKind = "create"
+	FaultWrite    FaultKind = "write"
+	FaultSync     FaultKind = "sync"
+	FaultTruncate FaultKind = "truncate"
+	FaultRename   FaultKind = "rename"
+	FaultRemove   FaultKind = "remove"
+	FaultSyncDir  FaultKind = "syncdir"
+)
+
+// Fault is one planned failure: the Nth operation of the given kind (1-based,
+// counted over the Injector's lifetime) returns Err instead of executing.
+type Fault struct {
+	Kind FaultKind
+	Nth  int64
+	Err  error
+}
+
+func (f Fault) String() string {
+	return fmt.Sprintf("%s:%d:%s", f.Kind, f.Nth, errnoName(f.Err))
+}
+
+func errnoName(err error) string {
+	switch err {
+	case syscall.EIO:
+		return "eio"
+	case syscall.ENOSPC:
+		return "enospc"
+	default:
+		return err.Error()
+	}
+}
+
+// ParsePlan parses a comma-separated fault plan: each element is
+// "kind:n:errno" with kind one of open/create/write/sync/truncate/rename/
+// remove/syncdir, n a positive occurrence index, and errno "eio" or "enospc".
+// The empty string is the empty plan.
+func ParsePlan(spec string) ([]Fault, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var plan []Fault
+	for _, part := range strings.Split(spec, ",") {
+		fields := strings.Split(strings.TrimSpace(part), ":")
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("vfs: fault %q: want kind:n:errno", part)
+		}
+		kind := FaultKind(fields[0])
+		switch kind {
+		case FaultOpen, FaultCreate, FaultWrite, FaultSync, FaultTruncate, FaultRename, FaultRemove, FaultSyncDir:
+		default:
+			return nil, fmt.Errorf("vfs: fault %q: unknown kind %q", part, fields[0])
+		}
+		n, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("vfs: fault %q: occurrence must be a positive integer", part)
+		}
+		var errno error
+		switch fields[2] {
+		case "eio":
+			errno = syscall.EIO
+		case "enospc":
+			errno = syscall.ENOSPC
+		default:
+			return nil, fmt.Errorf("vfs: fault %q: errno must be eio or enospc", part)
+		}
+		plan = append(plan, Fault{Kind: kind, Nth: n, Err: errno})
+	}
+	return plan, nil
+}
+
+// PlanString renders a plan back into ParsePlan's grammar.
+func PlanString(plan []Fault) string {
+	parts := make([]string, len(plan))
+	for i, f := range plan {
+		parts[i] = f.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+// stickyDefault is the operation set SetSticky poisons when no kinds are
+// given: everything a full disk or dying device refuses.
+var stickyDefault = []FaultKind{FaultCreate, FaultWrite, FaultSync, FaultRename, FaultSyncDir}
+
+// Injector wraps an FS and fails chosen operations deterministically: a
+// plan of one-shot faults (the Nth write fails with ENOSPC) plus sticky
+// per-kind errors a test can toggle to hold a disk sick over a window.
+// Reads always pass through — a sick disk still serves what it has.
+type Injector struct {
+	inner FS
+
+	mu     sync.Mutex
+	counts map[FaultKind]int64
+	plan   []Fault
+	sticky map[FaultKind]error
+}
+
+// NewInjector wraps inner with the given fault plan.
+func NewInjector(inner FS, plan ...Fault) *Injector {
+	return &Injector{
+		inner:  inner,
+		counts: make(map[FaultKind]int64),
+		plan:   append([]Fault(nil), plan...),
+		sticky: make(map[FaultKind]error),
+	}
+}
+
+// SetSticky makes every operation of the given kinds fail with err until
+// ClearSticky. No kinds selects the full write-path set (create, write, sync,
+// rename, syncdir) — "the disk is full".
+func (in *Injector) SetSticky(err error, kinds ...FaultKind) {
+	if len(kinds) == 0 {
+		kinds = stickyDefault
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, k := range kinds {
+		in.sticky[k] = err
+	}
+}
+
+// ClearSticky heals the disk: all sticky errors are removed.
+func (in *Injector) ClearSticky() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.sticky = make(map[FaultKind]error)
+}
+
+// Counts returns the operation counts per kind, for plan construction and
+// assertions.
+func (in *Injector) Counts() map[FaultKind]int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make(map[FaultKind]int64, len(in.counts))
+	for k, v := range in.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// check counts one operation of the kind and returns the injected error, if
+// any fires.
+func (in *Injector) check(kind FaultKind) error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.counts[kind]++
+	if err := in.sticky[kind]; err != nil {
+		return err
+	}
+	n := in.counts[kind]
+	for _, f := range in.plan {
+		if f.Kind == kind && f.Nth == n {
+			return f.Err
+		}
+	}
+	return nil
+}
+
+// OpenFile implements FS.
+func (in *Injector) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	kind := FaultOpen
+	if flag&createFlag != 0 {
+		kind = FaultCreate
+	}
+	if err := in.check(kind); err != nil {
+		return nil, &fs.PathError{Op: string(kind), Path: name, Err: err}
+	}
+	f, err := in.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{File: f, in: in}, nil
+}
+
+// CreateTemp implements FS.
+func (in *Injector) CreateTemp(dir, pattern string) (File, error) {
+	if err := in.check(FaultCreate); err != nil {
+		return nil, &fs.PathError{Op: "createtemp", Path: dir, Err: err}
+	}
+	f, err := in.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{File: f, in: in}, nil
+}
+
+// ReadFile implements FS (never injected).
+func (in *Injector) ReadFile(name string) ([]byte, error) { return in.inner.ReadFile(name) }
+
+// ReadDir implements FS (never injected).
+func (in *Injector) ReadDir(name string) ([]fs.DirEntry, error) { return in.inner.ReadDir(name) }
+
+// Stat implements FS (never injected).
+func (in *Injector) Stat(name string) (fs.FileInfo, error) { return in.inner.Stat(name) }
+
+// Rename implements FS.
+func (in *Injector) Rename(oldpath, newpath string) error {
+	if err := in.check(FaultRename); err != nil {
+		return &fs.PathError{Op: "rename", Path: newpath, Err: err}
+	}
+	return in.inner.Rename(oldpath, newpath)
+}
+
+// Remove implements FS.
+func (in *Injector) Remove(name string) error {
+	if err := in.check(FaultRemove); err != nil {
+		return &fs.PathError{Op: "remove", Path: name, Err: err}
+	}
+	return in.inner.Remove(name)
+}
+
+// RemoveAll implements FS.
+func (in *Injector) RemoveAll(path string) error {
+	if err := in.check(FaultRemove); err != nil {
+		return &fs.PathError{Op: "removeall", Path: path, Err: err}
+	}
+	return in.inner.RemoveAll(path)
+}
+
+// MkdirAll implements FS (never injected: directory creation happens once per
+// tenant, before any data exists to lose).
+func (in *Injector) MkdirAll(path string, perm fs.FileMode) error {
+	return in.inner.MkdirAll(path, perm)
+}
+
+// SyncDir implements FS.
+func (in *Injector) SyncDir(dir string) error {
+	if err := in.check(FaultSyncDir); err != nil {
+		return &fs.PathError{Op: "syncdir", Path: dir, Err: err}
+	}
+	return in.inner.SyncDir(dir)
+}
+
+// injFile wraps a handle so write-path operations consult the plan.
+type injFile struct {
+	File
+	in *Injector
+}
+
+func (f *injFile) Write(p []byte) (int, error) {
+	if err := f.in.check(FaultWrite); err != nil {
+		return 0, &fs.PathError{Op: "write", Path: f.Name(), Err: err}
+	}
+	return f.File.Write(p)
+}
+
+func (f *injFile) Sync() error {
+	if err := f.in.check(FaultSync); err != nil {
+		return &fs.PathError{Op: "sync", Path: f.Name(), Err: err}
+	}
+	return f.File.Sync()
+}
+
+func (f *injFile) Truncate(size int64) error {
+	if err := f.in.check(FaultTruncate); err != nil {
+		return &fs.PathError{Op: "truncate", Path: f.Name(), Err: err}
+	}
+	return f.File.Truncate(size)
+}
+
+// SortedKinds lists the injectable kinds in stable order (flag help text).
+func SortedKinds() []string {
+	out := []string{string(FaultOpen), string(FaultCreate), string(FaultWrite), string(FaultSync),
+		string(FaultTruncate), string(FaultRename), string(FaultRemove), string(FaultSyncDir)}
+	sort.Strings(out)
+	return out
+}

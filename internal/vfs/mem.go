@@ -1,0 +1,547 @@
+package vfs
+
+import (
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// CrashMode selects what a simulated power loss does to bytes and directory
+// entries that were written but not yet fsynced. All three are legal disk
+// behaviours; recovery must survive every one of them.
+type CrashMode int
+
+const (
+	// CrashLost discards everything after the last sync barrier: file
+	// contents revert to their last fsynced bytes, directory entries to
+	// their last SyncDir state.
+	CrashLost CrashMode = iota
+	// CrashFlushed is the lucky outcome: the device happened to write back
+	// everything in flight, so volatile contents and entries all survive.
+	CrashFlushed
+	// CrashTorn keeps a prefix of each file's unsynced tail (length chosen
+	// by the tear salt) and reverts directory entries to their durable
+	// state — the classic torn-write crash.
+	CrashTorn
+)
+
+func (m CrashMode) String() string {
+	switch m {
+	case CrashLost:
+		return "lost"
+	case CrashFlushed:
+		return "flushed"
+	case CrashTorn:
+		return "torn"
+	default:
+		return fmt.Sprintf("CrashMode(%d)", int(m))
+	}
+}
+
+// memInode is one file's storage: the volatile view (what reads observe) and
+// the durable view (what survives power loss, as of the last File.Sync).
+type memInode struct {
+	data   []byte // volatile contents
+	synced []byte // contents as of the last successful fsync
+}
+
+// Mem is a deterministic in-memory FS that models durability: contents are
+// volatile until File.Sync, directory entries until SyncDir. Every mutating
+// operation increments an op counter; SetCrashPoint arms a power loss at a
+// chosen op, after which every operation fails with ErrCrashed until Restart.
+// Directory creation is modeled as immediately durable (metadata journaling);
+// file entries are not.
+//
+// Mem is safe for concurrent use. CreateTemp names come from a counter, so a
+// deterministic workload produces a byte-identical filesystem every run —
+// the property the crash-point sweep's baseline comparison rests on.
+type Mem struct {
+	mu         sync.Mutex
+	entries    map[string]*memInode // live (volatile) file namespace
+	durEntries map[string]*memInode // durable file namespace (last SyncDir per dir)
+	dirs       map[string]bool      // directories (durable on creation)
+	tmpSeq     int
+	ops        int64
+	crashAt    int64 // power loss when ops reaches this count; 0 = disarmed
+	crashMode  CrashMode
+	tearSalt   int64
+	crashed    bool
+	gen        int // bumped at crash so stale handles fail
+}
+
+// NewMem returns an empty in-memory filesystem.
+func NewMem() *Mem {
+	return &Mem{
+		entries:    make(map[string]*memInode),
+		durEntries: make(map[string]*memInode),
+		dirs:       make(map[string]bool),
+	}
+}
+
+// Ops returns the number of mutating operations performed so far.
+func (m *Mem) Ops() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ops
+}
+
+// Crashed reports whether a simulated power loss has happened and Restart has
+// not been called yet.
+func (m *Mem) Crashed() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.crashed
+}
+
+// SetCrashPoint arms a power loss at the n-th mutating operation from now
+// (1-based over the lifetime counter: the op whose number equals n crashes
+// instead of completing). The tear salt picks the surviving prefix length of
+// each unsynced tail in CrashTorn mode, so a sweep can vary tears
+// deterministically.
+func (m *Mem) SetCrashPoint(n int64, mode CrashMode, tearSalt int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.crashAt = n
+	m.crashMode = mode
+	m.tearSalt = tearSalt
+}
+
+// CrashNow simulates an immediate power loss.
+func (m *Mem) CrashNow(mode CrashMode) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.crashMode = mode
+	m.crash()
+}
+
+// Restart brings the machine back up after a crash: the filesystem now holds
+// exactly what survived, and operations work again. Handles opened before the
+// crash stay dead.
+func (m *Mem) Restart() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.crashed = false
+	m.crashAt = 0
+}
+
+// tick counts one mutating operation and fires the armed crash. Caller holds
+// m.mu. The crashing operation does not take effect (except that a torn-mode
+// crash during a Write may keep a prefix of bytes already in the volatile
+// view — Write applies before calling tick).
+func (m *Mem) tick() error {
+	if m.crashed {
+		return ErrCrashed
+	}
+	m.ops++
+	if m.crashAt > 0 && m.ops == m.crashAt {
+		m.crash()
+		return ErrCrashed
+	}
+	return nil
+}
+
+// crash applies the armed CrashMode: compute what survives, make it both the
+// live and the durable state, and kill outstanding handles. Caller holds m.mu.
+func (m *Mem) crash() {
+	survivors := make(map[string]*memInode)
+	switch m.crashMode {
+	case CrashFlushed:
+		for p, ino := range m.entries {
+			survivors[p] = &memInode{data: clone(ino.data)}
+		}
+	case CrashTorn:
+		for p, ino := range m.durEntries {
+			nd := clone(ino.synced)
+			if tail := len(ino.data) - len(ino.synced); tail > 0 {
+				keep := int(m.tearSalt % int64(tail+1))
+				nd = append(nd, ino.data[len(ino.synced):len(ino.synced)+keep]...)
+			}
+			survivors[p] = &memInode{data: nd}
+		}
+	default: // CrashLost
+		for p, ino := range m.durEntries {
+			survivors[p] = &memInode{data: clone(ino.synced)}
+		}
+	}
+	for _, ino := range survivors {
+		ino.synced = clone(ino.data) // what survived is on the platter
+	}
+	m.entries = survivors
+	m.durEntries = make(map[string]*memInode, len(survivors))
+	for p, ino := range survivors {
+		m.durEntries[p] = ino
+	}
+	m.crashed = true
+	m.gen++
+}
+
+func clone(b []byte) []byte { return append([]byte(nil), b...) }
+
+func norm(p string) string { return filepath.Clean(p) }
+
+// hasParent reports whether the parent directory of path exists. Caller holds
+// m.mu.
+func (m *Mem) hasParent(p string) bool {
+	dir := filepath.Dir(p)
+	return dir == "." || dir == "/" || m.dirs[dir]
+}
+
+// OpenFile implements FS.
+func (m *Mem) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.tick(); err != nil {
+		return nil, err
+	}
+	name = norm(name)
+	ino, ok := m.entries[name]
+	switch {
+	case !ok && flag&os.O_CREATE == 0:
+		return nil, &fs.PathError{Op: "open", Path: name, Err: fs.ErrNotExist}
+	case !ok:
+		if !m.hasParent(name) {
+			return nil, &fs.PathError{Op: "open", Path: name, Err: fs.ErrNotExist}
+		}
+		ino = &memInode{}
+		m.entries[name] = ino
+	case flag&os.O_TRUNC != 0:
+		ino.data = ino.data[:0] // volatile until the next fsync
+	}
+	return &memFile{m: m, ino: ino, name: name, gen: m.gen}, nil
+}
+
+// CreateTemp implements FS with counter-derived (deterministic) names.
+func (m *Mem) CreateTemp(dir, pattern string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.tick(); err != nil {
+		return nil, err
+	}
+	dir = norm(dir)
+	if dir != "." && dir != "/" && !m.dirs[dir] {
+		return nil, &fs.PathError{Op: "createtemp", Path: dir, Err: fs.ErrNotExist}
+	}
+	m.tmpSeq++
+	var base string
+	if i := strings.LastIndexByte(pattern, '*'); i >= 0 {
+		base = pattern[:i] + fmt.Sprintf("%d", m.tmpSeq) + pattern[i+1:]
+	} else {
+		base = pattern + fmt.Sprintf("%d", m.tmpSeq)
+	}
+	name := filepath.Join(dir, base)
+	if _, dup := m.entries[name]; dup {
+		return nil, &fs.PathError{Op: "createtemp", Path: name, Err: fs.ErrExist}
+	}
+	ino := &memInode{}
+	m.entries[name] = ino
+	return &memFile{m: m, ino: ino, name: name, gen: m.gen}, nil
+}
+
+// ReadFile implements FS: reads observe the volatile view, like the page
+// cache.
+func (m *Mem) ReadFile(name string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return nil, ErrCrashed
+	}
+	ino, ok := m.entries[norm(name)]
+	if !ok {
+		return nil, &fs.PathError{Op: "read", Path: name, Err: fs.ErrNotExist}
+	}
+	return clone(ino.data), nil
+}
+
+// ReadDir implements FS.
+func (m *Mem) ReadDir(name string) ([]fs.DirEntry, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return nil, ErrCrashed
+	}
+	name = norm(name)
+	if name != "." && name != "/" && !m.dirs[name] {
+		return nil, &fs.PathError{Op: "readdir", Path: name, Err: fs.ErrNotExist}
+	}
+	var out []fs.DirEntry
+	for p, ino := range m.entries {
+		if filepath.Dir(p) == name {
+			out = append(out, memDirEntry{name: filepath.Base(p), size: int64(len(ino.data))})
+		}
+	}
+	for d := range m.dirs {
+		if filepath.Dir(d) == name {
+			out = append(out, memDirEntry{name: filepath.Base(d), dir: true})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out, nil
+}
+
+// Stat implements FS.
+func (m *Mem) Stat(name string) (fs.FileInfo, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return nil, ErrCrashed
+	}
+	name = norm(name)
+	if ino, ok := m.entries[name]; ok {
+		return memFileInfo{name: filepath.Base(name), size: int64(len(ino.data))}, nil
+	}
+	if name == "." || name == "/" || m.dirs[name] {
+		return memFileInfo{name: filepath.Base(name), dir: true}, nil
+	}
+	return nil, &fs.PathError{Op: "stat", Path: name, Err: fs.ErrNotExist}
+}
+
+// Rename implements FS. The new name is volatile until its directory is
+// synced; the displaced durable entry (if any) keeps pointing at the old
+// inode until then, which is exactly the atomic-replace guarantee the
+// write-temp-then-rename dance relies on.
+func (m *Mem) Rename(oldpath, newpath string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.tick(); err != nil {
+		return err
+	}
+	oldpath, newpath = norm(oldpath), norm(newpath)
+	ino, ok := m.entries[oldpath]
+	if !ok {
+		return &fs.PathError{Op: "rename", Path: oldpath, Err: fs.ErrNotExist}
+	}
+	if !m.hasParent(newpath) {
+		return &fs.PathError{Op: "rename", Path: newpath, Err: fs.ErrNotExist}
+	}
+	delete(m.entries, oldpath)
+	m.entries[newpath] = ino
+	return nil
+}
+
+// Remove implements FS. Durable directory entries persist until SyncDir.
+func (m *Mem) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.tick(); err != nil {
+		return err
+	}
+	name = norm(name)
+	if _, ok := m.entries[name]; !ok {
+		return &fs.PathError{Op: "remove", Path: name, Err: fs.ErrNotExist}
+	}
+	delete(m.entries, name)
+	return nil
+}
+
+// RemoveAll implements FS.
+func (m *Mem) RemoveAll(path string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.tick(); err != nil {
+		return err
+	}
+	path = norm(path)
+	prefix := path + string(filepath.Separator)
+	for p := range m.entries {
+		if p == path || strings.HasPrefix(p, prefix) {
+			delete(m.entries, p)
+			delete(m.durEntries, p)
+		}
+	}
+	for d := range m.dirs {
+		if d == path || strings.HasPrefix(d, prefix) {
+			delete(m.dirs, d)
+		}
+	}
+	return nil
+}
+
+// MkdirAll implements FS. Directories are durable on creation (metadata
+// journaling); only file entries within them need SyncDir.
+func (m *Mem) MkdirAll(path string, perm fs.FileMode) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.tick(); err != nil {
+		return err
+	}
+	path = norm(path)
+	for p := path; p != "." && p != "/"; p = filepath.Dir(p) {
+		m.dirs[p] = true
+	}
+	return nil
+}
+
+// SyncDir implements FS: the directory's live entries become its durable
+// entries — creations and renames survive, removals and renames-away are
+// forgotten durably too.
+func (m *Mem) SyncDir(dir string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.tick(); err != nil {
+		return err
+	}
+	dir = norm(dir)
+	if dir != "." && dir != "/" && !m.dirs[dir] {
+		return &fs.PathError{Op: "syncdir", Path: dir, Err: fs.ErrNotExist}
+	}
+	for p := range m.durEntries {
+		if filepath.Dir(p) == dir {
+			if _, live := m.entries[p]; !live {
+				delete(m.durEntries, p)
+			}
+		}
+	}
+	for p, ino := range m.entries {
+		if filepath.Dir(p) == dir {
+			m.durEntries[p] = ino
+		}
+	}
+	return nil
+}
+
+// memFile is a handle onto a Mem inode.
+type memFile struct {
+	m      *Mem
+	ino    *memInode
+	name   string
+	off    int64
+	gen    int
+	closed bool
+}
+
+func (f *memFile) Name() string { return f.name }
+
+// check validates the handle against crash/restart generations. Caller holds
+// f.m.mu.
+func (f *memFile) check() error {
+	if f.closed {
+		return fs.ErrClosed
+	}
+	if f.m.crashed || f.gen != f.m.gen {
+		return ErrCrashed
+	}
+	return nil
+}
+
+func (f *memFile) Write(p []byte) (int, error) {
+	f.m.mu.Lock()
+	defer f.m.mu.Unlock()
+	if err := f.check(); err != nil {
+		return 0, err
+	}
+	// Apply to the volatile view first, then tick: a torn-mode crash landing
+	// on this very write may keep a prefix of it, like a real device.
+	for int64(len(f.ino.data)) < f.off {
+		f.ino.data = append(f.ino.data, 0)
+	}
+	f.ino.data = append(f.ino.data[:f.off], p...)
+	f.off += int64(len(p))
+	if err := f.m.tick(); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+func (f *memFile) Sync() error {
+	f.m.mu.Lock()
+	defer f.m.mu.Unlock()
+	if err := f.check(); err != nil {
+		return err
+	}
+	if err := f.m.tick(); err != nil {
+		return err
+	}
+	f.ino.synced = clone(f.ino.data)
+	return nil
+}
+
+func (f *memFile) Truncate(size int64) error {
+	f.m.mu.Lock()
+	defer f.m.mu.Unlock()
+	if err := f.check(); err != nil {
+		return err
+	}
+	if err := f.m.tick(); err != nil {
+		return err
+	}
+	for int64(len(f.ino.data)) < size {
+		f.ino.data = append(f.ino.data, 0)
+	}
+	f.ino.data = f.ino.data[:size]
+	return nil
+}
+
+func (f *memFile) Seek(offset int64, whence int) (int64, error) {
+	f.m.mu.Lock()
+	defer f.m.mu.Unlock()
+	if err := f.check(); err != nil {
+		return 0, err
+	}
+	switch whence {
+	case io.SeekStart:
+		f.off = offset
+	case io.SeekCurrent:
+		f.off += offset
+	case io.SeekEnd:
+		f.off = int64(len(f.ino.data)) + offset
+	default:
+		return 0, fmt.Errorf("vfs: bad seek whence %d", whence)
+	}
+	if f.off < 0 {
+		return 0, fmt.Errorf("vfs: negative seek offset")
+	}
+	return f.off, nil
+}
+
+func (f *memFile) Close() error {
+	f.m.mu.Lock()
+	defer f.m.mu.Unlock()
+	if f.closed {
+		return fs.ErrClosed
+	}
+	f.closed = true
+	return nil
+}
+
+// memDirEntry / memFileInfo are the minimal listing types Mem returns.
+type memDirEntry struct {
+	name string
+	size int64
+	dir  bool
+}
+
+func (e memDirEntry) Name() string { return e.name }
+func (e memDirEntry) IsDir() bool  { return e.dir }
+func (e memDirEntry) Type() fs.FileMode {
+	if e.dir {
+		return fs.ModeDir
+	}
+	return 0
+}
+func (e memDirEntry) Info() (fs.FileInfo, error) {
+	return memFileInfo{name: e.name, size: e.size, dir: e.dir}, nil
+}
+
+type memFileInfo struct {
+	name string
+	size int64
+	dir  bool
+}
+
+func (i memFileInfo) Name() string { return i.name }
+func (i memFileInfo) Size() int64  { return i.size }
+func (i memFileInfo) Mode() fs.FileMode {
+	if i.dir {
+		return fs.ModeDir | 0o755
+	}
+	return 0o644
+}
+func (i memFileInfo) ModTime() time.Time { return time.Time{} }
+func (i memFileInfo) IsDir() bool        { return i.dir }
+func (i memFileInfo) Sys() any           { return nil }

@@ -1,0 +1,70 @@
+package vfs
+
+import (
+	"errors"
+	"io/fs"
+)
+
+// File is an open file handle: the write-side subset of *os.File the persist
+// layer uses. Reads go through FS.ReadFile (whole-file, like the recovery
+// paths), never through handles.
+type File interface {
+	// Name returns the path the file was opened with.
+	Name() string
+	// Write appends len(p) bytes at the handle's offset. Short writes return
+	// the count written and an error, like io.Writer.
+	Write(p []byte) (int, error)
+	// Sync forces written contents down to the durable store (fsync).
+	Sync() error
+	// Truncate resizes the file; the handle offset is unchanged.
+	Truncate(size int64) error
+	// Seek repositions the handle offset (whence as in io.Seeker).
+	Seek(offset int64, whence int) (int64, error)
+	// Close releases the handle without syncing.
+	Close() error
+}
+
+// FS is the filesystem seam: exactly the operations the persistence and
+// server layers perform. Implementations must be safe for concurrent use by
+// independent files/directories (the server runs one worker per tenant
+// directory plus manifest writes from the front end).
+type FS interface {
+	// OpenFile opens path with os.OpenFile flag semantics (O_RDWR, O_CREATE,
+	// O_TRUNC are the combinations used).
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	// CreateTemp creates a new file in dir, with a name built from pattern by
+	// replacing the final "*" (os.CreateTemp semantics).
+	CreateTemp(dir, pattern string) (File, error)
+	// ReadFile returns the file's current contents.
+	ReadFile(name string) ([]byte, error)
+	// ReadDir lists a directory.
+	ReadDir(name string) ([]fs.DirEntry, error)
+	// Stat describes a file.
+	Stat(name string) (fs.FileInfo, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// RemoveAll deletes a tree.
+	RemoveAll(path string) error
+	// MkdirAll creates a directory and its missing parents.
+	MkdirAll(path string, perm fs.FileMode) error
+	// SyncDir fsyncs a directory, making creations, renames, and removals of
+	// its entries durable.
+	SyncDir(dir string) error
+}
+
+// ErrCrashed is returned by every Mem operation between a simulated power
+// loss and the following Restart. The persist layer classifies it as fatal
+// (not retryable): a crashed machine does not retry, it reboots and recovers.
+var ErrCrashed = errors.New("vfs: simulated power loss")
+
+// OrOS returns fsys, or the real filesystem when fsys is nil — the default
+// every persist entry point applies, so callers that never think about fault
+// injection keep working against the disk.
+func OrOS(fsys FS) FS {
+	if fsys == nil {
+		return OS{}
+	}
+	return fsys
+}

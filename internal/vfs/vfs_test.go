@@ -1,0 +1,261 @@
+package vfs
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"syscall"
+	"testing"
+)
+
+func write(t *testing.T, f File, data string) {
+	t.Helper()
+	if _, err := f.Write([]byte(data)); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+}
+
+func readAll(t *testing.T, m *Mem, path string) string {
+	t.Helper()
+	data, err := m.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	return string(data)
+}
+
+// TestMemContentDurability: written bytes are volatile until fsync; a lost
+// crash reverts to the synced prefix, a flushed crash keeps everything, a
+// torn crash keeps a salt-chosen prefix of the unsynced tail.
+func TestMemContentDurability(t *testing.T) {
+	build := func(t *testing.T) *Mem {
+		m := NewMem()
+		if err := m.MkdirAll("d", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		f, err := m.OpenFile("d/a", os.O_RDWR|os.O_CREATE, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		write(t, f, "durable")
+		if err := f.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.SyncDir("d"); err != nil {
+			t.Fatal(err)
+		}
+		write(t, f, "-volatile")
+		return m
+	}
+
+	m := build(t)
+	m.CrashNow(CrashLost)
+	m.Restart()
+	if got := readAll(t, m, "d/a"); got != "durable" {
+		t.Fatalf("lost crash kept %q, want %q", got, "durable")
+	}
+
+	m = build(t)
+	m.CrashNow(CrashFlushed)
+	m.Restart()
+	if got := readAll(t, m, "d/a"); got != "durable-volatile" {
+		t.Fatalf("flushed crash kept %q, want %q", got, "durable-volatile")
+	}
+
+	m = build(t)
+	m.SetCrashPoint(m.Ops()+1, CrashTorn, 4) // keep 4 bytes of the 9-byte tail
+	if err := m.SyncDir("d"); err != ErrCrashed {
+		t.Fatalf("armed op returned %v, want ErrCrashed", err)
+	}
+	m.Restart()
+	if got := readAll(t, m, "d/a"); got != "durable-vol" {
+		t.Fatalf("torn crash kept %q, want %q", got, "durable-vol")
+	}
+}
+
+// TestMemDirEntryDurability: a created-and-fsynced file still vanishes in a
+// crash if its directory entry was never synced; SyncDir pins it.
+func TestMemDirEntryDurability(t *testing.T) {
+	m := NewMem()
+	if err := m.MkdirAll("d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	f, err := m.OpenFile("d/a", os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	write(t, f, "x")
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	m.CrashNow(CrashLost)
+	m.Restart()
+	if _, err := m.ReadFile("d/a"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("file with unsynced dir entry survived the crash: %v", err)
+	}
+
+	m = NewMem()
+	m.MkdirAll("d", 0o755)
+	f, _ = m.OpenFile("d/a", os.O_RDWR|os.O_CREATE, 0o644)
+	write(t, f, "x")
+	f.Sync()
+	if err := m.SyncDir("d"); err != nil {
+		t.Fatal(err)
+	}
+	m.CrashNow(CrashLost)
+	m.Restart()
+	if got := readAll(t, m, "d/a"); got != "x" {
+		t.Fatalf("synced entry lost: %q", got)
+	}
+}
+
+// TestMemRenameAtomicity: before the directory sync a crash sees the old
+// target; after it, the new one. The displaced inode's content never mixes.
+func TestMemRenameAtomicity(t *testing.T) {
+	setup := func(t *testing.T) *Mem {
+		m := NewMem()
+		m.MkdirAll("d", 0o755)
+		f, _ := m.OpenFile("d/final", os.O_RDWR|os.O_CREATE, 0o644)
+		write(t, f, "old")
+		f.Sync()
+		m.SyncDir("d")
+		tmp, err := m.CreateTemp("d", "final.tmp-*")
+		if err != nil {
+			t.Fatal(err)
+		}
+		write(t, tmp, "new")
+		tmp.Sync()
+		tmp.Close()
+		if err := m.Rename(tmp.Name(), "d/final"); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+
+	m := setup(t)
+	m.CrashNow(CrashLost) // before SyncDir
+	m.Restart()
+	if got := readAll(t, m, "d/final"); got != "old" {
+		t.Fatalf("pre-syncdir crash sees %q, want old", got)
+	}
+
+	m = setup(t)
+	if err := m.SyncDir("d"); err != nil {
+		t.Fatal(err)
+	}
+	m.CrashNow(CrashLost)
+	m.Restart()
+	if got := readAll(t, m, "d/final"); got != "new" {
+		t.Fatalf("post-syncdir crash sees %q, want new", got)
+	}
+	// The temp name must be durably gone too.
+	entries, err := m.ReadDir("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "final" {
+		t.Fatalf("directory after crash: %v", entries)
+	}
+}
+
+// TestMemHandlesDieAtCrash: handles opened before a power loss fail with
+// ErrCrashed afterwards, even after Restart.
+func TestMemHandlesDieAtCrash(t *testing.T) {
+	m := NewMem()
+	m.MkdirAll("d", 0o755)
+	f, _ := m.OpenFile("d/a", os.O_RDWR|os.O_CREATE, 0o644)
+	m.CrashNow(CrashLost)
+	if _, err := f.Write([]byte("x")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("write on dead handle: %v", err)
+	}
+	m.Restart()
+	if _, err := f.Write([]byte("x")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("stale handle revived after restart: %v", err)
+	}
+}
+
+// TestInjectorPlanAndSticky: Nth-op faults fire exactly once at the right
+// occurrence; sticky errors hold until cleared.
+func TestInjectorPlanAndSticky(t *testing.T) {
+	mem := NewMem()
+	mem.MkdirAll("d", 0o755)
+	in := NewInjector(mem, Fault{Kind: FaultWrite, Nth: 2, Err: syscall.EIO})
+	f, err := in.OpenFile("d/a", os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("1")); err != nil {
+		t.Fatalf("write 1: %v", err)
+	}
+	if _, err := f.Write([]byte("2")); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("write 2 = %v, want EIO", err)
+	}
+	if _, err := f.Write([]byte("3")); err != nil {
+		t.Fatalf("write 3 after one-shot fault: %v", err)
+	}
+
+	in.SetSticky(syscall.ENOSPC)
+	if _, err := f.Write([]byte("4")); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("sticky write = %v, want ENOSPC", err)
+	}
+	if err := f.Sync(); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("sticky sync = %v, want ENOSPC", err)
+	}
+	if _, err := in.ReadFile("d/a"); err != nil {
+		t.Fatalf("reads must pass through a sick disk: %v", err)
+	}
+	in.ClearSticky()
+	if _, err := f.Write([]byte("5")); err != nil {
+		t.Fatalf("write after heal: %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync after heal: %v", err)
+	}
+}
+
+// TestParsePlan: round trip and rejection.
+func TestParsePlan(t *testing.T) {
+	plan, err := ParsePlan("write:3:enospc, sync:1:eio")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan) != 2 || plan[0] != (Fault{FaultWrite, 3, syscall.ENOSPC}) || plan[1] != (Fault{FaultSync, 1, syscall.EIO}) {
+		t.Fatalf("plan = %v", plan)
+	}
+	if got := PlanString(plan); got != "write:3:enospc,sync:1:eio" {
+		t.Fatalf("PlanString = %q", got)
+	}
+	for _, bad := range []string{"write:0:eio", "write:x:eio", "write:1:ebadf", "flush:1:eio", "write:1"} {
+		if _, err := ParsePlan(bad); err == nil {
+			t.Errorf("ParsePlan(%q) accepted", bad)
+		}
+	}
+	if plan, err := ParsePlan(""); err != nil || plan != nil {
+		t.Fatalf("empty plan: %v %v", plan, err)
+	}
+}
+
+// TestMemDeterministicTempNames: CreateTemp names derive from a counter, so
+// identical op sequences produce identical namespaces.
+func TestMemDeterministicTempNames(t *testing.T) {
+	names := func() []string {
+		m := NewMem()
+		m.MkdirAll("d", 0o755)
+		var out []string
+		for i := 0; i < 3; i++ {
+			f, err := m.CreateTemp("d", "snap.tmp-*")
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, f.Name())
+			f.Close()
+		}
+		return out
+	}
+	a, b := names(), names()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("temp names diverge: %v vs %v", a, b)
+		}
+	}
+}
